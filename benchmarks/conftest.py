@@ -1,0 +1,73 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on scaled-down
+inputs (pure-Python simulation of the full 64-core platform at paper scale
+would take hours).  Scale and core count can be raised from the environment
+to run closer to the paper's configuration:
+
+* ``REPRO_BENCH_SCALE``  — workload size multiplier (default 1.0; lower it
+  for a quick smoke run, at the cost of working sets shrinking toward the
+  scaled L1 and the partial-accessing figures losing their signal)
+* ``REPRO_BENCH_CORES``  — core count for the single-core-count figures
+  (default 16)
+* ``REPRO_BENCH_ALL_CORES=1`` — run Figures 9 and 11 at 16/64/256 cores
+  instead of only ``REPRO_BENCH_CORES``.
+
+Each benchmark prints the regenerated rows (visible with ``pytest -s``) and
+appends them to ``results/benchmark_tables.txt`` so EXPERIMENTS.md can be
+cross-checked against a recorded run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentRunner, scaled_config
+from repro.experiments.figures import format_table
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_cores() -> int:
+    return int(os.environ.get("REPRO_BENCH_CORES", "16"))
+
+
+def bench_core_counts():
+    if os.environ.get("REPRO_BENCH_ALL_CORES", "0") == "1":
+        return (16, 64, 256)
+    return (bench_cores(),)
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One shared (caching) runner so figures reuse common simulations."""
+    return ExperimentRunner(scale=bench_scale(), seed=1,
+                            base_config=scaled_config(bench_cores()))
+
+
+@pytest.fixture(scope="session")
+def n_cores() -> int:
+    return bench_cores()
+
+
+def record_table(name: str, rows, columns=None) -> str:
+    """Pretty-print a figure's rows and append them to the results file."""
+    text = f"== {name} ==\n{format_table(rows, columns)}\n"
+    print("\n" + text)
+    RESULTS_PATH.mkdir(exist_ok=True)
+    with open(RESULTS_PATH / "benchmark_tables.txt", "a") as handle:
+        handle.write(text + "\n")
+    return text
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a figure generator exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

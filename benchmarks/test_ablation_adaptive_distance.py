@@ -1,0 +1,47 @@
+"""Ablation: adaptive prefetch-distance throttling (DESIGN.md §5).
+
+The paper's Figure 16 discussion suggests, as future work, dynamically
+decreasing the prefetch distance when prefetches overshoot short loops.
+This ablation compares the evaluated design (fixed linear ramp to the
+maximum distance) against the implemented adaptive throttle on one
+short-loop workload (triangle counting) and one long-stream workload
+(pagerank): the throttle must not hurt long streams and must not make the
+short-loop case worse.
+"""
+
+from benchmarks.conftest import bench_cores, record_table, run_once
+from repro.core import IMPConfig
+from repro.experiments import scaled_config
+from repro.sim.system import run_workload
+from repro.workloads import PagerankWorkload, TriangleCountWorkload
+
+
+def _run_ablation():
+    config = scaled_config(bench_cores())
+    workloads = [PagerankWorkload(n_vertices=2048, seed=11),
+                 TriangleCountWorkload(n_vertices=1024, seed=11)]
+    rows = []
+    for workload in workloads:
+        fixed = run_workload(workload, config, prefetcher="imp",
+                             imp_config=IMPConfig())
+        adaptive = run_workload(workload, config, prefetcher="imp",
+                                imp_config=IMPConfig().with_adaptive_distance())
+        rows.append({
+            "workload": workload.name,
+            "fixed_cycles": fixed.runtime_cycles,
+            "adaptive_cycles": adaptive.runtime_cycles,
+            "adaptive_vs_fixed": fixed.runtime_cycles / adaptive.runtime_cycles,
+            "fixed_accuracy": fixed.stats.accuracy,
+            "adaptive_accuracy": adaptive.stats.accuracy,
+        })
+    return rows
+
+
+def test_ablation_adaptive_distance(benchmark):
+    rows = run_once(benchmark, _run_ablation)
+    record_table("Ablation: adaptive prefetch distance", rows)
+    for row in rows:
+        # The throttle must never cost more than a few percent...
+        assert row["adaptive_vs_fixed"] > 0.95
+        # ...and must not degrade prefetch accuracy.
+        assert row["adaptive_accuracy"] >= row["fixed_accuracy"] - 0.05

@@ -1,0 +1,20 @@
+"""Figure 2: runtime of the realistic system and of Perfect Prefetching,
+normalised to the Ideal (all-hits) configuration.
+
+Paper: the realistic baseline is several times slower than Ideal, indirect
+stalls account for most of that gap, and even Perfect Prefetching stays well
+above Ideal because of finite NoC/DRAM bandwidth (on average ~1.8x).
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.experiments import figures
+
+
+def test_fig02_motivation(benchmark, runner, n_cores):
+    rows = run_once(benchmark, figures.fig02_motivation, runner, n_cores)
+    record_table("Figure 2: runtime normalised to Ideal", rows)
+    avg = rows[-1]
+    assert avg["norm_runtime"] > 1.5          # baseline far from Ideal
+    assert avg["perfpref_norm_runtime"] > 1.0  # bandwidth-bound even when magic
+    assert avg["perfpref_norm_runtime"] < avg["norm_runtime"]
+    assert avg["indirect_fraction"] > 0.2      # indirect stalls are the story

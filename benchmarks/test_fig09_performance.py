@@ -1,0 +1,25 @@
+"""Figure 9: throughput of Base / IMP / SW-prefetching normalised to Perfect
+Prefetching, per core count.
+
+Paper: IMP speeds the baseline up by 74%/56%/33% on average at 16/64/256
+cores and lands within 18-26% of Perfect Prefetching; software prefetching
+helps but less than IMP.
+"""
+
+from benchmarks.conftest import bench_core_counts, record_table, run_once
+from repro.experiments import figures
+
+
+def test_fig09_performance(benchmark, runner):
+    core_counts = bench_core_counts()
+    results = run_once(benchmark, figures.fig09_performance, runner,
+                       core_counts=core_counts)
+    for n_cores, rows in results.items():
+        record_table(f"Figure 9: normalised throughput @ {n_cores} cores", rows)
+        avg = rows[-1]
+        # Shape checks: IMP beats the baseline and approaches PerfPref.
+        assert avg["imp"] > avg["base"] * 1.1
+        assert avg["imp"] <= 1.05
+        speedups = figures.imp_speedup_over_base(rows)
+        assert all(value >= 0.95 for value in speedups.values())
+        assert max(speedups.values()) > 1.3

@@ -1,0 +1,17 @@
+"""Figure 10: dynamic instruction count of IMP and software prefetching,
+normalised to the baseline (64 cores in the paper).
+
+Paper: IMP adds no instructions (except the busy-waiting SymGS), while
+software indirect prefetching costs ~29% more instructions on average.
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.experiments import figures
+
+
+def test_fig10_sw_overhead(benchmark, runner, n_cores):
+    rows = run_once(benchmark, figures.fig10_sw_overhead, runner, n_cores)
+    record_table("Figure 10: instruction overhead of software prefetching", rows)
+    avg = rows[-1]
+    assert avg["imp"] <= 1.05                 # hardware adds no instructions
+    assert avg["swpref"] > avg["imp"] + 0.05  # software pays real overhead

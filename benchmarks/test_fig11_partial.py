@@ -1,0 +1,23 @@
+"""Figure 11: IMP with partial cacheline accessing (NoC only, NoC + DRAM),
+normalised to Perfect Prefetching, with Ideal shown for reference.
+
+Paper: partial accessing adds up to ~9.4% average speedup on top of IMP at
+64 cores, with per-application behaviour depending on L1 vs L2 spatial
+locality (partial DRAM access can hurt a few workloads).
+"""
+
+from benchmarks.conftest import bench_core_counts, record_table, run_once
+from repro.experiments import figures
+
+
+def test_fig11_partial(benchmark, runner):
+    results = run_once(benchmark, figures.fig11_partial, runner,
+                       core_counts=bench_core_counts())
+    for n_cores, rows in results.items():
+        record_table(f"Figure 11: partial cacheline accessing @ {n_cores} cores",
+                     rows)
+        avg = rows[-1]
+        # Ideal bounds everything; partial accessing must not wreck IMP.
+        assert avg["ideal"] >= avg["imp_partial_noc_dram"] * 0.95
+        assert avg["imp_partial_noc"] >= avg["imp"] * 0.9
+        assert avg["imp_partial_noc_dram"] >= avg["imp"] * 0.9

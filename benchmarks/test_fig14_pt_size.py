@@ -1,0 +1,21 @@
+"""Figure 14: sensitivity to the Prefetch Table size (8 / 16 / 32 entries),
+normalised to the default of 16.
+
+Paper: most applications are insensitive; only workloads with many
+concurrent indirect patterns gain from more entries, and 32 entries add
+little over 16.
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.experiments import figures
+
+
+def test_fig14_pt_size(benchmark, runner, n_cores):
+    rows = run_once(benchmark, figures.fig14_pt_size, runner, n_cores,
+                    sizes=(8, 16, 32))
+    record_table("Figure 14: PT size sensitivity", rows)
+    avg = rows[-1]
+    assert avg["PT=16"] == 1.0
+    # Going to 32 entries changes little; shrinking to 8 never helps much.
+    assert abs(avg["PT=32"] - 1.0) < 0.15
+    assert avg["PT=8"] <= 1.1

@@ -1,0 +1,19 @@
+"""Figure 15: sensitivity to the Indirect Pattern Detector size (2 / 4 / 8
+entries), normalised to the default of 4.
+
+Paper: the IPD is only used during detection, so most applications are
+insensitive to its size; SymGS benefits slightly from 4 entries over 2.
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.experiments import figures
+
+
+def test_fig15_ipd_size(benchmark, runner, n_cores):
+    rows = run_once(benchmark, figures.fig15_ipd_size, runner, n_cores,
+                    sizes=(2, 4, 8))
+    record_table("Figure 15: IPD size sensitivity", rows)
+    avg = rows[-1]
+    assert avg["IPD=4"] == 1.0
+    assert abs(avg["IPD=8"] - 1.0) < 0.1     # more entries barely matter
+    assert avg["IPD=2"] <= 1.1

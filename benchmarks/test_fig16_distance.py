@@ -1,0 +1,25 @@
+"""Figure 16: sensitivity to the maximum indirect prefetch distance
+(4 / 8 / 16 / 32), normalised to the default of 16.
+
+Paper: long-stream applications benefit from larger distances, while
+short-loop workloads (triangle counting) can lose performance when the
+distance overshoots loop ends.
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.experiments import figures
+
+
+def test_fig16_prefetch_distance(benchmark, runner, n_cores):
+    rows = run_once(benchmark, figures.fig16_prefetch_distance, runner, n_cores,
+                    distances=(4, 8, 16, 32))
+    record_table("Figure 16: prefetch distance sensitivity", rows)
+    avg = rows[-1]
+    assert avg["Dist=16"] == 1.0
+    # At the scaled L1 size the sweet spot sits at a shorter distance than in
+    # the paper (see EXPERIMENTS.md), so the checks here are structural: no
+    # distance choice changes average performance by more than ~15%, and the
+    # longest distance is never the best one (it overshoots short loops).
+    for key in ("Dist=4", "Dist=8", "Dist=32"):
+        assert abs(avg[key] - 1.0) < 0.15
+    assert avg["Dist=32"] <= max(avg["Dist=4"], avg["Dist=8"], 1.0) + 0.02

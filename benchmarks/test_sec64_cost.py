@@ -1,0 +1,25 @@
+"""Section 6.4: hardware storage and energy cost of IMP and the Granularity
+Predictor.
+
+Paper: the PT needs <2 Kbit, the IPD 3.5 Kbit (5.5 Kbit / 0.7 KB total for
+IMP), the GP 3.4 Kbit / 420 B; sector valid bits cost 1.6% (L1) and 0.4%
+(L2); PT accesses cost <3% of an L1 access, GP accesses <1%.
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.experiments import figures
+
+
+def test_sec64_hardware_cost(benchmark):
+    cost = run_once(benchmark, figures.sec64_hardware_cost)
+    record_table("Section 6.4: hardware cost",
+                 [{"metric": key, "value": value} for key, value in cost.items()])
+    assert cost["pt_total_kbits"] <= 2.1
+    assert 3.0 <= cost["ipd_total_kbits"] <= 3.9
+    assert 5.0 <= cost["imp_total_kbits"] <= 6.0
+    assert cost["imp_total_bytes"] <= 800
+    assert cost["gp_total_bytes"] <= 470
+    assert cost["pt_energy_vs_l1"] <= 0.03
+    assert cost["gp_energy_vs_l1"] <= 0.01
+    assert cost["l1_sector_overhead"] <= 0.017
+    assert cost["l2_sector_overhead"] <= 0.005

@@ -1,0 +1,19 @@
+"""Table 3: prefetch coverage, accuracy and relative memory latency for the
+streaming prefetcher alone and for streaming + IMP.
+
+Paper: coverage improves from 28% to 85% on average, accuracy stays high,
+and average memory latency moves much closer to Perfect Prefetching.
+"""
+
+from benchmarks.conftest import record_table, run_once
+from repro.experiments import figures
+
+
+def test_table3_effectiveness(benchmark, runner, n_cores):
+    rows = run_once(benchmark, figures.table3_effectiveness, runner, n_cores)
+    record_table("Table 3: prefetching effectiveness", rows)
+    avg = rows[-1]
+    assert avg["imp_cov"] > avg["stream_cov"] + 0.2
+    assert avg["imp_cov"] > 0.5
+    assert avg["imp_lat"] <= avg["stream_lat"]
+    assert 0.0 < avg["imp_acc"] <= 1.0

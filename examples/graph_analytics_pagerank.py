@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Graph analytics scenario: pagerank on a power-law graph.
+
+Pagerank is the paper's flagship graph workload: scanning each vertex's
+neighbour list produces an index stream (``col_idx``), and both the rank
+array and the out-degree array are accessed indirectly through it — a
+*multi-way* indirect pattern (Listing 2 in the paper).
+
+The example runs the paper's main configurations (Section 5.4) on one graph
+and reports the Figure 9-style normalised throughput, plus a look inside
+IMP's Prefetch Table to show the two detected ways.
+
+Run with::
+
+    python examples/graph_analytics_pagerank.py
+"""
+
+from repro import IMPConfig, run_workload
+from repro.experiments import scaled_config
+from repro.workloads import PagerankWorkload
+
+
+def main() -> None:
+    config = scaled_config(n_cores=16)
+    workload = PagerankWorkload(n_vertices=4096, avg_degree=8, seed=7)
+
+    results = {
+        "Ideal": run_workload(workload, config.as_ideal(), prefetcher="none"),
+        "PerfPref": run_workload(workload, config.as_perfect_prefetch(),
+                                 prefetcher="none"),
+        "Base": run_workload(workload, config, prefetcher="stream"),
+        "SW Pref": run_workload(workload, config, prefetcher="stream",
+                                software_prefetch=True, sw_prefetch_distance=8),
+        "IMP": run_workload(workload, config, prefetcher="imp"),
+        "IMP+Partial": run_workload(workload,
+                                    config.with_partial(noc=True, dram=True),
+                                    prefetcher="imp",
+                                    imp_config=IMPConfig(partial_enabled=True)),
+    }
+
+    reference = results["PerfPref"]
+    print("Pagerank, 16 cores  (throughput normalised to Perfect Prefetching)")
+    print(f"{'config':14s} {'cycles':>10s} {'norm.thrpt':>11s} "
+          f"{'coverage':>9s} {'L1 miss rate':>13s}")
+    print("-" * 62)
+    for name, result in results.items():
+        miss_rate = (result.stats.total_l1_misses
+                     / max(1, result.stats.total_mem_accesses))
+        print(f"{name:14s} {result.runtime_cycles:10d} "
+              f"{result.normalized_throughput(reference):11.3f} "
+              f"{result.stats.coverage:9.2f} {miss_rate:13.3f}")
+
+    imp_result = results["IMP"]
+    print(f"\nIMP speedup over Base: "
+          f"{imp_result.speedup_over(results['Base']):.2f}x")
+
+    # Inspect core 0's Prefetch Table: the rank array (8-byte elements,
+    # shift 3) and the out-degree array (4-byte elements, shift 2) share the
+    # same index stream -> one primary entry plus one second-way child.
+    imp = imp_result.imps[0]
+    print("\nDetected indirect patterns on core 0:")
+    for entry in imp.pt.enabled_entries():
+        print(f"  entry {entry.entry_id}: type={entry.ind_type.value:11s} "
+              f"shift={entry.shift:+d}  BaseAddr={entry.base_addr:#x}  "
+              f"prefetches issued={entry.prefetches_issued}")
+    print(f"\nNoC traffic:  {imp_result.stats.traffic.noc_bytes / 1024:.0f} KiB"
+          f"   DRAM traffic: {imp_result.stats.traffic.dram_bytes / 1024:.0f} KiB")
+
+
+if __name__ == "__main__":
+    main()

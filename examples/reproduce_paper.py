@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+This is the full reproduction driver behind EXPERIMENTS.md: it runs all
+seven workloads under the paper's configurations and prints (and saves) the
+rows of Figures 1, 2, 9-16 and Table 3 plus the Section 6.4 cost numbers.
+
+By default it uses a reduced workload scale and 16 cores so a laptop-class
+machine finishes in a few minutes.  Raise ``--scale`` / add more
+``--cores`` for results closer to the paper's operating point (much
+slower in pure Python).
+
+Run with::
+
+    python examples/reproduce_paper.py --scale 0.35 --cores 16
+    python examples/reproduce_paper.py --scale 1.0 --cores 16 64   # slower
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import ExperimentRunner, figures, scaled_config
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.35,
+                        help="workload size multiplier (1.0 = repo defaults)")
+    parser.add_argument("--cores", type=int, nargs="+", default=[16],
+                        help="core counts for Figures 9 and 11")
+    parser.add_argument("--output", type=Path,
+                        default=Path("results/reproduction_report.txt"))
+    parser.add_argument("--skip-sensitivity", action="store_true",
+                        help="skip Figures 13-16 (the slowest sweeps)")
+    args = parser.parse_args()
+
+    primary_cores = args.cores[0]
+    runner = ExperimentRunner(scale=args.scale, seed=1,
+                              base_config=scaled_config(primary_cores))
+    sections = []
+
+    def emit(title: str, rows) -> None:
+        text = f"== {title} ==\n{figures.format_table(rows)}\n"
+        print(text)
+        sections.append(text)
+
+    emit(f"Figure 1: L1 miss breakdown ({primary_cores} cores)",
+         figures.fig01_miss_breakdown(runner, primary_cores))
+    emit(f"Figure 2: runtime normalised to Ideal ({primary_cores} cores)",
+         figures.fig02_motivation(runner, primary_cores))
+    for n_cores, rows in figures.fig09_performance(
+            runner, core_counts=args.cores).items():
+        emit(f"Figure 9: normalised throughput ({n_cores} cores)", rows)
+    emit(f"Table 3: prefetch effectiveness ({primary_cores} cores)",
+         figures.table3_effectiveness(runner, primary_cores))
+    emit(f"Figure 10: software prefetching instruction overhead",
+         figures.fig10_sw_overhead(runner, primary_cores))
+    for n_cores, rows in figures.fig11_partial(
+            runner, core_counts=args.cores).items():
+        emit(f"Figure 11: partial cacheline accessing ({n_cores} cores)", rows)
+    emit(f"Figure 12: traffic with partial accessing ({primary_cores} cores)",
+         figures.fig12_traffic(runner, primary_cores))
+
+    if not args.skip_sensitivity:
+        emit("Figure 13: in-order vs out-of-order cores",
+             figures.fig13_ooo(n_cores=primary_cores, scale=args.scale))
+        emit("Figure 14: PT size sensitivity",
+             figures.fig14_pt_size(runner, primary_cores))
+        emit("Figure 15: IPD size sensitivity",
+             figures.fig15_ipd_size(runner, primary_cores))
+        emit("Figure 16: prefetch distance sensitivity",
+             figures.fig16_prefetch_distance(runner, primary_cores))
+
+    cost = figures.sec64_hardware_cost()
+    emit("Section 6.4: hardware cost",
+         [{"metric": key, "value": value} for key, value in cost.items()])
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text("\n".join(sections))
+    print(f"Full report written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

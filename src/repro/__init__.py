@@ -1,0 +1,54 @@
+"""repro — a reproduction of "IMP: Indirect Memory Prefetcher" (MICRO 2015).
+
+The package is organised as:
+
+* :mod:`repro.core` — the Indirect Memory Prefetcher itself (stream table,
+  Indirect Pattern Detector, Prefetch Table, Granularity Predictor, cost
+  model).
+* :mod:`repro.prefetchers` — the prefetcher interface and baselines (stream,
+  GHB, none).
+* :mod:`repro.memory`, :mod:`repro.noc` — the memory-hierarchy substrate:
+  sector-capable caches, ACKwise directory, DRAM models, 2-D mesh NoC.
+* :mod:`repro.sim` — trace format, core models, system builder, statistics.
+* :mod:`repro.workloads` — the seven applications of the paper's evaluation
+  plus synthetic micro-kernels.
+* :mod:`repro.experiments` — per-figure/table experiment runners.
+
+Quickstart::
+
+    from repro import IMPConfig, SystemConfig, run_workload
+    from repro.workloads import SpMVWorkload
+
+    config = SystemConfig(n_cores=16)
+    base = run_workload(SpMVWorkload(), config, prefetcher="stream")
+    imp = run_workload(SpMVWorkload(), config, prefetcher="imp")
+    print(imp.speedup_over(base))
+"""
+
+from repro.core import IMP, IMPConfig
+from repro.mem_image import MemoryImage
+from repro.sim import (
+    AccessKind,
+    SimulationResult,
+    SystemConfig,
+    SystemStats,
+    Trace,
+    build_system,
+    run_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessKind",
+    "IMP",
+    "IMPConfig",
+    "MemoryImage",
+    "SimulationResult",
+    "SystemConfig",
+    "SystemStats",
+    "Trace",
+    "__version__",
+    "build_system",
+    "run_workload",
+]

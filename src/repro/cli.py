@@ -1,0 +1,195 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script (also runnable as
+``python -m repro.cli``).  Sub-commands:
+
+* ``list-workloads`` — show the available paper and synthetic workloads.
+* ``run``            — simulate one workload under one configuration and
+  print runtime, coverage, accuracy and traffic.
+* ``compare``        — run the paper's named configurations side by side for
+  one workload (a one-workload slice of Figure 9 / 11).
+* ``figure``         — regenerate one of the paper's figures/tables.
+* ``cost``           — print the Section 6.4 storage/energy cost report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.config import IMPConfig
+from repro.experiments import ExperimentRunner, figures, scaled_config
+from repro.experiments.configs import CONFIG_MODES, experiment_config
+from repro.sim.system import run_workload
+from repro.workloads import PAPER_WORKLOADS, REGULAR_WORKLOADS, make_workload
+from repro.workloads.synthetic import IndirectStreamWorkload, StreamingWorkload
+
+#: Figure names accepted by ``repro figure``.
+FIGURES = {
+    "fig1": lambda runner, cores: figures.fig01_miss_breakdown(runner, cores),
+    "fig2": lambda runner, cores: figures.fig02_motivation(runner, cores),
+    "fig9": lambda runner, cores: figures.fig09_performance(
+        runner, core_counts=(cores,))[cores],
+    "table3": lambda runner, cores: figures.table3_effectiveness(runner, cores),
+    "fig10": lambda runner, cores: figures.fig10_sw_overhead(runner, cores),
+    "fig11": lambda runner, cores: figures.fig11_partial(
+        runner, core_counts=(cores,))[cores],
+    "fig12": lambda runner, cores: figures.fig12_traffic(runner, cores),
+    "fig14": lambda runner, cores: figures.fig14_pt_size(runner, cores),
+    "fig15": lambda runner, cores: figures.fig15_ipd_size(runner, cores),
+    "fig16": lambda runner, cores: figures.fig16_prefetch_distance(runner, cores),
+}
+
+
+def _all_workload_names() -> List[str]:
+    return (sorted(PAPER_WORKLOADS) + sorted(REGULAR_WORKLOADS)
+            + ["indirect_stream", "streaming"])
+
+
+def _make_named_workload(name: str, seed: int):
+    if name in PAPER_WORKLOADS:
+        return make_workload(name, seed=seed)
+    if name in REGULAR_WORKLOADS:
+        return REGULAR_WORKLOADS[name](seed=seed)
+    if name == "indirect_stream":
+        return IndirectStreamWorkload(seed=seed)
+    if name == "streaming":
+        return StreamingWorkload(seed=seed)
+    raise SystemExit(f"unknown workload {name!r}; "
+                     f"try: {', '.join(_all_workload_names())}")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IMP (Indirect Memory Prefetcher, MICRO 2015) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="list available workloads")
+
+    run_parser = sub.add_parser("run", help="simulate one workload")
+    run_parser.add_argument("workload", help="workload name (see list-workloads)")
+    run_parser.add_argument("--prefetcher", default="imp",
+                            choices=["none", "stream", "ghb", "imp"])
+    run_parser.add_argument("--cores", type=int, default=16)
+    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument("--partial", action="store_true",
+                            help="enable partial cacheline accessing (NoC+DRAM)")
+    run_parser.add_argument("--software-prefetch", action="store_true")
+    run_parser.add_argument("--ooo", action="store_true",
+                            help="use the out-of-order core model")
+
+    compare_parser = sub.add_parser(
+        "compare", help="run the paper's named configurations for one workload")
+    compare_parser.add_argument("workload")
+    compare_parser.add_argument("--cores", type=int, default=16)
+    compare_parser.add_argument("--seed", type=int, default=1)
+    compare_parser.add_argument("--modes", nargs="+",
+                                default=["ideal", "perfpref", "base", "swpref",
+                                         "imp", "imp_partial_noc_dram"],
+                                choices=list(CONFIG_MODES))
+
+    figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("name", choices=sorted(FIGURES))
+    figure_parser.add_argument("--cores", type=int, default=16)
+    figure_parser.add_argument("--scale", type=float, default=0.35)
+    figure_parser.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("cost", help="print the Section 6.4 hardware cost report")
+    return parser
+
+
+def _command_list(out) -> int:
+    print("paper workloads   :", ", ".join(sorted(PAPER_WORKLOADS)), file=out)
+    print("regular workloads :", ", ".join(sorted(REGULAR_WORKLOADS)), file=out)
+    print("synthetic         : indirect_stream, streaming", file=out)
+    return 0
+
+
+def _command_run(args, out) -> int:
+    workload = _make_named_workload(args.workload, args.seed)
+    config = scaled_config(args.cores)
+    if args.partial:
+        config = config.with_partial(noc=True, dram=True)
+    if args.ooo:
+        config = config.with_ooo()
+    imp_config = IMPConfig(partial_enabled=args.partial)
+    result = run_workload(workload, config, prefetcher=args.prefetcher,
+                          imp_config=imp_config,
+                          software_prefetch=args.software_prefetch)
+    stats = result.stats
+    print(f"workload          : {result.workload}", file=out)
+    print(f"prefetcher        : {result.prefetcher}", file=out)
+    print(f"cores             : {args.cores}", file=out)
+    print(f"runtime (cycles)  : {result.runtime_cycles}", file=out)
+    print(f"throughput (IPC)  : {result.throughput:.3f}", file=out)
+    print(f"L1 miss rate      : "
+          f"{stats.total_l1_misses / max(1, stats.total_mem_accesses):.3f}",
+          file=out)
+    print(f"prefetch coverage : {stats.coverage:.3f}", file=out)
+    print(f"prefetch accuracy : {stats.accuracy:.3f}", file=out)
+    print(f"NoC traffic (KiB) : {stats.traffic.noc_bytes / 1024:.0f}", file=out)
+    print(f"DRAM traffic (KiB): {stats.traffic.dram_bytes / 1024:.0f}", file=out)
+    return 0
+
+
+def _command_compare(args, out) -> int:
+    workload = _make_named_workload(args.workload, args.seed)
+    rows = []
+    reference = None
+    for mode in args.modes:
+        config, prefetcher, imp_config, software = experiment_config(
+            mode, args.cores, base_config=scaled_config(args.cores))
+        result = run_workload(workload, config, prefetcher=prefetcher,
+                              imp_config=imp_config,
+                              software_prefetch=software)
+        if mode == "perfpref":
+            reference = result
+        rows.append((mode, result))
+    print(f"{args.workload} at {args.cores} cores", file=out)
+    print(f"{'mode':22s} {'cycles':>10s} {'vs perfpref':>12s} {'coverage':>9s}",
+          file=out)
+    for mode, result in rows:
+        normalised = (result.normalized_throughput(reference)
+                      if reference is not None else float("nan"))
+        print(f"{mode:22s} {result.runtime_cycles:10d} {normalised:12.3f} "
+              f"{result.stats.coverage:9.2f}", file=out)
+    return 0
+
+
+def _command_figure(args, out) -> int:
+    runner = ExperimentRunner(scale=args.scale, seed=args.seed,
+                              base_config=scaled_config(args.cores))
+    rows = FIGURES[args.name](runner, args.cores)
+    print(figures.format_table(rows), file=out)
+    return 0
+
+
+def _command_cost(out) -> int:
+    cost = figures.sec64_hardware_cost()
+    width = max(len(key) for key in cost)
+    for key, value in cost.items():
+        print(f"{key:{width}s} : {value:.3f}", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-workloads":
+        return _command_list(out)
+    if args.command == "run":
+        return _command_run(args, out)
+    if args.command == "compare":
+        return _command_compare(args, out)
+    if args.command == "figure":
+        return _command_figure(args, out)
+    if args.command == "cost":
+        return _command_cost(out)
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The Indirect Memory Prefetcher (IMP) — the paper's contribution.
+
+Public API::
+
+    from repro.core import IMP, IMPConfig
+
+    imp = IMP(IMPConfig(), mem_image=image)
+    requests = imp.on_access(ctx)          # as a PrefetcherBase
+
+The package also exposes the individual hardware structures (stream table,
+Indirect Pattern Detector, Prefetch Table, Granularity Predictor) and the
+storage/energy cost model of Section 6.4.
+"""
+
+from repro.core.config import IMPConfig
+from repro.core.address import apply_shift, solve_base_addr, predict_address
+from repro.core.ipd import IndirectPatternDetector, DetectedPattern
+from repro.core.prefetch_table import PrefetchTable, PTEntry, IndirectPattern
+from repro.core.granularity import GranularityPredictor
+from repro.core.imp import IMP
+from repro.core.cost import storage_cost_bits, CostReport, energy_overhead
+
+__all__ = [
+    "IMP",
+    "IMPConfig",
+    "CostReport",
+    "DetectedPattern",
+    "GranularityPredictor",
+    "IndirectPattern",
+    "IndirectPatternDetector",
+    "PTEntry",
+    "PrefetchTable",
+    "apply_shift",
+    "energy_overhead",
+    "predict_address",
+    "solve_base_addr",
+    "storage_cost_bits",
+]

@@ -1,0 +1,184 @@
+"""Granularity Predictor (GP) — Section 4.2, Figure 8 and Algorithm 1.
+
+The GP decides, per indirect pattern, how many sectors each indirect
+prefetch should fetch.  It samples up to ``N`` prefetched cache lines per
+pattern, records which sectors demand accesses touch, and on eviction of a
+sampled line updates:
+
+* ``tot_sector`` — total number of touched sectors across sampled lines,
+* ``min_granu`` — the smallest run of consecutive touched sectors seen,
+* ``evict`` — how many sampled lines have been evicted.
+
+After every ``N`` sampled evictions it runs Algorithm 1: fetch full lines
+when the header overhead of partial accesses would outweigh the saved
+sectors, otherwise fetch ``min_granu`` sectors at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import IMPConfig
+
+
+def min_consecutive_run(mask: int, num_sectors: int) -> int:
+    """Smallest run length of consecutive set bits in ``mask``.
+
+    Returns ``num_sectors`` when no bit is set (nothing was touched, so there
+    is no evidence for a smaller granularity).
+    """
+    runs = []
+    run = 0
+    for i in range(num_sectors):
+        if (mask >> i) & 1:
+            run += 1
+        elif run:
+            runs.append(run)
+            run = 0
+    if run:
+        runs.append(run)
+    return min(runs) if runs else num_sectors
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits."""
+    return bin(mask).count("1")
+
+
+@dataclass
+class GPEntry:
+    """Per-pattern granularity state (one row of Figure 8)."""
+
+    pattern_id: int
+    granularity_sectors: int                 # current prediction
+    min_granu: int
+    tot_sector: int = 0
+    evict: int = 0
+    #: sampled line address -> touch bit vector
+    samples: Dict[int, int] = field(default_factory=dict)
+
+
+class GranularityPredictor:
+    """Predicts the number of sectors to fetch for each indirect pattern."""
+
+    def __init__(self, config: Optional[IMPConfig] = None) -> None:
+        self.config = config or IMPConfig()
+        self.sector_size = self.config.l1_sector_size
+        self.sectors_per_line = self.config.line_size // self.sector_size
+        self._entries: Dict[int, GPEntry] = {}
+        self._sampled_lines: Dict[int, int] = {}   # line addr -> pattern id
+        self.predictions_updated = 0
+
+    # ------------------------------------------------------------------
+    # Entry management
+    # ------------------------------------------------------------------
+    def allocate(self, pattern_id: int) -> GPEntry:
+        """Create (or return) the GP entry for a pattern.
+
+        The initial prediction is a full cache line (Section 4.2).
+        """
+        entry = self._entries.get(pattern_id)
+        if entry is None:
+            entry = GPEntry(pattern_id=pattern_id,
+                            granularity_sectors=self.sectors_per_line,
+                            min_granu=self.sectors_per_line)
+            self._entries[pattern_id] = entry
+        return entry
+
+    def entry(self, pattern_id: int) -> Optional[GPEntry]:
+        return self._entries.get(pattern_id)
+
+    def granularity_bytes(self, pattern_id: int) -> int:
+        """Bytes each indirect prefetch of this pattern should fetch."""
+        entry = self._entries.get(pattern_id)
+        if entry is None:
+            return self.config.line_size
+        return entry.granularity_sectors * self.sector_size
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def line_addr(self, addr: int) -> int:
+        return addr - (addr % self.config.line_size)
+
+    def maybe_sample(self, pattern_id: int, addr: int) -> bool:
+        """Possibly start tracking a prefetched line; return True if sampled."""
+        entry = self.allocate(pattern_id)
+        if len(entry.samples) >= self.config.gp_samples:
+            return False
+        line = self.line_addr(addr)
+        if line in self._sampled_lines:
+            return False
+        entry.samples[line] = 0
+        self._sampled_lines[line] = pattern_id
+        return True
+
+    def sector_mask(self, addr: int, size: int) -> int:
+        """Sectors covered by a demand access."""
+        offset = addr % self.config.line_size
+        first = offset // self.sector_size
+        last = min(self.config.line_size - 1, offset + max(1, size) - 1) // self.sector_size
+        mask = 0
+        for sector in range(first, last + 1):
+            mask |= 1 << sector
+        return mask
+
+    def on_demand_access(self, addr: int, size: int) -> None:
+        """Record which sectors a demand access touched on sampled lines."""
+        line = self.line_addr(addr)
+        pattern_id = self._sampled_lines.get(line)
+        if pattern_id is None:
+            return
+        entry = self._entries.get(pattern_id)
+        if entry is None or line not in entry.samples:
+            return
+        entry.samples[line] |= self.sector_mask(addr, size)
+
+    # ------------------------------------------------------------------
+    # Eviction and Algorithm 1
+    # ------------------------------------------------------------------
+    def on_eviction(self, addr: int) -> None:
+        """A cache line was evicted; update the pattern's statistics."""
+        line = self.line_addr(addr)
+        pattern_id = self._sampled_lines.pop(line, None)
+        if pattern_id is None:
+            return
+        entry = self._entries.get(pattern_id)
+        if entry is None:
+            return
+        touched = entry.samples.pop(line, 0)
+        entry.evict += 1
+        entry.tot_sector += popcount(touched)
+        run = min_consecutive_run(touched, self.sectors_per_line)
+        entry.min_granu = min(entry.min_granu, run)
+        if entry.evict >= self.config.gp_samples:
+            self._update_granularity(entry)
+
+    def _update_granularity(self, entry: GPEntry) -> None:
+        """Algorithm 1 from the paper."""
+        n = self.config.gp_samples
+        cost_full = n * (self.sectors_per_line + 1)
+        min_granu = max(1, entry.min_granu)
+        cost_partial = entry.tot_sector + entry.tot_sector / min_granu
+        if cost_full <= cost_partial:
+            entry.granularity_sectors = self.sectors_per_line
+        else:
+            entry.granularity_sectors = min_granu
+        self.predictions_updated += 1
+        entry.evict = 0
+        entry.tot_sector = 0
+        entry.min_granu = self.sectors_per_line
+
+    def release(self, pattern_id: int) -> None:
+        """Drop all state for a pattern."""
+        entry = self._entries.pop(pattern_id, None)
+        if entry is None:
+            return
+        for line in entry.samples:
+            self._sampled_lines.pop(line, None)
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self._sampled_lines.clear()
+        self.predictions_updated = 0

@@ -1,0 +1,346 @@
+"""The Indirect Memory Prefetcher (IMP) — Section 3 of the paper.
+
+IMP is attached to one L1 data cache and snoops its access and miss stream.
+It composes four hardware structures:
+
+* an embedded **stream prefetcher** (the Stream Table half of the Prefetch
+  Table) that detects the sequential scan of the index array ``B``,
+* the **Indirect Pattern Detector** that learns ``(shift, BaseAddr)``,
+* the **Prefetch Table** that stores detected patterns, builds confidence
+  with a saturating counter, and links secondary indirections,
+* the **Granularity Predictor** used when partial cacheline accessing is
+  enabled.
+
+The only thing IMP needs beyond the access stream is the *value* returned by
+index loads (hardware sees those on the fill/response path).  In this
+reproduction values are read through the workload's
+:class:`repro.mem_image.MemoryImage`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+from repro.core.address import coefficient_of, predict_address
+from repro.core.config import IMPConfig
+from repro.core.granularity import GranularityPredictor
+from repro.core.ipd import DetectedPattern, IndirectPatternDetector
+from repro.core.prefetch_table import IndirectType, PrefetchTable, PTEntry
+from repro.mem_image import MemoryImage
+from repro.prefetchers.base import AccessContext, PrefetcherBase, PrefetchRequest
+from repro.prefetchers.stream import StreamEntry, StreamPrefetcher
+
+
+def _primary_key(pc: int) -> Hashable:
+    return ("primary", pc)
+
+
+def _way_key(pc: int) -> Hashable:
+    return ("way", pc)
+
+
+def _level_key(entry_id: int) -> Hashable:
+    return ("level", entry_id)
+
+
+class IMP(PrefetcherBase):
+    """Indirect Memory Prefetcher attached to one L1 data cache."""
+
+    name = "imp"
+
+    def __init__(self, config: Optional[IMPConfig] = None,
+                 mem_image: Optional[MemoryImage] = None) -> None:
+        self.config = config or IMPConfig()
+        self.mem_image = mem_image or MemoryImage()
+        self.stream = StreamPrefetcher(self.config.stream)
+        self.pt = PrefetchTable(self.config)
+        self.ipd = IndirectPatternDetector(self.config)
+        self.gp = GranularityPredictor(self.config)
+        # Statistics about the prefetcher itself.
+        self.patterns_detected = 0
+        self.secondary_patterns_detected = 0
+        self.indirect_prefetches_generated = 0
+        self.stream_prefetches_generated = 0
+
+    # ------------------------------------------------------------------
+    # Main entry point: one L1 access
+    # ------------------------------------------------------------------
+    def on_access(self, ctx: AccessContext) -> List[PrefetchRequest]:
+        requests: List[PrefetchRequest] = []
+        if self.config.partial_enabled:
+            self.gp.on_demand_access(ctx.addr, ctx.size)
+        if self.config.adaptive_distance:
+            self._track_prefetch_usefulness(ctx)
+
+        # 1. Check this access against outstanding indirect predictions
+        #    (confidence building, Section 3.2.3), and feed second-level
+        #    detection with the values loaded by recognised indirect accesses.
+        self._check_confidence(ctx)
+
+        # 2. Cache misses train the IPD (they are candidate indirect
+        #    addresses for whatever index values were recently recorded).
+        if not ctx.hit:
+            for pattern in self.ipd.on_miss(ctx.addr, ctx.now):
+                self._install_pattern(pattern, ctx.now)
+
+        # 3. Stream detection: is this access part of a (word-granularity)
+        #    sequential scan?  If so it is a candidate index access.
+        stream_entry = self.stream.observe(ctx.pc, ctx.addr, ctx.now)
+        if stream_entry is not None:
+            stream_requests = self.stream.prefetches_for(stream_entry, ctx.addr)
+            self.stream_prefetches_generated += len(stream_requests)
+            requests.extend(stream_requests)
+            if not ctx.is_write:
+                requests.extend(self._handle_index_access(ctx, stream_entry))
+        return requests
+
+    # ------------------------------------------------------------------
+    # Index-access handling
+    # ------------------------------------------------------------------
+    def _handle_index_access(self, ctx: AccessContext,
+                             stream_entry: StreamEntry) -> List[PrefetchRequest]:
+        value = ctx.read_value()
+        pt_entry = self.pt.allocate_primary(ctx.pc, ctx.now)
+        if pt_entry is None:
+            return []
+        pt_entry.last_use = ctx.now
+        if not pt_entry.enabled:
+            # No indirect pattern yet: keep feeding the IPD.
+            self.ipd.on_index_access(_primary_key(ctx.pc), value, ctx.now)
+            return []
+        if value is None:
+            return []
+        # Known pattern: record the index value for confidence tracking.
+        self.pt.observe_index(pt_entry, value, ctx.now)
+        # Try to discover a second way sharing this index array.
+        if len(pt_entry.next_ways) + 1 < self.config.max_indirect_ways:
+            self.ipd.on_index_access(_way_key(ctx.pc), value, ctx.now)
+        if not pt_entry.is_prefetching(self.config.confidence_threshold):
+            return []
+        return self._generate_prefetches(pt_entry, stream_entry, ctx)
+
+    # ------------------------------------------------------------------
+    # Confidence building and second-level index extraction
+    # ------------------------------------------------------------------
+    def _match_tolerance(self, shift: int) -> int:
+        """Allowed byte offset between prediction and access (struct fields)."""
+        return max(1, int(coefficient_of(shift)))
+
+    def _check_confidence(self, ctx: AccessContext) -> None:
+        for entry in self.pt.enabled_entries():
+            if not entry.pending_match or entry.index_value is None:
+                continue
+            expected = predict_address(entry.index_value, entry.shift,
+                                       entry.base_addr)
+            offset = ctx.addr - expected
+            if 0 <= offset < self._match_tolerance(entry.shift):
+                self.pt.confirm_match(entry)
+                self._update_rw_predictor(entry, ctx)
+                self._feed_second_level(entry, ctx)
+
+    def _update_rw_predictor(self, entry: PTEntry, ctx: AccessContext) -> None:
+        """Track whether this pattern's demand accesses are writes, so later
+        prefetches can request the line in Exclusive state (Section 3.2.3)."""
+        if not self.config.rw_predictor:
+            return
+        if ctx.is_write:
+            entry.write_cnt = min(self.config.rw_max_count, entry.write_cnt + 1)
+        elif entry.write_cnt > 0:
+            entry.write_cnt -= 1
+
+    def _wants_exclusive(self, entry: PTEntry) -> bool:
+        return (self.config.rw_predictor
+                and entry.write_cnt >= self.config.rw_write_threshold)
+
+    # ------------------------------------------------------------------
+    # Adaptive prefetch-distance throttling (Section 6.3.2 future work)
+    # ------------------------------------------------------------------
+    def _track_prefetch_usefulness(self, ctx: AccessContext) -> None:
+        """Credit a demand access against the recently prefetched lines of
+        whichever pattern brought them in."""
+        line = ctx.addr - (ctx.addr % self.config.line_size)
+        for entry in self.pt.enabled_entries():
+            if entry.consume_prefetched_line(line):
+                entry.window_useful += 1
+                if not ctx.hit:
+                    entry.window_late += 1
+                break
+
+    def _maybe_throttle(self, entry: PTEntry) -> None:
+        """After every throttle window of issued prefetches, shrink the
+        distance cap when most of them were never referenced (loop
+        overshoot), or raise it again when the consumed ones keep arriving
+        late (the stream is long and needs more lead time)."""
+        cfg = self.config
+        if not cfg.adaptive_distance or entry.window_issued < cfg.throttle_window:
+            return
+        cap = entry.distance_cap or cfg.max_prefetch_distance
+        useful_ratio = entry.window_useful / max(1, entry.window_issued)
+        if useful_ratio < cfg.throttle_low_ratio:
+            cap = max(1, cap // 2)
+        elif entry.window_late > entry.window_useful // 2:
+            cap = min(cfg.max_prefetch_distance, cap + 2)
+        entry.distance_cap = cap
+        if entry.prefetch_distance > cap:
+            entry.prefetch_distance = cap
+        entry.window_issued = 0
+        entry.window_useful = 0
+        entry.window_late = 0
+
+    def _feed_second_level(self, entry: PTEntry, ctx: AccessContext) -> None:
+        """The access was recognised as an indirect access of ``entry``;
+        its loaded value may be the index of a second-level pattern."""
+        if self.config.max_indirect_levels < 2 or ctx.is_write:
+            return
+        if entry.next_level is not None:
+            return
+        if entry.ind_type is IndirectType.SECOND_LEVEL:
+            return                        # bounded at two levels (Table 2)
+        value = ctx.read_value()
+        if value is None:
+            return
+        self.ipd.on_index_access(_level_key(entry.entry_id), value, ctx.now)
+
+    # ------------------------------------------------------------------
+    # Pattern installation (IPD -> PT)
+    # ------------------------------------------------------------------
+    def _install_pattern(self, pattern: DetectedPattern, now: float) -> None:
+        key = pattern.stream_key
+        if not isinstance(key, tuple):
+            return
+        kind = key[0]
+        if kind == "primary":
+            self._install_primary(key[1], pattern, now)
+        elif kind == "way":
+            self._install_second_way(key[1], pattern, now)
+        elif kind == "level":
+            self._install_second_level(key[1], pattern, now)
+
+    def _install_primary(self, pc: int, pattern: DetectedPattern,
+                         now: float) -> None:
+        entry = self.pt.allocate_primary(pc, now)
+        if entry is None:
+            return
+        self.pt.activate(entry.entry_id, pattern.shift, pattern.base_addr)
+        self.patterns_detected += 1
+        # The primary pattern must not be re-detected as a "second way".
+        self.ipd.add_known_pattern(_way_key(pc), pattern.shift, pattern.base_addr)
+        if self.config.partial_enabled:
+            self.gp.allocate(entry.entry_id)
+
+    def _install_second_way(self, pc: int, pattern: DetectedPattern,
+                            now: float) -> None:
+        parent = self.pt.lookup_by_pc(pc)
+        if parent is None or not parent.enabled:
+            return
+        child = self.pt.allocate_secondary(parent.entry_id,
+                                           IndirectType.SECOND_WAY, now)
+        if child is None:
+            return
+        self.pt.activate(child.entry_id, pattern.shift, pattern.base_addr)
+        # Secondary patterns piggyback on the parent's confidence.
+        child.hit_cnt = self.config.confidence_threshold
+        self.secondary_patterns_detected += 1
+        self.ipd.add_known_pattern(_way_key(pc), pattern.shift, pattern.base_addr)
+        if self.config.partial_enabled:
+            self.gp.allocate(child.entry_id)
+
+    def _install_second_level(self, parent_id: int, pattern: DetectedPattern,
+                              now: float) -> None:
+        parent = self.pt.get(parent_id)
+        if parent is None or not parent.enabled:
+            return
+        child = self.pt.allocate_secondary(parent_id, IndirectType.SECOND_LEVEL,
+                                           now)
+        if child is None:
+            return
+        self.pt.activate(child.entry_id, pattern.shift, pattern.base_addr)
+        child.hit_cnt = self.config.confidence_threshold
+        self.secondary_patterns_detected += 1
+        if self.config.partial_enabled:
+            self.gp.allocate(child.entry_id)
+
+    # ------------------------------------------------------------------
+    # Prefetch generation (Section 3.2.3 and 3.3.2)
+    # ------------------------------------------------------------------
+    def _generate_prefetches(self, entry: PTEntry, stream_entry: StreamEntry,
+                             ctx: AccessContext) -> List[PrefetchRequest]:
+        cfg = self.config
+        # The prefetch distance starts small and grows linearly with hits,
+        # bounded by the (possibly throttled) distance cap.
+        cap = cfg.max_prefetch_distance
+        if cfg.adaptive_distance and entry.distance_cap:
+            cap = min(cap, entry.distance_cap)
+        if entry.prefetch_distance < cap:
+            entry.prefetch_distance += 1
+        elif entry.prefetch_distance > cap:
+            entry.prefetch_distance = cap
+        stride = stream_entry.stride
+        if stride == 0:
+            return []
+        future_index_addr = ctx.addr + entry.prefetch_distance * stride
+        future_value = self.mem_image.read_value(future_index_addr)
+        if future_value is None:
+            return []
+        requests = self._pattern_requests(entry, future_value)
+        # Second-way children share the same index value (Section 3.3.2).
+        for child in self.pt.children_of(entry):
+            if child.enabled:
+                requests.extend(self._pattern_requests(child, future_value))
+        return requests
+
+    def _pattern_requests(self, entry: PTEntry,
+                          index_value: int) -> List[PrefetchRequest]:
+        cfg = self.config
+        addr = predict_address(index_value, entry.shift, entry.base_addr)
+        if addr < 0:
+            return []
+        size = cfg.line_size
+        if cfg.partial_enabled:
+            size = self.gp.granularity_bytes(entry.entry_id)
+            self.gp.maybe_sample(entry.entry_id, addr)
+        entry.prefetches_issued += 1
+        if cfg.adaptive_distance:
+            entry.window_issued += 1
+            entry.record_prefetched_line(addr - (addr % cfg.line_size))
+            self._maybe_throttle(entry)
+        self.indirect_prefetches_generated += 1
+        requests = [PrefetchRequest(addr=addr, size=size, is_indirect=True,
+                                    exclusive=self._wants_exclusive(entry))]
+        # Second-level indirection: the child prefetch needs the value the
+        # parent prefetch returns, so it is issued dependent on the parent.
+        child = self.pt.level_child(entry)
+        if child is not None and child.enabled:
+            parent_value = self.mem_image.read_value(addr)
+            if parent_value is not None:
+                child_addr = predict_address(parent_value, child.shift,
+                                             child.base_addr)
+                if child_addr >= 0:
+                    child_size = cfg.line_size
+                    if cfg.partial_enabled:
+                        child_size = self.gp.granularity_bytes(child.entry_id)
+                        self.gp.maybe_sample(child.entry_id, child_addr)
+                    child.prefetches_issued += 1
+                    self.indirect_prefetches_generated += 1
+                    requests.append(PrefetchRequest(addr=child_addr,
+                                                    size=child_size,
+                                                    is_indirect=True,
+                                                    depends_on_previous=True))
+        return requests
+
+    # ------------------------------------------------------------------
+    # Eviction hook (Granularity Predictor)
+    # ------------------------------------------------------------------
+    def on_eviction(self, addr: int, touched_sectors: int, now: float) -> None:
+        if self.config.partial_enabled:
+            self.gp.on_eviction(addr)
+
+    def reset(self) -> None:
+        self.stream.reset()
+        self.pt.reset()
+        self.ipd.reset()
+        self.gp.reset()
+        self.patterns_detected = 0
+        self.secondary_patterns_detected = 0
+        self.indirect_prefetches_generated = 0
+        self.stream_prefetches_generated = 0

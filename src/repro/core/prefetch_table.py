@@ -1,0 +1,279 @@
+"""Prefetch Table (PT) — Figures 5 and 6.
+
+The PT holds one entry per tracked pattern.  Each entry has two halves:
+
+* the *Stream Table* half (PC, last address, hit count) — in this
+  implementation that half is the embedded
+  :class:`repro.prefetchers.stream.StreamPrefetcher` owned by IMP, keyed by
+  the same PC, so the PT module only stores the PC linkage;
+* the *Indirect Table* half: ``enable``, ``shift``, ``BaseAddr``, the last
+  observed index value, and a saturating confidence counter (``hit_cnt``)
+  that must reach a threshold before indirect prefetching starts.
+
+To support secondary indirections (Section 3.3.2), entries carry an
+``ind_type`` (primary / second-way / second-level) and parent/child links
+that form a small tree rooted at the primary entry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import IMPConfig
+
+
+class IndirectType(enum.Enum):
+    """Role of a PT entry in a pattern tree (Figure 6)."""
+
+    PRIMARY = "primary"
+    SECOND_WAY = "second_way"
+    SECOND_LEVEL = "second_level"
+
+
+@dataclass(frozen=True)
+class IndirectPattern:
+    """The learned parameters of one indirect pattern."""
+
+    shift: int
+    base_addr: int
+
+
+@dataclass
+class PTEntry:
+    """One Prefetch Table entry."""
+
+    entry_id: int
+    pc: Optional[int] = None                 # index-stream PC (primary entries)
+    ind_type: IndirectType = IndirectType.PRIMARY
+    enabled: bool = False
+    shift: int = 0
+    base_addr: int = 0
+    hit_cnt: int = 0                         # saturating confidence counter
+    index_value: Optional[int] = None        # last index value awaiting a match
+    pending_match: bool = False
+    prefetch_distance: int = 1               # ramps up linearly while prefetching
+    # Secondary-indirection links (PT entry ids).
+    next_ways: List[int] = field(default_factory=list)
+    next_level: Optional[int] = None
+    prev: Optional[int] = None
+    # Read/write predictor state (Section 3.2.3).
+    write_cnt: int = 0
+    # Adaptive-distance throttling: dynamic cap (0 = use the config maximum),
+    # per-window usefulness counters, and a bounded set of recently
+    # prefetched lines used to judge whether prefetches are consumed.
+    distance_cap: int = 0
+    window_issued: int = 0
+    window_useful: int = 0
+    window_late: int = 0
+    recent_prefetch_fifo: List[int] = field(default_factory=list)
+    recent_prefetch_set: set = field(default_factory=set)
+
+    def record_prefetched_line(self, line_addr: int, capacity: int = 64) -> None:
+        """Remember a recently prefetched line for usefulness tracking."""
+        if line_addr in self.recent_prefetch_set:
+            return
+        self.recent_prefetch_fifo.append(line_addr)
+        self.recent_prefetch_set.add(line_addr)
+        if len(self.recent_prefetch_fifo) > capacity:
+            oldest = self.recent_prefetch_fifo.pop(0)
+            self.recent_prefetch_set.discard(oldest)
+
+    def consume_prefetched_line(self, line_addr: int) -> bool:
+        """Return True (once) when a demand access touches a recent prefetch."""
+        if line_addr not in self.recent_prefetch_set:
+            return False
+        self.recent_prefetch_set.discard(line_addr)
+        try:
+            self.recent_prefetch_fifo.remove(line_addr)
+        except ValueError:
+            pass
+        return True
+    # Bookkeeping.
+    last_use: float = 0.0
+    prefetches_issued: int = 0
+
+    @property
+    def pattern(self) -> IndirectPattern:
+        return IndirectPattern(shift=self.shift, base_addr=self.base_addr)
+
+    def is_prefetching(self, threshold: int) -> bool:
+        """True once the confidence counter has reached the threshold."""
+        return self.enabled and self.hit_cnt >= threshold
+
+
+class PrefetchTable:
+    """Fixed-size table of :class:`PTEntry` with LRU replacement."""
+
+    def __init__(self, config: Optional[IMPConfig] = None) -> None:
+        self.config = config or IMPConfig()
+        self._entries: Dict[int, PTEntry] = {}
+        self._by_pc: Dict[int, int] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup_by_pc(self, pc: int) -> Optional[PTEntry]:
+        """Return the primary entry tracking this index-stream PC."""
+        entry_id = self._by_pc.get(pc)
+        return self._entries.get(entry_id) if entry_id is not None else None
+
+    def get(self, entry_id: int) -> Optional[PTEntry]:
+        return self._entries.get(entry_id)
+
+    def entries(self) -> List[PTEntry]:
+        return list(self._entries.values())
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def enabled_entries(self) -> List[PTEntry]:
+        """All entries with a detected indirect pattern."""
+        return [entry for entry in self._entries.values() if entry.enabled]
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate_primary(self, pc: int, now: float) -> Optional[PTEntry]:
+        """Allocate (or return) the primary entry for an index-stream PC."""
+        existing = self.lookup_by_pc(pc)
+        if existing is not None:
+            existing.last_use = now
+            return existing
+        entry = self._allocate(now)
+        if entry is None:
+            return None
+        entry.pc = pc
+        entry.ind_type = IndirectType.PRIMARY
+        self._by_pc[pc] = entry.entry_id
+        return entry
+
+    def allocate_secondary(self, parent_id: int, ind_type: IndirectType,
+                           now: float) -> Optional[PTEntry]:
+        """Allocate a second-way or second-level child of ``parent_id``."""
+        parent = self._entries.get(parent_id)
+        if parent is None:
+            return None
+        if ind_type is IndirectType.SECOND_WAY:
+            # The primary itself counts as the first way.
+            if len(parent.next_ways) + 1 >= self.config.max_indirect_ways:
+                return None
+        elif ind_type is IndirectType.SECOND_LEVEL:
+            if parent.next_level is not None:
+                return None
+            if self._depth(parent) + 1 >= self.config.max_indirect_levels:
+                return None
+        entry = self._allocate(now)
+        if entry is None:
+            return None
+        entry.ind_type = ind_type
+        entry.prev = parent_id
+        if ind_type is IndirectType.SECOND_WAY:
+            parent.next_ways.append(entry.entry_id)
+        else:
+            parent.next_level = entry.entry_id
+        return entry
+
+    def _depth(self, entry: PTEntry) -> int:
+        """Levels of indirection from the primary down to this entry."""
+        depth = 0
+        current: Optional[PTEntry] = entry
+        while current is not None and current.prev is not None:
+            if current.ind_type is IndirectType.SECOND_LEVEL:
+                depth += 1
+            current = self._entries.get(current.prev)
+        return depth
+
+    def _allocate(self, now: float) -> Optional[PTEntry]:
+        if len(self._entries) >= self.config.pt_size:
+            victim = self._choose_victim()
+            if victim is None:
+                return None
+            self.release(victim.entry_id)
+        entry = PTEntry(entry_id=self._next_id, last_use=now)
+        self._next_id += 1
+        self._entries[entry.entry_id] = entry
+        return entry
+
+    def _choose_victim(self) -> Optional[PTEntry]:
+        """Prefer evicting entries that never detected a pattern, then LRU."""
+        candidates = [e for e in self._entries.values() if not e.enabled]
+        if not candidates:
+            candidates = [e for e in self._entries.values()
+                          if e.ind_type is IndirectType.PRIMARY]
+        if not candidates:
+            candidates = list(self._entries.values())
+        return min(candidates, key=lambda e: e.last_use) if candidates else None
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+    def release(self, entry_id: int) -> None:
+        """Remove an entry and its whole secondary-indirection subtree."""
+        entry = self._entries.pop(entry_id, None)
+        if entry is None:
+            return
+        if entry.pc is not None and self._by_pc.get(entry.pc) == entry_id:
+            del self._by_pc[entry.pc]
+        # Unlink from the parent.
+        if entry.prev is not None:
+            parent = self._entries.get(entry.prev)
+            if parent is not None:
+                if entry_id in parent.next_ways:
+                    parent.next_ways.remove(entry_id)
+                if parent.next_level == entry_id:
+                    parent.next_level = None
+        # Recursively release children.
+        for child_id in list(entry.next_ways):
+            self.release(child_id)
+        if entry.next_level is not None:
+            self.release(entry.next_level)
+
+    # ------------------------------------------------------------------
+    # Pattern activation and confidence (Section 3.2.3)
+    # ------------------------------------------------------------------
+    def activate(self, entry_id: int, shift: int, base_addr: int) -> None:
+        """The IPD detected a pattern: store it and enable the entry."""
+        entry = self._entries[entry_id]
+        entry.enabled = True
+        entry.shift = shift
+        entry.base_addr = base_addr
+        entry.hit_cnt = 0
+        entry.pending_match = False
+        entry.index_value = None
+        entry.prefetch_distance = 1
+
+    def observe_index(self, entry: PTEntry, value: int, now: float) -> None:
+        """A new index value arrived for a pattern that is building confidence."""
+        if not entry.enabled:
+            return
+        if entry.pending_match:
+            # The previous index was overwritten before its indirect access
+            # was seen: lose confidence.
+            entry.hit_cnt = max(0, entry.hit_cnt - 1)
+        entry.index_value = value
+        entry.pending_match = True
+        entry.last_use = now
+
+    def confirm_match(self, entry: PTEntry) -> None:
+        """An access matched the address predicted from the last index."""
+        entry.hit_cnt = min(self.config.max_confidence, entry.hit_cnt + 1)
+        entry.pending_match = False
+
+    def children_of(self, entry: PTEntry) -> List[PTEntry]:
+        """Same-way children (second-way entries) of a primary entry."""
+        return [self._entries[i] for i in entry.next_ways if i in self._entries]
+
+    def level_child(self, entry: PTEntry) -> Optional[PTEntry]:
+        """The second-level child of an entry, if any."""
+        if entry.next_level is None:
+            return None
+        return self._entries.get(entry.next_level)
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self._by_pc.clear()
+        self._next_id = 0

@@ -1,0 +1,18 @@
+"""Experiment runners that regenerate every table and figure of the paper."""
+
+from repro.experiments.configs import (
+    CONFIG_MODES,
+    experiment_config,
+    scaled_config,
+)
+from repro.experiments.runner import ExperimentRunner, RunRecord
+from repro.experiments import figures
+
+__all__ = [
+    "CONFIG_MODES",
+    "ExperimentRunner",
+    "RunRecord",
+    "experiment_config",
+    "figures",
+    "scaled_config",
+]

@@ -1,0 +1,83 @@
+"""Experiment configurations.
+
+The paper simulates full-size inputs on a parallel C++ simulator; this
+reproduction runs scaled-down inputs in pure Python.  To preserve the
+working-set-to-cache ratios that drive all of the paper's results, the
+*experiment* configuration scales the cache capacities down together with
+the inputs (L1 = 16 KB instead of 32 KB, total L2 = 0.25/sqrt(N) MB per tile
+instead of 2/sqrt(N) MB).  Everything else — core model, NoC, coherence,
+DRAM latency/bandwidth, the sqrt(N) scalability assumptions, and all IMP
+parameters (Table 2) — matches Table 1.
+
+``SystemConfig()`` with no arguments remains the paper's exact Table 1
+configuration; ``scaled_config()`` is what the figure runners use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import IMPConfig
+from repro.sim.config import CacheConfig, DramConfig, SystemConfig
+
+
+def scaled_config(n_cores: int = 64, *, dram_model: str = "simple",
+                  **overrides) -> SystemConfig:
+    """The scaled experiment platform (see module docstring)."""
+    config = SystemConfig(
+        n_cores=n_cores,
+        l1d=CacheConfig(size_bytes=16 * 1024, associativity=4),
+        l2_total_mb_at_1core=0.25,
+        dram=DramConfig(model=dram_model),
+    )
+    if overrides:
+        config = replace(config, **overrides)
+    return config
+
+
+def experiment_config(mode: str, n_cores: int = 64,
+                      imp_config: Optional[IMPConfig] = None,
+                      base_config: Optional[SystemConfig] = None,
+                      ) -> Tuple[SystemConfig, str, Optional[IMPConfig], bool]:
+    """Return ``(system_config, prefetcher, imp_config, software_prefetch)``
+    for one of the paper's named configurations (Section 5.4).
+
+    Modes: ``ideal``, ``perfpref``, ``base``, ``swpref``, ``ghb``, ``imp``,
+    ``imp_partial_noc``, ``imp_partial_noc_dram``.
+    """
+    config = base_config or scaled_config(n_cores)
+    config = config.with_cores(n_cores) if config.n_cores != n_cores else config
+    imp_cfg = imp_config or IMPConfig()
+    if mode == "ideal":
+        return config.as_ideal(), "none", None, False
+    if mode == "perfpref":
+        return config.as_perfect_prefetch(), "none", None, False
+    if mode == "base":
+        return config, "stream", None, False
+    if mode == "swpref":
+        return config, "stream", None, True
+    if mode == "ghb":
+        return config, "ghb", None, False
+    if mode == "imp":
+        return config, "imp", imp_cfg.with_partial(False), False
+    if mode == "imp_partial_noc":
+        return (config.with_partial(noc=True, dram=False), "imp",
+                imp_cfg.with_partial(True), False)
+    if mode == "imp_partial_noc_dram":
+        return (config.with_partial(noc=True, dram=True), "imp",
+                imp_cfg.with_partial(True), False)
+    raise ValueError(f"unknown experiment mode {mode!r}")
+
+
+#: All recognised configuration modes, in the order the figures report them.
+CONFIG_MODES = (
+    "ideal",
+    "perfpref",
+    "base",
+    "swpref",
+    "ghb",
+    "imp",
+    "imp_partial_noc",
+    "imp_partial_noc_dram",
+)

@@ -1,0 +1,104 @@
+"""Experiment runner with result caching.
+
+Several figures share the same underlying simulations (e.g. the *Base* run
+at 64 cores appears in Figures 2, 9b and 10), so the runner memoises results
+by (workload, mode, core count, IMP-config signature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import IMPConfig
+from repro.experiments.configs import experiment_config, scaled_config
+from repro.sim.config import SystemConfig
+from repro.sim.system import SimulationResult, run_workload
+from repro.workloads import paper_workloads
+from repro.workloads.base import Workload
+
+
+@dataclass
+class RunRecord:
+    """One simulation result plus the knobs that produced it."""
+
+    workload: str
+    mode: str
+    n_cores: int
+    result: SimulationResult
+
+    @property
+    def runtime(self) -> int:
+        return self.result.runtime_cycles
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput
+
+
+def _imp_signature(imp_config: Optional[IMPConfig]) -> Tuple:
+    if imp_config is None:
+        return ()
+    return (imp_config.pt_size, imp_config.ipd_size,
+            imp_config.max_prefetch_distance, imp_config.partial_enabled,
+            imp_config.confidence_threshold)
+
+
+class ExperimentRunner:
+    """Runs (and caches) the paper's named configurations over workloads."""
+
+    def __init__(self, workloads: Optional[Sequence[Workload]] = None,
+                 scale: float = 1.0, seed: int = 1,
+                 base_config: Optional[SystemConfig] = None) -> None:
+        self.workloads: List[Workload] = (
+            list(workloads) if workloads is not None
+            else paper_workloads(scale=scale, seed=seed))
+        self.base_config = base_config
+        self._cache: Dict[Tuple, RunRecord] = {}
+
+    # ------------------------------------------------------------------
+    def workload_names(self) -> List[str]:
+        return [w.name for w in self.workloads]
+
+    def _workload(self, name: str) -> Workload:
+        for workload in self.workloads:
+            if workload.name == name:
+                return workload
+        raise KeyError(f"workload {name!r} not registered with this runner")
+
+    # ------------------------------------------------------------------
+    def run(self, workload: str, mode: str, n_cores: int = 64,
+            imp_config: Optional[IMPConfig] = None,
+            sw_prefetch_distance: int = 8) -> RunRecord:
+        """Run one (workload, mode, core count) point, with caching."""
+        key = (workload, mode, n_cores, _imp_signature(imp_config),
+               sw_prefetch_distance)
+        if key in self._cache:
+            return self._cache[key]
+        config, prefetcher, imp_cfg, software_prefetch = experiment_config(
+            mode, n_cores, imp_config, self.base_config)
+        result = run_workload(self._workload(workload), config,
+                              prefetcher=prefetcher, imp_config=imp_cfg,
+                              software_prefetch=software_prefetch,
+                              sw_prefetch_distance=sw_prefetch_distance)
+        record = RunRecord(workload=workload, mode=mode, n_cores=n_cores,
+                           result=result)
+        self._cache[key] = record
+        return record
+
+    def run_all(self, modes: Iterable[str], n_cores: int = 64,
+                imp_config: Optional[IMPConfig] = None) -> Dict[str, Dict[str, RunRecord]]:
+        """Run every registered workload under every mode.
+
+        Returns ``{workload: {mode: record}}``.
+        """
+        table: Dict[str, Dict[str, RunRecord]] = {}
+        for workload in self.workload_names():
+            table[workload] = {}
+            for mode in modes:
+                table[workload][mode] = self.run(workload, mode, n_cores,
+                                                 imp_config)
+        return table
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

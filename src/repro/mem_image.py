@@ -1,0 +1,208 @@
+"""Virtual-memory image of a workload's data structures.
+
+The simulator is trace driven, but the Indirect Memory Prefetcher needs to
+*read the contents* of the index array (``B[i + delta]``) in order to compute
+the address of the indirect prefetch (``A[B[i + delta]]``).  A
+:class:`MemoryImage` provides exactly that: workloads register their arrays
+(index arrays, data arrays, bit vectors, ...) at virtual base addresses, and
+the prefetcher can later read integer values back from any address that falls
+inside a registered array.
+
+The image never stores per-byte data; it keeps a reference to the numpy array
+that backs each registered region and translates ``(address) -> (array,
+element index)`` on demand.  This keeps even large workloads cheap to build.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+#: Default page size used to align array base addresses.
+PAGE_SIZE = 4096
+
+#: Base of the region in which arrays are laid out by default.
+DEFAULT_REGION_BASE = 0x1000_0000
+
+
+class AddressError(ValueError):
+    """Raised when an address does not fall inside any registered array."""
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Description of one array registered in the memory image.
+
+    Attributes:
+        name: Unique name of the array (e.g. ``"col_idx"``).
+        base: Virtual address of element 0.
+        elem_size: Size of one element in bytes.  A value below 1 (e.g.
+            ``1/8``) models bit vectors, matching the paper's ``Coeff = 1/8``.
+        length: Number of elements.
+        writable: Whether stores to this array are expected.
+    """
+
+    name: str
+    base: int
+    elem_size: float
+    length: int
+    writable: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        """Total footprint of the array in bytes (at least one byte)."""
+        return max(1, int(np.ceil(self.elem_size * self.length)))
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the array."""
+        return self.base + self.size_bytes
+
+    def addr_of(self, index: int) -> int:
+        """Return the byte address of ``array[index]``.
+
+        For sub-byte elements (bit vectors) the address is the address of the
+        byte containing the bit, which is what a load instruction would use.
+        """
+        if index < 0 or index >= self.length:
+            raise IndexError(f"index {index} out of range for array {self.name!r}")
+        return self.base + int(index * self.elem_size)
+
+    def index_of(self, addr: int) -> int:
+        """Return the element index containing byte address ``addr``."""
+        if addr < self.base or addr >= self.end:
+            raise AddressError(f"address {addr:#x} outside array {self.name!r}")
+        return int((addr - self.base) // self.elem_size) if self.elem_size >= 1 else int(
+            (addr - self.base) * (1.0 / self.elem_size)
+        )
+
+    def contains(self, addr: int) -> bool:
+        """Return True when ``addr`` falls inside this array."""
+        return self.base <= addr < self.end
+
+
+@dataclass
+class _Region:
+    spec: ArraySpec
+    data: Optional[np.ndarray]
+
+
+class MemoryImage:
+    """Registry of arrays laid out in a simulated virtual address space.
+
+    Arrays are placed sequentially from ``region_base``, page aligned, with a
+    guard page between consecutive arrays so that streams never run from one
+    array into the next.
+    """
+
+    def __init__(self, region_base: int = DEFAULT_REGION_BASE) -> None:
+        self._next_base = region_base
+        self._regions: Dict[str, _Region] = {}
+        self._bases: List[int] = []
+        self._by_base: List[_Region] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_array(
+        self,
+        name: str,
+        data: Optional[np.ndarray] = None,
+        *,
+        length: Optional[int] = None,
+        elem_size: Optional[float] = None,
+        base: Optional[int] = None,
+        writable: bool = False,
+    ) -> ArraySpec:
+        """Register an array and return its :class:`ArraySpec`.
+
+        Either ``data`` (a numpy array whose dtype determines the element
+        size) or both ``length`` and ``elem_size`` must be provided.
+        """
+        if name in self._regions:
+            raise ValueError(f"array {name!r} already registered")
+        if data is not None:
+            data = np.asarray(data)
+            if length is None:
+                length = int(data.size)
+            if elem_size is None:
+                elem_size = float(data.dtype.itemsize)
+        if length is None or elem_size is None:
+            raise ValueError("either data or (length and elem_size) must be given")
+        if base is None:
+            base = self._next_base
+        spec = ArraySpec(name=name, base=base, elem_size=float(elem_size),
+                         length=int(length), writable=writable)
+        region = _Region(spec=spec, data=data)
+        self._regions[name] = region
+        insert_at = bisect.bisect_left(self._bases, base)
+        self._bases.insert(insert_at, base)
+        self._by_base.insert(insert_at, region)
+        # Advance the allocation cursor past this array plus one guard page.
+        end = spec.end
+        self._next_base = max(self._next_base,
+                              ((end + PAGE_SIZE) // PAGE_SIZE + 1) * PAGE_SIZE)
+        return spec
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def array(self, name: str) -> ArraySpec:
+        """Return the spec of a registered array."""
+        return self._regions[name].spec
+
+    def arrays(self) -> List[ArraySpec]:
+        """Return all registered array specs in address order."""
+        return [region.spec for region in self._by_base]
+
+    def data(self, name: str) -> np.ndarray:
+        """Return the numpy array backing a registered array."""
+        backing = self._regions[name].data
+        if backing is None:
+            raise ValueError(f"array {name!r} has no backing data")
+        return backing
+
+    def addr_of(self, name: str, index: int) -> int:
+        """Return the address of ``name[index]``."""
+        return self._regions[name].spec.addr_of(index)
+
+    def find(self, addr: int) -> Optional[ArraySpec]:
+        """Return the spec of the array containing ``addr``, if any."""
+        pos = bisect.bisect_right(self._bases, addr) - 1
+        if pos < 0:
+            return None
+        spec = self._by_base[pos].spec
+        return spec if spec.contains(addr) else None
+
+    def read_value(self, addr: int, default: Optional[int] = None) -> Optional[int]:
+        """Read the integer value stored at ``addr``.
+
+        Returns ``default`` when the address is not backed by data (e.g. a
+        guard page or a data-only array registered without contents).  Float
+        arrays return the truncated integer value, matching what a prefetcher
+        snooping raw bits would *not* be able to use — callers that need the
+        semantic value should read through :meth:`data` instead.
+        """
+        pos = bisect.bisect_right(self._bases, addr) - 1
+        if pos < 0:
+            return default
+        region = self._by_base[pos]
+        spec = region.spec
+        if not spec.contains(addr) or region.data is None:
+            return default
+        index = spec.index_of(addr)
+        if index >= region.data.size:
+            return default
+        value = region.data.reshape(-1)[index]
+        if np.issubdtype(region.data.dtype, np.integer):
+            return int(value)
+        return int(value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def __len__(self) -> int:
+        return len(self._regions)

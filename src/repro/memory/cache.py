@@ -1,0 +1,211 @@
+"""Set-associative cache model with optional sector support.
+
+The cache stores tags and per-line metadata only (the simulator reads data
+values through :class:`repro.mem_image.MemoryImage`).  Lines track:
+
+* LRU position (true LRU within a set),
+* dirty bit,
+* ``ready_time`` — the cycle at which an in-flight fill completes, so that a
+  demand access hitting a line that a prefetch is still bringing in pays the
+  remaining latency (a *late prefetch*, Section 6.1.1),
+* whether the line was brought in by a prefetch and whether it has been
+  referenced since (for prefetch accuracy accounting),
+* a valid-bit mask over sectors when the cache is sectored (Section 4.1) and
+  a touched-bit mask used by the granularity predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.config import CacheConfig
+
+
+def full_mask(num_sectors: int) -> int:
+    """Bit mask with ``num_sectors`` low bits set."""
+    return (1 << num_sectors) - 1
+
+
+@dataclass
+class CacheLine:
+    """Metadata of one resident cache line."""
+
+    tag: int
+    addr: int                      # base address of the line
+    valid: bool = True
+    dirty: bool = False
+    ready_time: float = 0.0
+    last_use: float = 0.0
+    from_prefetch: bool = False
+    prefetch_referenced: bool = False
+    sector_valid: int = 0          # bit i set => sector i present
+    sector_touched: int = 0        # bit i set => sector i demanded-referenced
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a cache lookup/access."""
+
+    hit: bool
+    line: Optional[CacheLine] = None
+    sector_miss: bool = False      # line present but the sector is not
+    evicted: Optional[CacheLine] = None
+    was_prefetched: bool = False   # hit on a line installed by a prefetch
+    ready_time: float = 0.0        # when the (possibly in-flight) line is usable
+
+
+class Cache:
+    """A single level of cache (one L1, or one slice of the shared L2)."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.line_size = config.line_size
+        self.num_sets = config.num_sets
+        self.assoc = config.associativity
+        self.sector_size = config.sector_size
+        self.sectors_per_line = config.sectors_per_line
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        # Statistics owned by the cache itself.
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.sector_misses = 0
+        self.evictions = 0
+        self.prefetch_fills = 0
+        self.unused_prefetch_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def line_addr(self, addr: int) -> int:
+        """Base address of the line containing ``addr``."""
+        return addr - (addr % self.line_size)
+
+    def set_index(self, addr: int) -> int:
+        return (addr // self.line_size) % self.num_sets
+
+    def tag_of(self, addr: int) -> int:
+        return addr // (self.line_size * self.num_sets)
+
+    def sector_mask(self, addr: int, size: int) -> int:
+        """Mask of sectors covered by an access of ``size`` bytes at ``addr``."""
+        if not self.sector_size:
+            return full_mask(1)
+        offset = addr % self.line_size
+        first = offset // self.sector_size
+        last = min(self.line_size - 1, offset + max(1, size) - 1) // self.sector_size
+        mask = 0
+        for sector in range(first, last + 1):
+            mask |= 1 << sector
+        return mask
+
+    # ------------------------------------------------------------------
+    # Lookup / access
+    # ------------------------------------------------------------------
+    def probe(self, addr: int) -> Optional[CacheLine]:
+        """Return the resident line containing ``addr`` without side effects."""
+        index = self.set_index(addr)
+        return self._sets[index].get(self.tag_of(addr))
+
+    def access(self, addr: int, size: int, is_write: bool, now: float) -> AccessResult:
+        """Perform a demand access and return the outcome.
+
+        A hit updates LRU, dirty and touch state.  A miss (or sector miss)
+        leaves the cache unmodified; the caller is expected to call
+        :meth:`fill` once the data has been fetched.
+        """
+        self.accesses += 1
+        line = self.probe(addr)
+        if line is None:
+            self.misses += 1
+            return AccessResult(hit=False)
+        mask = self.sector_mask(addr, size)
+        if self.sector_size and (line.sector_valid & mask) != mask:
+            # Line present but the requested sector(s) are not.
+            self.sector_misses += 1
+            self.misses += 1
+            return AccessResult(hit=False, line=line, sector_miss=True)
+        self.hits += 1
+        line.last_use = now
+        line.sector_touched |= mask
+        if is_write:
+            line.dirty = True
+        was_prefetched = line.from_prefetch and not line.prefetch_referenced
+        if line.from_prefetch:
+            line.prefetch_referenced = True
+        return AccessResult(hit=True, line=line, was_prefetched=was_prefetched,
+                            ready_time=line.ready_time)
+
+    # ------------------------------------------------------------------
+    # Fill / eviction
+    # ------------------------------------------------------------------
+    def fill(self, addr: int, now: float, ready_time: float, *,
+             is_prefetch: bool = False, is_write: bool = False,
+             sectors: Optional[int] = None) -> AccessResult:
+        """Install (or extend) the line containing ``addr``.
+
+        ``sectors`` is the mask of sectors being brought in; ``None`` means
+        the full line.  Returns an :class:`AccessResult` whose ``evicted``
+        field carries the victim line, if any (the caller charges write-back
+        traffic for dirty victims).
+        """
+        index = self.set_index(addr)
+        tag = self.tag_of(addr)
+        cache_set = self._sets[index]
+        if sectors is None:
+            sectors = full_mask(self.sectors_per_line)
+        line = cache_set.get(tag)
+        evicted = None
+        if line is None:
+            if len(cache_set) >= self.assoc:
+                evicted = self._evict(cache_set)
+            line = CacheLine(tag=tag, addr=self.line_addr(addr),
+                             ready_time=ready_time, last_use=now,
+                             from_prefetch=is_prefetch,
+                             sector_valid=sectors)
+            cache_set[tag] = line
+            if is_prefetch:
+                self.prefetch_fills += 1
+        else:
+            # Sector fill into an already-resident line.
+            line.sector_valid |= sectors
+            line.ready_time = max(line.ready_time, ready_time)
+            line.last_use = now
+        if is_write:
+            line.dirty = True
+        if not is_prefetch:
+            line.prefetch_referenced = True
+        return AccessResult(hit=True, line=line, evicted=evicted,
+                            ready_time=line.ready_time)
+
+    def _evict(self, cache_set: Dict[int, CacheLine]) -> CacheLine:
+        victim_tag = min(cache_set, key=lambda t: cache_set[t].last_use)
+        victim = cache_set.pop(victim_tag)
+        self.evictions += 1
+        if victim.from_prefetch and not victim.prefetch_referenced:
+            self.unused_prefetch_evictions += 1
+        return victim
+
+    def invalidate(self, addr: int) -> Optional[CacheLine]:
+        """Invalidate the line containing ``addr``; return it if present."""
+        index = self.set_index(addr)
+        return self._sets[index].pop(self.tag_of(addr), None)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by tests)
+    # ------------------------------------------------------------------
+    def resident_lines(self) -> List[CacheLine]:
+        """Return every valid line currently in the cache."""
+        lines: List[CacheLine] = []
+        for cache_set in self._sets:
+            lines.extend(cache_set.values())
+        return lines
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.num_sets * self.assoc

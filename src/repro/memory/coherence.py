@@ -1,0 +1,162 @@
+"""ACKwise-style limited-pointer directory coherence.
+
+The paper's platform uses the ACKwise_k protocol (Kurian et al.): the
+directory tracks up to ``k`` sharers exactly; once more than ``k`` cores
+share a line it only keeps a count and must broadcast invalidations.  The
+directory is co-located with the home L2 slice of each line.
+
+For the trace-driven simulator the directory's job is to produce, for every
+L2 access, the *extra* latency and NoC traffic caused by coherence actions
+(owner write-backs on read misses to modified lines, invalidations on
+writes), which is all the evaluated experiments depend on: the workloads are
+read-dominated, but stores to shared output arrays still generate
+invalidation traffic that loads the mesh.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.sim.stats import TrafficStats
+
+
+class LineState(enum.Enum):
+    """Directory-visible state of a cache line."""
+
+    INVALID = "I"
+    SHARED = "S"
+    MODIFIED = "M"
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory state for one cache line."""
+
+    state: LineState = LineState.INVALID
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+    sharer_count: int = 0          # used when the pointer set overflows
+    overflowed: bool = False
+
+
+@dataclass
+class CoherenceAction:
+    """What the directory asked the system to do for one request."""
+
+    extra_hops_messages: List[tuple] = field(default_factory=list)
+    #: each tuple is (src_tile, dst_tile, payload_bytes)
+    invalidations: int = 0
+    broadcast: bool = False
+    writeback: bool = False
+
+
+class Directory:
+    """Limited-pointer (ACKwise_k) directory for one home tile."""
+
+    def __init__(self, home_tile: int, max_pointers: int = 4,
+                 traffic: TrafficStats = None) -> None:
+        self.home_tile = home_tile
+        self.max_pointers = max_pointers
+        self.traffic = traffic if traffic is not None else TrafficStats()
+        self._entries: Dict[int, DirectoryEntry] = {}
+
+    def entry(self, line_addr: int) -> DirectoryEntry:
+        """Return (creating if needed) the directory entry for a line."""
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[line_addr] = entry
+        return entry
+
+    def lookup(self, line_addr: int) -> Optional[DirectoryEntry]:
+        """Return the entry for a line if the directory is tracking it."""
+        return self._entries.get(line_addr)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def read(self, line_addr: int, requester: int, n_cores: int,
+             line_size: int) -> CoherenceAction:
+        """Handle a read miss arriving at the home tile."""
+        entry = self.entry(line_addr)
+        action = CoherenceAction()
+        if entry.state is LineState.MODIFIED and entry.owner is not None \
+                and entry.owner != requester:
+            # Fetch the dirty copy from the current owner: home -> owner
+            # (control) and owner -> home (data write-back).
+            action.extra_hops_messages.append((self.home_tile, entry.owner, 8))
+            action.extra_hops_messages.append((entry.owner, self.home_tile, line_size))
+            action.writeback = True
+            entry.sharers = {entry.owner}
+            entry.owner = None
+        entry.state = LineState.SHARED
+        self._add_sharer(entry, requester)
+        return action
+
+    def write(self, line_addr: int, requester: int, n_cores: int,
+              line_size: int) -> CoherenceAction:
+        """Handle a write (miss or upgrade) arriving at the home tile."""
+        entry = self.entry(line_addr)
+        action = CoherenceAction()
+        if entry.state is LineState.MODIFIED and entry.owner is not None \
+                and entry.owner != requester:
+            action.extra_hops_messages.append((self.home_tile, entry.owner, 8))
+            action.extra_hops_messages.append((entry.owner, self.home_tile, line_size))
+            action.writeback = True
+        elif entry.state is LineState.SHARED:
+            targets = self._invalidation_targets(entry, requester, n_cores)
+            action.invalidations = len(targets)
+            action.broadcast = entry.overflowed
+            for target in targets:
+                # Invalidation plus acknowledgement.
+                action.extra_hops_messages.append((self.home_tile, target, 8))
+                action.extra_hops_messages.append((target, self.home_tile, 8))
+            self.traffic.invalidations += len(targets)
+            if entry.overflowed:
+                self.traffic.broadcasts += 1
+        entry.state = LineState.MODIFIED
+        entry.owner = requester
+        entry.sharers = {requester}
+        entry.sharer_count = 1
+        entry.overflowed = False
+        return action
+
+    def evict(self, line_addr: int, core: int) -> None:
+        """A private cache silently dropped its copy of a line."""
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            return
+        entry.sharers.discard(core)
+        if entry.owner == core:
+            entry.owner = None
+            entry.state = LineState.SHARED if entry.sharers else LineState.INVALID
+        if not entry.sharers and not entry.overflowed:
+            entry.sharer_count = 0
+            if entry.state is not LineState.MODIFIED:
+                entry.state = LineState.INVALID
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _add_sharer(self, entry: DirectoryEntry, core: int) -> None:
+        if entry.overflowed:
+            entry.sharer_count += 1
+            return
+        entry.sharers.add(core)
+        entry.sharer_count = len(entry.sharers)
+        if len(entry.sharers) > self.max_pointers:
+            # ACKwise: stop tracking exact sharers, keep only the count.
+            entry.overflowed = True
+
+    def _invalidation_targets(self, entry: DirectoryEntry, requester: int,
+                              n_cores: int) -> List[int]:
+        if entry.overflowed:
+            # Broadcast invalidation to every core but the requester.
+            return [core for core in range(n_cores) if core != requester]
+        return [core for core in entry.sharers if core != requester]
+
+    def tracked_lines(self) -> int:
+        """Number of lines with a directory entry (for tests)."""
+        return len(self._entries)

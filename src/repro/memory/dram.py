@@ -1,0 +1,161 @@
+"""DRAM models.
+
+Two models are provided, mirroring Table 1 of the paper:
+
+* :class:`SimpleDram` — fixed access latency (100 ns) plus a per-memory-
+  controller bandwidth limit (10 GB/s).  The paper uses this model for the
+  partial-cacheline experiments and reports it is within 5% of DRAMSim.
+* :class:`BankedDram` — a DDR3-10-10-10-24-style model with per-bank row
+  buffers (8 banks per rank, one rank per controller), standing in for
+  DRAMSim in the non-partial experiments.
+
+Both models account traffic in bytes so Figure 12 can be reproduced, and
+both respect the 32-byte minimum access granularity of Section 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.config import DramConfig
+from repro.sim.queueing import ResourceSchedule
+from repro.sim.stats import TrafficStats
+
+
+class DramModel:
+    """Interface shared by the DRAM models."""
+
+    def __init__(self, config: DramConfig, n_controllers: int,
+                 traffic: TrafficStats = None) -> None:
+        self.config = config
+        self.n_controllers = n_controllers
+        self.traffic = traffic if traffic is not None else TrafficStats()
+
+    def effective_bytes(self, requested_bytes: int) -> int:
+        """Round a request up to the DRAM access granularity."""
+        granule = self.config.access_granularity
+        if requested_bytes <= 0:
+            return granule
+        return ((requested_bytes + granule - 1) // granule) * granule
+
+    def access(self, controller: int, addr: int, nbytes: int, now: float,
+               is_write: bool = False) -> float:
+        """Issue a request; return its completion time."""
+        raise NotImplementedError
+
+    def reset_contention(self) -> None:
+        """Clear queueing state between independent runs."""
+        raise NotImplementedError
+
+
+class SimpleDram(DramModel):
+    """Fixed latency + per-controller bandwidth limit."""
+
+    def __init__(self, config: DramConfig, n_controllers: int,
+                 traffic: TrafficStats = None) -> None:
+        super().__init__(config, n_controllers, traffic)
+        self._channels: List[ResourceSchedule] = [
+            ResourceSchedule() for _ in range(n_controllers)]
+
+    def access(self, controller: int, addr: int, nbytes: int, now: float,
+               is_write: bool = False) -> float:
+        if controller < 0 or controller >= self.n_controllers:
+            raise ValueError(f"controller {controller} out of range")
+        nbytes = self.effective_bytes(nbytes)
+        service = nbytes / self.config.bandwidth_bytes_per_cycle
+        start = self._channels[controller].reserve(now, service)
+        self.traffic.dram_bytes += nbytes
+        self.traffic.dram_requests += 1
+        return start + self.config.latency_cycles + service
+
+    def channel_utilization(self, now: float) -> float:
+        """Utilisation of the busiest controller up to ``now``."""
+        if now <= 0:
+            return 0.0
+        return max(channel.busy_time() for channel in self._channels) / now
+
+    def reset_contention(self) -> None:
+        for channel in self._channels:
+            channel.reset()
+
+
+@dataclass
+class _Bank:
+    open_row: int = -1
+    schedule: ResourceSchedule = field(default_factory=ResourceSchedule)
+
+
+class BankedDram(DramModel):
+    """DDR3-style model with per-bank row buffers.
+
+    A row hit costs tCAS; a row miss costs tRP + tRCD + tCAS (precharge the
+    open row, activate the new one, then read).  Data transfer time is the
+    burst length over the channel bandwidth.  Requests to the same bank
+    serialize; requests to different banks of the same controller overlap but
+    share the data bus.
+    """
+
+    def __init__(self, config: DramConfig, n_controllers: int,
+                 traffic: TrafficStats = None) -> None:
+        super().__init__(config, n_controllers, traffic)
+        self._banks: Dict[int, List[_Bank]] = {
+            mc: [_Bank() for _ in range(config.banks_per_rank)]
+            for mc in range(n_controllers)
+        }
+        self._buses: List[ResourceSchedule] = [
+            ResourceSchedule() for _ in range(n_controllers)]
+
+    def _bank_and_row(self, addr: int) -> tuple:
+        row_size = self.config.row_size
+        row = addr // row_size
+        bank = row % self.config.banks_per_rank
+        return bank, row
+
+    def access(self, controller: int, addr: int, nbytes: int, now: float,
+               is_write: bool = False) -> float:
+        if controller < 0 or controller >= self.n_controllers:
+            raise ValueError(f"controller {controller} out of range")
+        cfg = self.config
+        nbytes = self.effective_bytes(nbytes)
+        bank_id, row = self._bank_and_row(addr)
+        bank = self._banks[controller][bank_id]
+        if bank.open_row == row:
+            access_latency = cfg.t_cas
+        else:
+            access_latency = cfg.t_rp + cfg.t_rcd + cfg.t_cas
+            bank.open_row = row
+        transfer = nbytes / cfg.bandwidth_bytes_per_cycle
+        # The bank is occupied for the activate/read, then the shared data
+        # bus of this controller carries the burst.
+        start = bank.schedule.reserve(now, access_latency + transfer)
+        bus_start = self._buses[controller].reserve(start + access_latency,
+                                                    transfer)
+        done = bus_start + transfer
+        self.traffic.dram_bytes += nbytes
+        self.traffic.dram_requests += 1
+        return done
+
+    def channel_utilization(self, now: float) -> float:
+        """Utilisation of the busiest data bus up to ``now``."""
+        if now <= 0:
+            return 0.0
+        return max(bus.busy_time() for bus in self._buses) / now
+
+    def reset_contention(self) -> None:
+        for banks in self._banks.values():
+            for bank in banks:
+                bank.open_row = -1
+                bank.schedule.reset()
+        for bus in self._buses:
+            bus.reset()
+
+
+def make_dram(config: DramConfig, n_controllers: int,
+              traffic: TrafficStats = None) -> DramModel:
+    """Instantiate the DRAM model selected by ``config.model``."""
+    if config.model == "simple":
+        return SimpleDram(config, n_controllers, traffic)
+    if config.model == "banked":
+        return BankedDram(config, n_controllers, traffic)
+    raise ValueError(f"unknown DRAM model {config.model!r}")

@@ -1,0 +1,300 @@
+"""The full memory system: per-core L1s, distributed shared L2, directory
+coherence, mesh NoC and DRAM, plus per-L1 prefetchers.
+
+This is the component the cores talk to.  For every demand reference it
+returns the access latency, performing along the way all the side effects a
+real hierarchy would have: cache fills and evictions, directory updates,
+NoC messages (with contention) and DRAM requests (with bandwidth limits).
+Prefetch requests walk the same path but do not stall the core.
+
+Idealised configurations of Section 5.4 are supported directly:
+
+* ``ideal_memory`` — every access costs one L1 hit and moves no traffic,
+* ``perfect_prefetch`` — every miss behaves as if a magic prefetcher issued
+  the fill ``perfect_prefetch_lead`` cycles earlier; latency is hidden unless
+  the NoC/DRAM are so congested that even that lead time is not enough,
+  which is exactly what makes *PerfPref* fall behind *Ideal* at high core
+  counts in the paper (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.mem_image import MemoryImage
+from repro.memory.cache import Cache, full_mask
+from repro.memory.coherence import Directory
+from repro.memory.dram import make_dram
+from repro.noc.mesh import MeshNoC, Message
+from repro.prefetchers.base import AccessContext, PrefetcherBase, PrefetchRequest
+from repro.sim.config import SystemConfig
+from repro.sim.stats import CoreStats, SystemStats, TrafficStats
+from repro.sim.trace import MemRef
+
+
+#: Size in bytes of a coherence/request header message on the NoC.
+CONTROL_MESSAGE_BYTES = 8
+
+
+@dataclass
+class AccessOutcome:
+    """What happened for one demand access."""
+
+    latency: float
+    l1_hit: bool
+    l2_hit: bool = False
+    covered_by_prefetch: bool = False
+    late_prefetch_cycles: float = 0.0
+
+
+PrefetcherFactory = Callable[[int], PrefetcherBase]
+
+
+class MemorySystem:
+    """Cache hierarchy + interconnect + DRAM for the whole chip."""
+
+    def __init__(self, config: SystemConfig, mem_image: Optional[MemoryImage] = None,
+                 prefetcher_factory: Optional[PrefetcherFactory] = None,
+                 stats: Optional[SystemStats] = None) -> None:
+        self.config = config
+        self.mem_image = mem_image or MemoryImage()
+        n = config.n_cores
+        self.stats = stats or SystemStats(
+            cores=[CoreStats(core_id=i) for i in range(n)])
+        if len(self.stats.cores) != n:
+            raise ValueError("stats must have one CoreStats per core")
+        self.traffic: TrafficStats = self.stats.traffic
+        self.noc = MeshNoC(n, config.noc, traffic=self.traffic)
+        self.dram = make_dram(config.dram, config.num_memory_controllers,
+                              traffic=self.traffic)
+        self._mc_tiles = config.memory_controller_tiles()
+        l1_cfg = config.l1d_effective
+        l2_cfg = config.l2_slice
+        self.l1 = [Cache(l1_cfg) for _ in range(n)]
+        self.l2 = [Cache(l2_cfg) for _ in range(n)]
+        self.directories = [Directory(tile, config.ackwise_pointers, self.traffic)
+                            for tile in range(n)]
+        factory = prefetcher_factory or (lambda core_id: PrefetcherBase())
+        self.prefetchers: List[PrefetcherBase] = [factory(i) for i in range(n)]
+        self.line_size = l1_cfg.line_size
+
+    # ------------------------------------------------------------------
+    # Address mapping
+    # ------------------------------------------------------------------
+    def line_addr(self, addr: int) -> int:
+        return addr - (addr % self.line_size)
+
+    def home_tile(self, addr: int) -> int:
+        """L2 slice (and directory) holding this line: line interleaving."""
+        return (addr // self.line_size) % self.config.n_cores
+
+    def memory_controller(self, addr: int) -> tuple:
+        """Return ``(controller_index, controller_tile)`` for an address."""
+        index = (addr // self.line_size) % len(self._mc_tiles)
+        return index, self._mc_tiles[index]
+
+    # ------------------------------------------------------------------
+    # Demand access path
+    # ------------------------------------------------------------------
+    def access(self, core_id: int, ref: MemRef, now: float) -> AccessOutcome:
+        """Perform one demand load/store for ``core_id`` at time ``now``."""
+        core_stats = self.stats.cores[core_id]
+        if self.config.ideal_memory:
+            latency = self.config.l1d.hit_latency
+            outcome = AccessOutcome(latency=latency, l1_hit=True)
+            self._notify_prefetcher(core_id, ref, hit=True, now=now)
+            return outcome
+
+        l1 = self.l1[core_id]
+        result = l1.access(ref.addr, ref.size, ref.is_write, now)
+        hit_latency = self.config.l1d.hit_latency
+
+        if result.hit:
+            late = max(0.0, result.ready_time - now)
+            latency = hit_latency + late
+            outcome = AccessOutcome(latency=latency, l1_hit=True,
+                                    covered_by_prefetch=result.was_prefetched,
+                                    late_prefetch_cycles=late)
+            if result.was_prefetched:
+                core_stats.prefetch_covered_misses += 1
+                core_stats.prefetches_useful += 1
+                core_stats.prefetch_late_cycles += int(late)
+            self._notify_prefetcher(core_id, ref, hit=True, now=now)
+            return outcome
+
+        # L1 miss: fetch the line through the shared L2 / DRAM.
+        issue_time = now
+        if self.config.perfect_prefetch:
+            issue_time = now - self.config.perfect_prefetch_lead
+        arrival, l2_hit = self._fetch_line(core_id, ref.addr, issue_time,
+                                           is_write=ref.is_write,
+                                           fetch_bytes=self.line_size,
+                                           sectors=None)
+        fill = l1.fill(ref.addr, now, arrival, is_prefetch=False,
+                       is_write=ref.is_write)
+        self._handle_l1_eviction(core_id, fill.evicted, now)
+        latency = hit_latency + max(0.0, arrival - now)
+        outcome = AccessOutcome(latency=latency, l1_hit=False, l2_hit=l2_hit)
+        self._notify_prefetcher(core_id, ref, hit=False, now=now)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Prefetch path
+    # ------------------------------------------------------------------
+    def issue_prefetch(self, core_id: int, request: PrefetchRequest,
+                       now: float) -> float:
+        """Issue one prefetch for ``core_id``; return its completion time.
+
+        The prefetch does not stall the core; its cost is the NoC/DRAM
+        traffic it generates and the L1 capacity it occupies.
+        """
+        core_stats = self.stats.cores[core_id]
+        if self.config.ideal_memory:
+            return now
+        l1 = self.l1[core_id]
+        line = l1.probe(request.addr)
+        fetch_bytes = min(request.size, self.line_size)
+        sectors = None
+        if l1.sector_size:
+            sectors = self._sector_mask_for_prefetch(l1, request.addr, fetch_bytes)
+        if line is not None:
+            if not l1.sector_size:
+                return now  # already resident, nothing to do
+            if (line.sector_valid & sectors) == sectors:
+                return now
+        core_stats.prefetches_issued += 1
+        if request.is_indirect:
+            core_stats.indirect_prefetches_issued += 1
+        else:
+            core_stats.stream_prefetches_issued += 1
+        noc_bytes = fetch_bytes if self.config.partial_noc else self.line_size
+        dram_bytes = fetch_bytes if self.config.partial_dram else self.line_size
+        arrival, _ = self._fetch_line(core_id, request.addr, now,
+                                      is_write=request.exclusive,
+                                      fetch_bytes=noc_bytes,
+                                      dram_bytes=dram_bytes,
+                                      sectors=sectors)
+        fill = l1.fill(request.addr, now, arrival, is_prefetch=True,
+                       sectors=sectors)
+        self._handle_l1_eviction(core_id, fill.evicted, now)
+        return arrival
+
+    def _sector_mask_for_prefetch(self, l1: Cache, addr: int,
+                                  fetch_bytes: int) -> int:
+        """Sectors fetched by a partial prefetch of ``fetch_bytes`` bytes."""
+        if fetch_bytes >= self.line_size:
+            return full_mask(l1.sectors_per_line)
+        return l1.sector_mask(addr, fetch_bytes)
+
+    # ------------------------------------------------------------------
+    # Shared fetch path (L1 miss or prefetch): L2 + directory + DRAM
+    # ------------------------------------------------------------------
+    def _fetch_line(self, core_id: int, addr: int, issue_time: float, *,
+                    is_write: bool, fetch_bytes: int,
+                    dram_bytes: Optional[int] = None,
+                    sectors: Optional[int]) -> tuple:
+        """Fetch a line (or sectors of it) for a core; return
+        ``(arrival_time, l2_hit)``."""
+        core_stats = self.stats.cores[core_id]
+        line = self.line_addr(addr)
+        home = self.home_tile(addr)
+        directory = self.directories[home]
+        l2 = self.l2[home]
+        if dram_bytes is None:
+            dram_bytes = fetch_bytes
+
+        # Request message: core tile -> home tile.
+        time = self.noc.send(Message(core_id, home, CONTROL_MESSAGE_BYTES),
+                             issue_time)
+
+        # Directory consultation and coherence actions.
+        if is_write:
+            action = directory.write(line, core_id, self.config.n_cores,
+                                     self.line_size)
+        else:
+            action = directory.read(line, core_id, self.config.n_cores,
+                                    self.line_size)
+        coherence_done = time
+        for src, dst, payload in action.extra_hops_messages:
+            coherence_done = max(coherence_done,
+                                 self.noc.send(Message(src, dst, payload), time))
+        time = max(time, coherence_done)
+
+        # L2 slice lookup at the home tile.
+        l2_result = l2.access(addr, max(1, fetch_bytes), is_write, time)
+        time += self.config.l2_slice.hit_latency
+        l2_hit = l2_result.hit
+        if l2_hit:
+            core_stats.l2_hits += 1
+        else:
+            core_stats.l2_misses += 1
+            # Miss in the shared L2: go to the memory controller and DRAM.
+            mc_index, mc_tile = self.memory_controller(addr)
+            time = self.noc.send(Message(home, mc_tile, CONTROL_MESSAGE_BYTES), time)
+            time = self.dram.access(mc_index, line, dram_bytes, time,
+                                    is_write=False)
+            time = self.noc.send(Message(mc_tile, home, dram_bytes), time)
+            l2_sectors = None
+            if l2.sector_size:
+                l2_sectors = (l2.sector_mask(addr, dram_bytes)
+                              if dram_bytes < self.line_size
+                              else full_mask(l2.sectors_per_line))
+            l2_fill = l2.fill(addr, time, time, is_write=is_write,
+                              sectors=l2_sectors)
+            self._handle_l2_eviction(home, l2_fill.evicted, time)
+
+        # Data response: home tile -> requesting core.
+        time = self.noc.send(Message(home, core_id, fetch_bytes), time)
+        return time, l2_hit
+
+    # ------------------------------------------------------------------
+    # Evictions and write-backs
+    # ------------------------------------------------------------------
+    def _handle_l1_eviction(self, core_id: int, victim, now: float) -> None:
+        if victim is None:
+            return
+        self.prefetchers[core_id].on_eviction(victim.addr, victim.sector_touched, now)
+        home = self.home_tile(victim.addr)
+        self.directories[home].evict(self.line_addr(victim.addr), core_id)
+        if victim.dirty:
+            # Write the dirty line back to its home L2 slice.
+            self.noc.send(Message(core_id, home, self.line_size), now)
+            self.l2[home].fill(victim.addr, now, now, is_write=True)
+
+    def _handle_l2_eviction(self, home: int, victim, now: float) -> None:
+        if victim is None or not victim.dirty:
+            return
+        mc_index, mc_tile = self.memory_controller(victim.addr)
+        self.noc.send(Message(home, mc_tile, self.line_size), now)
+        self.dram.access(mc_index, victim.addr, self.line_size, now, is_write=True)
+
+    # ------------------------------------------------------------------
+    # Prefetcher plumbing
+    # ------------------------------------------------------------------
+    def _notify_prefetcher(self, core_id: int, ref: MemRef, hit: bool,
+                           now: float) -> None:
+        prefetcher = self.prefetchers[core_id]
+        ctx = AccessContext(
+            core_id=core_id, pc=ref.pc, addr=ref.addr, size=ref.size,
+            is_write=ref.is_write, hit=hit, now=now,
+            read_value=lambda addr=ref.addr: self.mem_image.read_value(addr))
+        requests = prefetcher.on_access(ctx)
+        self._issue_requests(core_id, requests, now)
+
+    def _issue_requests(self, core_id: int, requests: List[PrefetchRequest],
+                        now: float) -> None:
+        previous_completion = now
+        for request in requests:
+            issue_at = previous_completion if request.depends_on_previous else now
+            completion = self.issue_prefetch(core_id, request, issue_at)
+            previous_completion = completion
+            follow_on = self.prefetchers[core_id].on_fill(request.addr, completion)
+            if follow_on:
+                self._issue_requests(core_id, follow_on, completion)
+
+    def software_prefetch(self, core_id: int, addr: int, now: float) -> float:
+        """Issue a software prefetch (non-binding, full line)."""
+        self.stats.cores[core_id].sw_prefetches_issued += 1
+        request = PrefetchRequest(addr=addr, size=self.line_size)
+        return self.issue_prefetch(core_id, request, now)

@@ -1,0 +1,5 @@
+"""2-D mesh network-on-chip with XY routing."""
+
+from repro.noc.mesh import MeshNoC, Message
+
+__all__ = ["MeshNoC", "Message"]

@@ -1,0 +1,154 @@
+"""2-D mesh network-on-chip model with XY routing and link contention.
+
+The model matches the paper's NoC (Table 1): a square mesh with dimension-
+ordered XY routing, a 2-cycle hop latency (one router cycle plus one link
+cycle) and 64-bit flits.  Contention is modelled per directed link with a
+simple queueing approximation: each link keeps the time at which it becomes
+free, a message arriving earlier waits, and serialization of the message's
+flits occupies the link.  Because the paper's scalability assumption makes
+bisection bandwidth grow only with ``sqrt(N)`` while traffic grows with
+``N``, this contention is what turns the NoC into a bottleneck at high core
+counts (Section 6.2).
+
+Traffic is accounted in bytes and flits so Figure 12 can be reproduced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.config import NoCConfig
+from repro.sim.queueing import ResourceSchedule
+from repro.sim.stats import TrafficStats
+
+
+@dataclass(frozen=True)
+class Message:
+    """One NoC message (request, response, invalidation, data fill...)."""
+
+    src: int
+    dst: int
+    payload_bytes: int
+
+
+class MeshNoC:
+    """Square 2-D mesh with XY routing and per-link queueing."""
+
+    def __init__(self, n_tiles: int, config: NoCConfig = NoCConfig(),
+                 traffic: TrafficStats = None) -> None:
+        dim = int(round(math.sqrt(n_tiles)))
+        if dim * dim != n_tiles:
+            raise ValueError("n_tiles must be a perfect square")
+        self.n_tiles = n_tiles
+        self.dim = dim
+        self.config = config
+        self.traffic = traffic if traffic is not None else TrafficStats()
+        # Reservation schedule per directed link, keyed by (src, dst) tile.
+        self._links: Dict[Tuple[int, int], ResourceSchedule] = {}
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def coords(self, tile: int) -> Tuple[int, int]:
+        """Return the (x, y) coordinates of a tile."""
+        if tile < 0 or tile >= self.n_tiles:
+            raise ValueError(f"tile {tile} out of range")
+        return tile % self.dim, tile // self.dim
+
+    def tile(self, x: int, y: int) -> int:
+        """Return the tile id at coordinates (x, y)."""
+        return y * self.dim + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance between two tiles."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """Return the list of directed links of the XY route src -> dst."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        links: List[Tuple[int, int]] = []
+        x, y = sx, sy
+        while x != dx:
+            nx = x + (1 if dx > x else -1)
+            links.append((self.tile(x, y), self.tile(nx, y)))
+            x = nx
+        while y != dy:
+            ny = y + (1 if dy > y else -1)
+            links.append((self.tile(x, y), self.tile(x, ny)))
+            y = ny
+        return links
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def _flits(self, payload_bytes: int) -> int:
+        cfg = self.config
+        data_flits = int(math.ceil(payload_bytes / cfg.flit_bytes)) if payload_bytes else 0
+        return cfg.header_flits + data_flits
+
+    def zero_load_latency(self, src: int, dst: int, payload_bytes: int = 0) -> int:
+        """Latency of a message on an empty network."""
+        flits = self._flits(payload_bytes)
+        return self.hops(src, dst) * self.config.hop_latency + flits
+
+    def send(self, message: Message, now: float) -> float:
+        """Send a message at time ``now``; return its arrival time.
+
+        Contention: at every link of the route the message waits until the
+        link is free, then occupies it for the serialization time of its
+        flits.  Hop latency is added per link.
+        """
+        cfg = self.config
+        flits = self._flits(message.payload_bytes)
+        serialization = flits / cfg.link_bandwidth_flits
+        time = float(now)
+        if message.src == message.dst:
+            # Local access: no network traversal, a single router pass.
+            self.traffic.noc_messages += 1
+            return time + cfg.hop_latency
+        for link in self.route(message.src, message.dst):
+            schedule = self._links.get(link)
+            if schedule is None:
+                schedule = self._links[link] = ResourceSchedule()
+            start = schedule.reserve(time, serialization)
+            time = start + cfg.hop_latency
+        time += serialization  # pipeline drain of the message body
+        self.traffic.noc_messages += 1
+        self.traffic.noc_flits += flits * max(1, self.hops(message.src, message.dst))
+        self.traffic.noc_bytes += message.payload_bytes * max(
+            1, self.hops(message.src, message.dst))
+        return time
+
+    def round_trip(self, src: int, dst: int, request_bytes: int,
+                   response_bytes: int, now: float,
+                   remote_latency: float = 0.0) -> float:
+        """Send a request and its response; return the response arrival time."""
+        arrive = self.send(Message(src, dst, request_bytes), now)
+        arrive += remote_latency
+        return self.send(Message(dst, src, response_bytes), arrive)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def link_utilization(self, now: float) -> float:
+        """Average fraction of time links have been busy up to ``now``."""
+        if now <= 0 or not self._links:
+            return 0.0
+        total_links = 2 * 2 * self.dim * (self.dim - 1)  # directed, both axes
+        busy = sum(schedule.busy_time() for schedule in self._links.values())
+        return busy / (total_links * now) if total_links else 0.0
+
+    def max_link_utilization(self, now: float) -> float:
+        """Utilisation of the busiest link up to ``now`` (bottleneck metric)."""
+        if now <= 0 or not self._links:
+            return 0.0
+        return max(schedule.busy_time() for schedule in self._links.values()) / now
+
+    def reset_contention(self) -> None:
+        """Clear all link occupancy (used between independent runs)."""
+        self._links.clear()

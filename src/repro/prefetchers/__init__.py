@@ -1,0 +1,22 @@
+"""Hardware prefetchers: the baselines IMP is compared against.
+
+The Indirect Memory Prefetcher itself lives in :mod:`repro.core`; this
+package holds the prefetcher interface and the paper's baselines (stream
+prefetcher, GHB correlation prefetcher, and a null prefetcher).
+"""
+
+from repro.prefetchers.base import AccessContext, PrefetcherBase, PrefetchRequest
+from repro.prefetchers.null import NullPrefetcher
+from repro.prefetchers.stream import StreamPrefetcher, StreamPrefetcherConfig
+from repro.prefetchers.ghb import GHBPrefetcher, GHBConfig
+
+__all__ = [
+    "AccessContext",
+    "GHBConfig",
+    "GHBPrefetcher",
+    "NullPrefetcher",
+    "PrefetchRequest",
+    "PrefetcherBase",
+    "StreamPrefetcher",
+    "StreamPrefetcherConfig",
+]

@@ -1,0 +1,64 @@
+"""Prefetcher interface.
+
+A prefetcher is attached to one L1 data cache.  The memory hierarchy calls
+:meth:`PrefetcherBase.on_access` for every demand access the L1 sees (both
+hits and misses, as in the paper: IMP "snoops the access and miss stream of
+the cache"), and the prefetcher returns a list of :class:`PrefetchRequest`
+that the hierarchy then issues asynchronously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class AccessContext:
+    """Everything a hardware prefetcher can observe about one L1 access."""
+
+    core_id: int
+    pc: int
+    addr: int
+    size: int
+    is_write: bool
+    hit: bool
+    now: float
+    #: Callback returning the integer value the load returned (``None`` when
+    #: the location is not backed by data).  Hardware sees load return values
+    #: on the cache fill/response path; this models that visibility without
+    #: storing data in the cache model.
+    read_value: Callable[[], Optional[int]] = field(default=lambda: None)
+
+
+@dataclass
+class PrefetchRequest:
+    """A prefetch the hierarchy should issue on behalf of a prefetcher."""
+
+    addr: int
+    size: int = 64                 # bytes to fetch (partial accessing uses < 64)
+    is_indirect: bool = False      # an A[B[i]] prefetch (vs. a stream prefetch)
+    depends_on_previous: bool = False
+    #: Second-level indirection: the prefetch address can only be computed
+    #: after the previous request in this list has returned (Section 3.3.2).
+    exclusive: bool = False        # request the line in Exclusive state
+
+
+class PrefetcherBase:
+    """Base class: a prefetcher that never prefetches."""
+
+    name = "base"
+
+    def on_access(self, ctx: AccessContext) -> List[PrefetchRequest]:
+        """Observe one demand access; return prefetches to issue."""
+        return []
+
+    def on_fill(self, addr: int, now: float) -> List[PrefetchRequest]:
+        """Observe a fill completing (used for prefetch chaining)."""
+        return []
+
+    def on_eviction(self, addr: int, touched_sectors: int, now: float) -> None:
+        """Observe an L1 eviction (used by the granularity predictor)."""
+
+    def reset(self) -> None:
+        """Clear all learned state."""

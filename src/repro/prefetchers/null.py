@@ -1,0 +1,16 @@
+"""A prefetcher that never issues prefetches (no-prefetching baseline)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.prefetchers.base import AccessContext, PrefetcherBase, PrefetchRequest
+
+
+class NullPrefetcher(PrefetcherBase):
+    """Disable hardware prefetching entirely."""
+
+    name = "none"
+
+    def on_access(self, ctx: AccessContext) -> List[PrefetchRequest]:
+        return []

@@ -1,0 +1,21 @@
+"""Trace-driven multicore timing simulator substrate."""
+
+from repro.sim.config import SystemConfig
+from repro.sim.trace import AccessKind, Compute, MemRef, SwPrefetch, Trace
+from repro.sim.stats import CoreStats, SystemStats
+from repro.sim.system import System, SimulationResult, build_system, run_workload
+
+__all__ = [
+    "AccessKind",
+    "Compute",
+    "CoreStats",
+    "MemRef",
+    "SimulationResult",
+    "SwPrefetch",
+    "System",
+    "SystemConfig",
+    "SystemStats",
+    "Trace",
+    "build_system",
+    "run_workload",
+]

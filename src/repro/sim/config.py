@@ -1,0 +1,204 @@
+"""System configuration (Table 1 of the paper).
+
+The defaults mirror the paper's baseline platform:
+
+* 1 GHz in-order, single-issue cores (16 / 64 / 256 of them),
+* 32 KB 4-way L1 data caches with 64-byte lines,
+* a shared, physically distributed L2 of ``2 / sqrt(N)`` MB per tile, 8-way,
+* ACKwise_4 directory coherence,
+* a 2-D mesh NoC with XY routing, 2-cycle hops, 64-bit flits,
+* memory controllers in a diamond placement, 100 ns DRAM latency and
+  10 GB/s per controller, with aggregate DRAM bandwidth and L2 capacity
+  scaling with ``sqrt(N)`` (the paper's scalability assumption).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a single cache (one L1, or one L2 slice)."""
+
+    size_bytes: int
+    associativity: int
+    line_size: int = 64
+    sector_size: int = 0  # 0 = not sectored
+    hit_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.line_size) != 0:
+            raise ValueError(
+                "cache size must be a multiple of associativity * line size")
+        if self.sector_size and self.line_size % self.sector_size != 0:
+            raise ValueError("line size must be a multiple of the sector size")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_size)
+
+    @property
+    def sectors_per_line(self) -> int:
+        return self.line_size // self.sector_size if self.sector_size else 1
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """2-D mesh network-on-chip parameters."""
+
+    hop_latency: int = 2          # 1 router + 1 link cycle per hop
+    flit_bytes: int = 8           # 64-bit flits
+    header_flits: int = 1         # request/response header
+    link_bandwidth_flits: float = 1.0  # flits per cycle per link
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """DRAM model parameters (simple model and DDR3-style banked model)."""
+
+    model: str = "simple"               # "simple" or "banked"
+    latency_cycles: int = 100           # 100 ns at 1 GHz
+    bandwidth_bytes_per_cycle: float = 10.0   # 10 GB/s per MC at 1 GHz
+    access_granularity: int = 32        # minimum DRAM burst (Section 4.1)
+    # DDR3-10-10-10-24 style timing for the banked model.
+    banks_per_rank: int = 8
+    t_rcd: int = 10
+    t_rp: int = 10
+    t_cas: int = 10
+    t_ras: int = 24
+    row_size: int = 2048
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full platform configuration (Table 1)."""
+
+    n_cores: int = 64
+    frequency_ghz: float = 1.0
+    core_model: str = "in-order"        # "in-order" or "ooo"
+    rob_size: int = 32                  # used only by the OoO model
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 4))
+    l2_assoc: int = 8
+    l2_total_mb_at_1core: float = 2.0   # per-tile L2 = 2/sqrt(N) MB
+    noc: NoCConfig = field(default_factory=NoCConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    ackwise_pointers: int = 4
+    # Partial cacheline accessing (Section 4): sector sizes used when enabled.
+    l1_sector_size: int = 8
+    l2_sector_size: int = 32
+    partial_noc: bool = False
+    partial_dram: bool = False
+    # Idealisation knobs for the baselines of Section 5.4.
+    ideal_memory: bool = False          # "Ideal": every access hits L1
+    perfect_prefetch: bool = False      # "PerfPref": magic prefetcher, finite BW
+    perfect_prefetch_lead: int = 2000   # cycles of lead time for PerfPref
+
+    def __post_init__(self) -> None:
+        mesh = int(round(math.sqrt(self.n_cores)))
+        if mesh * mesh != self.n_cores:
+            raise ValueError("n_cores must be a perfect square for a 2-D mesh")
+        if self.core_model not in ("in-order", "ooo"):
+            raise ValueError("core_model must be 'in-order' or 'ooo'")
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def mesh_dim(self) -> int:
+        """Side length of the square mesh."""
+        return int(round(math.sqrt(self.n_cores)))
+
+    @property
+    def l2_slice_bytes(self) -> int:
+        """Per-tile L2 slice capacity: ``2 / sqrt(N)`` MB, Table 1."""
+        per_tile_mb = self.l2_total_mb_at_1core / math.sqrt(self.n_cores)
+        raw = int(per_tile_mb * 1024 * 1024)
+        # Round down to a legal cache geometry.
+        granule = self.l2_assoc * self.l1d.line_size
+        return max(granule, (raw // granule) * granule)
+
+    @property
+    def l2_slice(self) -> CacheConfig:
+        """CacheConfig of one L2 slice."""
+        sector = self.l2_sector_size if (self.partial_noc or self.partial_dram) else 0
+        return CacheConfig(size_bytes=self.l2_slice_bytes,
+                           associativity=self.l2_assoc,
+                           line_size=self.l1d.line_size,
+                           sector_size=sector,
+                           hit_latency=8)
+
+    @property
+    def l1d_effective(self) -> CacheConfig:
+        """L1D config, sectored when partial accessing is enabled."""
+        sector = self.l1_sector_size if (self.partial_noc or self.partial_dram) else 0
+        return replace(self.l1d, sector_size=sector)
+
+    @property
+    def num_memory_controllers(self) -> int:
+        """Number of MCs; aggregate bandwidth scales with ``sqrt(N)``."""
+        return max(1, self.mesh_dim // 2)
+
+    def memory_controller_tiles(self) -> List[int]:
+        """Tiles hosting memory controllers, in a diamond placement.
+
+        Following Abts et al. (diamond placement for meshes with XY routing),
+        controllers are spread over distinct rows and columns around the
+        centre of the mesh so traffic is distributed uniformly.
+        """
+        dim = self.mesh_dim
+        count = self.num_memory_controllers
+        tiles: List[int] = []
+        # Walk the diamond |x - cx| + |y - cy| = r outwards from the centre
+        # until enough distinct tiles have been collected.
+        cx = cy = (dim - 1) / 2.0
+        candidates: List[Tuple[float, int]] = []
+        for y in range(dim):
+            for x in range(dim):
+                dist = abs(x - cx) + abs(y - cy)
+                candidates.append((dist, y * dim + x))
+        candidates.sort()
+        seen_rows: set = set()
+        seen_cols: set = set()
+        for _, tile in candidates:
+            row, col = divmod(tile, dim)
+            if row in seen_rows or col in seen_cols:
+                continue
+            tiles.append(tile)
+            seen_rows.add(row)
+            seen_cols.add(col)
+            if len(tiles) == count:
+                break
+        # Fall back to closest-to-centre tiles when the diamond constraint
+        # cannot yield enough tiles (tiny meshes).
+        for _, tile in candidates:
+            if len(tiles) == count:
+                break
+            if tile not in tiles:
+                tiles.append(tile)
+        return sorted(tiles)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors for the paper's named configurations
+    # ------------------------------------------------------------------
+    def with_cores(self, n_cores: int) -> "SystemConfig":
+        """Return a copy of this config with a different core count."""
+        return replace(self, n_cores=n_cores)
+
+    def as_ideal(self) -> "SystemConfig":
+        """The paper's *Ideal* configuration: every access hits in the L1."""
+        return replace(self, ideal_memory=True, perfect_prefetch=False)
+
+    def as_perfect_prefetch(self) -> "SystemConfig":
+        """The *Perfect Prefetching* configuration: magic prefetcher."""
+        return replace(self, ideal_memory=False, perfect_prefetch=True)
+
+    def with_partial(self, noc: bool = True, dram: bool = False) -> "SystemConfig":
+        """Enable partial cacheline accessing in the NoC and/or DRAM."""
+        return replace(self, partial_noc=noc, partial_dram=dram)
+
+    def with_ooo(self, rob_size: int = 32) -> "SystemConfig":
+        """Use the out-of-order core model (Figure 13)."""
+        return replace(self, core_model="ooo", rob_size=rob_size)

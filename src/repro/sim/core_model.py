@@ -1,0 +1,194 @@
+"""Core timing models: in-order single-issue (Table 1) and a modest
+out-of-order core with a small reorder buffer (Section 6.3.1, Figure 13).
+
+Both models consume a :class:`repro.sim.trace.Trace` and charge:
+
+* one cycle per instruction,
+* for the in-order core, a full stall for every cycle of memory latency
+  beyond the L1 hit latency,
+* for the out-of-order core, misses retire out of a small window: the core
+  keeps executing younger instructions until the reorder buffer fills (or an
+  outstanding-miss limit is hit), which hides part of the latency — the
+  first-order behaviour of the Silvermont-class core the paper models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from repro.memory.hierarchy import MemorySystem
+from repro.sim.config import SystemConfig
+from repro.sim.stats import CoreStats
+from repro.sim.trace import AccessKind, Compute, MemRef, SwPrefetch, Trace
+
+
+class InOrderCore:
+    """Single-issue in-order core: blocks on every memory access."""
+
+    def __init__(self, core_id: int, trace: Trace, memsys: MemorySystem,
+                 stats: CoreStats, config: SystemConfig) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.memsys = memsys
+        self.stats = stats
+        self.config = config
+        self.time: float = 0.0
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._position >= len(self.trace.entries)
+
+    def run_until_memory_access(self) -> None:
+        """Advance the core until it has performed one memory access (or the
+        trace ends).  The system scheduler interleaves cores at this
+        granularity so that shared-resource contention is time-ordered."""
+        entries = self.trace.entries
+        while self._position < len(entries):
+            entry = entries[self._position]
+            self._position += 1
+            if isinstance(entry, Compute):
+                self._execute_compute(entry)
+            elif isinstance(entry, SwPrefetch):
+                self._execute_sw_prefetch(entry)
+            else:
+                self._execute_mem_ref(entry)
+                return
+
+    def finish(self) -> None:
+        """Called once the trace is exhausted; records the final cycle count."""
+        self.stats.cycles = int(self.time)
+
+    # ------------------------------------------------------------------
+    def _execute_compute(self, entry: Compute) -> None:
+        self.time += entry.ops
+        self.stats.instructions += entry.ops
+
+    def _execute_sw_prefetch(self, entry: SwPrefetch) -> None:
+        ops = 1 + entry.overhead_ops
+        self.time += ops
+        self.stats.instructions += ops
+        self.memsys.software_prefetch(self.core_id, entry.addr, self.time)
+
+    def _execute_mem_ref(self, ref: MemRef) -> None:
+        outcome = self.memsys.access(self.core_id, ref, self.time)
+        self._record_access(ref, outcome.latency, outcome.l1_hit)
+        stall = max(0.0, outcome.latency - 1.0)
+        self.time += 1.0 + stall
+        self._record_stall(ref.kind, stall)
+
+    # ------------------------------------------------------------------
+    def _record_access(self, ref: MemRef, latency: float, l1_hit: bool) -> None:
+        stats = self.stats
+        stats.instructions += 1
+        stats.mem_accesses += 1
+        if ref.is_write:
+            stats.stores += 1
+        else:
+            stats.loads += 1
+        stats.accesses_by_kind[ref.kind] += 1
+        stats.total_mem_latency += int(latency)
+        if l1_hit:
+            stats.l1_hits += 1
+        else:
+            stats.l1_misses += 1
+            stats.misses_by_kind[ref.kind] += 1
+
+    def _record_stall(self, kind: AccessKind, stall: float) -> None:
+        if stall <= 0:
+            return
+        self.stats.total_stall_cycles += int(stall)
+        self.stats.stall_cycles_by_kind[kind] += int(stall)
+
+
+class OutOfOrderCore(InOrderCore):
+    """Bounded-window out-of-order core (ROB of ``config.rob_size``).
+
+    Misses enter a pending queue; the core keeps issuing younger instructions
+    until the distance to the oldest pending miss exceeds the ROB size, at
+    which point time jumps to that miss's completion (it must retire before
+    the window can move).  A small outstanding-miss limit models the MSHRs.
+    """
+
+    #: A Silvermont-class core has a handful of L1 miss-status registers; this
+    #: bounds the memory-level parallelism the window can expose.
+    MAX_OUTSTANDING_MISSES = 4
+
+    def __init__(self, core_id: int, trace: Trace, memsys: MemorySystem,
+                 stats: CoreStats, config: SystemConfig) -> None:
+        super().__init__(core_id, trace, memsys, stats, config)
+        self._inst_seq = 0
+        self._pending: Deque[Tuple[int, float, AccessKind]] = deque()
+
+    def _drain_window(self, required_space: int = 0) -> None:
+        while self._pending:
+            oldest_seq, completion, kind = self._pending[0]
+            window_full = (self._inst_seq - oldest_seq) >= self.config.rob_size
+            too_many = len(self._pending) >= self.MAX_OUTSTANDING_MISSES - required_space
+            if not window_full and not too_many:
+                break
+            self._pending.popleft()
+            if completion > self.time:
+                stall = completion - self.time
+                self._record_stall(kind, stall)
+                self.time = completion
+
+    def _execute_compute(self, entry: Compute) -> None:
+        # Independent compute retires from the window as it executes; an
+        # outstanding miss only forces a stall once the distance to it
+        # exceeds the ROB size, and by then part of the block has already
+        # overlapped with the miss latency.
+        remaining = entry.ops
+        while self._pending and remaining > 0:
+            oldest_seq, completion, kind = self._pending[0]
+            space = self.config.rob_size - (self._inst_seq - oldest_seq)
+            if space > remaining:
+                break
+            run = max(0, space)
+            self.time += run
+            self.stats.instructions += run
+            self._inst_seq += run
+            remaining -= run
+            self._pending.popleft()
+            if completion > self.time:
+                self._record_stall(kind, completion - self.time)
+                self.time = completion
+        self.time += remaining
+        self.stats.instructions += remaining
+        self._inst_seq += remaining
+
+    def _execute_sw_prefetch(self, entry: SwPrefetch) -> None:
+        self._inst_seq += 1 + entry.overhead_ops
+        self._drain_window()
+        super()._execute_sw_prefetch(entry)
+
+    def _execute_mem_ref(self, ref: MemRef) -> None:
+        self._inst_seq += 1
+        self._drain_window(required_space=1)
+        outcome = self.memsys.access(self.core_id, ref, self.time)
+        self._record_access(ref, outcome.latency, outcome.l1_hit)
+        if outcome.latency <= self.config.l1d.hit_latency:
+            self.time += 1.0
+            return
+        completion = self.time + outcome.latency
+        self._pending.append((self._inst_seq, completion, ref.kind))
+        self.time += 1.0
+
+    def finish(self) -> None:
+        while self._pending:
+            _, completion, kind = self._pending.popleft()
+            if completion > self.time:
+                self._record_stall(kind, completion - self.time)
+                self.time = completion
+        super().finish()
+
+
+def make_core(config: SystemConfig, core_id: int, trace: Trace,
+              memsys: MemorySystem, stats: CoreStats) -> InOrderCore:
+    """Instantiate the core model selected by ``config.core_model``."""
+    if config.core_model == "ooo":
+        return OutOfOrderCore(core_id, trace, memsys, stats, config)
+    return InOrderCore(core_id, trace, memsys, stats, config)

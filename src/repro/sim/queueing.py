@@ -1,0 +1,90 @@
+"""Reservation-based scheduling of shared resources (NoC links, DRAM).
+
+Requests in the simulator are not generated in strictly increasing time
+order: one demand miss walks its whole path (request, directory, DRAM,
+response) before another core — whose clock may still be earlier — issues
+its own messages.  A single ``busy_until`` scalar per resource would make
+those earlier messages queue behind reservations that lie far in the future
+even though the resource is idle in between, grossly over-estimating
+contention.
+
+:class:`ResourceSchedule` instead keeps a short list of future reservations
+per resource and places each new transmission into the earliest idle gap at
+or after its arrival time.  Old reservations are pruned lazily, so the list
+stays small (it only spans the maximum latency of an in-flight request).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List
+
+
+class ResourceSchedule:
+    """Earliest-gap reservation schedule for one shared resource."""
+
+    #: Reservations ending this many cycles before the earliest possible new
+    #: arrival can safely be discarded.  The slack must exceed the maximum
+    #: amount by which requests can arrive out of order (bounded by the
+    #: worst-case memory latency plus the perfect-prefetch lead time).
+    PRUNE_SLACK = 8192.0
+
+    def __init__(self) -> None:
+        self._starts: List[float] = []
+        self._ends: List[float] = []
+        #: Total busy time ever reserved (for utilisation statistics).
+        self.total_busy: float = 0.0
+
+    # ------------------------------------------------------------------
+    def reserve(self, arrival: float, duration: float) -> float:
+        """Reserve ``duration`` units at the earliest idle time >= ``arrival``.
+
+        Returns the start time of the reservation.  ``duration`` of zero
+        returns ``arrival`` without reserving anything.
+        """
+        if duration <= 0:
+            return arrival
+        self.total_busy += duration
+        self._prune(arrival)
+        starts, ends = self._starts, self._ends
+        start = arrival
+        index = bisect.bisect_left(ends, arrival)
+        position = index
+        while position < len(starts):
+            if starts[position] - start >= duration:
+                break                      # fits in the gap before this one
+            start = max(start, ends[position])
+            position += 1
+        insert_at = bisect.bisect_left(starts, start)
+        starts.insert(insert_at, start)
+        ends.insert(insert_at, start + duration)
+        return start
+
+    def next_free(self, arrival: float) -> float:
+        """Earliest time at or after ``arrival`` with no reservation active."""
+        for start, end in zip(self._starts, self._ends):
+            if start <= arrival < end:
+                return end
+        return arrival
+
+    def busy_time(self) -> float:
+        """Total time ever reserved on this resource."""
+        return self.total_busy
+
+    # ------------------------------------------------------------------
+    def _prune(self, arrival: float) -> None:
+        cutoff = arrival - self.PRUNE_SLACK
+        if not self._ends or self._ends[0] >= cutoff:
+            return
+        keep = bisect.bisect_left(self._ends, cutoff)
+        if keep:
+            del self._starts[:keep]
+            del self._ends[:keep]
+
+    def reset(self) -> None:
+        self._starts.clear()
+        self._ends.clear()
+        self.total_busy = 0.0
+
+    def __len__(self) -> int:
+        return len(self._starts)

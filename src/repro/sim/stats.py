@@ -1,0 +1,186 @@
+"""Statistics collected during simulation.
+
+The counters mirror the quantities the paper reports:
+
+* runtime (cycles) and throughput, used by Figures 2, 9, 11, 13-16,
+* L1 miss counts broken down by access kind (Figure 1),
+* stall cycles broken down by access kind (Figure 2),
+* prefetch coverage / accuracy / relative latency (Table 3),
+* NoC and DRAM traffic in bytes (Figure 12),
+* instruction counts (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.trace import AccessKind
+
+
+@dataclass
+class CoreStats:
+    """Counters for a single core and its private L1/prefetcher."""
+
+    core_id: int = 0
+    cycles: int = 0
+    instructions: int = 0
+    mem_accesses: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    misses_by_kind: Dict[AccessKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in AccessKind})
+    accesses_by_kind: Dict[AccessKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in AccessKind})
+    stall_cycles_by_kind: Dict[AccessKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in AccessKind})
+    total_stall_cycles: int = 0
+    total_mem_latency: int = 0
+    # Prefetching effectiveness.
+    prefetches_issued: int = 0
+    stream_prefetches_issued: int = 0
+    indirect_prefetches_issued: int = 0
+    prefetches_useful: int = 0
+    prefetch_covered_misses: int = 0      # demand access found a prefetched line
+    prefetch_late_cycles: int = 0         # stall on an in-flight prefetch
+    sw_prefetches_issued: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1_misses / self.mem_accesses if self.mem_accesses else 0.0
+
+    @property
+    def avg_mem_latency(self) -> float:
+        """Average latency of demand memory accesses, in cycles."""
+        return self.total_mem_latency / self.mem_accesses if self.mem_accesses else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of would-be misses captured by prefetches (Table 3)."""
+        would_be_misses = self.l1_misses + self.prefetch_covered_misses
+        if not would_be_misses:
+            return 0.0
+        return self.prefetch_covered_misses / would_be_misses
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of prefetched lines that were later accessed (Table 3)."""
+        if not self.prefetches_issued:
+            return 0.0
+        return min(1.0, self.prefetches_useful / self.prefetches_issued)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class TrafficStats:
+    """Interconnect and memory traffic, shared across the whole system."""
+
+    noc_bytes: int = 0
+    noc_flits: int = 0
+    noc_messages: int = 0
+    dram_bytes: int = 0
+    dram_requests: int = 0
+    invalidations: int = 0
+    broadcasts: int = 0
+
+
+@dataclass
+class SystemStats:
+    """Aggregated statistics of one simulation run."""
+
+    cores: List[CoreStats] = field(default_factory=list)
+    traffic: TrafficStats = field(default_factory=TrafficStats)
+
+    # ------------------------------------------------------------------
+    # Aggregation over cores
+    # ------------------------------------------------------------------
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(core, attr) for core in self.cores)
+
+    @property
+    def runtime_cycles(self) -> int:
+        """Parallel runtime: the slowest core defines completion."""
+        return max((core.cycles for core in self.cores), default=0)
+
+    @property
+    def total_instructions(self) -> int:
+        return self._sum("instructions")
+
+    @property
+    def throughput(self) -> float:
+        """Instructions per cycle across the whole chip."""
+        runtime = self.runtime_cycles
+        return self.total_instructions / runtime if runtime else 0.0
+
+    @property
+    def total_l1_misses(self) -> int:
+        return self._sum("l1_misses")
+
+    @property
+    def total_mem_accesses(self) -> int:
+        return self._sum("mem_accesses")
+
+    @property
+    def avg_mem_latency(self) -> float:
+        accesses = self.total_mem_accesses
+        if not accesses:
+            return 0.0
+        return self._sum("total_mem_latency") / accesses
+
+    @property
+    def prefetches_issued(self) -> int:
+        return self._sum("prefetches_issued")
+
+    @property
+    def prefetches_useful(self) -> int:
+        return self._sum("prefetches_useful")
+
+    @property
+    def prefetch_covered_misses(self) -> int:
+        return self._sum("prefetch_covered_misses")
+
+    @property
+    def coverage(self) -> float:
+        covered = self.prefetch_covered_misses
+        would_be = self.total_l1_misses + covered
+        return covered / would_be if would_be else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        issued = self.prefetches_issued
+        return min(1.0, self.prefetches_useful / issued) if issued else 0.0
+
+    def miss_fraction_by_kind(self) -> Dict[AccessKind, float]:
+        """Per-kind share of all L1 misses (Figure 1)."""
+        totals = {kind: 0 for kind in AccessKind}
+        for core in self.cores:
+            for kind, count in core.misses_by_kind.items():
+                totals[kind] += count
+        all_misses = sum(totals.values())
+        if not all_misses:
+            return {kind: 0.0 for kind in AccessKind}
+        return {kind: count / all_misses for kind, count in totals.items()}
+
+    def stall_fraction_by_kind(self) -> Dict[AccessKind, float]:
+        """Per-kind share of memory stall cycles (Figure 2)."""
+        totals = {kind: 0 for kind in AccessKind}
+        for core in self.cores:
+            for kind, count in core.stall_cycles_by_kind.items():
+                totals[kind] += count
+        all_stalls = sum(totals.values())
+        if not all_stalls:
+            return {kind: 0.0 for kind in AccessKind}
+        return {kind: count / all_stalls for kind, count in totals.items()}
+
+    def total_stall_cycles(self) -> int:
+        return self._sum("total_stall_cycles")

@@ -1,0 +1,160 @@
+"""System builder and simulation driver.
+
+This module glues everything together: it builds the memory hierarchy with a
+chosen prefetcher at each L1, instantiates one core model per trace, and runs
+all cores interleaved in global time order so that contention on the NoC,
+the shared L2 and DRAM is resolved the way it would be on real hardware.
+
+The main entry points are :func:`build_system` (when you already have traces
+and a memory image) and :func:`run_workload` (when you have a
+:class:`repro.workloads.base.Workload`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.config import IMPConfig
+from repro.core.imp import IMP
+from repro.mem_image import MemoryImage
+from repro.memory.hierarchy import MemorySystem
+from repro.prefetchers.base import PrefetcherBase
+from repro.prefetchers.ghb import GHBConfig, GHBPrefetcher
+from repro.prefetchers.null import NullPrefetcher
+from repro.prefetchers.stream import StreamPrefetcher, StreamPrefetcherConfig
+from repro.sim.config import SystemConfig
+from repro.sim.core_model import make_core
+from repro.sim.stats import CoreStats, SystemStats
+from repro.sim.trace import Trace
+
+PrefetcherSpec = Union[str, Callable[[int], PrefetcherBase]]
+
+
+def make_prefetcher_factory(spec: PrefetcherSpec,
+                            mem_image: Optional[MemoryImage] = None,
+                            imp_config: Optional[IMPConfig] = None,
+                            stream_config: Optional[StreamPrefetcherConfig] = None,
+                            ghb_config: Optional[GHBConfig] = None,
+                            ) -> Callable[[int], PrefetcherBase]:
+    """Build a per-core prefetcher factory from a name or callable.
+
+    Recognised names: ``"none"``, ``"stream"`` (the paper's baseline),
+    ``"ghb"`` and ``"imp"``.
+    """
+    if callable(spec):
+        return spec
+    name = spec.lower()
+    if name == "none":
+        return lambda core_id: NullPrefetcher()
+    if name == "stream":
+        return lambda core_id: StreamPrefetcher(stream_config or StreamPrefetcherConfig())
+    if name == "ghb":
+        return lambda core_id: GHBPrefetcher(ghb_config or GHBConfig())
+    if name == "imp":
+        config = imp_config or IMPConfig()
+        return lambda core_id: IMP(config, mem_image)
+    raise ValueError(f"unknown prefetcher {spec!r}")
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    config: SystemConfig
+    stats: SystemStats
+    prefetcher: str = "stream"
+    workload: str = ""
+    imps: List[IMP] = field(default_factory=list)
+
+    @property
+    def runtime_cycles(self) -> int:
+        return self.stats.runtime_cycles
+
+    @property
+    def throughput(self) -> float:
+        return self.stats.throughput
+
+    def speedup_over(self, other: "SimulationResult") -> float:
+        """Runtime speedup of this configuration relative to ``other``."""
+        if self.runtime_cycles == 0:
+            return 0.0
+        return other.runtime_cycles / self.runtime_cycles
+
+    def normalized_throughput(self, reference: "SimulationResult") -> float:
+        """Throughput normalised to a reference run (as in Figures 9/11)."""
+        if reference.throughput == 0:
+            return 0.0
+        return self.throughput / reference.throughput
+
+
+class System:
+    """A full chip: cores + memory hierarchy, driven by per-core traces."""
+
+    def __init__(self, config: SystemConfig, traces: Sequence[Trace],
+                 mem_image: Optional[MemoryImage] = None,
+                 prefetcher: PrefetcherSpec = "stream",
+                 imp_config: Optional[IMPConfig] = None) -> None:
+        if len(traces) != config.n_cores:
+            raise ValueError(
+                f"expected {config.n_cores} traces, got {len(traces)}")
+        self.config = config
+        self.mem_image = mem_image or MemoryImage()
+        self.stats = SystemStats(
+            cores=[CoreStats(core_id=i) for i in range(config.n_cores)])
+        factory = make_prefetcher_factory(prefetcher, self.mem_image, imp_config)
+        self.memsys = MemorySystem(config, self.mem_image, factory, self.stats)
+        self.cores = [make_core(config, i, trace, self.memsys, self.stats.cores[i])
+                      for i, trace in enumerate(traces)]
+        self._prefetcher_name = prefetcher if isinstance(prefetcher, str) else "custom"
+
+    def run(self) -> SimulationResult:
+        """Run every core to completion, interleaved in global time order."""
+        heap: List = []
+        for core in self.cores:
+            if not core.done:
+                heapq.heappush(heap, (core.time, core.core_id))
+        while heap:
+            _, core_id = heapq.heappop(heap)
+            core = self.cores[core_id]
+            core.run_until_memory_access()
+            if core.done:
+                core.finish()
+            else:
+                heapq.heappush(heap, (core.time, core.core_id))
+        for core in self.cores:
+            core.finish()
+        imps = [p for p in self.memsys.prefetchers if isinstance(p, IMP)]
+        return SimulationResult(config=self.config, stats=self.stats,
+                                prefetcher=self._prefetcher_name, imps=imps)
+
+
+def build_system(config: SystemConfig, traces: Sequence[Trace],
+                 mem_image: Optional[MemoryImage] = None,
+                 prefetcher: PrefetcherSpec = "stream",
+                 imp_config: Optional[IMPConfig] = None) -> System:
+    """Construct a :class:`System` ready to :meth:`System.run`."""
+    return System(config, traces, mem_image, prefetcher, imp_config)
+
+
+def run_workload(workload, config: SystemConfig, *,
+                 prefetcher: PrefetcherSpec = "stream",
+                 imp_config: Optional[IMPConfig] = None,
+                 software_prefetch: bool = False,
+                 sw_prefetch_distance: int = 8) -> SimulationResult:
+    """Build a workload for ``config.n_cores`` cores, simulate it, and return
+    the result.
+
+    ``workload`` is any object implementing the
+    :class:`repro.workloads.base.Workload` interface.
+    """
+    build = workload.build(config.n_cores,
+                           software_prefetch=software_prefetch,
+                           sw_prefetch_distance=sw_prefetch_distance)
+    system = System(config, build.traces, build.mem_image, prefetcher, imp_config)
+    result = system.run()
+    result.workload = getattr(workload, "name", type(workload).__name__)
+    if software_prefetch:
+        result.prefetcher = f"{result.prefetcher}+sw"
+    return result

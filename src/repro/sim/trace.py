@@ -1,0 +1,174 @@
+"""Per-core memory trace representation.
+
+Workloads do not run as native programs inside the simulator; instead they
+emit, per core, a list of trace entries that captures the instruction and
+memory behaviour of the kernel:
+
+* :class:`Compute` — a run of non-memory instructions.
+* :class:`MemRef` — one load or store, tagged with the access *kind* so that
+  the miss breakdown of the paper's Figure 1 / Figure 2 can be reproduced.
+* :class:`SwPrefetch` — a software prefetch instruction, used only by the
+  "Software Prefetching" configuration (Mowry-style compiler insertion).
+
+Every memory-touching entry carries the program counter of the instruction
+that produced it, because both the stream prefetcher and IMP associate
+patterns with PCs (Section 3.3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Union
+
+
+class AccessKind(enum.Enum):
+    """Classification of a memory reference, used for attribution only.
+
+    The timing model never looks at the kind; it exists so that statistics
+    can be broken down exactly the way the paper's motivation figures do.
+    """
+
+    #: Sequential read of an index array ``B[i]`` (captured by stream pf).
+    INDEX = "index"
+    #: Irregular access ``A[B[i]]`` — the pattern IMP targets.
+    INDIRECT = "indirect"
+    #: Other streaming/strided accesses (e.g. row pointers, output arrays).
+    STREAM = "stream"
+    #: Everything else (stack, scalars, hash computations, ...).
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A single load or store executed by a core."""
+
+    pc: int
+    addr: int
+    size: int = 8
+    is_write: bool = False
+    kind: AccessKind = AccessKind.OTHER
+
+    @property
+    def is_read(self) -> bool:
+        return not self.is_write
+
+
+@dataclass(frozen=True)
+class Compute:
+    """A run of ``ops`` back-to-back non-memory instructions."""
+
+    ops: int = 1
+
+
+@dataclass(frozen=True)
+class SwPrefetch:
+    """A software prefetch instruction targeting ``addr``.
+
+    ``overhead_ops`` models the extra address-computation instructions a
+    compiler must emit for an indirect prefetch (compute ``i + delta``, load
+    ``B[i + delta]``, scale and add) — the instruction-overhead effect shown
+    in Figure 10 of the paper.
+    """
+
+    pc: int
+    addr: int
+    overhead_ops: int = 3
+
+
+TraceEntry = Union[MemRef, Compute, SwPrefetch]
+
+
+@dataclass
+class Trace:
+    """The instruction/memory trace of a single core."""
+
+    core_id: int
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def append(self, entry: TraceEntry) -> None:
+        self.entries.append(entry)
+
+    def extend(self, entries: Iterable[TraceEntry]) -> None:
+        self.entries.extend(entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # Summary helpers (used by workload tests and Figure 10)
+    # ------------------------------------------------------------------
+    @property
+    def instruction_count(self) -> int:
+        """Total dynamic instruction count represented by the trace."""
+        total = 0
+        for entry in self.entries:
+            if isinstance(entry, Compute):
+                total += entry.ops
+            elif isinstance(entry, MemRef):
+                total += 1
+            else:  # SwPrefetch
+                total += 1 + entry.overhead_ops
+        return total
+
+    @property
+    def memory_reference_count(self) -> int:
+        """Number of demand loads/stores in the trace."""
+        return sum(1 for entry in self.entries if isinstance(entry, MemRef))
+
+    def count_by_kind(self) -> dict:
+        """Return the number of memory references per :class:`AccessKind`."""
+        counts = {kind: 0 for kind in AccessKind}
+        for entry in self.entries:
+            if isinstance(entry, MemRef):
+                counts[entry.kind] += 1
+        return counts
+
+
+class TraceBuilder:
+    """Convenience builder that coalesces consecutive compute operations."""
+
+    def __init__(self, core_id: int) -> None:
+        self._trace = Trace(core_id=core_id)
+        self._pending_ops = 0
+
+    def compute(self, ops: int = 1) -> "TraceBuilder":
+        """Add ``ops`` non-memory instructions."""
+        if ops > 0:
+            self._pending_ops += ops
+        return self
+
+    def _flush(self) -> None:
+        if self._pending_ops:
+            self._trace.append(Compute(self._pending_ops))
+            self._pending_ops = 0
+
+    def load(self, pc: int, addr: int, *, size: int = 8,
+             kind: AccessKind = AccessKind.OTHER) -> "TraceBuilder":
+        """Add a load instruction."""
+        self._flush()
+        self._trace.append(MemRef(pc=pc, addr=addr, size=size,
+                                  is_write=False, kind=kind))
+        return self
+
+    def store(self, pc: int, addr: int, *, size: int = 8,
+              kind: AccessKind = AccessKind.OTHER) -> "TraceBuilder":
+        """Add a store instruction."""
+        self._flush()
+        self._trace.append(MemRef(pc=pc, addr=addr, size=size,
+                                  is_write=True, kind=kind))
+        return self
+
+    def sw_prefetch(self, pc: int, addr: int, *, overhead_ops: int = 3) -> "TraceBuilder":
+        """Add a software prefetch instruction."""
+        self._flush()
+        self._trace.append(SwPrefetch(pc=pc, addr=addr, overhead_ops=overhead_ops))
+        return self
+
+    def build(self) -> Trace:
+        """Finish the trace and return it."""
+        self._flush()
+        return self._trace

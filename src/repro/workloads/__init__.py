@@ -1,0 +1,91 @@
+"""Workloads: the paper's seven applications plus synthetic micro-kernels."""
+
+from typing import Dict, List, Optional, Type
+
+from repro.workloads.base import Workload, WorkloadBuild
+from repro.workloads.graph500 import Graph500Workload
+from repro.workloads.regular import (
+    REGULAR_WORKLOADS,
+    BlockedMatMulWorkload,
+    DenseStencilWorkload,
+    StridedCopyWorkload,
+)
+from repro.workloads.lsh import LSHWorkload
+from repro.workloads.pagerank import PagerankWorkload
+from repro.workloads.sgd import SGDWorkload
+from repro.workloads.spmv import SpMVWorkload
+from repro.workloads.symgs import SymGSWorkload
+from repro.workloads.synthetic import IndirectStreamWorkload, StreamingWorkload
+from repro.workloads.tri_count import TriangleCountWorkload
+
+#: The seven applications of the paper's evaluation, in figure order.
+PAPER_WORKLOADS: Dict[str, Type[Workload]] = {
+    "pagerank": PagerankWorkload,
+    "tri_count": TriangleCountWorkload,
+    "graph500": Graph500Workload,
+    "sgd": SGDWorkload,
+    "lsh": LSHWorkload,
+    "spmv": SpMVWorkload,
+    "symgs": SymGSWorkload,
+}
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a paper workload by name."""
+    try:
+        cls = PAPER_WORKLOADS[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}; "
+                         f"choose from {sorted(PAPER_WORKLOADS)}") from None
+    return cls(**kwargs)
+
+
+def paper_workloads(scale: float = 1.0, seed: int = 1) -> List[Workload]:
+    """Instantiate all seven paper workloads.
+
+    ``scale`` shrinks or grows the default problem sizes (a value of 0.5
+    halves vertex / row / rating counts); used to keep benchmark runtimes
+    reasonable in pure Python while preserving working sets larger than the
+    simulated L1 caches.
+    """
+    def scaled(value: int, minimum: int = 64) -> int:
+        return max(minimum, int(value * scale))
+
+    return [
+        PagerankWorkload(n_vertices=scaled(4096), seed=seed),
+        TriangleCountWorkload(n_vertices=scaled(2048), seed=seed),
+        Graph500Workload(n_vertices=scaled(4096), seed=seed),
+        SGDWorkload(n_users=scaled(4096), n_items=scaled(4096),
+                    n_ratings=scaled(24576), seed=seed),
+        LSHWorkload(n_points=scaled(8192), n_queries=scaled(384), seed=seed),
+        # The HPCG grids scale with the cube root and keep a floor so the
+        # multiplied/smoothed vector stays larger than the simulated L1.
+        SpMVWorkload(nx=max(10, int(14 * scale ** (1 / 3))),
+                     ny=max(10, int(14 * scale ** (1 / 3))),
+                     nz=max(10, int(14 * scale ** (1 / 3))), seed=seed),
+        SymGSWorkload(nx=max(9, int(12 * scale ** (1 / 3))),
+                      ny=max(9, int(12 * scale ** (1 / 3))),
+                      nz=max(9, int(12 * scale ** (1 / 3))), seed=seed),
+    ]
+
+
+__all__ = [
+    "BlockedMatMulWorkload",
+    "DenseStencilWorkload",
+    "Graph500Workload",
+    "IndirectStreamWorkload",
+    "LSHWorkload",
+    "PAPER_WORKLOADS",
+    "REGULAR_WORKLOADS",
+    "StridedCopyWorkload",
+    "PagerankWorkload",
+    "SGDWorkload",
+    "SpMVWorkload",
+    "StreamingWorkload",
+    "SymGSWorkload",
+    "TriangleCountWorkload",
+    "Workload",
+    "WorkloadBuild",
+    "make_workload",
+    "paper_workloads",
+]

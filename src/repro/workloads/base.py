@@ -1,0 +1,87 @@
+"""Workload interface.
+
+A workload knows how to lay out its data structures in a
+:class:`repro.mem_image.MemoryImage` and how to emit, per core, the memory
+trace the kernel would generate.  Each workload also knows how to emit its
+*software-prefetching* variant (Mowry-style compiler-inserted indirect
+prefetches, Section 5.4), which only differs by extra
+:class:`repro.sim.trace.SwPrefetch` entries inside inner loops.
+
+All seven applications of the paper's evaluation (Section 5.3) are
+implemented as subclasses, plus a synthetic "stream" workload used by tests
+to confirm IMP does not misfire on non-indirect codes (the paper's SPLASH-2
+sanity check).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.mem_image import MemoryImage
+from repro.sim.trace import Trace
+
+
+#: Base address used for the synthetic program counters of each load site.
+PC_BASE = 0x0040_0000
+
+
+def pc_of(site: int) -> int:
+    """Program counter of static load/store site number ``site``."""
+    return PC_BASE + site * 8
+
+
+@dataclass
+class WorkloadBuild:
+    """Everything the simulator needs to run one workload."""
+
+    name: str
+    mem_image: MemoryImage
+    traces: List[Trace]
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(trace.instruction_count for trace in self.traces)
+
+    @property
+    def total_memory_references(self) -> int:
+        return sum(trace.memory_reference_count for trace in self.traces)
+
+
+class Workload(abc.ABC):
+    """Base class of all workload generators."""
+
+    #: Short name used in result tables (matches the paper's figures).
+    name: str = "workload"
+
+    def __init__(self, seed: int = 1) -> None:
+        self.seed = seed
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        """A deterministic random generator derived from the workload seed."""
+        return np.random.default_rng(self.seed * 0x9E3779B1 + salt)
+
+    @abc.abstractmethod
+    def build(self, n_cores: int, *, software_prefetch: bool = False,
+              sw_prefetch_distance: int = 8) -> WorkloadBuild:
+        """Lay out the data structures and emit one trace per core."""
+
+    # ------------------------------------------------------------------
+    # Helpers shared by the concrete workloads
+    # ------------------------------------------------------------------
+    @staticmethod
+    def partition(count: int, n_cores: int) -> List[range]:
+        """Split ``range(count)`` into ``n_cores`` contiguous chunks."""
+        base = count // n_cores
+        extra = count % n_cores
+        chunks: List[range] = []
+        start = 0
+        for core in range(n_cores):
+            size = base + (1 if core < extra else 0)
+            chunks.append(range(start, start + size))
+            start += size
+        return chunks

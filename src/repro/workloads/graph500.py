@@ -1,0 +1,120 @@
+"""Graph500 breadth-first search workload (Section 5.3).
+
+BFS over a power-law graph.  Each level's frontier is an array of vertex
+ids; processing a frontier element ``u = frontier[i]`` requires::
+
+    u      = frontier[i]              # INDEX    (sequential frontier scan)
+    start  = row_ptr[u]               # INDIRECT, 8-byte elements (shift = 3)
+    ...
+    w      = col_idx[start + k]       # INDEX    (scan of u's neighbour list)
+    seen   = visited[w >> 3]          # INDIRECT, bit vector (shift = -3)
+    parent[w] = u                     # INDIRECT store (on discovery)
+
+The ``row_ptr[frontier[i]]`` load whose *value* then positions the
+``col_idx`` scan makes this a multi-level indirection (Listing 3), and the
+bit-vector visited test exercises the negative shift (-3) of Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.mem_image import MemoryImage
+from repro.sim.trace import AccessKind, Trace, TraceBuilder
+from repro.workloads.base import Workload, WorkloadBuild, pc_of
+from repro.workloads.graphs import CSRGraph, bfs_levels, power_law_graph
+
+
+class Graph500Workload(Workload):
+    """BFS over a power-law (Graph500-style) graph."""
+
+    name = "graph500"
+
+    PC_FRONTIER = pc_of(50)
+    PC_ROW_PTR = pc_of(51)
+    PC_COL_IDX = pc_of(52)
+    PC_VISITED = pc_of(53)
+    PC_PARENT = pc_of(54)
+    PC_SW_PREFETCH = pc_of(55)
+
+    def __init__(self, n_vertices: int = 4096, avg_degree: float = 12.0,
+                 seed: int = 1) -> None:
+        super().__init__(seed=seed)
+        self.n_vertices = n_vertices
+        self.avg_degree = avg_degree
+
+    # ------------------------------------------------------------------
+    def build(self, n_cores: int, *, software_prefetch: bool = False,
+              sw_prefetch_distance: int = 8) -> WorkloadBuild:
+        graph = power_law_graph(self.n_vertices, self.avg_degree, seed=self.seed)
+        levels = bfs_levels(graph, root=0)
+        image = MemoryImage()
+        image.add_array("row_ptr", graph.row_ptr)
+        image.add_array("col_idx", graph.col_idx)
+        # One concatenated frontier array; levels are contiguous slices.
+        frontier_all = np.concatenate(levels).astype(np.int32)
+        image.add_array("frontier", frontier_all)
+        image.add_array("visited", np.zeros(self.n_vertices, dtype=np.uint8),
+                        elem_size=1 / 8, length=self.n_vertices, writable=True)
+        image.add_array("parent", np.full(self.n_vertices, -1, dtype=np.int32),
+                        writable=True)
+        traces: List[Trace] = []
+        builders = [TraceBuilder(core) for core in range(n_cores)]
+        visited = np.zeros(self.n_vertices, dtype=bool)
+        visited[0] = True
+        offset = 0
+        for level in levels:
+            # Each BFS level is split across the cores (level-synchronous BFS).
+            chunks = self.partition(len(level), n_cores)
+            for core_id, chunk in enumerate(chunks):
+                self._emit_level(builders[core_id], graph, image, level, chunk,
+                                 offset, visited, software_prefetch,
+                                 sw_prefetch_distance)
+            for vertex in level:
+                for neighbor in graph.neighbors(int(vertex)):
+                    visited[neighbor] = True
+            offset += len(level)
+        traces = [builder.build() for builder in builders]
+        return WorkloadBuild(name=self.name, mem_image=image, traces=traces,
+                             metadata={"vertices": self.n_vertices,
+                                       "edges": graph.num_edges,
+                                       "levels": len(levels)})
+
+    # ------------------------------------------------------------------
+    def _emit_level(self, builder: TraceBuilder, graph: CSRGraph,
+                    image: MemoryImage, level: np.ndarray, chunk: range,
+                    offset: int, visited: np.ndarray, software_prefetch: bool,
+                    distance: int) -> None:
+        col_idx = graph.col_idx
+        row_ptr = graph.row_ptr
+        for position in chunk:
+            vertex = int(level[position])
+            frontier_index = offset + position
+            builder.load(self.PC_FRONTIER,
+                         image.addr_of("frontier", frontier_index),
+                         size=4, kind=AccessKind.INDEX)
+            # Row pointer is indexed by the frontier *value*: an indirect
+            # access whose own value positions the neighbour scan below.
+            builder.load(self.PC_ROW_PTR, image.addr_of("row_ptr", vertex),
+                         kind=AccessKind.INDIRECT)
+            builder.compute(2)
+            start = int(row_ptr[vertex])
+            end = int(row_ptr[vertex + 1])
+            for j in range(start, end):
+                neighbor = int(col_idx[j])
+                if software_prefetch and j + distance < end:
+                    target = int(col_idx[j + distance])
+                    builder.sw_prefetch(self.PC_SW_PREFETCH,
+                                        image.addr_of("visited", target))
+                builder.load(self.PC_COL_IDX, image.addr_of("col_idx", j),
+                             size=4, kind=AccessKind.INDEX)
+                builder.load(self.PC_VISITED, image.addr_of("visited", neighbor),
+                             size=1, kind=AccessKind.INDIRECT)
+                builder.compute(1)
+                if not visited[neighbor]:
+                    builder.store(self.PC_PARENT,
+                                  image.addr_of("parent", neighbor),
+                                  size=4, kind=AccessKind.INDIRECT)
+                    builder.compute(1)

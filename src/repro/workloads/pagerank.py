@@ -1,0 +1,104 @@
+"""Pagerank workload (Section 5.3).
+
+Pull-style pagerank over a CSR graph: for every vertex, the new rank is the
+weighted sum of its in-neighbours' ranks divided by their out-degrees.  The
+memory pattern per edge is::
+
+    j   = col_idx[e]          # INDEX  (sequential scan of the edge array)
+    r   = rank[j]             # INDIRECT, 8-byte elements  (shift = 3)
+    d   = out_degree[j]       # INDIRECT, 4-byte elements  (shift = 2)
+
+``rank`` and ``out_degree`` are indexed by the *same* index stream, so this
+workload exercises IMP's multi-way indirection support (Listing 2 of the
+paper).  Row-pointer reads and the rank store are streaming accesses.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.mem_image import MemoryImage
+from repro.sim.trace import AccessKind, Trace, TraceBuilder
+from repro.workloads.base import Workload, WorkloadBuild, pc_of
+from repro.workloads.graphs import CSRGraph, power_law_graph
+
+
+class PagerankWorkload(Workload):
+    """Iterative pagerank on a power-law graph."""
+
+    name = "pagerank"
+
+    PC_ROW_PTR = pc_of(10)
+    PC_COL_IDX = pc_of(11)
+    PC_RANK = pc_of(12)
+    PC_DEGREE = pc_of(13)
+    PC_STORE = pc_of(14)
+    PC_SW_PREFETCH = pc_of(15)
+
+    def __init__(self, n_vertices: int = 4096, avg_degree: float = 8.0,
+                 iterations: int = 1, seed: int = 1) -> None:
+        super().__init__(seed=seed)
+        self.n_vertices = n_vertices
+        self.avg_degree = avg_degree
+        self.iterations = iterations
+
+    # ------------------------------------------------------------------
+    def _layout(self, graph: CSRGraph) -> MemoryImage:
+        image = MemoryImage()
+        image.add_array("row_ptr", graph.row_ptr)
+        image.add_array("col_idx", graph.col_idx)
+        image.add_array("rank", np.ones(self.n_vertices, dtype=np.float64))
+        image.add_array("out_degree", graph.out_degrees().astype(np.int32))
+        image.add_array("new_rank", np.zeros(self.n_vertices, dtype=np.float64),
+                        writable=True)
+        return image
+
+    def build(self, n_cores: int, *, software_prefetch: bool = False,
+              sw_prefetch_distance: int = 8) -> WorkloadBuild:
+        graph = power_law_graph(self.n_vertices, self.avg_degree, seed=self.seed)
+        image = self._layout(graph)
+        traces: List[Trace] = []
+        chunks = self.partition(self.n_vertices, n_cores)
+        for core_id, vertices in enumerate(chunks):
+            traces.append(self._core_trace(core_id, vertices, graph, image,
+                                           software_prefetch,
+                                           sw_prefetch_distance))
+        return WorkloadBuild(name=self.name, mem_image=image, traces=traces,
+                             metadata={"vertices": self.n_vertices,
+                                       "edges": graph.num_edges})
+
+    # ------------------------------------------------------------------
+    def _core_trace(self, core_id: int, vertices: range, graph: CSRGraph,
+                    image: MemoryImage, software_prefetch: bool,
+                    distance: int) -> Trace:
+        builder = TraceBuilder(core_id)
+        col_idx = graph.col_idx
+        row_ptr = graph.row_ptr
+        for _ in range(self.iterations):
+            for vertex in vertices:
+                start = int(row_ptr[vertex])
+                end = int(row_ptr[vertex + 1])
+                # Row bounds: streaming loads of the row-pointer array.
+                builder.load(self.PC_ROW_PTR, image.addr_of("row_ptr", vertex),
+                             kind=AccessKind.STREAM)
+                builder.compute(2)
+                for edge in range(start, end):
+                    neighbor = int(col_idx[edge])
+                    if software_prefetch and edge + distance < end:
+                        target = int(col_idx[edge + distance])
+                        builder.sw_prefetch(self.PC_SW_PREFETCH,
+                                            image.addr_of("rank", target))
+                    builder.load(self.PC_COL_IDX, image.addr_of("col_idx", edge),
+                                 size=4, kind=AccessKind.INDEX)
+                    builder.load(self.PC_RANK, image.addr_of("rank", neighbor),
+                                 kind=AccessKind.INDIRECT)
+                    builder.load(self.PC_DEGREE,
+                                 image.addr_of("out_degree", neighbor),
+                                 size=4, kind=AccessKind.INDIRECT)
+                    builder.compute(3)    # divide and accumulate
+                builder.store(self.PC_STORE, image.addr_of("new_rank", vertex),
+                              kind=AccessKind.STREAM)
+                builder.compute(2)
+        return builder.build()

@@ -1,0 +1,192 @@
+"""Regular (SPLASH-2-style) workloads with no indirect accesses.
+
+Section 6.1 of the paper notes that IMP was also run on SPLASH-2 benchmarks
+that exhibit no indirect access patterns and that it "does not hurt
+performance on these benchmarks" because indirect prefetching is never
+triggered.  These kernels stand in for that suite: they stress streaming,
+strided and blocked access patterns that a conventional stream prefetcher
+already handles, and they are used by the no-harm ablation benchmark and by
+tests of the false-positive behaviour of the IPD.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.mem_image import MemoryImage
+from repro.sim.trace import AccessKind, Trace, TraceBuilder
+from repro.workloads.base import Workload, WorkloadBuild, pc_of
+
+
+class DenseStencilWorkload(Workload):
+    """A 5-point Jacobi sweep over a dense 2-D grid (Ocean-like).
+
+    Every access is an affine function of the loop indices: rows above and
+    below the current row are strided streams, and the output is written
+    sequentially.  There is no indirection anywhere.
+    """
+
+    name = "dense_stencil"
+
+    PC_CENTER = pc_of(110)
+    PC_NORTH = pc_of(111)
+    PC_SOUTH = pc_of(112)
+    PC_WEST = pc_of(113)
+    PC_EAST = pc_of(114)
+    PC_STORE = pc_of(115)
+
+    def __init__(self, rows: int = 128, cols: int = 128, seed: int = 1) -> None:
+        super().__init__(seed=seed)
+        self.rows = rows
+        self.cols = cols
+
+    def build(self, n_cores: int, *, software_prefetch: bool = False,
+              sw_prefetch_distance: int = 8) -> WorkloadBuild:
+        image = MemoryImage()
+        image.add_array("grid", np.zeros(self.rows * self.cols,
+                                         dtype=np.float64))
+        image.add_array("out", np.zeros(self.rows * self.cols,
+                                        dtype=np.float64), writable=True)
+        traces: List[Trace] = []
+        interior = range(1, self.rows - 1)
+        chunks = self.partition(len(interior), n_cores)
+        for core_id, chunk in enumerate(chunks):
+            builder = TraceBuilder(core_id)
+            for offset in chunk:
+                row = 1 + offset
+                for col in range(1, self.cols - 1):
+                    index = row * self.cols + col
+                    builder.load(self.PC_CENTER, image.addr_of("grid", index),
+                                 kind=AccessKind.STREAM)
+                    builder.load(self.PC_NORTH,
+                                 image.addr_of("grid", index - self.cols),
+                                 kind=AccessKind.STREAM)
+                    builder.load(self.PC_SOUTH,
+                                 image.addr_of("grid", index + self.cols),
+                                 kind=AccessKind.STREAM)
+                    builder.load(self.PC_WEST, image.addr_of("grid", index - 1),
+                                 kind=AccessKind.STREAM)
+                    builder.load(self.PC_EAST, image.addr_of("grid", index + 1),
+                                 kind=AccessKind.STREAM)
+                    builder.compute(5)
+                    builder.store(self.PC_STORE, image.addr_of("out", index),
+                                  kind=AccessKind.STREAM)
+            traces.append(builder.build())
+        return WorkloadBuild(name=self.name, mem_image=image, traces=traces,
+                             metadata={"rows": self.rows, "cols": self.cols})
+
+
+class BlockedMatMulWorkload(Workload):
+    """Blocked dense matrix multiplication (LU/FFT-like blocked traversal).
+
+    Accesses walk fixed-size blocks of three dense matrices; strides within a
+    block are constant, so the stream prefetcher captures everything and IMP
+    must stay silent.
+    """
+
+    name = "blocked_matmul"
+
+    PC_A = pc_of(120)
+    PC_B = pc_of(121)
+    PC_C_LOAD = pc_of(122)
+    PC_C_STORE = pc_of(123)
+
+    def __init__(self, size: int = 64, block: int = 8, seed: int = 1) -> None:
+        super().__init__(seed=seed)
+        if size % block:
+            raise ValueError("matrix size must be a multiple of the block size")
+        self.size = size
+        self.block = block
+
+    def build(self, n_cores: int, *, software_prefetch: bool = False,
+              sw_prefetch_distance: int = 8) -> WorkloadBuild:
+        image = MemoryImage()
+        for name in ("mat_a", "mat_b"):
+            image.add_array(name, np.zeros(self.size * self.size,
+                                           dtype=np.float64))
+        image.add_array("mat_c", np.zeros(self.size * self.size,
+                                          dtype=np.float64), writable=True)
+        blocks_per_dim = self.size // self.block
+        block_rows = range(blocks_per_dim)
+        traces: List[Trace] = []
+        for core_id, chunk in enumerate(self.partition(blocks_per_dim, n_cores)):
+            builder = TraceBuilder(core_id)
+            for bi in chunk:
+                for bj in range(blocks_per_dim):
+                    for bk in range(blocks_per_dim):
+                        self._emit_block(builder, image, bi, bj, bk)
+            traces.append(builder.build())
+        return WorkloadBuild(name=self.name, mem_image=image, traces=traces,
+                             metadata={"size": self.size, "block": self.block})
+
+    def _emit_block(self, builder: TraceBuilder, image: MemoryImage,
+                    bi: int, bj: int, bk: int) -> None:
+        base_i, base_j, base_k = (bi * self.block, bj * self.block,
+                                  bk * self.block)
+        for i in range(base_i, base_i + self.block):
+            for j in range(base_j, base_j + self.block):
+                c_index = i * self.size + j
+                builder.load(self.PC_C_LOAD, image.addr_of("mat_c", c_index),
+                             kind=AccessKind.STREAM)
+                for k in range(base_k, base_k + self.block, 2):
+                    builder.load(self.PC_A,
+                                 image.addr_of("mat_a", i * self.size + k),
+                                 kind=AccessKind.STREAM)
+                    builder.load(self.PC_B,
+                                 image.addr_of("mat_b", k * self.size + j),
+                                 kind=AccessKind.STREAM)
+                    builder.compute(4)
+                builder.store(self.PC_C_STORE, image.addr_of("mat_c", c_index),
+                              kind=AccessKind.STREAM)
+
+
+class StridedCopyWorkload(Workload):
+    """A strided copy kernel (radix-sort/FFT-permutation flavoured).
+
+    Reads with a large constant stride and writes sequentially.  The stride
+    is affine so the stream prefetcher learns it; there is no indirection.
+    """
+
+    name = "strided_copy"
+
+    PC_LOAD = pc_of(130)
+    PC_STORE = pc_of(131)
+
+    def __init__(self, n_elements: int = 32768, stride: int = 16,
+                 seed: int = 1) -> None:
+        super().__init__(seed=seed)
+        self.n_elements = n_elements
+        self.stride = stride
+
+    def build(self, n_cores: int, *, software_prefetch: bool = False,
+              sw_prefetch_distance: int = 8) -> WorkloadBuild:
+        image = MemoryImage()
+        image.add_array("src", np.zeros(self.n_elements, dtype=np.float64))
+        image.add_array("dst", np.zeros(self.n_elements, dtype=np.float64),
+                        writable=True)
+        traces: List[Trace] = []
+        per_core = self.n_elements // max(1, n_cores)
+        for core_id, chunk in enumerate(self.partition(self.n_elements, n_cores)):
+            builder = TraceBuilder(core_id)
+            positions = list(chunk)
+            for destination, position in enumerate(positions):
+                source = (position * self.stride) % self.n_elements
+                builder.load(self.PC_LOAD, image.addr_of("src", source),
+                             kind=AccessKind.STREAM)
+                builder.store(self.PC_STORE,
+                              image.addr_of("dst", chunk.start + destination),
+                              kind=AccessKind.STREAM)
+                builder.compute(1)
+            traces.append(builder.build())
+        return WorkloadBuild(name=self.name, mem_image=image, traces=traces,
+                             metadata={"stride": self.stride})
+
+
+#: The regular kernels used by the no-harm ablation.
+REGULAR_WORKLOADS = {
+    "dense_stencil": DenseStencilWorkload,
+    "blocked_matmul": BlockedMatMulWorkload,
+    "strided_copy": StridedCopyWorkload,
+}

@@ -1,0 +1,120 @@
+"""Stochastic Gradient Descent for collaborative filtering (Section 5.3).
+
+Matrix factorisation by SGD: the ratings are a stream of (user, item, value)
+triples; for each triple the kernel gathers the user's and the item's
+feature rows, computes a prediction error, and scatters updated rows back::
+
+    u   = rating_user[k]        # INDEX   (sequential scan)
+    i   = rating_item[k]        # INDEX   (sequential scan, second stream)
+    pu  = user_feat[u]          # INDIRECT, 16-byte rows (shift = 4)
+    qi  = item_feat[i]          # INDIRECT, 16-byte rows (shift = 4)
+    ... dot product, error ...
+    user_feat[u] = ...          # INDIRECT store
+    item_feat[i] = ...          # INDIRECT store
+
+Feature rows are 16 bytes (two doubles), matching the paper's "coefficient
+16 for small structures" shift value.  Unlike pagerank's multi-way pattern,
+the two indirections here come from *different* index arrays and therefore
+train two separate PT entries.  SGD is the most compute-heavy workload of
+the suite (it is the compute-bound example of Figure 13).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.mem_image import MemoryImage
+from repro.sim.trace import AccessKind, Trace, TraceBuilder
+from repro.workloads.base import Workload, WorkloadBuild, pc_of
+from repro.workloads.sparse import ratings_matrix
+
+
+class SGDWorkload(Workload):
+    """SGD matrix factorisation over a sparse ratings matrix."""
+
+    name = "sgd"
+
+    PC_RATING_USER = pc_of(70)
+    PC_RATING_ITEM = pc_of(71)
+    PC_RATING_VALUE = pc_of(72)
+    PC_USER_FEAT = pc_of(73)
+    PC_ITEM_FEAT = pc_of(74)
+    PC_USER_STORE = pc_of(75)
+    PC_ITEM_STORE = pc_of(76)
+    PC_SW_PREFETCH_U = pc_of(77)
+    PC_SW_PREFETCH_I = pc_of(78)
+
+    #: Feature-row size in doubles; 2 doubles = 16 bytes = shift 4.
+    FEATURES = 2
+
+    def __init__(self, n_users: int = 4096, n_items: int = 4096,
+                 n_ratings: int = 24576, seed: int = 1) -> None:
+        super().__init__(seed=seed)
+        self.n_users = n_users
+        self.n_items = n_items
+        self.n_ratings = n_ratings
+
+    # ------------------------------------------------------------------
+    def build(self, n_cores: int, *, software_prefetch: bool = False,
+              sw_prefetch_distance: int = 8) -> WorkloadBuild:
+        users, items, values = ratings_matrix(self.n_users, self.n_items,
+                                              self.n_ratings, seed=self.seed)
+        image = MemoryImage()
+        image.add_array("rating_user", users)
+        image.add_array("rating_item", items)
+        image.add_array("rating_value", values)
+        image.add_array("user_feat",
+                        np.zeros(self.n_users * self.FEATURES, dtype=np.float64),
+                        elem_size=8 * self.FEATURES, length=self.n_users,
+                        writable=True)
+        image.add_array("item_feat",
+                        np.zeros(self.n_items * self.FEATURES, dtype=np.float64),
+                        elem_size=8 * self.FEATURES, length=self.n_items,
+                        writable=True)
+        traces: List[Trace] = []
+        for core_id, ratings in enumerate(self.partition(self.n_ratings, n_cores)):
+            traces.append(self._core_trace(core_id, ratings, users, items, image,
+                                           software_prefetch,
+                                           sw_prefetch_distance))
+        return WorkloadBuild(name=self.name, mem_image=image, traces=traces,
+                             metadata={"users": self.n_users,
+                                       "items": self.n_items,
+                                       "ratings": self.n_ratings})
+
+    # ------------------------------------------------------------------
+    def _core_trace(self, core_id: int, ratings: range, users: np.ndarray,
+                    items: np.ndarray, image: MemoryImage,
+                    software_prefetch: bool, distance: int) -> Trace:
+        builder = TraceBuilder(core_id)
+        end = ratings.stop
+        for k in ratings:
+            user = int(users[k])
+            item = int(items[k])
+            if software_prefetch and k + distance < end:
+                builder.sw_prefetch(self.PC_SW_PREFETCH_U,
+                                    image.addr_of("user_feat",
+                                                  int(users[k + distance])))
+                builder.sw_prefetch(self.PC_SW_PREFETCH_I,
+                                    image.addr_of("item_feat",
+                                                  int(items[k + distance])))
+            builder.load(self.PC_RATING_USER, image.addr_of("rating_user", k),
+                         size=4, kind=AccessKind.INDEX)
+            builder.load(self.PC_RATING_ITEM, image.addr_of("rating_item", k),
+                         size=4, kind=AccessKind.INDEX)
+            builder.load(self.PC_RATING_VALUE, image.addr_of("rating_value", k),
+                         kind=AccessKind.STREAM)
+            builder.load(self.PC_USER_FEAT, image.addr_of("user_feat", user),
+                         size=16, kind=AccessKind.INDIRECT)
+            builder.load(self.PC_ITEM_FEAT, image.addr_of("item_feat", item),
+                         size=16, kind=AccessKind.INDIRECT)
+            # Dot product, error computation and least-squares update: the
+            # compute-heavy part that makes SGD compute-bound.
+            builder.compute(20)
+            builder.store(self.PC_USER_STORE, image.addr_of("user_feat", user),
+                          size=16, kind=AccessKind.INDIRECT)
+            builder.store(self.PC_ITEM_STORE, image.addr_of("item_feat", item),
+                          size=16, kind=AccessKind.INDIRECT)
+            builder.compute(4)
+        return builder.build()

@@ -1,0 +1,137 @@
+"""Symmetric Gauss-Seidel smoother (SymGS) from HPCG (Section 5.3).
+
+SymGS performs a forward triangular solve followed by a backward one over
+the same sparse matrix.  Rows are processed in blocks (the HPCG multicolour
+/ level-scheduled variant groups rows for parallelism); within each row the
+access pattern is the same gather as SpMV, but the smoothed vector is also
+*written* indirectly at the row position, and the backward sweep scans the
+index array with a negative stride — exercising IMP's handling of descending
+streams and frequent pattern re-detection (the paper notes SymGS is the one
+workload that stresses the IPD, Figure 15).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.mem_image import MemoryImage
+from repro.sim.trace import AccessKind, Trace, TraceBuilder
+from repro.workloads.base import Workload, WorkloadBuild, pc_of
+from repro.workloads.sparse import CSRMatrix, stencil_27pt
+
+
+class SymGSWorkload(Workload):
+    """Forward + backward Gauss-Seidel sweeps on a stencil matrix."""
+
+    name = "symgs"
+
+    PC_ROW_PTR_F = pc_of(30)
+    PC_COL_IDX_F = pc_of(31)
+    PC_VALUES_F = pc_of(32)
+    PC_VECTOR_F = pc_of(33)
+    PC_STORE_F = pc_of(34)
+    PC_ROW_PTR_B = pc_of(35)
+    PC_COL_IDX_B = pc_of(36)
+    PC_VALUES_B = pc_of(37)
+    PC_VECTOR_B = pc_of(38)
+    PC_STORE_B = pc_of(39)
+    PC_SW_PREFETCH = pc_of(40)
+
+    def __init__(self, nx: int = 12, ny: int = 12, nz: int = 12,
+                 seed: int = 1, matrix: Optional[CSRMatrix] = None,
+                 permute_columns: bool = True) -> None:
+        super().__init__(seed=seed)
+        self.nx, self.ny, self.nz = nx, ny, nz
+        self._matrix = matrix
+        # Same column permutation rationale as SpMVWorkload (see DESIGN.md).
+        self.permute_columns = permute_columns
+
+    def matrix(self) -> CSRMatrix:
+        if self._matrix is None:
+            matrix = stencil_27pt(self.nx, self.ny, self.nz, seed=self.seed)
+            if self.permute_columns:
+                permutation = self.rng(1).permutation(matrix.num_rows)
+                matrix = CSRMatrix(row_ptr=matrix.row_ptr,
+                                   col_idx=permutation[matrix.col_idx].astype(
+                                       matrix.col_idx.dtype),
+                                   values=matrix.values)
+            self._matrix = matrix
+        return self._matrix
+
+    def _layout(self, matrix: CSRMatrix) -> MemoryImage:
+        image = MemoryImage()
+        image.add_array("row_ptr", matrix.row_ptr)
+        image.add_array("col_idx", matrix.col_idx)
+        image.add_array("values", matrix.values)
+        image.add_array("xvec", np.ones(matrix.num_rows, dtype=np.float64),
+                        writable=True)
+        image.add_array("rhs", np.ones(matrix.num_rows, dtype=np.float64))
+        return image
+
+    def build(self, n_cores: int, *, software_prefetch: bool = False,
+              sw_prefetch_distance: int = 8) -> WorkloadBuild:
+        matrix = self.matrix()
+        image = self._layout(matrix)
+        traces: List[Trace] = []
+        for core_id, rows in enumerate(self.partition(matrix.num_rows, n_cores)):
+            traces.append(self._core_trace(core_id, rows, matrix, image,
+                                           software_prefetch,
+                                           sw_prefetch_distance))
+        return WorkloadBuild(name=self.name, mem_image=image, traces=traces,
+                             metadata={"rows": matrix.num_rows,
+                                       "nonzeros": matrix.num_nonzeros})
+
+    # ------------------------------------------------------------------
+    def _sweep(self, builder: TraceBuilder, rows, matrix: CSRMatrix,
+               image: MemoryImage, software_prefetch: bool, distance: int,
+               *, forward: bool) -> None:
+        col_idx = matrix.col_idx
+        row_ptr = matrix.row_ptr
+        if forward:
+            pcs = (self.PC_ROW_PTR_F, self.PC_COL_IDX_F, self.PC_VALUES_F,
+                   self.PC_VECTOR_F, self.PC_STORE_F)
+        else:
+            pcs = (self.PC_ROW_PTR_B, self.PC_COL_IDX_B, self.PC_VALUES_B,
+                   self.PC_VECTOR_B, self.PC_STORE_B)
+        pc_row, pc_col, pc_val, pc_vec, pc_store = pcs
+        row_order = rows if forward else reversed(rows)
+        for row in row_order:
+            start = int(row_ptr[row])
+            end = int(row_ptr[row + 1])
+            builder.load(pc_row, image.addr_of("row_ptr", row),
+                         kind=AccessKind.STREAM)
+            builder.load(pc_store, image.addr_of("rhs", row),
+                         kind=AccessKind.STREAM)
+            builder.compute(2)
+            inner = range(start, end) if forward else range(end - 1, start - 1, -1)
+            for j in inner:
+                col = int(col_idx[j])
+                if software_prefetch:
+                    target_j = j + distance if forward else j - distance
+                    if start <= target_j < end:
+                        builder.sw_prefetch(self.PC_SW_PREFETCH,
+                                            image.addr_of("xvec",
+                                                          int(col_idx[target_j])))
+                builder.load(pc_col, image.addr_of("col_idx", j),
+                             size=4, kind=AccessKind.INDEX)
+                builder.load(pc_val, image.addr_of("values", j),
+                             kind=AccessKind.STREAM)
+                builder.load(pc_vec, image.addr_of("xvec", col),
+                             kind=AccessKind.INDIRECT)
+                builder.compute(2)
+            # The smoothed value is written back to the row's vector entry.
+            builder.compute(4)            # divide by the diagonal, busy-wait check
+            builder.store(pc_store, image.addr_of("xvec", row),
+                          kind=AccessKind.STREAM)
+
+    def _core_trace(self, core_id: int, rows: range, matrix: CSRMatrix,
+                    image: MemoryImage, software_prefetch: bool,
+                    distance: int) -> Trace:
+        builder = TraceBuilder(core_id)
+        self._sweep(builder, rows, matrix, image, software_prefetch, distance,
+                    forward=True)
+        self._sweep(builder, rows, matrix, image, software_prefetch, distance,
+                    forward=False)
+        return builder.build()

@@ -1,0 +1,114 @@
+"""Synthetic micro-workloads.
+
+These are not part of the paper's application suite; they exist to exercise
+specific IMP mechanisms in isolation (tests, examples, and the SPLASH-2-style
+sanity check that IMP does not misfire on purely streaming codes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.mem_image import MemoryImage
+from repro.sim.trace import AccessKind, Trace, TraceBuilder
+from repro.workloads.base import Workload, WorkloadBuild, pc_of
+
+
+class StreamingWorkload(Workload):
+    """A purely streaming kernel (dense triad): no indirect accesses.
+
+    Used to reproduce the paper's observation that IMP does not hurt
+    performance on SPLASH-2-style regular codes, because it never triggers
+    indirect prefetching when no indirection exists.
+    """
+
+    name = "streaming"
+
+    PC_LOAD_A = pc_of(90)
+    PC_LOAD_B = pc_of(91)
+    PC_STORE_C = pc_of(92)
+
+    def __init__(self, n_elements: int = 32768, seed: int = 1) -> None:
+        super().__init__(seed=seed)
+        self.n_elements = n_elements
+
+    def build(self, n_cores: int, *, software_prefetch: bool = False,
+              sw_prefetch_distance: int = 8) -> WorkloadBuild:
+        image = MemoryImage()
+        image.add_array("a", np.ones(self.n_elements, dtype=np.float64))
+        image.add_array("b", np.ones(self.n_elements, dtype=np.float64))
+        image.add_array("c", np.zeros(self.n_elements, dtype=np.float64),
+                        writable=True)
+        traces: List[Trace] = []
+        for core_id, elements in enumerate(self.partition(self.n_elements,
+                                                          n_cores)):
+            builder = TraceBuilder(core_id)
+            for i in elements:
+                builder.load(self.PC_LOAD_A, image.addr_of("a", i),
+                             kind=AccessKind.STREAM)
+                builder.load(self.PC_LOAD_B, image.addr_of("b", i),
+                             kind=AccessKind.STREAM)
+                builder.compute(2)
+                builder.store(self.PC_STORE_C, image.addr_of("c", i),
+                              kind=AccessKind.STREAM)
+            traces.append(builder.build())
+        return WorkloadBuild(name=self.name, mem_image=image, traces=traces)
+
+
+class IndirectStreamWorkload(Workload):
+    """The canonical ``A[B[i]]`` loop, configurable element size.
+
+    The simplest possible indirect workload; used heavily by unit and
+    integration tests and by the quickstart example.
+    """
+
+    name = "indirect_stream"
+
+    PC_INDEX = pc_of(95)
+    PC_DATA = pc_of(96)
+    PC_DATA2 = pc_of(97)
+
+    def __init__(self, n_indices: int = 8192, n_data: int = 16384,
+                 elem_size: int = 8, two_way: bool = False,
+                 seed: int = 1) -> None:
+        super().__init__(seed=seed)
+        self.n_indices = n_indices
+        self.n_data = n_data
+        self.elem_size = elem_size
+        self.two_way = two_way
+
+    def build(self, n_cores: int, *, software_prefetch: bool = False,
+              sw_prefetch_distance: int = 8) -> WorkloadBuild:
+        rng = self.rng()
+        indices = rng.integers(0, self.n_data, size=self.n_indices,
+                               dtype=np.int32)
+        image = MemoryImage()
+        image.add_array("B", indices)
+        image.add_array("A", np.zeros(self.n_data, dtype=np.float64),
+                        elem_size=self.elem_size, length=self.n_data)
+        if self.two_way:
+            image.add_array("C", np.zeros(self.n_data, dtype=np.float64),
+                            elem_size=self.elem_size, length=self.n_data)
+        traces: List[Trace] = []
+        for core_id, chunk in enumerate(self.partition(self.n_indices, n_cores)):
+            builder = TraceBuilder(core_id)
+            end = chunk.stop
+            for i in chunk:
+                target = int(indices[i])
+                if software_prefetch and i + sw_prefetch_distance < end:
+                    future = int(indices[i + sw_prefetch_distance])
+                    builder.sw_prefetch(pc_of(98), image.addr_of("A", future))
+                builder.load(self.PC_INDEX, image.addr_of("B", i),
+                             size=4, kind=AccessKind.INDEX)
+                builder.load(self.PC_DATA, image.addr_of("A", target),
+                             size=min(8, self.elem_size),
+                             kind=AccessKind.INDIRECT)
+                if self.two_way:
+                    builder.load(self.PC_DATA2, image.addr_of("C", target),
+                                 size=min(8, self.elem_size),
+                                 kind=AccessKind.INDIRECT)
+                builder.compute(2)
+            traces.append(builder.build())
+        return WorkloadBuild(name=self.name, mem_image=image, traces=traces)

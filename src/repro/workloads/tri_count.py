@@ -1,0 +1,120 @@
+"""Triangle counting workload (Section 5.3).
+
+The paper's triangle-counting code works on acyclic directed graphs and
+converts each vertex's neighbour list into a bit vector that is then probed
+indirectly while scanning the two-hop neighbourhood::
+
+    u      = col_idx[j]               # INDEX  (scan of v's neighbours)
+    start  = row_ptr[u]               # INDIRECT (8-byte elements)
+    w      = col_idx[start + k]       # INDEX  (scan of u's neighbours)
+    bit    = bitvec[w >> 3]           # INDIRECT, bit vector (shift = -3,
+                                      #  coefficient 1/8 — Table 2)
+
+Loops here have small trip counts (a vertex's out-degree), which is what
+makes triangle counting the workload with late prefetches and the strongest
+sensitivity to the PT size and prefetch distance in the paper (Figures 14
+and 16).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.mem_image import MemoryImage
+from repro.sim.trace import AccessKind, Trace, TraceBuilder
+from repro.workloads.base import Workload, WorkloadBuild, pc_of
+from repro.workloads.graphs import CSRGraph, power_law_graph
+
+
+class TriangleCountWorkload(Workload):
+    """Triangle counting by neighbourhood bit-vector intersection."""
+
+    name = "tri_count"
+
+    PC_ROW_PTR_V = pc_of(60)
+    PC_COL_IDX_V = pc_of(61)
+    PC_ROW_PTR_U = pc_of(62)
+    PC_COL_IDX_U = pc_of(63)
+    PC_BITVEC_SET = pc_of(64)
+    PC_BITVEC_TEST = pc_of(65)
+    PC_SW_PREFETCH = pc_of(66)
+
+    def __init__(self, n_vertices: int = 2048, avg_degree: float = 6.0,
+                 seed: int = 1, max_two_hop_per_vertex: int = 128) -> None:
+        super().__init__(seed=seed)
+        self.n_vertices = n_vertices
+        self.avg_degree = avg_degree
+        self.max_two_hop_per_vertex = max_two_hop_per_vertex
+
+    # ------------------------------------------------------------------
+    def build(self, n_cores: int, *, software_prefetch: bool = False,
+              sw_prefetch_distance: int = 8) -> WorkloadBuild:
+        graph = power_law_graph(self.n_vertices, self.avg_degree,
+                                seed=self.seed, acyclic=True)
+        image = MemoryImage()
+        image.add_array("row_ptr", graph.row_ptr)
+        image.add_array("col_idx", graph.col_idx)
+        image.add_array("bitvec", np.zeros(self.n_vertices, dtype=np.uint8),
+                        elem_size=1 / 8, length=self.n_vertices, writable=True)
+        traces: List[Trace] = []
+        for core_id, vertices in enumerate(self.partition(self.n_vertices,
+                                                          n_cores)):
+            traces.append(self._core_trace(core_id, vertices, graph, image,
+                                           software_prefetch,
+                                           sw_prefetch_distance))
+        return WorkloadBuild(name=self.name, mem_image=image, traces=traces,
+                             metadata={"vertices": self.n_vertices,
+                                       "edges": graph.num_edges})
+
+    # ------------------------------------------------------------------
+    def _core_trace(self, core_id: int, vertices: range, graph: CSRGraph,
+                    image: MemoryImage, software_prefetch: bool,
+                    distance: int) -> Trace:
+        builder = TraceBuilder(core_id)
+        col_idx = graph.col_idx
+        row_ptr = graph.row_ptr
+        for vertex in vertices:
+            start = int(row_ptr[vertex])
+            end = int(row_ptr[vertex + 1])
+            builder.load(self.PC_ROW_PTR_V, image.addr_of("row_ptr", vertex),
+                         kind=AccessKind.STREAM)
+            # Build the bit vector of v's neighbourhood (streaming writes).
+            for j in range(start, end):
+                neighbor = int(col_idx[j])
+                builder.load(self.PC_COL_IDX_V, image.addr_of("col_idx", j),
+                             size=4, kind=AccessKind.INDEX)
+                builder.store(self.PC_BITVEC_SET,
+                              image.addr_of("bitvec", neighbor),
+                              size=1, kind=AccessKind.INDIRECT)
+                builder.compute(1)
+            # Intersect each neighbour's neighbour list with the bit vector.
+            two_hop_budget = self.max_two_hop_per_vertex
+            for j in range(start, end):
+                if two_hop_budget <= 0:
+                    break
+                u = int(col_idx[j])
+                builder.load(self.PC_COL_IDX_V, image.addr_of("col_idx", j),
+                             size=4, kind=AccessKind.INDEX)
+                builder.load(self.PC_ROW_PTR_U, image.addr_of("row_ptr", u),
+                             kind=AccessKind.INDIRECT)
+                builder.compute(1)
+                u_start = int(row_ptr[u])
+                u_end = int(row_ptr[u + 1])
+                for k in range(u_start, u_end):
+                    if two_hop_budget <= 0:
+                        break
+                    two_hop_budget -= 1
+                    w = int(col_idx[k])
+                    if software_prefetch and k + distance < u_end:
+                        target = int(col_idx[k + distance])
+                        builder.sw_prefetch(self.PC_SW_PREFETCH,
+                                            image.addr_of("bitvec", target))
+                    builder.load(self.PC_COL_IDX_U, image.addr_of("col_idx", k),
+                                 size=4, kind=AccessKind.INDEX)
+                    builder.load(self.PC_BITVEC_TEST,
+                                 image.addr_of("bitvec", w),
+                                 size=1, kind=AccessKind.INDIRECT)
+                    builder.compute(2)   # bit test and triangle count update
+        return builder.build()

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import IMPConfig
+from repro.mem_image import MemoryImage
+from repro.sim.config import CacheConfig, SystemConfig
+from repro.workloads.synthetic import IndirectStreamWorkload, StreamingWorkload
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A tiny 4-core platform with small caches; fast to simulate."""
+    return SystemConfig(
+        n_cores=4,
+        l1d=CacheConfig(size_bytes=4 * 1024, associativity=4),
+        l2_total_mb_at_1core=0.0625,
+    )
+
+
+@pytest.fixture
+def imp_config() -> IMPConfig:
+    return IMPConfig()
+
+
+@pytest.fixture
+def simple_image() -> MemoryImage:
+    """A memory image with one index array B and one data array A."""
+    image = MemoryImage()
+    indices = np.arange(0, 512, dtype=np.int32)[::-1].copy()
+    image.add_array("B", indices)
+    image.add_array("A", np.zeros(1024, dtype=np.float64))
+    return image
+
+
+@pytest.fixture
+def indirect_workload() -> IndirectStreamWorkload:
+    return IndirectStreamWorkload(n_indices=1024, n_data=4096, seed=7)
+
+
+@pytest.fixture
+def streaming_workload() -> StreamingWorkload:
+    return StreamingWorkload(n_elements=2048, seed=7)

@@ -1,0 +1,70 @@
+"""Unit tests for Equation 2 address generation (repro.core.address)."""
+
+import pytest
+
+from repro.core.address import (
+    apply_shift,
+    coefficient_of,
+    predict_address,
+    shift_for_element_size,
+    solve_base_addr,
+)
+
+
+class TestApplyShift:
+    def test_positive_shift_multiplies_by_power_of_two(self):
+        assert apply_shift(5, 2) == 20
+        assert apply_shift(5, 3) == 40
+        assert apply_shift(5, 4) == 80
+
+    def test_negative_shift_divides(self):
+        assert apply_shift(16, -3) == 2
+        assert apply_shift(17, -3) == 2   # truncating, like a hardware shifter
+        assert apply_shift(7, -3) == 0
+
+    def test_zero_shift_is_identity(self):
+        assert apply_shift(123, 0) == 123
+
+
+class TestPredictAndSolve:
+    @pytest.mark.parametrize("shift", [2, 3, 4, -3])
+    def test_paper_example_shift2(self, shift):
+        # Figure 4's example: idx1=1, miss 0x100, idx2=16, miss 0x13C,
+        # detected shift=2, BaseAddr=0xFC.
+        if shift != 2:
+            pytest.skip("example is specific to shift 2")
+        assert solve_base_addr(1, 0x100, 2) == 0xFC
+        assert solve_base_addr(16, 0x13C, 2) == 0xFC
+        assert predict_address(1, 2, 0xFC) == 0x100
+        assert predict_address(16, 2, 0xFC) == 0x13C
+
+    @pytest.mark.parametrize("shift", [2, 3, 4])
+    @pytest.mark.parametrize("index", [0, 1, 7, 1000, 65535])
+    def test_solve_then_predict_roundtrip(self, shift, index):
+        base = 0x2000_0000
+        addr = predict_address(index, shift, base)
+        assert solve_base_addr(index, addr, shift) == base
+
+    def test_negative_shift_roundtrip_on_aligned_values(self):
+        base = 0x1000
+        for index in (0, 8, 64, 4096):
+            addr = predict_address(index, -3, base)
+            assert solve_base_addr(index, addr, -3) == base
+
+
+class TestCoefficient:
+    def test_coefficients_match_table2(self):
+        assert coefficient_of(2) == 4.0
+        assert coefficient_of(3) == 8.0
+        assert coefficient_of(4) == 16.0
+        assert coefficient_of(-3) == pytest.approx(1 / 8)
+
+    def test_shift_for_element_size(self):
+        assert shift_for_element_size(4) == 2
+        assert shift_for_element_size(8) == 3
+        assert shift_for_element_size(16) == 4
+        assert shift_for_element_size(1 / 8) == -3
+
+    def test_shift_for_non_power_of_two_is_none(self):
+        assert shift_for_element_size(12) is None
+        assert shift_for_element_size(1 / 3) is None

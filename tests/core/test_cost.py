@@ -1,0 +1,53 @@
+"""Tests for the hardware cost model (Section 6.4)."""
+
+import pytest
+
+from repro.core.config import IMPConfig
+from repro.core.cost import CostReport, energy_overhead, storage_cost_bits
+
+
+class TestStorageCost:
+    def test_default_costs_match_section_6_4(self):
+        report = storage_cost_bits(IMPConfig())
+        # "each entry requires less than 120 bits ... total PT storage
+        #  overhead is less than 2 Kbits"
+        assert report.pt_bits_per_entry <= 130
+        assert report.pt_total_bits <= 2.1 * 1024
+        # "the IPD requires 3.5 Kbits"
+        assert 3.0 * 1024 <= report.ipd_total_bits <= 3.9 * 1024
+        # "IMP requires 5.5 Kbits or only 0.7 KB of storage"
+        assert 5.0 * 1024 <= report.imp_total_bits <= 6.0 * 1024
+        assert report.imp_total_bytes <= 0.8 * 1024
+        # "the overall storage of GP is 3.4 Kbits or 420 bytes"
+        assert 3.0 * 1024 <= report.gp_total_bits <= 3.8 * 1024
+        assert report.gp_total_bytes <= 470
+
+    def test_sector_valid_bit_overheads(self):
+        report = storage_cost_bits(IMPConfig())
+        # 8-bit mask per 64-byte L1 line (~1.6%), 2-bit per L2 line (~0.4%).
+        assert report.l1_sector_overhead == pytest.approx(8 / 512, rel=0.01)
+        assert report.l2_sector_overhead == pytest.approx(2 / 512, rel=0.01)
+
+    def test_cost_scales_with_table_sizes(self):
+        small = storage_cost_bits(IMPConfig().with_pt_size(8))
+        large = storage_cost_bits(IMPConfig().with_pt_size(32))
+        assert small.pt_total_bits < large.pt_total_bits
+        small_ipd = storage_cost_bits(IMPConfig().with_ipd_size(2))
+        large_ipd = storage_cost_bits(IMPConfig().with_ipd_size(8))
+        assert small_ipd.ipd_total_bits < large_ipd.ipd_total_bits
+
+    def test_ipd_entry_dominated_by_baseaddr_array(self):
+        config = IMPConfig()
+        report = storage_cost_bits(config)
+        baseaddr_bits = (len(config.shift_values) * config.baseaddr_array_len
+                         * config.address_bits)
+        assert report.ipd_bits_per_entry >= baseaddr_bits
+
+
+class TestEnergyCost:
+    def test_energy_overheads_below_paper_bounds(self):
+        energy = energy_overhead(IMPConfig())
+        # "Each PT access takes less than 3% of the energy of a baseline L1
+        #  access" and "the GP ... less than 1%".
+        assert 0.0 < energy["pt_vs_l1_access"] <= 0.03
+        assert 0.0 < energy["gp_vs_l1_access"] <= 0.01

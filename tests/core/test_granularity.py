@@ -1,0 +1,120 @@
+"""Unit tests for the Granularity Predictor (Section 4.2, Algorithm 1)."""
+
+import pytest
+
+from repro.core.config import IMPConfig
+from repro.core.granularity import (
+    GranularityPredictor,
+    min_consecutive_run,
+    popcount,
+)
+
+
+class TestBitHelpers:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(0xFF) == 8
+
+    @pytest.mark.parametrize("mask,n,expected", [
+        (0b0000_0000, 8, 8),     # nothing touched -> no evidence, full line
+        (0b0000_0001, 8, 1),
+        (0b0001_1000, 8, 2),
+        (0b1100_0011, 8, 2),     # two runs of 2
+        (0b1110_0001, 8, 1),     # runs of 3 and 1 -> min 1
+        (0b1111_1111, 8, 8),
+    ])
+    def test_min_consecutive_run(self, mask, n, expected):
+        assert min_consecutive_run(mask, n) == expected
+
+
+def make_gp(**overrides) -> GranularityPredictor:
+    config = IMPConfig(partial_enabled=True, **overrides)
+    return GranularityPredictor(config)
+
+
+LINE = 0x1000_0000
+
+
+class TestSamplingAndPrediction:
+    def test_initial_prediction_is_full_line(self):
+        gp = make_gp()
+        gp.allocate(pattern_id=0)
+        assert gp.granularity_bytes(0) == 64
+
+    def test_unknown_pattern_defaults_to_full_line(self):
+        gp = make_gp()
+        assert gp.granularity_bytes(99) == 64
+
+    def test_sampling_limited_to_n_lines(self):
+        gp = make_gp(gp_samples=2)
+        assert gp.maybe_sample(0, LINE)
+        assert gp.maybe_sample(0, LINE + 64)
+        assert not gp.maybe_sample(0, LINE + 128)
+        assert len(gp.entry(0).samples) == 2
+
+    def test_same_line_not_sampled_twice(self):
+        gp = make_gp()
+        assert gp.maybe_sample(0, LINE)
+        assert not gp.maybe_sample(0, LINE + 8)   # same cache line
+
+    def test_sparse_touches_shrink_granularity(self):
+        gp = make_gp(gp_samples=4)
+        # Sample 4 lines; touch a single 8-byte sector in each.
+        for i in range(4):
+            line = LINE + i * 64
+            gp.maybe_sample(0, line)
+            gp.on_demand_access(line + 8, size=8)
+        for i in range(4):
+            gp.on_eviction(LINE + i * 64)
+        # Algorithm 1: costFull = 4*(8+1) = 36; costPartial = 4 + 4/1 = 8.
+        assert gp.entry(0).granularity_sectors == 1
+        assert gp.granularity_bytes(0) == 8
+
+    def test_dense_touches_keep_full_line(self):
+        gp = make_gp(gp_samples=4)
+        for i in range(4):
+            line = LINE + i * 64
+            gp.maybe_sample(0, line)
+            for sector in range(8):
+                gp.on_demand_access(line + sector * 8, size=8)
+        for i in range(4):
+            gp.on_eviction(LINE + i * 64)
+        # costFull = 36; costPartial = 32 + 32/8 = 36 -> full line wins ties.
+        assert gp.entry(0).granularity_sectors == 8
+        assert gp.granularity_bytes(0) == 64
+
+    def test_state_resets_after_each_update_round(self):
+        gp = make_gp(gp_samples=2)
+        for i in range(2):
+            line = LINE + i * 64
+            gp.maybe_sample(0, line)
+            gp.on_demand_access(line, size=8)
+            gp.on_eviction(line)
+        entry = gp.entry(0)
+        assert entry.evict == 0
+        assert entry.tot_sector == 0
+        assert entry.min_granu == gp.sectors_per_line
+        assert gp.predictions_updated == 1
+
+    def test_untracked_eviction_is_ignored(self):
+        gp = make_gp()
+        gp.allocate(0)
+        gp.on_eviction(LINE)          # never sampled: no effect
+        assert gp.entry(0).evict == 0
+
+    def test_release_drops_pattern_state(self):
+        gp = make_gp()
+        gp.maybe_sample(0, LINE)
+        gp.release(0)
+        assert gp.entry(0) is None
+        # The line is no longer tracked either.
+        gp.on_demand_access(LINE, size=8)
+        gp.on_eviction(LINE)
+        assert gp.predictions_updated == 0
+
+    def test_access_spanning_two_sectors_sets_both_bits(self):
+        gp = make_gp()
+        gp.maybe_sample(0, LINE)
+        gp.on_demand_access(LINE + 6, size=8)     # crosses sectors 0 and 1
+        assert gp.entry(0).samples[LINE] == 0b11

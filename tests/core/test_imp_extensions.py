@@ -1,0 +1,143 @@
+"""Tests for IMP's optional features: the read/write predictor (Exclusive
+prefetches) and adaptive prefetch-distance throttling (the future-work
+scheme suggested in Section 6.3.2)."""
+
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.core import IMP, IMPConfig
+from repro.mem_image import MemoryImage
+from repro.prefetchers.base import AccessContext, PrefetchRequest
+
+PC_INDEX = 0x400100
+PC_DATA = 0x400108
+
+
+def make_image(n_indices=512, n_data=4096, seed=9) -> MemoryImage:
+    rng = np.random.default_rng(seed)
+    image = MemoryImage()
+    image.add_array("B", rng.integers(0, n_data, n_indices, dtype=np.int32))
+    image.add_array("A", np.zeros(n_data, dtype=np.float64), writable=True)
+    return image
+
+
+def ctx(image, pc, addr, *, hit, now, is_write=False, size=8) -> AccessContext:
+    return AccessContext(core_id=0, pc=pc, addr=addr, size=size,
+                         is_write=is_write, hit=hit, now=now,
+                         read_value=lambda: image.read_value(addr))
+
+
+def run_loop(imp, image, iterations, *, writes=False,
+             start=0, loop_len=None) -> List[PrefetchRequest]:
+    """``for i: load B[i]; (load|store) A[B[i]]``, optionally in short loops
+    of ``loop_len`` iterations separated by jumps (to provoke overshoot)."""
+    indices = image.data("B")
+    requests: List[PrefetchRequest] = []
+    now = 0.0
+    for step in range(iterations):
+        i = start + step
+        if loop_len:
+            # Jump to a far position at every loop boundary.
+            block, offset = divmod(step, loop_len)
+            i = (start + block * 64 + offset) % len(indices)
+        addr_b = image.addr_of("B", i)
+        requests.extend(imp.on_access(ctx(image, PC_INDEX, addr_b,
+                                          hit=False, now=now, size=4)))
+        now += 2
+        addr_a = image.addr_of("A", int(indices[i]))
+        requests.extend(imp.on_access(ctx(image, PC_DATA, addr_a, hit=False,
+                                          now=now, is_write=writes)))
+        now += 2
+    return requests
+
+
+class TestReadWritePredictor:
+    def test_write_pattern_prefetched_exclusive(self):
+        image = make_image()
+        imp = IMP(IMPConfig(rw_predictor=True), image)
+        requests = run_loop(imp, image, 60, writes=True)
+        indirect = [r for r in requests if r.is_indirect]
+        assert indirect
+        # After the predictor warms up, indirect prefetches ask for Exclusive.
+        assert any(r.exclusive for r in indirect)
+        assert all(r.exclusive for r in indirect[-10:])
+
+    def test_read_pattern_prefetched_shared(self):
+        image = make_image()
+        imp = IMP(IMPConfig(rw_predictor=True), image)
+        requests = run_loop(imp, image, 60, writes=False)
+        indirect = [r for r in requests if r.is_indirect]
+        assert indirect
+        assert not any(r.exclusive for r in indirect)
+
+    def test_predictor_can_be_disabled(self):
+        image = make_image()
+        imp = IMP(IMPConfig(rw_predictor=False), image)
+        requests = run_loop(imp, image, 60, writes=True)
+        assert not any(r.exclusive for r in requests if r.is_indirect)
+
+    def test_write_counter_saturates_and_decays(self):
+        image = make_image()
+        config = IMPConfig(rw_max_count=3)
+        imp = IMP(config, image)
+        run_loop(imp, image, 40, writes=True)
+        entry = imp.pt.lookup_by_pc(PC_INDEX)
+        assert entry.write_cnt == 3
+        run_loop(imp, image, 40, writes=False, start=40)
+        assert entry.write_cnt == 0
+
+
+class TestAdaptiveDistance:
+    def test_disabled_by_default(self):
+        assert not IMPConfig().adaptive_distance
+        config = IMPConfig().with_adaptive_distance()
+        assert config.adaptive_distance
+
+    def test_distance_reaches_max_on_long_streams(self):
+        image = make_image()
+        config = IMPConfig(adaptive_distance=True, max_prefetch_distance=16)
+        imp = IMP(config, image)
+        run_loop(imp, image, 200)
+        entry = imp.pt.lookup_by_pc(PC_INDEX)
+        assert entry.prefetch_distance >= 8    # useful prefetches keep the cap up
+
+    def test_short_loops_shrink_the_distance_cap(self):
+        image = make_image(n_indices=2048)
+        config = IMPConfig(adaptive_distance=True, max_prefetch_distance=16,
+                           throttle_window=16)
+        imp = IMP(config, image)
+        # Short loops of 4 iterations separated by jumps: most prefetched
+        # elements (i + distance beyond the loop end) are never referenced.
+        run_loop(imp, image, 400, loop_len=4)
+        entry = imp.pt.lookup_by_pc(PC_INDEX)
+        assert entry.distance_cap != 0
+        assert entry.distance_cap < 16
+        assert entry.prefetch_distance <= entry.distance_cap
+
+    def test_throttling_off_keeps_full_ramp_on_short_loops(self):
+        image = make_image(n_indices=2048)
+        config = IMPConfig(adaptive_distance=False, max_prefetch_distance=16)
+        imp = IMP(config, image)
+        run_loop(imp, image, 400, loop_len=4)
+        entry = imp.pt.lookup_by_pc(PC_INDEX)
+        assert entry.prefetch_distance == 16
+        assert entry.distance_cap == 0
+
+    def test_window_counters_reset_after_decision(self):
+        image = make_image()
+        config = IMPConfig(adaptive_distance=True, throttle_window=8)
+        imp = IMP(config, image)
+        run_loop(imp, image, 100)
+        entry = imp.pt.lookup_by_pc(PC_INDEX)
+        assert entry.window_issued < 8
+
+    def test_recent_prefetch_tracking_is_bounded(self):
+        image = make_image()
+        config = IMPConfig(adaptive_distance=True)
+        imp = IMP(config, image)
+        run_loop(imp, image, 300)
+        entry = imp.pt.lookup_by_pc(PC_INDEX)
+        assert len(entry.recent_prefetch_fifo) <= 64
+        assert len(entry.recent_prefetch_set) <= 64

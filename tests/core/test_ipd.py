@@ -1,0 +1,167 @@
+"""Unit tests for the Indirect Pattern Detector (Section 3.2.2, Figure 4)."""
+
+import pytest
+
+from repro.core.config import IMPConfig
+from repro.core.ipd import IndirectPatternDetector
+
+
+def make_ipd(**overrides) -> IndirectPatternDetector:
+    return IndirectPatternDetector(IMPConfig(**overrides) if overrides else IMPConfig())
+
+
+BASE = 0x1000_0000
+
+
+class TestBasicDetection:
+    def test_detects_pattern_from_two_index_miss_pairs(self):
+        ipd = make_ipd()
+        key = ("primary", 1)
+        shift, base = 3, BASE
+        ipd.on_index_access(key, 10, now=0)
+        detected = ipd.on_miss((10 << shift) + base, now=1)
+        assert detected == []                     # only one pair so far
+        ipd.on_index_access(key, 25, now=2)
+        detected = ipd.on_miss((25 << shift) + base, now=3)
+        assert len(detected) == 1
+        pattern = detected[0]
+        assert pattern.shift == shift
+        assert pattern.base_addr == base
+        assert pattern.stream_key == key
+
+    def test_paper_figure4_example(self):
+        # read idx1 (=1); miss 0x100; miss 0x120; read idx2 (=16); miss 0x13C
+        # => shift=2, BaseAddr=0xFC.
+        ipd = make_ipd()
+        key = ("primary", 42)
+        ipd.on_index_access(key, 1, now=0)
+        assert ipd.on_miss(0x100, now=1) == []
+        assert ipd.on_miss(0x120, now=2) == []
+        ipd.on_index_access(key, 16, now=3)
+        detected = ipd.on_miss(0x13C, now=4)
+        assert len(detected) == 1
+        assert detected[0].shift == 2
+        assert detected[0].base_addr == 0xFC
+
+    @pytest.mark.parametrize("shift", [2, 3, 4, -3])
+    def test_all_table2_shift_values_detectable(self, shift):
+        ipd = make_ipd()
+        key = ("primary", 7)
+        base = BASE
+        idx1, idx2 = 64, 192                      # multiples of 8 so -3 is exact
+        ipd.on_index_access(key, idx1, now=0)
+        ipd.on_miss((idx1 << shift if shift >= 0 else idx1 >> -shift) + base, now=1)
+        ipd.on_index_access(key, idx2, now=2)
+        detected = ipd.on_miss((idx2 << shift if shift >= 0 else idx2 >> -shift) + base, now=3)
+        assert [p.shift for p in detected] == [shift]
+
+    def test_unrelated_misses_do_not_trigger_detection(self):
+        ipd = make_ipd()
+        key = ("primary", 1)
+        ipd.on_index_access(key, 10, now=0)
+        ipd.on_miss(0xDEAD000, now=1)
+        ipd.on_index_access(key, 25, now=2)
+        detected = ipd.on_miss(0xBEEF000, now=3)
+        assert detected == []
+
+    def test_entry_released_after_detection(self):
+        ipd = make_ipd()
+        key = ("primary", 1)
+        ipd.on_index_access(key, 10, now=0)
+        ipd.on_miss((10 << 3) + BASE, now=1)
+        ipd.on_index_access(key, 25, now=2)
+        ipd.on_miss((25 << 3) + BASE, now=3)
+        assert ipd.entry_for(key) is None
+        assert ipd.occupancy == 0
+
+
+class TestFailureAndBackoff:
+    def test_entry_released_on_third_index_without_detection(self):
+        ipd = make_ipd()
+        key = ("primary", 1)
+        ipd.on_index_access(key, 10, now=0)
+        ipd.on_index_access(key, 20, now=1)
+        assert ipd.entry_for(key) is not None
+        ipd.on_index_access(key, 30, now=2)     # third index: give up
+        assert ipd.entry_for(key) is None
+        assert ipd.failed_detections == 1
+
+    def test_backoff_blocks_immediate_reallocation(self):
+        config = IMPConfig(backoff_base=100)
+        ipd = IndirectPatternDetector(config)
+        key = ("primary", 1)
+        for value in (10, 20, 30):
+            ipd.on_index_access(key, value, now=0)
+        assert ipd.entry_for(key) is None
+        ipd.on_index_access(key, 40, now=1)     # still inside back-off window
+        assert ipd.entry_for(key) is None
+        ipd.on_index_access(key, 50, now=200)   # back-off expired
+        assert ipd.entry_for(key) is not None
+
+    def test_backoff_grows_exponentially(self):
+        config = IMPConfig(backoff_base=10, max_backoff=10_000)
+        ipd = IndirectPatternDetector(config)
+        key = ("primary", 1)
+
+        def fail_once(now):
+            ipd.on_index_access(key, 1, now=now)
+            ipd.on_index_access(key, 2, now=now)
+            ipd.on_index_access(key, 3, now=now)
+
+        fail_once(0)
+        assert ipd._backoff[key].blocked_until == 10
+        ipd.on_index_access(key, 1, now=20)
+        ipd.on_index_access(key, 2, now=20)
+        ipd.on_index_access(key, 3, now=20)
+        assert ipd._backoff[key].blocked_until == 20 + 20
+
+    def test_table_size_limits_concurrent_detections(self):
+        config = IMPConfig(ipd_size=2)
+        ipd = IndirectPatternDetector(config)
+        for stream in range(4):
+            ipd.on_index_access(("primary", stream), 10 + stream, now=0)
+        assert ipd.occupancy == 2
+
+    def test_baseaddr_array_length_limits_tracked_misses(self):
+        config = IMPConfig(baseaddr_array_len=2)
+        ipd = IndirectPatternDetector(config)
+        key = ("primary", 1)
+        ipd.on_index_access(key, 10, now=0)
+        # Two unrelated misses fill the BaseAddr array; the real one is lost.
+        ipd.on_miss(0x111000, now=1)
+        ipd.on_miss(0x222000, now=2)
+        ipd.on_miss((10 << 3) + BASE, now=3)
+        ipd.on_index_access(key, 25, now=4)
+        assert ipd.on_miss((25 << 3) + BASE, now=5) == []
+
+
+class TestKnownPatterns:
+    def test_known_pattern_not_redetected(self):
+        ipd = make_ipd()
+        key = ("way", 1)
+        ipd.add_known_pattern(key, 3, BASE)
+        ipd.on_index_access(key, 10, now=0)
+        ipd.on_miss((10 << 3) + BASE, now=1)
+        ipd.on_index_access(key, 25, now=2)
+        assert ipd.on_miss((25 << 3) + BASE, now=3) == []
+
+    def test_second_pattern_with_different_base_detected(self):
+        ipd = make_ipd()
+        key = ("way", 1)
+        other_base = 0x3000_0000
+        ipd.add_known_pattern(key, 3, BASE)
+        ipd.on_index_access(key, 10, now=0)
+        ipd.on_miss((10 << 2) + other_base, now=1)
+        ipd.on_index_access(key, 25, now=2)
+        detected = ipd.on_miss((25 << 2) + other_base, now=3)
+        assert len(detected) == 1
+        assert detected[0].base_addr == other_base
+        assert detected[0].shift == 2
+
+    def test_reset_clears_everything(self):
+        ipd = make_ipd()
+        ipd.on_index_access(("primary", 1), 10, now=0)
+        ipd.add_known_pattern(("primary", 1), 3, BASE)
+        ipd.reset()
+        assert ipd.occupancy == 0
+        assert ipd.known_patterns(("primary", 1)) == []

@@ -1,0 +1,152 @@
+"""End-to-end integration tests: full system simulations reproducing the
+paper's qualitative claims on small inputs.
+
+These are the slowest tests in the suite (a few seconds each); they use
+reduced problem sizes but keep the working sets larger than the simulated
+L1 caches so prefetching matters.
+"""
+
+import pytest
+
+from repro.core import IMPConfig
+from repro.experiments.configs import scaled_config
+from repro.sim.system import run_workload
+from repro.sim.trace import AccessKind
+from repro.workloads import PagerankWorkload, SpMVWorkload
+from repro.workloads.synthetic import IndirectStreamWorkload, StreamingWorkload
+
+N_CORES = 16
+
+
+@pytest.fixture(scope="module")
+def config():
+    return scaled_config(N_CORES)
+
+
+@pytest.fixture(scope="module")
+def indirect_results(config):
+    """Simulate the canonical A[B[i]] workload under several configurations."""
+    workload = IndirectStreamWorkload(n_indices=4096, n_data=8192, seed=5)
+    return {
+        "ideal": run_workload(workload, config.as_ideal(), prefetcher="none"),
+        "perfpref": run_workload(workload, config.as_perfect_prefetch(),
+                                 prefetcher="none"),
+        "none": run_workload(workload, config, prefetcher="none"),
+        "base": run_workload(workload, config, prefetcher="stream"),
+        "imp": run_workload(workload, config, prefetcher="imp"),
+        "swpref": run_workload(workload, config, prefetcher="stream",
+                               software_prefetch=True),
+    }
+
+
+class TestConfigurationOrdering:
+    def test_ideal_is_the_fastest_configuration(self, indirect_results):
+        ideal = indirect_results["ideal"].runtime_cycles
+        assert all(ideal <= result.runtime_cycles
+                   for name, result in indirect_results.items() if name != "ideal")
+
+    def test_perfect_prefetching_upper_bounds_imp(self, indirect_results):
+        assert (indirect_results["perfpref"].runtime_cycles
+                <= indirect_results["imp"].runtime_cycles)
+
+    def test_imp_speeds_up_indirect_workload_substantially(self, indirect_results):
+        speedup = indirect_results["imp"].speedup_over(indirect_results["base"])
+        assert speedup > 1.3
+
+    def test_software_prefetching_helps_but_imp_is_competitive(self, indirect_results):
+        # On this flat synthetic loop with a hand-tuned distance, software
+        # prefetching is at its best; IMP must stay within a small margin
+        # (its advantages — nested loops, runtime-only patterns, zero
+        # instruction overhead — are exercised by the application workloads).
+        base = indirect_results["base"]
+        sw = indirect_results["swpref"]
+        imp = indirect_results["imp"]
+        assert sw.speedup_over(base) > 1.0
+        assert imp.runtime_cycles <= sw.runtime_cycles * 1.25
+
+    def test_software_prefetching_has_instruction_overhead(self, indirect_results):
+        assert (indirect_results["swpref"].stats.total_instructions
+                > indirect_results["imp"].stats.total_instructions)
+
+    def test_imp_improves_coverage_over_stream_only(self, indirect_results):
+        assert indirect_results["imp"].stats.coverage > 0.5
+        assert (indirect_results["imp"].stats.coverage
+                > indirect_results["base"].stats.coverage + 0.3)
+
+    def test_imp_reduces_average_memory_latency(self, indirect_results):
+        assert (indirect_results["imp"].stats.avg_mem_latency
+                < indirect_results["base"].stats.avg_mem_latency)
+
+    def test_most_misses_are_indirect_in_baseline(self, indirect_results):
+        fractions = indirect_results["base"].stats.miss_fraction_by_kind()
+        assert fractions[AccessKind.INDIRECT] > 0.5
+
+
+class TestNoHarmOnRegularCodes:
+    def test_imp_does_not_hurt_streaming_workload(self, config):
+        """The paper's SPLASH-2 check: IMP never triggers indirect
+        prefetching without indirection, so performance is unchanged."""
+        workload = StreamingWorkload(n_elements=8192, seed=5)
+        base = run_workload(workload, config, prefetcher="stream")
+        imp = run_workload(workload, config, prefetcher="imp")
+        assert imp.runtime_cycles <= base.runtime_cycles * 1.05
+        assert all(prefetcher.patterns_detected == 0 for prefetcher in imp.imps)
+
+
+class TestPartialCachelineAccessing:
+    @pytest.fixture(scope="class")
+    def partial_results(self, config):
+        workload = IndirectStreamWorkload(n_indices=4096, n_data=8192, seed=5)
+        imp_full = run_workload(workload, config, prefetcher="imp")
+        imp_partial = run_workload(
+            workload, config.with_partial(noc=True, dram=True),
+            prefetcher="imp", imp_config=IMPConfig(partial_enabled=True))
+        return imp_full, imp_partial
+
+    def test_partial_accessing_reduces_noc_traffic(self, partial_results):
+        full, partial = partial_results
+        assert (partial.stats.traffic.noc_bytes
+                < full.stats.traffic.noc_bytes)
+
+    def test_partial_accessing_reduces_dram_traffic(self, partial_results):
+        full, partial = partial_results
+        assert (partial.stats.traffic.dram_bytes
+                <= full.stats.traffic.dram_bytes)
+
+    def test_partial_accessing_does_not_slow_down_sparse_accesses(self,
+                                                                  partial_results):
+        full, partial = partial_results
+        assert partial.runtime_cycles <= full.runtime_cycles * 1.10
+
+
+class TestRealWorkloads:
+    def test_imp_speeds_up_pagerank(self, config):
+        workload = PagerankWorkload(n_vertices=1024, seed=3)
+        base = run_workload(workload, config, prefetcher="stream")
+        imp = run_workload(workload, config, prefetcher="imp")
+        assert imp.speedup_over(base) > 1.2
+        assert any(p.secondary_patterns_detected for p in imp.imps)
+
+    def test_imp_speeds_up_spmv_with_high_coverage(self, config):
+        workload = SpMVWorkload(nx=12, ny=12, nz=12, seed=3)
+        base = run_workload(workload, config, prefetcher="stream")
+        imp = run_workload(workload, config, prefetcher="imp")
+        assert imp.speedup_over(base) > 1.1
+        assert imp.stats.coverage > base.stats.coverage
+
+    def test_ghb_provides_no_benefit_on_indirect_workload(self, config):
+        workload = IndirectStreamWorkload(n_indices=2048, n_data=8192, seed=5)
+        base = run_workload(workload, config, prefetcher="stream")
+        ghb = run_workload(workload, config, prefetcher="ghb")
+        imp = run_workload(workload, config, prefetcher="imp")
+        # GHB does not beat the stream baseline on these access patterns,
+        # while IMP clearly does (Section 5.4).
+        assert ghb.runtime_cycles >= base.runtime_cycles * 0.95
+        assert imp.runtime_cycles < ghb.runtime_cycles
+
+    def test_ooo_core_benefits_from_imp(self):
+        config = scaled_config(N_CORES).with_ooo(32)
+        workload = PagerankWorkload(n_vertices=1024, seed=3)
+        base = run_workload(workload, config, prefetcher="stream")
+        imp = run_workload(workload, config, prefetcher="imp")
+        assert imp.speedup_over(base) > 1.05

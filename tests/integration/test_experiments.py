@@ -1,0 +1,147 @@
+"""Tests for the experiment harness (repro.experiments) on tiny inputs."""
+
+import pytest
+
+from repro.core.config import IMPConfig
+from repro.experiments import ExperimentRunner, figures, scaled_config
+from repro.experiments.configs import CONFIG_MODES, experiment_config
+from repro.workloads import PagerankWorkload, SpMVWorkload
+from repro.workloads.synthetic import IndirectStreamWorkload
+
+N_CORES = 4
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """A runner over two tiny workloads so figure functions stay fast."""
+    workloads = [
+        IndirectStreamWorkload(n_indices=1024, n_data=4096, seed=2),
+        PagerankWorkload(n_vertices=512, seed=2),
+    ]
+    return ExperimentRunner(workloads=workloads,
+                            base_config=scaled_config(N_CORES))
+
+
+class TestConfigs:
+    def test_scaled_config_preserves_table1_structure(self):
+        config = scaled_config(64)
+        assert config.n_cores == 64
+        assert config.num_memory_controllers == 4
+        assert config.l1d.size_bytes == 16 * 1024
+
+    @pytest.mark.parametrize("mode", CONFIG_MODES)
+    def test_all_modes_resolve(self, mode):
+        config, prefetcher, imp_config, software = experiment_config(mode, 16)
+        assert config.n_cores == 16
+        if mode == "ideal":
+            assert config.ideal_memory
+        if mode == "perfpref":
+            assert config.perfect_prefetch
+        if mode.startswith("imp"):
+            assert prefetcher == "imp"
+            assert imp_config is not None
+        if mode == "imp_partial_noc_dram":
+            assert config.partial_noc and config.partial_dram
+            assert imp_config.partial_enabled
+        if mode == "swpref":
+            assert software
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            experiment_config("warp_drive", 16)
+
+
+class TestRunnerCaching:
+    def test_run_is_cached(self, runner):
+        first = runner.run("indirect_stream", "base", N_CORES)
+        second = runner.run("indirect_stream", "base", N_CORES)
+        assert first is second
+
+    def test_different_imp_configs_not_conflated(self, runner):
+        small = runner.run("indirect_stream", "imp", N_CORES,
+                           imp_config=IMPConfig().with_pt_size(8))
+        large = runner.run("indirect_stream", "imp", N_CORES,
+                           imp_config=IMPConfig().with_pt_size(32))
+        assert small is not large
+
+    def test_unknown_workload_rejected(self, runner):
+        with pytest.raises(KeyError):
+            runner.run("hpcg_full", "base", N_CORES)
+
+
+class TestFigureFunctions:
+    def test_fig01_rows_are_fractions(self, runner):
+        rows = figures.fig01_miss_breakdown(runner, N_CORES)
+        assert rows[-1]["workload"] == "avg"
+        for row in rows:
+            total = row["indirect"] + row["stream"] + row["other"]
+            assert 0.0 <= total <= 1.0 + 1e-9
+
+    def test_fig02_norm_runtime_at_least_one(self, runner):
+        rows = figures.fig02_motivation(runner, N_CORES)
+        for row in rows:
+            assert row["norm_runtime"] >= 1.0
+            assert 0.0 <= row["indirect_fraction"] <= 1.0
+
+    def test_fig09_imp_beats_base(self, runner):
+        results = figures.fig09_performance(runner, core_counts=(N_CORES,))
+        rows = results[N_CORES]
+        avg = rows[-1]
+        assert avg["workload"] == "avg"
+        assert avg["imp"] > avg["base"]
+        assert avg["perfpref"] == pytest.approx(1.0)
+
+    def test_table3_columns_present_and_bounded(self, runner):
+        rows = figures.table3_effectiveness(runner, N_CORES)
+        for row in rows:
+            assert 0.0 <= row["stream_cov"] <= 1.0
+            assert 0.0 <= row["imp_cov"] <= 1.0
+            assert row["imp_cov"] >= row["stream_cov"] - 1e-9
+            assert row["imp_lat"] > 0
+
+    def test_fig10_sw_prefetching_has_higher_instruction_count(self, runner):
+        rows = figures.fig10_sw_overhead(runner, N_CORES)
+        avg = rows[-1]
+        assert avg["swpref"] > avg["imp"] >= 0.99
+
+    def test_fig11_contains_all_modes(self, runner):
+        results = figures.fig11_partial(runner, core_counts=(N_CORES,))
+        for row in results[N_CORES]:
+            for key in ("imp", "imp_partial_noc", "imp_partial_noc_dram", "ideal"):
+                assert key in row
+
+    def test_fig12_traffic_ratios_positive(self, runner):
+        rows = figures.fig12_traffic(runner, N_CORES)
+        for row in rows:
+            assert row["noc_traffic"] > 0
+            assert row["dram_traffic"] > 0
+            assert row["noc_traffic"] <= 1.05
+
+    def test_fig14_sensitivity_reference_is_one(self, runner):
+        rows = figures.fig14_pt_size(runner, N_CORES, sizes=(8, 16))
+        for row in rows:
+            assert row["PT=16"] == pytest.approx(1.0)
+
+    def test_fig16_distance_sensitivity_runs(self, runner):
+        rows = figures.fig16_prefetch_distance(runner, N_CORES,
+                                               distances=(8, 16))
+        assert rows[-1]["workload"] == "avg"
+
+    def test_sec64_cost_matches_paper(self):
+        cost = figures.sec64_hardware_cost()
+        assert 5.0 <= cost["imp_total_kbits"] <= 6.0
+        assert cost["imp_total_bytes"] <= 800
+        assert cost["gp_total_bytes"] <= 470
+
+    def test_format_table_renders_rows(self, runner):
+        rows = figures.fig01_miss_breakdown(runner, N_CORES)
+        text = figures.format_table(rows)
+        assert "workload" in text
+        assert "avg" in text
+        assert figures.format_table([]) == "(empty)"
+
+    def test_imp_speedup_helper(self, runner):
+        results = figures.fig09_performance(runner, core_counts=(N_CORES,))
+        speedups = figures.imp_speedup_over_base(results[N_CORES])
+        assert set(speedups) == {"indirect_stream", "pagerank"}
+        assert all(value > 0 for value in speedups.values())

@@ -1,0 +1,147 @@
+"""Unit tests for the set-associative cache model (repro.memory.cache)."""
+
+import pytest
+
+from repro.memory.cache import Cache, full_mask
+from repro.sim.config import CacheConfig
+
+
+def make_cache(size=1024, assoc=2, line=64, sector=0) -> Cache:
+    return Cache(CacheConfig(size_bytes=size, associativity=assoc,
+                             line_size=line, sector_size=sector))
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cache = make_cache(size=1024, assoc=2, line=64)
+        assert cache.num_sets == 8
+        assert cache.capacity_lines == 16
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, associativity=3, line_size=64)
+
+    def test_line_addr_and_tag(self):
+        cache = make_cache()
+        assert cache.line_addr(0x12345) == 0x12340
+        assert cache.set_index(0x12340) == (0x12340 // 64) % cache.num_sets
+
+
+class TestBasicAccess:
+    def test_miss_then_fill_then_hit(self):
+        cache = make_cache()
+        result = cache.access(0x1000, 8, False, now=0)
+        assert not result.hit
+        cache.fill(0x1000, now=1, ready_time=10)
+        result = cache.access(0x1008, 8, False, now=2)   # same line
+        assert result.hit
+        assert result.ready_time == 10
+
+    def test_write_sets_dirty(self):
+        cache = make_cache()
+        cache.fill(0x1000, now=0, ready_time=0)
+        cache.access(0x1000, 8, True, now=1)
+        assert cache.probe(0x1000).dirty
+
+    def test_different_lines_do_not_alias(self):
+        cache = make_cache()
+        cache.fill(0x1000, now=0, ready_time=0)
+        assert not cache.access(0x2000, 8, False, now=1).hit
+
+    def test_statistics_counted(self):
+        cache = make_cache()
+        cache.access(0x1000, 8, False, now=0)
+        cache.fill(0x1000, now=0, ready_time=0)
+        cache.access(0x1000, 8, False, now=1)
+        assert cache.accesses == 2
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+
+class TestReplacement:
+    def test_lru_eviction_within_set(self):
+        cache = make_cache(size=256, assoc=2, line=64)   # 2 sets
+        set_stride = cache.num_sets * 64
+        a, b, c = 0x0, set_stride, 2 * set_stride        # all map to set 0
+        cache.fill(a, now=0, ready_time=0)
+        cache.fill(b, now=1, ready_time=1)
+        cache.access(a, 8, False, now=2)                 # a is now MRU
+        result = cache.fill(c, now=3, ready_time=3)
+        assert result.evicted is not None
+        assert result.evicted.addr == b                  # LRU victim
+        assert cache.probe(a) is not None
+        assert cache.probe(b) is None
+
+    def test_occupancy_never_exceeds_capacity(self):
+        cache = make_cache(size=512, assoc=2, line=64)
+        for i in range(100):
+            cache.fill(i * 64, now=i, ready_time=i)
+        assert cache.occupancy() <= cache.capacity_lines
+
+    def test_unused_prefetch_eviction_counted(self):
+        cache = make_cache(size=128, assoc=1, line=64)   # 2 sets, direct mapped
+        cache.fill(0x0, now=0, ready_time=0, is_prefetch=True)
+        cache.fill(0x80, now=1, ready_time=1)            # evicts the prefetch
+        assert cache.unused_prefetch_evictions == 1
+
+    def test_invalidate_removes_line(self):
+        cache = make_cache()
+        cache.fill(0x1000, now=0, ready_time=0)
+        victim = cache.invalidate(0x1000)
+        assert victim is not None
+        assert cache.probe(0x1000) is None
+        assert cache.invalidate(0x1000) is None
+
+
+class TestPrefetchTracking:
+    def test_first_demand_touch_of_prefetched_line_flagged(self):
+        cache = make_cache()
+        cache.fill(0x1000, now=0, ready_time=5, is_prefetch=True)
+        first = cache.access(0x1000, 8, False, now=1)
+        second = cache.access(0x1000, 8, False, now=2)
+        assert first.was_prefetched
+        assert not second.was_prefetched
+
+    def test_demand_fill_not_flagged_as_prefetch(self):
+        cache = make_cache()
+        cache.fill(0x1000, now=0, ready_time=0, is_prefetch=False)
+        assert not cache.access(0x1000, 8, False, now=1).was_prefetched
+
+
+class TestSectorCache:
+    def test_sector_mask_computation(self):
+        cache = make_cache(sector=8)
+        assert cache.sector_mask(0x1000, 8) == 0b1
+        assert cache.sector_mask(0x1008, 8) == 0b10
+        assert cache.sector_mask(0x1000, 64) == full_mask(8)
+        assert cache.sector_mask(0x1006, 8) == 0b11    # spans two sectors
+
+    def test_partial_fill_then_sector_miss(self):
+        cache = make_cache(sector=8)
+        cache.fill(0x1000, now=0, ready_time=0, sectors=0b1)
+        hit = cache.access(0x1000, 8, False, now=1)
+        assert hit.hit
+        miss = cache.access(0x1020, 8, False, now=2)   # sector 4 not present
+        assert not miss.hit
+        assert miss.sector_miss
+        assert cache.sector_misses == 1
+
+    def test_sector_fill_extends_existing_line(self):
+        cache = make_cache(sector=8)
+        cache.fill(0x1000, now=0, ready_time=0, sectors=0b1)
+        cache.fill(0x1020, now=1, ready_time=1, sectors=0b10000)
+        line = cache.probe(0x1000)
+        assert line.sector_valid == 0b10001
+        assert cache.access(0x1020, 8, False, now=2).hit
+
+    def test_touched_sectors_recorded_on_hits(self):
+        cache = make_cache(sector=8)
+        cache.fill(0x1000, now=0, ready_time=0)
+        cache.access(0x1000, 8, False, now=1)
+        cache.access(0x1018, 8, False, now=2)
+        assert cache.probe(0x1000).sector_touched == 0b1001
+
+    def test_non_sectored_cache_has_single_sector(self):
+        cache = make_cache(sector=0)
+        assert cache.sectors_per_line == 1
+        assert cache.sector_mask(0x1000, 8) == 0b1

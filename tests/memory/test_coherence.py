@@ -1,0 +1,115 @@
+"""Unit tests for the ACKwise-style directory (repro.memory.coherence)."""
+
+import pytest
+
+from repro.memory.coherence import Directory, LineState
+
+LINE = 0x4000
+LINE_SIZE = 64
+N_CORES = 16
+
+
+def make_directory(pointers: int = 4) -> Directory:
+    return Directory(home_tile=0, max_pointers=pointers)
+
+
+class TestReads:
+    def test_first_read_creates_shared_entry(self):
+        directory = make_directory()
+        action = directory.read(LINE, requester=3, n_cores=N_CORES,
+                                line_size=LINE_SIZE)
+        entry = directory.lookup(LINE)
+        assert entry.state is LineState.SHARED
+        assert 3 in entry.sharers
+        assert action.extra_hops_messages == []
+
+    def test_read_of_modified_line_fetches_from_owner(self):
+        directory = make_directory()
+        directory.write(LINE, requester=2, n_cores=N_CORES, line_size=LINE_SIZE)
+        action = directory.read(LINE, requester=5, n_cores=N_CORES,
+                                line_size=LINE_SIZE)
+        assert action.writeback
+        # Control message to the owner plus the data write-back.
+        destinations = [dst for _, dst, _ in action.extra_hops_messages]
+        assert 2 in destinations
+        entry = directory.lookup(LINE)
+        assert entry.state is LineState.SHARED
+        assert {2, 5} <= entry.sharers
+
+    def test_owner_rereading_its_own_line_is_free(self):
+        directory = make_directory()
+        directory.write(LINE, requester=2, n_cores=N_CORES, line_size=LINE_SIZE)
+        action = directory.read(LINE, requester=2, n_cores=N_CORES,
+                                line_size=LINE_SIZE)
+        assert not action.writeback
+
+
+class TestWrites:
+    def test_write_invalidates_sharers(self):
+        directory = make_directory()
+        for core in (1, 2, 3):
+            directory.read(LINE, core, N_CORES, LINE_SIZE)
+        action = directory.write(LINE, requester=1, n_cores=N_CORES,
+                                 line_size=LINE_SIZE)
+        assert action.invalidations == 2            # cores 2 and 3
+        assert not action.broadcast
+        entry = directory.lookup(LINE)
+        assert entry.state is LineState.MODIFIED
+        assert entry.owner == 1
+        assert entry.sharers == {1}
+
+    def test_ackwise_broadcast_after_pointer_overflow(self):
+        directory = make_directory(pointers=4)
+        for core in range(6):                       # more sharers than pointers
+            directory.read(LINE, core, N_CORES, LINE_SIZE)
+        entry = directory.lookup(LINE)
+        assert entry.overflowed
+        action = directory.write(LINE, requester=0, n_cores=N_CORES,
+                                 line_size=LINE_SIZE)
+        assert action.broadcast
+        # Broadcast goes to every other core, not just known sharers.
+        assert action.invalidations == N_CORES - 1
+        assert directory.traffic.broadcasts == 1
+
+    def test_write_to_modified_line_fetches_from_previous_owner(self):
+        directory = make_directory()
+        directory.write(LINE, requester=2, n_cores=N_CORES, line_size=LINE_SIZE)
+        action = directory.write(LINE, requester=7, n_cores=N_CORES,
+                                 line_size=LINE_SIZE)
+        assert action.writeback
+        assert directory.lookup(LINE).owner == 7
+
+    def test_invalidation_traffic_counted(self):
+        directory = make_directory()
+        for core in (1, 2, 3, 4):
+            directory.read(LINE, core, N_CORES, LINE_SIZE)
+        directory.write(LINE, requester=1, n_cores=N_CORES, line_size=LINE_SIZE)
+        assert directory.traffic.invalidations == 3
+
+
+class TestEvictions:
+    def test_eviction_removes_sharer(self):
+        directory = make_directory()
+        directory.read(LINE, 1, N_CORES, LINE_SIZE)
+        directory.read(LINE, 2, N_CORES, LINE_SIZE)
+        directory.evict(LINE, 1)
+        entry = directory.lookup(LINE)
+        assert entry.sharers == {2}
+
+    def test_eviction_of_owner_clears_ownership(self):
+        directory = make_directory()
+        directory.write(LINE, requester=1, n_cores=N_CORES, line_size=LINE_SIZE)
+        directory.evict(LINE, 1)
+        entry = directory.lookup(LINE)
+        assert entry.owner is None
+
+    def test_eviction_of_untracked_line_is_noop(self):
+        directory = make_directory()
+        directory.evict(0x9999, 1)              # must not raise
+        assert directory.tracked_lines() == 0
+
+    def test_last_eviction_invalidates_entry(self):
+        directory = make_directory()
+        directory.read(LINE, 1, N_CORES, LINE_SIZE)
+        directory.evict(LINE, 1)
+        assert directory.lookup(LINE).state is LineState.INVALID

@@ -1,0 +1,95 @@
+"""Unit tests for the DRAM models (repro.memory.dram)."""
+
+import pytest
+
+from repro.memory.dram import BankedDram, SimpleDram, make_dram
+from repro.sim.config import DramConfig
+
+
+class TestSimpleDram:
+    def test_unloaded_latency_is_base_latency_plus_transfer(self):
+        dram = SimpleDram(DramConfig(), n_controllers=2)
+        done = dram.access(0, addr=0x1000, nbytes=64, now=100)
+        assert done == pytest.approx(100 + 100 + 64 / 10.0)
+
+    def test_bandwidth_limit_serialises_back_to_back_requests(self):
+        config = DramConfig(latency_cycles=100, bandwidth_bytes_per_cycle=10.0)
+        dram = SimpleDram(config, n_controllers=1)
+        first = dram.access(0, 0x0, 64, now=0)
+        second = dram.access(0, 0x40, 64, now=0)
+        assert second == pytest.approx(first + 6.4)
+
+    def test_controllers_are_independent(self):
+        dram = SimpleDram(DramConfig(), n_controllers=2)
+        first = dram.access(0, 0x0, 64, now=0)
+        other = dram.access(1, 0x40, 64, now=0)
+        assert other == pytest.approx(first)     # no cross-controller queueing
+
+    def test_minimum_access_granularity_enforced(self):
+        dram = SimpleDram(DramConfig(access_granularity=32), n_controllers=1)
+        dram.access(0, 0x0, 8, now=0)
+        assert dram.traffic.dram_bytes == 32
+
+    def test_traffic_accounting(self):
+        dram = SimpleDram(DramConfig(), n_controllers=1)
+        dram.access(0, 0x0, 64, now=0)
+        dram.access(0, 0x40, 32, now=10)
+        assert dram.traffic.dram_requests == 2
+        assert dram.traffic.dram_bytes == 96
+
+    def test_out_of_range_controller_rejected(self):
+        dram = SimpleDram(DramConfig(), n_controllers=2)
+        with pytest.raises(ValueError):
+            dram.access(2, 0x0, 64, now=0)
+
+    def test_reset_contention_clears_queues(self):
+        dram = SimpleDram(DramConfig(), n_controllers=1)
+        for i in range(50):
+            dram.access(0, i * 64, 64, now=0)
+        dram.reset_contention()
+        done = dram.access(0, 0x0, 64, now=0)
+        assert done == pytest.approx(100 + 6.4)
+
+
+class TestBankedDram:
+    def test_row_hit_faster_than_row_miss(self):
+        config = DramConfig(model="banked")
+        dram = BankedDram(config, n_controllers=1)
+        first = dram.access(0, 0x0, 64, now=0)          # row miss (activate)
+        second = dram.access(0, 0x40, 64, now=first)    # same row: hit
+        first_latency = first - 0
+        second_latency = second - first
+        assert second_latency < first_latency
+
+    def test_bank_conflict_serialises(self):
+        config = DramConfig(model="banked", row_size=2048, banks_per_rank=8)
+        dram = BankedDram(config, n_controllers=1)
+        # Two different rows mapping to the same bank (row % banks).
+        addr_a = 0
+        addr_b = 8 * 2048                                # row 8 -> bank 0
+        first = dram.access(0, addr_a, 64, now=0)
+        second = dram.access(0, addr_b, 64, now=0)
+        assert second > first
+
+    def test_different_banks_overlap(self):
+        config = DramConfig(model="banked")
+        dram = BankedDram(config, n_controllers=1)
+        first = dram.access(0, 0 * 2048, 64, now=0)      # bank 0
+        second = dram.access(0, 1 * 2048, 64, now=0)     # bank 1
+        # Only the shared data bus serialises them, not the full access.
+        assert second - first < (config.t_rp + config.t_rcd + config.t_cas)
+
+    def test_channel_utilization_grows_with_traffic(self):
+        dram = BankedDram(DramConfig(model="banked"), n_controllers=1)
+        assert dram.channel_utilization(100) == 0.0
+        for i in range(10):
+            dram.access(0, i * 64, 64, now=0)
+        assert dram.channel_utilization(100) > 0.0
+
+
+class TestFactory:
+    def test_make_dram_dispatches_on_model(self):
+        assert isinstance(make_dram(DramConfig(model="simple"), 1), SimpleDram)
+        assert isinstance(make_dram(DramConfig(model="banked"), 1), BankedDram)
+        with pytest.raises(ValueError):
+            make_dram(DramConfig(model="nonsense"), 1)

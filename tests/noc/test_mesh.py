@@ -1,0 +1,102 @@
+"""Unit tests for the 2-D mesh NoC (repro.noc.mesh)."""
+
+import pytest
+
+from repro.noc.mesh import MeshNoC, Message
+from repro.sim.config import NoCConfig
+
+
+class TestGeometry:
+    def test_coords_and_tile_roundtrip(self):
+        noc = MeshNoC(16)
+        for tile in range(16):
+            x, y = noc.coords(tile)
+            assert noc.tile(x, y) == tile
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            MeshNoC(12)
+
+    def test_hops_is_manhattan_distance(self):
+        noc = MeshNoC(16)      # 4x4
+        assert noc.hops(0, 0) == 0
+        assert noc.hops(0, 3) == 3
+        assert noc.hops(0, 15) == 6
+        assert noc.hops(5, 10) == 2
+
+    def test_xy_route_goes_x_first(self):
+        noc = MeshNoC(16)
+        links = noc.route(0, 5)          # (0,0) -> (1,1)
+        assert links[0] == (0, 1)        # x move first
+        assert links[1] == (1, 5)        # then y move
+        assert len(links) == noc.hops(0, 5)
+
+    def test_route_links_are_adjacent(self):
+        noc = MeshNoC(64)
+        for src, dst in [(0, 63), (7, 56), (20, 43)]:
+            for a, b in noc.route(src, dst):
+                assert noc.hops(a, b) == 1
+
+
+class TestTiming:
+    def test_zero_load_latency(self):
+        noc = MeshNoC(16, NoCConfig(hop_latency=2, flit_bytes=8, header_flits=1))
+        # 3 hops * 2 cycles + 1 header flit + 8 data flits.
+        assert noc.zero_load_latency(0, 3, payload_bytes=64) == 3 * 2 + 9
+
+    def test_send_on_idle_network_matches_zero_load(self):
+        noc = MeshNoC(16)
+        arrival = noc.send(Message(0, 3, 64), now=100)
+        assert arrival == pytest.approx(100 + noc.zero_load_latency(0, 3, 64))
+
+    def test_local_message_costs_one_hop(self):
+        noc = MeshNoC(16)
+        assert noc.send(Message(5, 5, 64), now=10) == 10 + noc.config.hop_latency
+
+    def test_contention_delays_overlapping_messages(self):
+        noc = MeshNoC(16)
+        first = noc.send(Message(0, 3, 64), now=0)
+        second = noc.send(Message(0, 3, 64), now=0)
+        assert second > first
+
+    def test_messages_on_disjoint_paths_do_not_interfere(self):
+        noc = MeshNoC(16)
+        a = noc.send(Message(0, 1, 64), now=0)
+        b = noc.send(Message(14, 15, 64), now=0)
+        assert a == pytest.approx(b)
+
+    def test_earlier_message_can_use_idle_gap_before_future_reservation(self):
+        """A message sent 'later in wall-clock order' by the simulator but with
+        an earlier timestamp must not queue behind future reservations."""
+        noc = MeshNoC(16)
+        noc.send(Message(0, 3, 64), now=1000)          # reservation at t=1000+
+        early = noc.send(Message(0, 3, 64), now=0)
+        assert early == pytest.approx(noc.zero_load_latency(0, 3, 64))
+
+    def test_round_trip_includes_remote_latency(self):
+        noc = MeshNoC(16)
+        done = noc.round_trip(0, 5, request_bytes=8, response_bytes=64,
+                              now=0, remote_latency=50)
+        assert done > 50
+
+    def test_traffic_accounting_scales_with_hops(self):
+        noc = MeshNoC(16)
+        noc.send(Message(0, 3, 64), now=0)
+        assert noc.traffic.noc_messages == 1
+        assert noc.traffic.noc_bytes == 64 * 3
+        assert noc.traffic.noc_flits == 9 * 3
+
+    def test_reset_contention(self):
+        noc = MeshNoC(16)
+        for _ in range(10):
+            noc.send(Message(0, 3, 64), now=0)
+        noc.reset_contention()
+        arrival = noc.send(Message(0, 3, 64), now=0)
+        assert arrival == pytest.approx(noc.zero_load_latency(0, 3, 64))
+
+    def test_utilization_metrics(self):
+        noc = MeshNoC(16)
+        assert noc.link_utilization(100) == 0.0
+        noc.send(Message(0, 3, 64), now=0)
+        assert noc.link_utilization(100) > 0.0
+        assert noc.max_link_utilization(100) >= noc.link_utilization(100)

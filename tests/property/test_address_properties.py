@@ -1,0 +1,46 @@
+"""Property-based tests for Equation 2 address arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.address import (
+    apply_shift,
+    coefficient_of,
+    predict_address,
+    shift_for_element_size,
+    solve_base_addr,
+)
+
+shifts = st.sampled_from([2, 3, 4, -3])
+indices = st.integers(min_value=0, max_value=2**32 - 1)
+bases = st.integers(min_value=0, max_value=2**47 - 1)
+
+
+@given(index=indices, base=bases, shift=st.sampled_from([2, 3, 4]))
+def test_predict_solve_roundtrip_for_positive_shifts(index, base, shift):
+    addr = predict_address(index, shift, base)
+    assert solve_base_addr(index, addr, shift) == base
+
+
+@given(index=indices, base=bases)
+def test_predict_solve_roundtrip_for_bit_vectors_on_aligned_indices(index, base):
+    aligned = index & ~0x7                  # multiples of 8 shift exactly
+    addr = predict_address(aligned, -3, base)
+    assert solve_base_addr(aligned, addr, -3) == base
+
+
+@given(index=indices, shift=shifts)
+def test_apply_shift_matches_coefficient(index, shift):
+    coefficient = coefficient_of(shift)
+    assert apply_shift(index, shift) == int(index * coefficient)
+
+
+@given(shift=st.sampled_from([2, 3, 4, -3]))
+def test_shift_for_element_size_inverts_coefficient(shift):
+    assert shift_for_element_size(coefficient_of(shift)) == shift
+
+
+@given(index=indices, base=bases, shift=shifts, delta=st.integers(1, 1000))
+def test_prediction_is_monotonic_in_index(index, base, shift, delta):
+    smaller = predict_address(index, shift, base)
+    larger = predict_address(index + delta * 8, shift, base)
+    assert larger > smaller

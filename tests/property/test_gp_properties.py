@@ -1,0 +1,66 @@
+"""Property-based tests for Granularity Predictor helpers and Algorithm 1."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import IMPConfig
+from repro.core.granularity import (
+    GranularityPredictor,
+    min_consecutive_run,
+    popcount,
+)
+
+masks = st.integers(min_value=0, max_value=255)
+
+
+@given(mask=masks)
+def test_min_run_bounded_by_sector_count(mask):
+    run = min_consecutive_run(mask, 8)
+    assert 1 <= run <= 8
+
+
+@given(mask=masks)
+def test_min_run_never_exceeds_popcount_unless_empty(mask):
+    run = min_consecutive_run(mask, 8)
+    if mask:
+        assert run <= popcount(mask)
+    else:
+        assert run == 8
+
+
+@given(mask=st.integers(min_value=1, max_value=255))
+def test_min_run_of_solid_prefix_equals_popcount(mask):
+    solid = (1 << popcount(mask)) - 1        # same popcount, one solid run
+    assert min_consecutive_run(solid, 8) == popcount(mask)
+
+
+@given(touch_masks=st.lists(masks, min_size=4, max_size=4))
+@settings(max_examples=80)
+def test_predicted_granularity_always_legal(touch_masks):
+    config = IMPConfig(partial_enabled=True, gp_samples=4)
+    gp = GranularityPredictor(config)
+    base = 0x1000_0000
+    for i, mask in enumerate(touch_masks):
+        line = base + i * 64
+        gp.maybe_sample(0, line)
+        for sector in range(8):
+            if (mask >> sector) & 1:
+                gp.on_demand_access(line + sector * 8, size=8)
+    for i in range(4):
+        gp.on_eviction(base + i * 64)
+    granularity = gp.entry(0).granularity_sectors
+    assert 1 <= granularity <= 8
+    assert gp.granularity_bytes(0) == granularity * 8
+
+
+@given(touch_masks=st.lists(st.just(255), min_size=4, max_size=4))
+def test_fully_touched_lines_predict_full_cacheline(touch_masks):
+    config = IMPConfig(partial_enabled=True, gp_samples=4)
+    gp = GranularityPredictor(config)
+    base = 0x2000_0000
+    for i in range(4):
+        line = base + i * 64
+        gp.maybe_sample(0, line)
+        for sector in range(8):
+            gp.on_demand_access(line + sector * 8, size=8)
+        gp.on_eviction(line)
+    assert gp.granularity_bytes(0) == 64

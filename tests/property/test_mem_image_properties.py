@@ -1,0 +1,50 @@
+"""Property-based tests for the memory image address arithmetic."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mem_image import MemoryImage
+
+elem_sizes = st.sampled_from([1, 2, 4, 8, 16])
+lengths = st.integers(min_value=1, max_value=4096)
+
+
+@given(length=lengths, elem_size=elem_sizes)
+@settings(max_examples=60)
+def test_addr_of_index_of_roundtrip(length, elem_size):
+    image = MemoryImage()
+    spec = image.add_array("a", length=length, elem_size=elem_size)
+    for index in {0, length // 2, length - 1}:
+        assert spec.index_of(spec.addr_of(index)) == index
+
+
+@given(lengths_list=st.lists(lengths, min_size=1, max_size=8))
+@settings(max_examples=60)
+def test_registered_arrays_never_overlap(lengths_list):
+    image = MemoryImage()
+    for i, length in enumerate(lengths_list):
+        image.add_array(f"array{i}", length=length, elem_size=8)
+    specs = image.arrays()
+    for first, second in zip(specs, specs[1:]):
+        assert first.end <= second.base
+
+
+@given(values=st.lists(st.integers(0, 2**31 - 1), min_size=1, max_size=256))
+@settings(max_examples=60)
+def test_read_value_returns_stored_integers(values):
+    image = MemoryImage()
+    data = np.array(values, dtype=np.int64)
+    image.add_array("idx", data)
+    for index in {0, len(values) // 2, len(values) - 1}:
+        assert image.read_value(image.addr_of("idx", index)) == values[index]
+
+
+@given(length=lengths)
+@settings(max_examples=60)
+def test_find_is_consistent_with_contains(length):
+    image = MemoryImage()
+    spec = image.add_array("a", length=length, elem_size=4)
+    inside = spec.base + (spec.size_bytes // 2)
+    outside = spec.end + 1
+    assert image.find(inside).name == "a"
+    assert image.find(outside) is None

@@ -1,0 +1,54 @@
+"""Property-based tests for the mesh NoC routing and timing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.mesh import MeshNoC, Message
+
+mesh_sizes = st.sampled_from([4, 16, 64])
+
+
+@st.composite
+def mesh_and_pair(draw):
+    n_tiles = draw(mesh_sizes)
+    src = draw(st.integers(0, n_tiles - 1))
+    dst = draw(st.integers(0, n_tiles - 1))
+    return n_tiles, src, dst
+
+
+@given(args=mesh_and_pair())
+def test_route_length_equals_manhattan_distance(args):
+    n_tiles, src, dst = args
+    noc = MeshNoC(n_tiles)
+    assert len(noc.route(src, dst)) == noc.hops(src, dst)
+
+
+@given(args=mesh_and_pair())
+def test_route_hops_are_adjacent_and_reach_destination(args):
+    n_tiles, src, dst = args
+    noc = MeshNoC(n_tiles)
+    position = src
+    for a, b in noc.route(src, dst):
+        assert a == position
+        assert noc.hops(a, b) == 1
+        position = b
+    assert position == dst
+
+
+@given(args=mesh_and_pair(),
+       payload=st.integers(min_value=0, max_value=512),
+       now=st.floats(min_value=0, max_value=1e6, allow_nan=False))
+def test_send_never_arrives_before_zero_load_latency(args, payload, now):
+    n_tiles, src, dst = args
+    noc = MeshNoC(n_tiles)
+    arrival = noc.send(Message(src, dst, payload), now)
+    if src != dst:
+        assert arrival >= now + noc.zero_load_latency(src, dst, payload) - 1e-6
+
+
+@given(args=mesh_and_pair(), count=st.integers(1, 20))
+@settings(max_examples=40)
+def test_repeated_sends_are_monotonically_non_decreasing(args, count):
+    n_tiles, src, dst = args
+    noc = MeshNoC(n_tiles)
+    arrivals = [noc.send(Message(src, dst, 64), now=0) for _ in range(count)]
+    assert arrivals == sorted(arrivals)

@@ -1,0 +1,47 @@
+"""Property-based tests for the reservation scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.queueing import ResourceSchedule
+
+requests = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=5000, allow_nan=False),
+              st.floats(min_value=0.1, max_value=100, allow_nan=False)),
+    min_size=1, max_size=60)
+
+
+@given(requests=requests)
+def test_reservations_never_start_before_arrival(requests):
+    schedule = ResourceSchedule()
+    for arrival, duration in requests:
+        start = schedule.reserve(arrival, duration)
+        assert start >= arrival
+
+
+@given(requests=requests)
+@settings(max_examples=50)
+def test_reservations_never_overlap(requests):
+    schedule = ResourceSchedule()
+    intervals = []
+    for arrival, duration in requests:
+        start = schedule.reserve(arrival, duration)
+        intervals.append((start, start + duration))
+    intervals.sort()
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert s2 >= e1 - 1e-6
+
+
+@given(requests=requests)
+def test_total_busy_equals_sum_of_durations(requests):
+    schedule = ResourceSchedule()
+    for arrival, duration in requests:
+        schedule.reserve(arrival, duration)
+    expected = sum(duration for _, duration in requests)
+    assert abs(schedule.busy_time() - expected) < 1e-6
+
+
+@given(arrival=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+       duration=st.floats(min_value=0.1, max_value=100, allow_nan=False))
+def test_single_reservation_on_idle_resource_starts_immediately(arrival, duration):
+    schedule = ResourceSchedule()
+    assert schedule.reserve(arrival, duration) == arrival

@@ -1,0 +1,103 @@
+"""Unit tests for the system configuration (Table 1 defaults and scaling)."""
+
+import math
+
+import pytest
+
+from repro.sim.config import CacheConfig, DramConfig, NoCConfig, SystemConfig
+
+
+class TestTable1Defaults:
+    def test_default_matches_table1(self):
+        config = SystemConfig()
+        assert config.n_cores == 64
+        assert config.core_model == "in-order"
+        assert config.l1d.size_bytes == 32 * 1024
+        assert config.l1d.associativity == 4
+        assert config.l1d.line_size == 64
+        assert config.l2_assoc == 8
+        assert config.noc.hop_latency == 2
+        assert config.noc.flit_bytes == 8
+        assert config.dram.latency_cycles == 100
+        assert config.dram.bandwidth_bytes_per_cycle == pytest.approx(10.0)
+        assert config.ackwise_pointers == 4
+
+    @pytest.mark.parametrize("n_cores", [16, 64, 256])
+    def test_l2_scales_with_sqrt_n(self, n_cores):
+        config = SystemConfig(n_cores=n_cores)
+        expected_mb = 2.0 / math.sqrt(n_cores)
+        assert config.l2_slice_bytes == pytest.approx(expected_mb * 1024 * 1024,
+                                                      rel=0.01)
+
+    @pytest.mark.parametrize("n_cores,expected_mcs", [(16, 2), (64, 4), (256, 8)])
+    def test_memory_controllers_scale_with_sqrt_n(self, n_cores, expected_mcs):
+        config = SystemConfig(n_cores=n_cores)
+        assert config.num_memory_controllers == expected_mcs
+
+    def test_non_square_core_count_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_cores=48)
+
+    def test_invalid_core_model_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(core_model="vliw")
+
+
+class TestDerivedGeometry:
+    def test_mesh_dim(self):
+        assert SystemConfig(n_cores=16).mesh_dim == 4
+        assert SystemConfig(n_cores=256).mesh_dim == 16
+
+    def test_memory_controller_tiles_distinct_rows_and_columns(self):
+        config = SystemConfig(n_cores=64)
+        tiles = config.memory_controller_tiles()
+        assert len(tiles) == config.num_memory_controllers
+        rows = [t // config.mesh_dim for t in tiles]
+        cols = [t % config.mesh_dim for t in tiles]
+        assert len(set(rows)) == len(tiles)
+        assert len(set(cols)) == len(tiles)
+
+    def test_sectored_caches_only_when_partial_enabled(self):
+        plain = SystemConfig()
+        assert plain.l1d_effective.sector_size == 0
+        assert plain.l2_slice.sector_size == 0
+        partial = SystemConfig(partial_noc=True)
+        assert partial.l1d_effective.sector_size == 8
+        assert partial.l2_slice.sector_size == 32
+
+
+class TestNamedConfigurations:
+    def test_as_ideal(self):
+        config = SystemConfig().as_ideal()
+        assert config.ideal_memory and not config.perfect_prefetch
+
+    def test_as_perfect_prefetch(self):
+        config = SystemConfig().as_perfect_prefetch()
+        assert config.perfect_prefetch and not config.ideal_memory
+
+    def test_with_partial_and_ooo(self):
+        config = SystemConfig().with_partial(noc=True, dram=True).with_ooo(32)
+        assert config.partial_noc and config.partial_dram
+        assert config.core_model == "ooo"
+        assert config.rob_size == 32
+
+    def test_with_cores_preserves_other_fields(self):
+        config = SystemConfig(l1d=CacheConfig(16 * 1024, 4)).with_cores(16)
+        assert config.n_cores == 16
+        assert config.l1d.size_bytes == 16 * 1024
+
+    def test_configs_are_immutable(self):
+        config = SystemConfig()
+        with pytest.raises(AttributeError):
+            config.n_cores = 128
+
+
+class TestCacheConfig:
+    def test_invalid_sector_size_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=32 * 1024, associativity=4, line_size=64,
+                        sector_size=48)
+
+    def test_sectors_per_line(self):
+        config = CacheConfig(32 * 1024, 4, sector_size=8)
+        assert config.sectors_per_line == 8

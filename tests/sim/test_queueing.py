@@ -1,0 +1,70 @@
+"""Unit tests for the reservation scheduler (repro.sim.queueing)."""
+
+import pytest
+
+from repro.sim.queueing import ResourceSchedule
+
+
+class TestReserve:
+    def test_idle_resource_starts_immediately(self):
+        schedule = ResourceSchedule()
+        assert schedule.reserve(arrival=10.0, duration=5.0) == 10.0
+
+    def test_back_to_back_requests_serialise(self):
+        schedule = ResourceSchedule()
+        first = schedule.reserve(0.0, 5.0)
+        second = schedule.reserve(0.0, 5.0)
+        assert first == 0.0
+        assert second == 5.0
+
+    def test_request_fits_in_gap_between_reservations(self):
+        schedule = ResourceSchedule()
+        schedule.reserve(0.0, 2.0)        # [0, 2)
+        schedule.reserve(10.0, 2.0)       # [10, 12)
+        start = schedule.reserve(3.0, 4.0)
+        assert start == 3.0               # fits in the idle gap [2, 10)
+
+    def test_request_too_big_for_gap_goes_after(self):
+        schedule = ResourceSchedule()
+        schedule.reserve(0.0, 2.0)
+        schedule.reserve(4.0, 2.0)        # gap [2, 4) of size 2
+        start = schedule.reserve(1.0, 3.0)
+        assert start == 6.0
+
+    def test_earlier_arrival_not_blocked_by_future_reservation(self):
+        schedule = ResourceSchedule()
+        schedule.reserve(1000.0, 5.0)
+        assert schedule.reserve(0.0, 5.0) == 0.0
+
+    def test_zero_duration_is_noop(self):
+        schedule = ResourceSchedule()
+        assert schedule.reserve(7.0, 0.0) == 7.0
+        assert len(schedule) == 0
+
+    def test_busy_time_accumulates(self):
+        schedule = ResourceSchedule()
+        schedule.reserve(0.0, 3.0)
+        schedule.reserve(100.0, 4.0)
+        assert schedule.busy_time() == pytest.approx(7.0)
+
+    def test_next_free(self):
+        schedule = ResourceSchedule()
+        schedule.reserve(5.0, 10.0)
+        assert schedule.next_free(7.0) == 15.0
+        assert schedule.next_free(20.0) == 20.0
+
+    def test_reset(self):
+        schedule = ResourceSchedule()
+        schedule.reserve(0.0, 5.0)
+        schedule.reset()
+        assert len(schedule) == 0
+        assert schedule.busy_time() == 0.0
+        assert schedule.reserve(0.0, 5.0) == 0.0
+
+    def test_old_reservations_pruned(self):
+        schedule = ResourceSchedule()
+        for i in range(100):
+            schedule.reserve(float(i), 0.5)
+        # Arrive far in the future: the old entries should be discarded.
+        schedule.reserve(1_000_000.0, 1.0)
+        assert len(schedule) < 100

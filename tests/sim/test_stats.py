@@ -1,0 +1,98 @@
+"""Unit tests for statistics aggregation (repro.sim.stats)."""
+
+import pytest
+
+from repro.sim.stats import CoreStats, SystemStats, TrafficStats
+from repro.sim.trace import AccessKind
+
+
+def make_core(core_id=0, **overrides) -> CoreStats:
+    stats = CoreStats(core_id=core_id)
+    for key, value in overrides.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestCoreStats:
+    def test_miss_rate(self):
+        stats = make_core(mem_accesses=100, l1_misses=25)
+        assert stats.l1_miss_rate == 0.25
+
+    def test_miss_rate_with_no_accesses(self):
+        assert CoreStats().l1_miss_rate == 0.0
+
+    def test_avg_mem_latency(self):
+        stats = make_core(mem_accesses=10, total_mem_latency=150)
+        assert stats.avg_mem_latency == 15.0
+
+    def test_coverage(self):
+        stats = make_core(l1_misses=20, prefetch_covered_misses=80)
+        assert stats.coverage == 0.8
+
+    def test_accuracy_clamped_to_one(self):
+        stats = make_core(prefetches_issued=10, prefetches_useful=12)
+        assert stats.accuracy == 1.0
+
+    def test_accuracy_zero_without_prefetches(self):
+        assert CoreStats().accuracy == 0.0
+
+    def test_ipc(self):
+        stats = make_core(instructions=500, cycles=1000)
+        assert stats.ipc == 0.5
+
+
+class TestSystemStats:
+    def make_system_stats(self) -> SystemStats:
+        core0 = make_core(0, cycles=1000, instructions=800, mem_accesses=100,
+                          l1_misses=30, total_mem_latency=900,
+                          prefetches_issued=40, prefetches_useful=30,
+                          prefetch_covered_misses=20)
+        core1 = make_core(1, cycles=1200, instructions=700, mem_accesses=50,
+                          l1_misses=10, total_mem_latency=300,
+                          prefetches_issued=10, prefetches_useful=10,
+                          prefetch_covered_misses=10)
+        return SystemStats(cores=[core0, core1])
+
+    def test_runtime_is_slowest_core(self):
+        assert self.make_system_stats().runtime_cycles == 1200
+
+    def test_throughput(self):
+        stats = self.make_system_stats()
+        assert stats.throughput == pytest.approx(1500 / 1200)
+
+    def test_aggregates(self):
+        stats = self.make_system_stats()
+        assert stats.total_instructions == 1500
+        assert stats.total_l1_misses == 40
+        assert stats.total_mem_accesses == 150
+        assert stats.avg_mem_latency == pytest.approx(1200 / 150)
+        assert stats.prefetches_issued == 50
+        assert stats.prefetches_useful == 40
+        assert stats.coverage == pytest.approx(30 / 70)
+        assert stats.accuracy == pytest.approx(40 / 50)
+
+    def test_empty_system(self):
+        stats = SystemStats()
+        assert stats.runtime_cycles == 0
+        assert stats.throughput == 0.0
+        assert stats.coverage == 0.0
+
+    def test_miss_fraction_by_kind(self):
+        stats = self.make_system_stats()
+        stats.cores[0].misses_by_kind[AccessKind.INDIRECT] = 20
+        stats.cores[0].misses_by_kind[AccessKind.INDEX] = 5
+        stats.cores[1].misses_by_kind[AccessKind.INDIRECT] = 10
+        stats.cores[1].misses_by_kind[AccessKind.OTHER] = 5
+        fractions = stats.miss_fraction_by_kind()
+        assert fractions[AccessKind.INDIRECT] == pytest.approx(30 / 40)
+        assert fractions[AccessKind.INDEX] == pytest.approx(5 / 40)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_stall_fraction_by_kind_empty(self):
+        fractions = SystemStats(cores=[CoreStats()]).stall_fraction_by_kind()
+        assert all(value == 0.0 for value in fractions.values())
+
+    def test_traffic_defaults(self):
+        stats = SystemStats()
+        assert isinstance(stats.traffic, TrafficStats)
+        assert stats.traffic.noc_bytes == 0

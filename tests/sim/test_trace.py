@@ -1,0 +1,85 @@
+"""Unit tests for the trace representation (repro.sim.trace)."""
+
+import pytest
+
+from repro.sim.trace import (
+    AccessKind,
+    Compute,
+    MemRef,
+    SwPrefetch,
+    Trace,
+    TraceBuilder,
+)
+
+
+class TestTraceBuilder:
+    def test_consecutive_compute_coalesced(self):
+        builder = TraceBuilder(core_id=0)
+        builder.compute(3).compute(2)
+        builder.load(0x400, 0x1000)
+        trace = builder.build()
+        assert isinstance(trace.entries[0], Compute)
+        assert trace.entries[0].ops == 5
+        assert isinstance(trace.entries[1], MemRef)
+
+    def test_trailing_compute_flushed_on_build(self):
+        builder = TraceBuilder(core_id=0)
+        builder.load(0x400, 0x1000).compute(4)
+        trace = builder.build()
+        assert isinstance(trace.entries[-1], Compute)
+        assert trace.entries[-1].ops == 4
+
+    def test_zero_compute_ignored(self):
+        trace = TraceBuilder(0).compute(0).load(0x400, 0x1000).build()
+        assert len(trace) == 1
+
+    def test_load_store_and_prefetch_entries(self):
+        builder = TraceBuilder(core_id=1)
+        builder.load(0x400, 0x1000, kind=AccessKind.INDEX)
+        builder.store(0x408, 0x2000, kind=AccessKind.STREAM)
+        builder.sw_prefetch(0x410, 0x3000, overhead_ops=3)
+        trace = builder.build()
+        load, store, prefetch = trace.entries
+        assert load.is_read and load.kind is AccessKind.INDEX
+        assert store.is_write and store.kind is AccessKind.STREAM
+        assert isinstance(prefetch, SwPrefetch)
+        assert prefetch.overhead_ops == 3
+
+
+class TestTraceSummaries:
+    def test_instruction_count(self):
+        builder = TraceBuilder(0)
+        builder.compute(10)
+        builder.load(0x400, 0x1000)
+        builder.sw_prefetch(0x408, 0x2000, overhead_ops=3)
+        trace = builder.build()
+        # 10 compute + 1 load + (1 + 3) for the software prefetch.
+        assert trace.instruction_count == 15
+
+    def test_memory_reference_count_excludes_prefetches(self):
+        builder = TraceBuilder(0)
+        builder.load(0x400, 0x1000)
+        builder.store(0x408, 0x2000)
+        builder.sw_prefetch(0x410, 0x3000)
+        trace = builder.build()
+        assert trace.memory_reference_count == 2
+
+    def test_count_by_kind(self):
+        builder = TraceBuilder(0)
+        builder.load(0x400, 0x1000, kind=AccessKind.INDEX)
+        builder.load(0x408, 0x2000, kind=AccessKind.INDIRECT)
+        builder.load(0x410, 0x3000, kind=AccessKind.INDIRECT)
+        counts = builder.build().count_by_kind()
+        assert counts[AccessKind.INDEX] == 1
+        assert counts[AccessKind.INDIRECT] == 2
+        assert counts[AccessKind.OTHER] == 0
+
+    def test_iteration_and_len(self):
+        trace = TraceBuilder(0).load(0x400, 0x1000).compute(1).build()
+        assert len(trace) == 2
+        assert len(list(trace)) == 2
+
+    def test_empty_trace(self):
+        trace = Trace(core_id=0)
+        assert trace.instruction_count == 0
+        assert trace.memory_reference_count == 0

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import io
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+def run_cli(*argv) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestListAndCost:
+    def test_list_workloads_names_all_seven(self):
+        output = run_cli("list-workloads")
+        for name in ("pagerank", "tri_count", "graph500", "sgd", "lsh",
+                     "spmv", "symgs"):
+            assert name in output
+        assert "dense_stencil" in output
+
+    def test_cost_reports_kbits(self):
+        output = run_cli("cost")
+        assert "imp_total_kbits" in output
+        assert "gp_total_bytes" in output
+
+
+class TestRun:
+    def test_run_indirect_stream_with_imp(self):
+        output = run_cli("run", "indirect_stream", "--cores", "4",
+                         "--prefetcher", "imp")
+        assert "runtime (cycles)" in output
+        assert "prefetch coverage" in output
+
+    def test_run_with_partial_and_ooo_flags(self):
+        output = run_cli("run", "streaming", "--cores", "4", "--partial",
+                         "--ooo", "--prefetcher", "stream")
+        assert "NoC traffic" in output
+
+    def test_unknown_workload_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "does_not_exist")
+
+    def test_unknown_prefetcher_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "streaming", "--prefetcher", "oracle")
+
+
+class TestCompareAndFigure:
+    def test_compare_prints_all_requested_modes(self):
+        output = run_cli("compare", "indirect_stream", "--cores", "4",
+                         "--modes", "ideal", "base", "imp", "perfpref")
+        for mode in ("ideal", "base", "imp", "perfpref"):
+            assert mode in output
+
+    def test_figure_names_registered(self):
+        assert {"fig1", "fig2", "fig9", "table3", "fig12"} <= set(FIGURES)
+
+    def test_figure_cost_free_generation(self):
+        # fig14 on a tiny scale exercises the runner path end to end.
+        output = run_cli("figure", "fig1", "--cores", "4", "--scale", "0.05")
+        assert "workload" in output
+        assert "avg" in output

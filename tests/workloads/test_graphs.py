@@ -1,0 +1,74 @@
+"""Unit tests for graph generation (repro.workloads.graphs)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graphs import (
+    CSRGraph,
+    bfs_levels,
+    power_law_graph,
+    uniform_graph,
+)
+
+
+class TestPowerLawGraph:
+    def test_csr_structure_is_consistent(self):
+        graph = power_law_graph(512, avg_degree=8, seed=3)
+        assert graph.num_vertices == 512
+        assert len(graph.row_ptr) == 513
+        assert graph.row_ptr[0] == 0
+        assert np.all(np.diff(graph.row_ptr) >= 0)
+        assert graph.num_edges == len(graph.col_idx)
+        assert graph.col_idx.min() >= 0
+        assert graph.col_idx.max() < 512
+
+    def test_average_degree_close_to_requested(self):
+        graph = power_law_graph(2048, avg_degree=8, seed=1)
+        assert graph.num_edges / graph.num_vertices == pytest.approx(8, rel=0.3)
+
+    def test_degree_distribution_is_skewed(self):
+        graph = power_law_graph(2048, avg_degree=8, power=0.6, seed=1)
+        degrees = graph.out_degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_deterministic_for_fixed_seed(self):
+        a = power_law_graph(256, seed=42)
+        b = power_law_graph(256, seed=42)
+        assert np.array_equal(a.col_idx, b.col_idx)
+        c = power_law_graph(256, seed=43)
+        assert not np.array_equal(a.col_idx, c.col_idx)
+
+    def test_acyclic_graph_edges_point_forward(self):
+        graph = power_law_graph(512, avg_degree=6, seed=2, acyclic=True)
+        for vertex in range(0, 512, 37):
+            neighbors = graph.neighbors(vertex)
+            assert np.all(neighbors > vertex) or vertex == 511
+
+    def test_neighbors_and_degree_accessors(self):
+        graph = power_law_graph(128, avg_degree=4, seed=5)
+        for vertex in (0, 50, 127):
+            assert graph.degree(vertex) == len(graph.neighbors(vertex))
+
+
+class TestUniformGraph:
+    def test_fixed_degree(self):
+        graph = uniform_graph(256, avg_degree=8, seed=1)
+        assert np.all(np.diff(graph.row_ptr) == 8)
+
+
+class TestBFS:
+    def test_levels_partition_reachable_vertices(self):
+        graph = uniform_graph(256, avg_degree=8, seed=1)
+        levels = bfs_levels(graph, root=0)
+        flat = np.concatenate(levels)
+        assert len(flat) == len(set(flat.tolist()))     # each vertex once
+        assert flat[0] == 0
+        assert len(flat) <= 256
+
+    def test_level_ordering_respects_graph_distance(self):
+        # A simple path graph 0 -> 1 -> 2 -> 3.
+        row_ptr = np.array([0, 1, 2, 3, 3], dtype=np.int64)
+        col_idx = np.array([1, 2, 3], dtype=np.int32)
+        graph = CSRGraph(row_ptr=row_ptr, col_idx=col_idx)
+        levels = bfs_levels(graph, root=0)
+        assert [list(level) for level in levels] == [[0], [1], [2], [3]]

@@ -1,0 +1,62 @@
+"""Unit tests for sparse matrix generation (repro.workloads.sparse)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.sparse import random_sparse, ratings_matrix, stencil_27pt
+
+
+class TestStencil:
+    def test_dimensions_and_nonzeros(self):
+        matrix = stencil_27pt(4, 4, 4)
+        assert matrix.num_rows == 64
+        # Interior points have 27 neighbours; corners have 8.
+        counts = np.diff(matrix.row_ptr)
+        assert counts.min() == 8
+        assert counts.max() == 27
+
+    def test_rows_reference_valid_columns(self):
+        matrix = stencil_27pt(3, 4, 5)
+        assert matrix.col_idx.min() >= 0
+        assert matrix.col_idx.max() < matrix.num_rows
+
+    def test_diagonal_dominant_values(self):
+        matrix = stencil_27pt(3, 3, 3)
+        cols, vals = matrix.row(13)              # centre point of the grid
+        diag = vals[cols == 13]
+        assert diag[0] == pytest.approx(26.0)
+        assert np.all(vals[cols != 13] == -1.0)
+
+    def test_symmetric_structure(self):
+        matrix = stencil_27pt(3, 3, 3)
+        # If (r, c) is a non-zero then (c, r) must be too (stencil symmetry).
+        pairs = set()
+        for row in range(matrix.num_rows):
+            cols, _ = matrix.row(row)
+            for col in cols:
+                pairs.add((row, int(col)))
+        assert all((c, r) in pairs for (r, c) in pairs)
+
+
+class TestRandomSparse:
+    def test_shape_and_determinism(self):
+        a = random_sparse(64, 128, nnz_per_row=4, seed=9)
+        b = random_sparse(64, 128, nnz_per_row=4, seed=9)
+        assert a.num_rows == 64
+        assert a.num_nonzeros == 256
+        assert np.array_equal(a.col_idx, b.col_idx)
+        assert a.col_idx.max() < 128
+
+
+class TestRatings:
+    def test_triple_shapes(self):
+        users, items, values = ratings_matrix(100, 200, 1000, seed=3)
+        assert len(users) == len(items) == len(values) == 1000
+        assert users.max() < 100
+        assert items.max() < 200
+        assert values.min() >= 1.0 and values.max() <= 5.0
+
+    def test_popularity_skew(self):
+        users, _, _ = ratings_matrix(1000, 1000, 20_000, seed=3)
+        counts = np.bincount(users, minlength=1000)
+        assert counts.max() > 5 * counts.mean()
