@@ -1,0 +1,1 @@
+"""Wall-clock performance harness for the simulator (not a pytest suite)."""

@@ -1,0 +1,18 @@
+"""Wall-clock benchmark of the simulation core (wrapper).
+
+The actual harness lives in :mod:`repro.experiments.bench` so the ``repro
+bench`` CLI sub-command can import it; this wrapper keeps the conventional
+``benchmarks/perf/bench_sim.py`` entry point runnable directly::
+
+    PYTHONPATH=src python benchmarks/perf/bench_sim.py --quick
+    PYTHONPATH=src python benchmarks/perf/bench_sim.py --out BENCH_1.json
+    PYTHONPATH=src python benchmarks/perf/bench_sim.py --check \\
+        --baseline BENCH_1.json --budget 1.25
+"""
+
+import sys
+
+from repro.experiments.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,9 @@ Installed as the ``repro`` console script (also runnable as
   one workload (a one-workload slice of Figure 9 / 11).
 * ``figure``         — regenerate one of the paper's figures/tables.
 * ``cost``           — print the Section 6.4 storage/energy cost report.
+* ``bench``          — run the wall-clock performance harness
+  (``benchmarks/perf/bench_sim.py``) and optionally write/check a
+  ``BENCH_<n>.json`` trajectory file.
 """
 
 from __future__ import annotations
@@ -97,6 +100,22 @@ def _build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("--seed", type=int, default=1)
 
     sub.add_parser("cost", help="print the Section 6.4 hardware cost report")
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the wall-clock performance harness")
+    bench_parser.add_argument("--cores", type=int, default=16)
+    bench_parser.add_argument("--seed", type=int, default=1)
+    bench_parser.add_argument("--repeat", type=int, default=1)
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="smaller inputs (CI smoke run)")
+    bench_parser.add_argument("--out", default=None,
+                              help="write the result JSON to this path")
+    bench_parser.add_argument("--check", action="store_true",
+                              help="compare against --baseline; exit non-zero "
+                                   "on fingerprint mismatch or regression")
+    bench_parser.add_argument("--baseline", default=None)
+    bench_parser.add_argument("--budget", type=float, default=1.25,
+                              help="allowed wall-clock ratio vs baseline")
     return parser
 
 
@@ -166,6 +185,16 @@ def _command_figure(args, out) -> int:
     return 0
 
 
+def _command_bench(args, out) -> int:
+    from repro.experiments.bench import run_benchmark, write_and_check
+
+    document = run_benchmark(cores=args.cores, seed=args.seed,
+                             repeat=args.repeat, quick=args.quick, out=out)
+    return write_and_check(document, out_path=args.out, check=args.check,
+                           baseline_path=args.baseline, budget=args.budget,
+                           out=out)
+
+
 def _command_cost(out) -> int:
     cost = figures.sec64_hardware_cost()
     width = max(len(key) for key in cost)
@@ -188,6 +217,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_figure(args, out)
     if args.command == "cost":
         return _command_cost(out)
+    if args.command == "bench":
+        return _command_bench(args, out)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

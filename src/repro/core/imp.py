@@ -31,20 +31,36 @@ from repro.prefetchers.base import AccessContext, PrefetcherBase, PrefetchReques
 from repro.prefetchers.stream import StreamEntry, StreamPrefetcher
 
 
+# IPD stream keys.  The IPD accepts any hashable key; IMP packs the key kind
+# into the low bits of an integer because these keys are built (and hashed)
+# on every index access — tuple keys showed up in profiles.
+_KEY_PRIMARY = 0
+_KEY_WAY = 1
+_KEY_LEVEL = 2
+_KEY_KIND_MASK = 3
+
+
 def _primary_key(pc: int) -> Hashable:
-    return ("primary", pc)
+    return (pc << 2) | _KEY_PRIMARY
 
 
 def _way_key(pc: int) -> Hashable:
-    return ("way", pc)
+    return (pc << 2) | _KEY_WAY
 
 
 def _level_key(entry_id: int) -> Hashable:
-    return ("level", entry_id)
+    return (entry_id << 2) | _KEY_LEVEL
 
 
 class IMP(PrefetcherBase):
     """Indirect Memory Prefetcher attached to one L1 data cache."""
+
+    __slots__ = ("config", "mem_image", "stream", "pt", "ipd", "gp",
+                 "patterns_detected", "secondary_patterns_detected",
+                 "indirect_prefetches_generated",
+                 "stream_prefetches_generated", "_partial_enabled",
+                 "_adaptive_distance", "_max_ways", "_confidence_threshold",
+                 "_two_level")
 
     name = "imp"
 
@@ -56,6 +72,12 @@ class IMP(PrefetcherBase):
         self.pt = PrefetchTable(self.config)
         self.ipd = IndirectPatternDetector(self.config)
         self.gp = GranularityPredictor(self.config)
+        # IMPConfig is frozen; hoist the flags consulted on every access.
+        self._partial_enabled = self.config.partial_enabled
+        self._adaptive_distance = self.config.adaptive_distance
+        self._max_ways = self.config.max_indirect_ways
+        self._confidence_threshold = self.config.confidence_threshold
+        self._two_level = self.config.max_indirect_levels >= 2
         # Statistics about the prefetcher itself.
         self.patterns_detected = 0
         self.secondary_patterns_detected = 0
@@ -67,9 +89,9 @@ class IMP(PrefetcherBase):
     # ------------------------------------------------------------------
     def on_access(self, ctx: AccessContext) -> List[PrefetchRequest]:
         requests: List[PrefetchRequest] = []
-        if self.config.partial_enabled:
+        if self._partial_enabled:
             self.gp.on_demand_access(ctx.addr, ctx.size)
-        if self.config.adaptive_distance:
+        if self._adaptive_distance:
             self._track_prefetch_usefulness(ctx)
 
         # 1. Check this access against outstanding indirect predictions
@@ -110,12 +132,22 @@ class IMP(PrefetcherBase):
             return []
         if value is None:
             return []
-        # Known pattern: record the index value for confidence tracking.
-        self.pt.observe_index(pt_entry, value, ctx.now)
+        # Known pattern: record the index value for confidence tracking
+        # (PrefetchTable.observe_index inlined; the enabled guard is already
+        # established above).
+        if pt_entry.pending_match:
+            # The previous index was overwritten before its indirect access
+            # was seen: lose confidence.
+            if pt_entry.hit_cnt:
+                pt_entry.hit_cnt -= 1
+        pt_entry.index_value = value
+        pt_entry.pending_match = True
+        pt_entry.last_use = ctx.now
         # Try to discover a second way sharing this index array.
-        if len(pt_entry.next_ways) + 1 < self.config.max_indirect_ways:
+        if len(pt_entry.next_ways) + 1 < self._max_ways:
             self.ipd.on_index_access(_way_key(ctx.pc), value, ctx.now)
-        if not pt_entry.is_prefetching(self.config.confidence_threshold):
+        if not (pt_entry.enabled
+                and pt_entry.hit_cnt >= self._confidence_threshold):
             return []
         return self._generate_prefetches(pt_entry, stream_entry, ctx)
 
@@ -127,13 +159,26 @@ class IMP(PrefetcherBase):
         return max(1, int(coefficient_of(shift)))
 
     def _check_confidence(self, ctx: AccessContext) -> None:
-        for entry in self.pt.enabled_entries():
-            if not entry.pending_match or entry.index_value is None:
+        entries = self.pt.enabled_entries()
+        if not entries:
+            return
+        addr = ctx.addr
+        for entry in entries:
+            if not entry.pending_match:
                 continue
-            expected = predict_address(entry.index_value, entry.shift,
-                                       entry.base_addr)
-            offset = ctx.addr - expected
-            if 0 <= offset < self._match_tolerance(entry.shift):
+            value = entry.index_value
+            if value is None:
+                continue
+            # Inlined predict_address + _match_tolerance (this loop runs on
+            # every L1 access once a pattern is enabled).
+            shift = entry.shift
+            if shift >= 0:
+                offset = addr - ((value << shift) + entry.base_addr)
+                tolerance = 1 << shift
+            else:
+                offset = addr - ((value >> -shift) + entry.base_addr)
+                tolerance = 1
+            if 0 <= offset < tolerance:
                 self.pt.confirm_match(entry)
                 self._update_rw_predictor(entry, ctx)
                 self._feed_second_level(entry, ctx)
@@ -190,7 +235,7 @@ class IMP(PrefetcherBase):
     def _feed_second_level(self, entry: PTEntry, ctx: AccessContext) -> None:
         """The access was recognised as an indirect access of ``entry``;
         its loaded value may be the index of a second-level pattern."""
-        if self.config.max_indirect_levels < 2 or ctx.is_write:
+        if not self._two_level or ctx.is_write:
             return
         if entry.next_level is not None:
             return
@@ -206,15 +251,16 @@ class IMP(PrefetcherBase):
     # ------------------------------------------------------------------
     def _install_pattern(self, pattern: DetectedPattern, now: float) -> None:
         key = pattern.stream_key
-        if not isinstance(key, tuple):
+        if not isinstance(key, int):
             return
-        kind = key[0]
-        if kind == "primary":
-            self._install_primary(key[1], pattern, now)
-        elif kind == "way":
-            self._install_second_way(key[1], pattern, now)
-        elif kind == "level":
-            self._install_second_level(key[1], pattern, now)
+        kind = key & _KEY_KIND_MASK
+        ident = key >> 2
+        if kind == _KEY_PRIMARY:
+            self._install_primary(ident, pattern, now)
+        elif kind == _KEY_WAY:
+            self._install_second_way(ident, pattern, now)
+        elif kind == _KEY_LEVEL:
+            self._install_second_level(ident, pattern, now)
 
     def _install_primary(self, pc: int, pattern: DetectedPattern,
                          now: float) -> None:
@@ -284,23 +330,28 @@ class IMP(PrefetcherBase):
             return []
         requests = self._pattern_requests(entry, future_value)
         # Second-way children share the same index value (Section 3.3.2).
-        for child in self.pt.children_of(entry):
-            if child.enabled:
-                requests.extend(self._pattern_requests(child, future_value))
+        if entry.next_ways:
+            for child in self.pt.children_of(entry):
+                if child.enabled:
+                    requests.extend(self._pattern_requests(child, future_value))
         return requests
 
     def _pattern_requests(self, entry: PTEntry,
                           index_value: int) -> List[PrefetchRequest]:
         cfg = self.config
-        addr = predict_address(index_value, entry.shift, entry.base_addr)
+        shift = entry.shift
+        if shift >= 0:
+            addr = (index_value << shift) + entry.base_addr
+        else:
+            addr = (index_value >> -shift) + entry.base_addr
         if addr < 0:
             return []
         size = cfg.line_size
-        if cfg.partial_enabled:
+        if self._partial_enabled:
             size = self.gp.granularity_bytes(entry.entry_id)
             self.gp.maybe_sample(entry.entry_id, addr)
         entry.prefetches_issued += 1
-        if cfg.adaptive_distance:
+        if self._adaptive_distance:
             entry.window_issued += 1
             entry.record_prefetched_line(addr - (addr % cfg.line_size))
             self._maybe_throttle(entry)
@@ -309,6 +360,8 @@ class IMP(PrefetcherBase):
                                     exclusive=self._wants_exclusive(entry))]
         # Second-level indirection: the child prefetch needs the value the
         # parent prefetch returns, so it is issued dependent on the parent.
+        if entry.next_level is None:
+            return requests
         child = self.pt.level_child(entry)
         if child is not None and child.enabled:
             parent_value = self.mem_image.read_value(addr)

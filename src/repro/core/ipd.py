@@ -36,7 +36,7 @@ class DetectedPattern:
     base_addr: int
 
 
-@dataclass
+@dataclass(slots=True)
 class IPDEntry:
     """One in-flight detection (one row of Figure 4)."""
 
@@ -50,7 +50,7 @@ class IPDEntry:
     allocated_at: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _BackoffState:
     failures: int = 0
     blocked_until: float = 0.0
@@ -58,6 +58,9 @@ class _BackoffState:
 
 class IndirectPatternDetector:
     """Fixed-size table of in-flight indirect pattern detections."""
+
+    __slots__ = ("config", "_entries", "_backoff", "_known", "detections",
+                 "failed_detections")
 
     def __init__(self, config: Optional[IMPConfig] = None) -> None:
         self.config = config or IMPConfig()
@@ -128,6 +131,8 @@ class IndirectPatternDetector:
     # ------------------------------------------------------------------
     def on_miss(self, addr: int, now: float) -> List[DetectedPattern]:
         """Observe a cache miss; return any patterns detected by it."""
+        if not self._entries:
+            return []
         detected: List[DetectedPattern] = []
         for stream_key in list(self._entries):
             entry = self._entries[stream_key]

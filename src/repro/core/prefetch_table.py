@@ -40,7 +40,7 @@ class IndirectPattern:
     base_addr: int
 
 
-@dataclass
+@dataclass(slots=True)
 class PTEntry:
     """One Prefetch Table entry."""
 
@@ -106,19 +106,25 @@ class PTEntry:
 class PrefetchTable:
     """Fixed-size table of :class:`PTEntry` with LRU replacement."""
 
+    __slots__ = ("config", "_entries", "_by_pc", "_next_id",
+                 "_enabled_cache")
+
     def __init__(self, config: Optional[IMPConfig] = None) -> None:
         self.config = config or IMPConfig()
         self._entries: Dict[int, PTEntry] = {}
-        self._by_pc: Dict[int, int] = {}
+        self._by_pc: Dict[int, PTEntry] = {}
         self._next_id = 0
+        # Cached list of enabled entries; IMP scans it on *every* L1 access
+        # for confidence matching, so rebuilding it per access is hot.
+        # Invalidated whenever membership or an enable bit can change.
+        self._enabled_cache: Optional[List[PTEntry]] = None
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def lookup_by_pc(self, pc: int) -> Optional[PTEntry]:
         """Return the primary entry tracking this index-stream PC."""
-        entry_id = self._by_pc.get(pc)
-        return self._entries.get(entry_id) if entry_id is not None else None
+        return self._by_pc.get(pc)
 
     def get(self, entry_id: int) -> Optional[PTEntry]:
         return self._entries.get(entry_id)
@@ -131,15 +137,23 @@ class PrefetchTable:
         return len(self._entries)
 
     def enabled_entries(self) -> List[PTEntry]:
-        """All entries with a detected indirect pattern."""
-        return [entry for entry in self._entries.values() if entry.enabled]
+        """All entries with a detected indirect pattern.
+
+        Returns a cached list (in table insertion order); callers must not
+        mutate it.  The cache is invalidated by activate/release/reset.
+        """
+        cache = self._enabled_cache
+        if cache is None:
+            cache = [entry for entry in self._entries.values() if entry.enabled]
+            self._enabled_cache = cache
+        return cache
 
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
     def allocate_primary(self, pc: int, now: float) -> Optional[PTEntry]:
         """Allocate (or return) the primary entry for an index-stream PC."""
-        existing = self.lookup_by_pc(pc)
+        existing = self._by_pc.get(pc)
         if existing is not None:
             existing.last_use = now
             return existing
@@ -148,7 +162,7 @@ class PrefetchTable:
             return None
         entry.pc = pc
         entry.ind_type = IndirectType.PRIMARY
-        self._by_pc[pc] = entry.entry_id
+        self._by_pc[pc] = entry
         return entry
 
     def allocate_secondary(self, parent_id: int, ind_type: IndirectType,
@@ -216,7 +230,8 @@ class PrefetchTable:
         entry = self._entries.pop(entry_id, None)
         if entry is None:
             return
-        if entry.pc is not None and self._by_pc.get(entry.pc) == entry_id:
+        self._enabled_cache = None
+        if entry.pc is not None and self._by_pc.get(entry.pc) is entry:
             del self._by_pc[entry.pc]
         # Unlink from the parent.
         if entry.prev is not None:
@@ -238,6 +253,7 @@ class PrefetchTable:
     def activate(self, entry_id: int, shift: int, base_addr: int) -> None:
         """The IPD detected a pattern: store it and enable the entry."""
         entry = self._entries[entry_id]
+        self._enabled_cache = None
         entry.enabled = True
         entry.shift = shift
         entry.base_addr = base_addr
@@ -277,3 +293,4 @@ class PrefetchTable:
         self._entries.clear()
         self._by_pc.clear()
         self._next_id = 0
+        self._enabled_cache = None

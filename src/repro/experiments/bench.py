@@ -1,0 +1,229 @@
+"""Wall-clock benchmark of the simulation core (importable harness).
+
+Measures what the repository actually spends its time on: sweeping a
+workload across prefetcher configurations (every figure of the paper is such
+a sweep).  For each benchmark workload the harness runs ``repro.sim.system.
+run_workload`` once per prefetcher and records
+
+* per-run wall-clock seconds,
+* a statistics fingerprint (runtime cycles, hit/miss/prefetch counters and
+  traffic totals) so that two harness runs can be compared for *simulation
+  fidelity*, not just speed.
+
+Results are written as JSON (``BENCH_<n>.json`` at the repository root by
+convention).  ``compare(...)`` checks a fresh result against a committed
+baseline: fingerprints must match exactly and wall-clock must stay within a
+regression budget.
+
+Run it via the CLI (``repro bench``) or via the thin wrapper
+``benchmarks/perf/bench_sim.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.configs import scaled_config
+from repro.sim.system import SimulationResult, run_workload
+from repro.workloads import make_workload
+from repro.workloads.synthetic import IndirectStreamWorkload
+
+#: Prefetcher configurations swept per workload (the paper's main axes).
+PREFETCHERS = ("none", "stream", "ghb", "imp")
+
+#: Benchmark workloads: the two headline paper kernels plus the synthetic
+#: indirect-stream kernel (pure A[B[i]] pattern, no matrix build cost).
+WORKLOADS = ("spmv", "pagerank", "indirect_stream")
+
+
+def _make_workload(name: str, seed: int, quick: bool):
+    if name == "indirect_stream":
+        return IndirectStreamWorkload(n_indices=4096 if quick else 16384,
+                                      seed=seed)
+    if name == "spmv":
+        return (make_workload(name, seed=seed, nx=8, ny=8, nz=8) if quick
+                else make_workload(name, seed=seed))
+    if name == "pagerank":
+        return (make_workload(name, seed=seed, n_vertices=1024) if quick
+                else make_workload(name, seed=seed))
+    return make_workload(name, seed=seed)
+
+
+def _fingerprint(result: SimulationResult) -> Dict[str, int]:
+    stats = result.stats
+    return {
+        "runtime_cycles": stats.runtime_cycles,
+        "instructions": stats.total_instructions,
+        "mem_accesses": stats.total_mem_accesses,
+        "l1_misses": stats.total_l1_misses,
+        "l2_misses": sum(c.l2_misses for c in stats.cores),
+        "prefetches_issued": stats.prefetches_issued,
+        "prefetches_useful": stats.prefetches_useful,
+        "prefetch_covered_misses": stats.prefetch_covered_misses,
+        "noc_bytes": stats.traffic.noc_bytes,
+        "dram_bytes": stats.traffic.dram_bytes,
+    }
+
+
+def run_benchmark(cores: int = 16, seed: int = 1, repeat: int = 1,
+                  quick: bool = False, workloads: Optional[List[str]] = None,
+                  out=sys.stdout) -> Dict:
+    """Run the harness; return the result document (also printed as a table).
+
+    ``repeat`` re-runs the whole suite and keeps the best (minimum) wall
+    time per scenario, which filters scheduler noise on busy machines.
+    """
+    chosen = list(workloads or WORKLOADS)
+    scenarios: List[Tuple[str, str]] = [(w, p) for w in chosen
+                                        for p in PREFETCHERS]
+    best: Dict[str, float] = {}
+    fingerprints: Dict[str, Dict[str, int]] = {}
+    for _ in range(max(1, repeat)):
+        for workload_name in chosen:
+            # One workload object per sweep: run_workload memoises the trace
+            # build on it, which is exactly how the figure runners use it.
+            workload = _make_workload(workload_name, seed, quick)
+            config = scaled_config(cores)
+            for prefetcher in PREFETCHERS:
+                key = f"{workload_name}/{prefetcher}"
+                t0 = time.perf_counter()
+                result = run_workload(workload, config, prefetcher=prefetcher)
+                elapsed = time.perf_counter() - t0
+                if key not in best or elapsed < best[key]:
+                    best[key] = elapsed
+                fp = _fingerprint(result)
+                if key in fingerprints and fingerprints[key] != fp:
+                    raise AssertionError(
+                        f"non-deterministic simulation for {key}")
+                fingerprints[key] = fp
+    total = sum(best.values())
+    print(f"{'scenario':28s} {'wall(s)':>8s} {'cycles':>10s} "
+          f"{'l1_miss':>9s} {'pf_issued':>9s}", file=out)
+    for workload_name, prefetcher in scenarios:
+        key = f"{workload_name}/{prefetcher}"
+        fp = fingerprints[key]
+        print(f"{key:28s} {best[key]:8.3f} {fp['runtime_cycles']:10d} "
+              f"{fp['l1_misses']:9d} {fp['prefetches_issued']:9d}", file=out)
+    print(f"{'TOTAL':28s} {total:8.3f}", file=out)
+    return {
+        "schema": "repro-bench-v1",
+        "cores": cores,
+        "seed": seed,
+        "repeat": repeat,
+        "quick": quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "scenarios": {key: {"wall_seconds": best[key],
+                            "fingerprint": fingerprints[key]}
+                      for key in best},
+        "total_wall_seconds": total,
+    }
+
+
+def compare(current: Dict, baseline: Dict, budget: float = 1.25,
+            out=sys.stdout) -> int:
+    """Compare a fresh run against a baseline document.
+
+    Returns a process exit code: non-zero when any fingerprint diverges
+    (simulation behaviour changed) or total wall-clock exceeds
+    ``budget`` x the baseline (performance regression).
+    """
+    failures = 0
+    for knob in ("cores", "seed", "quick"):
+        if current.get(knob) != baseline.get(knob):
+            print(f"[bench] FAIL: {knob} mismatch (current="
+                  f"{current.get(knob)!r}, baseline={baseline.get(knob)!r}) "
+                  f"— runs are only comparable with identical parameters",
+                  file=out)
+            return 1
+    base_scenarios = baseline.get("scenarios", {})
+    missing = sorted(set(base_scenarios) - set(current["scenarios"]))
+    if missing:
+        # A shrunken suite must not silently pass: every baseline scenario
+        # has to be re-measured for the comparison to mean anything.
+        failures += 1
+        print(f"[bench] FAIL: baseline scenarios not run: "
+              f"{', '.join(missing)}", file=out)
+    for key, entry in current["scenarios"].items():
+        base = base_scenarios.get(key)
+        if base is None:
+            print(f"[bench] NOTE: no baseline for {key}", file=out)
+            continue
+        if entry["fingerprint"] != base["fingerprint"]:
+            failures += 1
+            print(f"[bench] FAIL: fingerprint mismatch for {key}", file=out)
+            for field, value in entry["fingerprint"].items():
+                if base["fingerprint"].get(field) != value:
+                    print(f"         {field}: baseline="
+                          f"{base['fingerprint'].get(field)} current={value}",
+                          file=out)
+    base_total = baseline.get("total_wall_seconds")
+    cur_total = current["total_wall_seconds"]
+    if base_total:
+        ratio = cur_total / base_total
+        print(f"[bench] wall: current={cur_total:.2f}s "
+              f"baseline={base_total:.2f}s ratio={ratio:.2f} "
+              f"(budget {budget:.2f})", file=out)
+        if ratio > budget:
+            failures += 1
+            print(f"[bench] FAIL: wall-clock regression "
+                  f"{ratio:.2f}x > {budget:.2f}x budget", file=out)
+    if failures == 0:
+        print("[bench] OK", file=out)
+    return 1 if failures else 0
+
+
+def write_and_check(document: Dict, *, out_path: Optional[str],
+                    check: bool, baseline_path: Optional[str],
+                    budget: float, out=sys.stdout) -> int:
+    """Shared tail of both entry points: persist the result document and
+    optionally compare it against a baseline file.  Returns an exit code."""
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"[bench] wrote {out_path}", file=out)
+    if check:
+        if not baseline_path:
+            print("[bench] --check requires --baseline", file=out)
+            return 2
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        return compare(document, baseline, budget=budget, out=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cores", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repeat", type=int, default=1)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller inputs (CI smoke run)")
+    parser.add_argument("--workloads", nargs="+", default=None,
+                        choices=list(WORKLOADS))
+    parser.add_argument("--out", default=None,
+                        help="write the result JSON to this path")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against --baseline and set exit code")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON for --check")
+    parser.add_argument("--budget", type=float, default=1.25,
+                        help="allowed wall-clock ratio vs baseline")
+    args = parser.parse_args(argv)
+
+    document = run_benchmark(cores=args.cores, seed=args.seed,
+                             repeat=args.repeat, quick=args.quick,
+                             workloads=args.workloads)
+    return write_and_check(document, out_path=args.out, check=args.check,
+                           baseline_path=args.baseline, budget=args.budget)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,3 +102,7 @@ class ExperimentRunner:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        for workload in self.workloads:
+            clear_builds = getattr(workload, "clear_build_cache", None)
+            if clear_builds is not None:
+                clear_builds()

@@ -103,6 +103,12 @@ class MemoryImage:
         self._regions: Dict[str, _Region] = {}
         self._bases: List[int] = []
         self._by_base: List[_Region] = []
+        # Hot-path lookup table parallel to _bases/_by_base: one
+        # (base, end, shift_or_None, elem_size, item_fn_or_None, length,
+        # is_int) tuple per region, so read_value avoids recomputing np.ceil
+        # footprints and dtype checks on every call (it runs once per index
+        # load under IMP).
+        self._read_index: List[tuple] = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -141,6 +147,20 @@ class MemoryImage:
         insert_at = bisect.bisect_left(self._bases, base)
         self._bases.insert(insert_at, base)
         self._by_base.insert(insert_at, region)
+        if data is not None:
+            flat = data.reshape(-1)
+            size = float(elem_size)
+            # Power-of-two integer element sizes (the usual case) index with
+            # a shift instead of float division.
+            shift = None
+            if size >= 1 and size.is_integer() and (int(size) & (int(size) - 1)) == 0:
+                shift = int(size).bit_length() - 1
+            entry = (spec.base, spec.end, shift, size, flat.item,
+                     flat.size, bool(np.issubdtype(data.dtype, np.integer)))
+        else:
+            entry = (spec.base, spec.end, None, float(elem_size), None, 0,
+                     False)
+        self._read_index.insert(insert_at, entry)
         # Advance the allocation cursor past this array plus one guard page.
         end = spec.end
         self._next_base = max(self._next_base,
@@ -169,6 +189,22 @@ class MemoryImage:
         """Return the address of ``name[index]``."""
         return self._regions[name].spec.addr_of(index)
 
+    def addr_fn(self, name: str):
+        """Return a fast ``index -> address`` mapper for a registered array.
+
+        Produces the same addresses as :meth:`addr_of` but skips the
+        per-call registry lookup and bounds check; intended for the trace
+        generators, whose inner loops index within bounds by construction
+        and call this mapping once per emitted access.
+        """
+        spec = self._regions[name].spec
+        base = spec.base
+        elem_size = spec.elem_size
+        if elem_size >= 1 and float(elem_size).is_integer():
+            elem_int = int(elem_size)
+            return lambda index: base + index * elem_int
+        return lambda index: base + int(index * elem_size)
+
     def find(self, addr: int) -> Optional[ArraySpec]:
         """Return the spec of the array containing ``addr``, if any."""
         pos = bisect.bisect_right(self._bases, addr) - 1
@@ -189,17 +225,21 @@ class MemoryImage:
         pos = bisect.bisect_right(self._bases, addr) - 1
         if pos < 0:
             return default
-        region = self._by_base[pos]
-        spec = region.spec
-        if not spec.contains(addr) or region.data is None:
+        base, end, shift, elem_size, item, length, is_int = \
+            self._read_index[pos]
+        if addr >= end or item is None:
             return default
-        index = spec.index_of(addr)
-        if index >= region.data.size:
+        if shift is not None:
+            index = (addr - base) >> shift
+        elif elem_size >= 1:
+            index = int((addr - base) // elem_size)
+        else:
+            index = int((addr - base) * (1.0 / elem_size))
+        if index >= length:
             return default
-        value = region.data.reshape(-1)[index]
-        if np.issubdtype(region.data.dtype, np.integer):
-            return int(value)
-        return int(value)
+        if is_int:
+            return item(index)
+        return int(item(index))
 
     def __contains__(self, name: str) -> bool:
         return name in self._regions

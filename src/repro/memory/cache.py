@@ -12,11 +12,15 @@ values through :class:`repro.mem_image.MemoryImage`).  Lines track:
   referenced since (for prefetch accuracy accounting),
 * a valid-bit mask over sectors when the cache is sectored (Section 4.1) and
   a touched-bit mask used by the granularity predictor.
+
+``Cache.access`` sits on the hot path of every simulated memory reference,
+so line/set/tag arithmetic uses shifts and masks for the (ubiquitous)
+power-of-two geometries, sector masks come from a precomputed table instead
+of a per-access Python loop, and the line/result records use ``__slots__``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.sim.config import CacheConfig
@@ -27,36 +31,69 @@ def full_mask(num_sectors: int) -> int:
     return (1 << num_sectors) - 1
 
 
-@dataclass
+def _shift_of(value: int) -> Optional[int]:
+    """log2 of ``value`` when it is a power of two, else None."""
+    if value > 0 and (value & (value - 1)) == 0:
+        return value.bit_length() - 1
+    return None
+
+
 class CacheLine:
     """Metadata of one resident cache line."""
 
-    tag: int
-    addr: int                      # base address of the line
-    valid: bool = True
-    dirty: bool = False
-    ready_time: float = 0.0
-    last_use: float = 0.0
-    from_prefetch: bool = False
-    prefetch_referenced: bool = False
-    sector_valid: int = 0          # bit i set => sector i present
-    sector_touched: int = 0        # bit i set => sector i demanded-referenced
+    __slots__ = ("tag", "addr", "valid", "dirty", "ready_time", "last_use",
+                 "from_prefetch", "prefetch_referenced", "sector_valid",
+                 "sector_touched")
+
+    def __init__(self, tag: int, addr: int, valid: bool = True,
+                 dirty: bool = False, ready_time: float = 0.0,
+                 last_use: float = 0.0, from_prefetch: bool = False,
+                 prefetch_referenced: bool = False, sector_valid: int = 0,
+                 sector_touched: int = 0) -> None:
+        self.tag = tag
+        self.addr = addr                     # base address of the line
+        self.valid = valid
+        self.dirty = dirty
+        self.ready_time = ready_time
+        self.last_use = last_use
+        self.from_prefetch = from_prefetch
+        self.prefetch_referenced = prefetch_referenced
+        self.sector_valid = sector_valid     # bit i set => sector i present
+        self.sector_touched = sector_touched  # bit i set => sector i referenced
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheLine(tag={self.tag:#x}, addr={self.addr:#x}, "
+                f"dirty={self.dirty}, sector_valid={self.sector_valid:#x})")
 
 
-@dataclass
 class AccessResult:
     """Outcome of a cache lookup/access."""
 
-    hit: bool
-    line: Optional[CacheLine] = None
-    sector_miss: bool = False      # line present but the sector is not
-    evicted: Optional[CacheLine] = None
-    was_prefetched: bool = False   # hit on a line installed by a prefetch
-    ready_time: float = 0.0        # when the (possibly in-flight) line is usable
+    __slots__ = ("hit", "line", "sector_miss", "evicted", "was_prefetched",
+                 "ready_time")
+
+    def __init__(self, hit: bool, line: Optional[CacheLine] = None,
+                 sector_miss: bool = False,
+                 evicted: Optional[CacheLine] = None,
+                 was_prefetched: bool = False,
+                 ready_time: float = 0.0) -> None:
+        self.hit = hit
+        self.line = line
+        self.sector_miss = sector_miss     # line present but the sector is not
+        self.evicted = evicted
+        self.was_prefetched = was_prefetched  # hit on a prefetch-installed line
+        self.ready_time = ready_time       # when the in-flight line is usable
 
 
 class Cache:
     """A single level of cache (one L1, or one slice of the shared L2)."""
+
+    __slots__ = ("config", "line_size", "num_sets", "assoc", "sector_size",
+                 "sectors_per_line", "_sets", "_line_shift", "_set_shift",
+                 "_offset_mask", "_set_mask", "_tag_shift",
+                 "_sector_mask_cache", "accesses", "hits", "misses",
+                 "sector_misses", "evictions", "prefetch_fills",
+                 "unused_prefetch_evictions")
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
@@ -66,6 +103,24 @@ class Cache:
         self.sector_size = config.sector_size
         self.sectors_per_line = config.sectors_per_line
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        # Shift/mask addressing for power-of-two geometries (the normal
+        # case); division/modulo fallbacks keep odd geometries working.
+        self._line_shift = _shift_of(self.line_size)
+        self._set_shift = _shift_of(self.num_sets)
+        if self._line_shift is not None:
+            self._offset_mask = self.line_size - 1
+        else:
+            self._offset_mask = None
+        if self._line_shift is not None and self._set_shift is not None:
+            self._set_mask = self.num_sets - 1
+            self._tag_shift = self._line_shift + self._set_shift
+        else:
+            self._set_mask = None
+            self._tag_shift = None
+        # Sector masks for every (line offset, access size) pair seen so far.
+        # The per-access loop over sectors this replaces showed up in every
+        # profile of partial-cacheline runs.
+        self._sector_mask_cache: Dict[int, int] = {}
         # Statistics owned by the cache itself.
         self.accesses = 0
         self.hits = 0
@@ -80,24 +135,34 @@ class Cache:
     # ------------------------------------------------------------------
     def line_addr(self, addr: int) -> int:
         """Base address of the line containing ``addr``."""
+        if self._line_shift is not None:
+            return addr & ~self._offset_mask
         return addr - (addr % self.line_size)
 
     def set_index(self, addr: int) -> int:
+        if self._tag_shift is not None:
+            return (addr >> self._line_shift) & self._set_mask
         return (addr // self.line_size) % self.num_sets
 
     def tag_of(self, addr: int) -> int:
+        if self._tag_shift is not None:
+            return addr >> self._tag_shift
         return addr // (self.line_size * self.num_sets)
 
     def sector_mask(self, addr: int, size: int) -> int:
         """Mask of sectors covered by an access of ``size`` bytes at ``addr``."""
         if not self.sector_size:
-            return full_mask(1)
-        offset = addr % self.line_size
-        first = offset // self.sector_size
-        last = min(self.line_size - 1, offset + max(1, size) - 1) // self.sector_size
-        mask = 0
-        for sector in range(first, last + 1):
-            mask |= 1 << sector
+            return 1
+        offset = (addr & self._offset_mask if self._line_shift is not None
+                  else addr % self.line_size)
+        key = (offset << 16) | min(size, 0xFFFF)
+        mask = self._sector_mask_cache.get(key)
+        if mask is None:
+            first = offset // self.sector_size
+            last = min(self.line_size - 1,
+                       offset + max(1, size) - 1) // self.sector_size
+            mask = (full_mask(last - first + 1)) << first
+            self._sector_mask_cache[key] = mask
         return mask
 
     # ------------------------------------------------------------------
@@ -105,8 +170,10 @@ class Cache:
     # ------------------------------------------------------------------
     def probe(self, addr: int) -> Optional[CacheLine]:
         """Return the resident line containing ``addr`` without side effects."""
-        index = self.set_index(addr)
-        return self._sets[index].get(self.tag_of(addr))
+        if self._tag_shift is not None:
+            return self._sets[(addr >> self._line_shift) & self._set_mask].get(
+                addr >> self._tag_shift)
+        return self._sets[self.set_index(addr)].get(self.tag_of(addr))
 
     def access(self, addr: int, size: int, is_write: bool, now: float) -> AccessResult:
         """Perform a demand access and return the outcome.
@@ -115,27 +182,47 @@ class Cache:
         leaves the cache unmodified; the caller is expected to call
         :meth:`fill` once the data has been fetched.
         """
-        self.accesses += 1
         line = self.probe(addr)
+        hit = self.access_fast(addr, size, is_write, now)
+        if hit is None:
+            return AccessResult(hit=False, line=line,
+                                sector_miss=line is not None)
+        ready_time, was_prefetched = hit
+        return AccessResult(hit=True, line=line, was_prefetched=was_prefetched,
+                            ready_time=ready_time)
+
+    def access_fast(self, addr: int, size: int, is_write: bool, now: float):
+        """Hot-path demand access: ``(ready_time, was_prefetched)`` on a hit,
+        ``None`` on a miss.  Same state transitions and counters as
+        :meth:`access`, without building an :class:`AccessResult`."""
+        self.accesses += 1
+        if self._tag_shift is not None:
+            line = self._sets[(addr >> self._line_shift) & self._set_mask].get(
+                addr >> self._tag_shift)
+        else:
+            line = self._sets[self.set_index(addr)].get(self.tag_of(addr))
         if line is None:
             self.misses += 1
-            return AccessResult(hit=False)
-        mask = self.sector_mask(addr, size)
-        if self.sector_size and (line.sector_valid & mask) != mask:
-            # Line present but the requested sector(s) are not.
-            self.sector_misses += 1
-            self.misses += 1
-            return AccessResult(hit=False, line=line, sector_miss=True)
+            return None
+        if self.sector_size:
+            mask = self.sector_mask(addr, size)
+            if (line.sector_valid & mask) != mask:
+                # Line present but the requested sector(s) are not.
+                self.sector_misses += 1
+                self.misses += 1
+                return None
+        else:
+            mask = 1
         self.hits += 1
         line.last_use = now
         line.sector_touched |= mask
         if is_write:
             line.dirty = True
-        was_prefetched = line.from_prefetch and not line.prefetch_referenced
         if line.from_prefetch:
+            was_prefetched = not line.prefetch_referenced
             line.prefetch_referenced = True
-        return AccessResult(hit=True, line=line, was_prefetched=was_prefetched,
-                            ready_time=line.ready_time)
+            return line.ready_time, was_prefetched
+        return line.ready_time, False
 
     # ------------------------------------------------------------------
     # Fill / eviction
@@ -150,8 +237,23 @@ class Cache:
         field carries the victim line, if any (the caller charges write-back
         traffic for dirty victims).
         """
-        index = self.set_index(addr)
-        tag = self.tag_of(addr)
+        line, evicted = self.fill_fast(addr, now, ready_time,
+                                       is_prefetch=is_prefetch,
+                                       is_write=is_write, sectors=sectors)
+        return AccessResult(hit=True, line=line, evicted=evicted,
+                            ready_time=line.ready_time)
+
+    def fill_fast(self, addr: int, now: float, ready_time: float, *,
+                  is_prefetch: bool = False, is_write: bool = False,
+                  sectors: Optional[int] = None):
+        """Hot-path :meth:`fill`: returns ``(line, evicted_line_or_None)``
+        without building an :class:`AccessResult`."""
+        if self._tag_shift is not None:
+            index = (addr >> self._line_shift) & self._set_mask
+            tag = addr >> self._tag_shift
+        else:
+            index = self.set_index(addr)
+            tag = self.tag_of(addr)
         cache_set = self._sets[index]
         if sectors is None:
             sectors = full_mask(self.sectors_per_line)
@@ -160,10 +262,11 @@ class Cache:
         if line is None:
             if len(cache_set) >= self.assoc:
                 evicted = self._evict(cache_set)
-            line = CacheLine(tag=tag, addr=self.line_addr(addr),
-                             ready_time=ready_time, last_use=now,
-                             from_prefetch=is_prefetch,
-                             sector_valid=sectors)
+            # Positional CacheLine construction (hot): (tag, addr, valid,
+            # dirty, ready_time, last_use, from_prefetch,
+            # prefetch_referenced, sector_valid, sector_touched).
+            line = CacheLine(tag, self.line_addr(addr), True, False,
+                             ready_time, now, is_prefetch, False, sectors, 0)
             cache_set[tag] = line
             if is_prefetch:
                 self.prefetch_fills += 1
@@ -176,8 +279,7 @@ class Cache:
             line.dirty = True
         if not is_prefetch:
             line.prefetch_referenced = True
-        return AccessResult(hit=True, line=line, evicted=evicted,
-                            ready_time=line.ready_time)
+        return line, evicted
 
     def _evict(self, cache_set: Dict[int, CacheLine]) -> CacheLine:
         victim_tag = min(cache_set, key=lambda t: cache_set[t].last_use)

@@ -30,7 +30,7 @@ class LineState(enum.Enum):
     MODIFIED = "M"
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     """Directory state for one cache line."""
 
@@ -41,7 +41,7 @@ class DirectoryEntry:
     overflowed: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class CoherenceAction:
     """What the directory asked the system to do for one request."""
 
@@ -54,6 +54,8 @@ class CoherenceAction:
 
 class Directory:
     """Limited-pointer (ACKwise_k) directory for one home tile."""
+
+    __slots__ = ("home_tile", "max_pointers", "traffic", "_entries")
 
     def __init__(self, home_tile: int, max_pointers: int = 4,
                  traffic: TrafficStats = None) -> None:
@@ -77,6 +79,23 @@ class Directory:
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
+    def read_fast(self, line_addr: int, requester: int, n_cores: int,
+                  line_size: int):
+        """Hot-path :meth:`read`: returns the extra-hop message list, or
+        ``None`` when the read required no coherence traffic (the common
+        case — no :class:`CoherenceAction` is allocated for it)."""
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[line_addr] = entry
+        elif (entry.state is LineState.MODIFIED and entry.owner is not None
+                and entry.owner != requester):
+            return self.read(line_addr, requester, n_cores,
+                             line_size).extra_hops_messages
+        entry.state = LineState.SHARED
+        self._add_sharer(entry, requester)
+        return None
+
     def read(self, line_addr: int, requester: int, n_cores: int,
              line_size: int) -> CoherenceAction:
         """Handle a read miss arriving at the home tile."""

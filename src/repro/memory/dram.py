@@ -26,6 +26,8 @@ from repro.sim.stats import TrafficStats
 class DramModel:
     """Interface shared by the DRAM models."""
 
+    __slots__ = ("config", "n_controllers", "traffic")
+
     def __init__(self, config: DramConfig, n_controllers: int,
                  traffic: TrafficStats = None) -> None:
         self.config = config
@@ -52,6 +54,8 @@ class DramModel:
 class SimpleDram(DramModel):
     """Fixed latency + per-controller bandwidth limit."""
 
+    __slots__ = ("_channels",)
+
     def __init__(self, config: DramConfig, n_controllers: int,
                  traffic: TrafficStats = None) -> None:
         super().__init__(config, n_controllers, traffic)
@@ -62,11 +66,17 @@ class SimpleDram(DramModel):
                is_write: bool = False) -> float:
         if controller < 0 or controller >= self.n_controllers:
             raise ValueError(f"controller {controller} out of range")
-        nbytes = self.effective_bytes(nbytes)
+        # effective_bytes, inlined (hot path).
+        granule = self.config.access_granularity
+        if nbytes <= 0:
+            nbytes = granule
+        else:
+            nbytes = ((nbytes + granule - 1) // granule) * granule
         service = nbytes / self.config.bandwidth_bytes_per_cycle
         start = self._channels[controller].reserve(now, service)
-        self.traffic.dram_bytes += nbytes
-        self.traffic.dram_requests += 1
+        traffic = self.traffic
+        traffic.dram_bytes += nbytes
+        traffic.dram_requests += 1
         return start + self.config.latency_cycles + service
 
     def channel_utilization(self, now: float) -> float:
@@ -95,6 +105,8 @@ class BankedDram(DramModel):
     serialize; requests to different banks of the same controller overlap but
     share the data bus.
     """
+
+    __slots__ = ("_banks", "_buses")
 
     def __init__(self, config: DramConfig, n_controllers: int,
                  traffic: TrafficStats = None) -> None:

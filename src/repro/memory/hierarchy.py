@@ -15,19 +15,27 @@ Idealised configurations of Section 5.4 are supported directly:
   the NoC/DRAM are so congested that even that lead time is not enough,
   which is exactly what makes *PerfPref* fall behind *Ideal* at high core
   counts in the paper (Section 2.2).
+
+Hot-path notes: cores call :meth:`MemorySystem.access_fast` with plain
+scalars (no :class:`MemRef` is built per dynamic reference); the
+object-based :meth:`MemorySystem.access` remains as a thin wrapper.  One
+:class:`AccessContext` per memory system is reused across prefetcher
+notifications, and cores whose prefetcher can never issue anything (the
+``NullPrefetcher`` baseline) skip the notification machinery entirely.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.mem_image import MemoryImage
 from repro.memory.cache import Cache, full_mask
 from repro.memory.coherence import Directory
 from repro.memory.dram import make_dram
-from repro.noc.mesh import MeshNoC, Message
+from repro.noc.mesh import MeshNoC
 from repro.prefetchers.base import AccessContext, PrefetcherBase, PrefetchRequest
+from repro.prefetchers.null import NullPrefetcher
 from repro.sim.config import SystemConfig
 from repro.sim.stats import CoreStats, SystemStats, TrafficStats
 from repro.sim.trace import MemRef
@@ -51,8 +59,23 @@ class AccessOutcome:
 PrefetcherFactory = Callable[[int], PrefetcherBase]
 
 
+def _prefetcher_is_inert(prefetcher: PrefetcherBase) -> bool:
+    """True when ``on_access`` can never produce work (no-prefetch baselines)."""
+    if isinstance(prefetcher, NullPrefetcher):
+        return True
+    return type(prefetcher).on_access is PrefetcherBase.on_access
+
+
 class MemorySystem:
     """Cache hierarchy + interconnect + DRAM for the whole chip."""
+
+    __slots__ = ("config", "mem_image", "stats", "traffic", "noc", "dram",
+                 "_mc_tiles", "_num_mcs", "l1", "l2", "directories",
+                 "prefetchers", "line_size", "_line_shift", "_line_mask",
+                 "_cores_pow2_mask", "_hit_latency", "_l2_hit_latency",
+                 "_l1_inline", "_l1_line_shift", "_l1_set_mask",
+                 "_l1_tag_shift", "_plain_hit", "_has_on_fill",
+                 "_notify_enabled", "_ctx")
 
     def __init__(self, config: SystemConfig, mem_image: Optional[MemoryImage] = None,
                  prefetcher_factory: Optional[PrefetcherFactory] = None,
@@ -69,6 +92,7 @@ class MemorySystem:
         self.dram = make_dram(config.dram, config.num_memory_controllers,
                               traffic=self.traffic)
         self._mc_tiles = config.memory_controller_tiles()
+        self._num_mcs = len(self._mc_tiles)
         l1_cfg = config.l1d_effective
         l2_cfg = config.l2_slice
         self.l1 = [Cache(l1_cfg) for _ in range(n)]
@@ -78,66 +102,177 @@ class MemorySystem:
         factory = prefetcher_factory or (lambda core_id: PrefetcherBase())
         self.prefetchers: List[PrefetcherBase] = [factory(i) for i in range(n)]
         self.line_size = l1_cfg.line_size
+        # ----- hot-path precomputation ---------------------------------
+        line_size = self.line_size
+        if line_size > 0 and (line_size & (line_size - 1)) == 0:
+            self._line_shift = line_size.bit_length() - 1
+            self._line_mask = ~(line_size - 1)
+        else:
+            self._line_shift = None
+            self._line_mask = None
+        self._cores_pow2_mask = (n - 1) if (n & (n - 1)) == 0 else None
+        self._hit_latency = config.l1d.hit_latency
+        self._l2_hit_latency = config.l2_slice.hit_latency
+        # All L1s share one geometry; when it is power-of-two and
+        # non-sectored (the default), the demand-hit lookup is inlined in
+        # access_fast (mirrors Cache.access_fast — keep the two in sync).
+        sample_l1 = self.l1[0]
+        self._l1_inline = (sample_l1._tag_shift is not None
+                           and not sample_l1.sector_size)
+        self._l1_line_shift = sample_l1._line_shift
+        self._l1_set_mask = sample_l1._set_mask
+        self._l1_tag_shift = sample_l1._tag_shift
+        # Shared result tuple for the overwhelmingly common plain L1 hit
+        # (immutable, so safe to return repeatedly).
+        self._plain_hit = (self._hit_latency, True, False, False, 0.0)
+        # on_fill is a chaining hook no stock prefetcher implements; skip
+        # the per-request call when it is the base-class no-op.
+        self._has_on_fill = [type(p).on_fill is not PrefetcherBase.on_fill
+                             for p in self.prefetchers]
+        # Which cores have a prefetcher worth notifying (skips the whole
+        # AccessContext path for the "none" baseline).
+        self._notify_enabled = [not _prefetcher_is_inert(p)
+                                for p in self.prefetchers]
+        # One reusable AccessContext: fields are rebound per access instead
+        # of allocating a context (plus a read_value closure) per reference.
+        self._ctx = AccessContext(core_id=0, pc=0, addr=0, size=0,
+                                  is_write=False, hit=False, now=0.0)
+        read_value = self.mem_image.read_value
+        ctx = self._ctx
+        self._ctx.read_value = lambda: read_value(ctx.addr)
 
     # ------------------------------------------------------------------
     # Address mapping
     # ------------------------------------------------------------------
     def line_addr(self, addr: int) -> int:
+        if self._line_shift is not None:
+            return addr & self._line_mask
         return addr - (addr % self.line_size)
 
     def home_tile(self, addr: int) -> int:
         """L2 slice (and directory) holding this line: line interleaving."""
-        return (addr // self.line_size) % self.config.n_cores
+        if self._line_shift is not None:
+            line_no = addr >> self._line_shift
+        else:
+            line_no = addr // self.line_size
+        if self._cores_pow2_mask is not None:
+            return line_no & self._cores_pow2_mask
+        return line_no % self.config.n_cores
 
     def memory_controller(self, addr: int) -> tuple:
         """Return ``(controller_index, controller_tile)`` for an address."""
-        index = (addr // self.line_size) % len(self._mc_tiles)
+        if self._line_shift is not None:
+            index = (addr >> self._line_shift) % self._num_mcs
+        else:
+            index = (addr // self.line_size) % self._num_mcs
         return index, self._mc_tiles[index]
 
     # ------------------------------------------------------------------
     # Demand access path
     # ------------------------------------------------------------------
     def access(self, core_id: int, ref: MemRef, now: float) -> AccessOutcome:
-        """Perform one demand load/store for ``core_id`` at time ``now``."""
-        core_stats = self.stats.cores[core_id]
-        if self.config.ideal_memory:
-            latency = self.config.l1d.hit_latency
-            outcome = AccessOutcome(latency=latency, l1_hit=True)
-            self._notify_prefetcher(core_id, ref, hit=True, now=now)
-            return outcome
+        """Perform one demand load/store for ``core_id`` at time ``now``.
+
+        Object-based wrapper kept for tests and external callers; core
+        models use :meth:`access_fast`.
+        """
+        latency, l1_hit, l2_hit, covered, late = self.access_fast(
+            core_id, ref.pc, ref.addr, ref.size, ref.is_write, now)
+        return AccessOutcome(latency=latency, l1_hit=l1_hit, l2_hit=l2_hit,
+                             covered_by_prefetch=covered,
+                             late_prefetch_cycles=late)
+
+    def access_fast(self, core_id: int, pc: int, addr: int, size: int,
+                    is_write: bool, now: float):
+        """Scalar demand-access entry point (the hot path).
+
+        Returns ``(latency, l1_hit, l2_hit, covered_by_prefetch,
+        late_prefetch_cycles)``; core models read only the first two
+        elements, so stand-in memory systems may return any indexable with
+        latency at [0] and the L1-hit flag at [1].
+        """
+        config = self.config
+        if config.ideal_memory:
+            if self._notify_enabled[core_id]:
+                self._notify_prefetcher(core_id, pc, addr, size, is_write,
+                                        hit=True, now=now)
+            return self._hit_latency, True, False, False, 0.0
 
         l1 = self.l1[core_id]
-        result = l1.access(ref.addr, ref.size, ref.is_write, now)
-        hit_latency = self.config.l1d.hit_latency
+        if self._l1_inline:
+            # Cache.access_fast, inlined for the shared power-of-two
+            # non-sectored L1 geometry (the hottest lines in the simulator).
+            l1.accesses += 1
+            line = l1._sets[(addr >> self._l1_line_shift)
+                            & self._l1_set_mask].get(
+                                addr >> self._l1_tag_shift)
+            if line is None:
+                l1.misses += 1
+                hit = None
+            else:
+                l1.hits += 1
+                line.last_use = now
+                # (sector_touched is only consumed by the granularity
+                # predictor, which requires a sectored L1 — not this path.)
+                if is_write:
+                    line.dirty = True
+                if line.from_prefetch:
+                    was_prefetched = not line.prefetch_referenced
+                    line.prefetch_referenced = True
+                    hit = (line.ready_time, was_prefetched)
+                else:
+                    hit = (line.ready_time, False)
+        else:
+            hit = l1.access_fast(addr, size, is_write, now)
+        hit_latency = self._hit_latency
 
-        if result.hit:
-            late = max(0.0, result.ready_time - now)
-            latency = hit_latency + late
-            outcome = AccessOutcome(latency=latency, l1_hit=True,
-                                    covered_by_prefetch=result.was_prefetched,
-                                    late_prefetch_cycles=late)
-            if result.was_prefetched:
+        if hit is not None:
+            ready, covered = hit
+            late = ready - now
+            if late > 0.0:
+                latency = hit_latency + late
+            else:
+                late = 0.0
+                latency = hit_latency
+            if covered:
+                core_stats = self.stats.cores[core_id]
                 core_stats.prefetch_covered_misses += 1
                 core_stats.prefetches_useful += 1
                 core_stats.prefetch_late_cycles += int(late)
-            self._notify_prefetcher(core_id, ref, hit=True, now=now)
-            return outcome
+            if self._notify_enabled[core_id]:
+                # _notify_prefetcher, inlined (hottest call site).
+                ctx = self._ctx
+                ctx.core_id = core_id
+                ctx.pc = pc
+                ctx.addr = addr
+                ctx.size = size
+                ctx.is_write = is_write
+                ctx.hit = True
+                ctx.now = now
+                requests = self.prefetchers[core_id].on_access(ctx)
+                if requests:
+                    self._issue_requests(core_id, requests, now)
+            if covered or late:
+                return latency, True, False, covered, late
+            return self._plain_hit
 
         # L1 miss: fetch the line through the shared L2 / DRAM.
         issue_time = now
-        if self.config.perfect_prefetch:
-            issue_time = now - self.config.perfect_prefetch_lead
-        arrival, l2_hit = self._fetch_line(core_id, ref.addr, issue_time,
-                                           is_write=ref.is_write,
+        if config.perfect_prefetch:
+            issue_time = now - config.perfect_prefetch_lead
+        arrival, l2_hit = self._fetch_line(core_id, addr, issue_time,
+                                           is_write=is_write,
                                            fetch_bytes=self.line_size,
                                            sectors=None)
-        fill = l1.fill(ref.addr, now, arrival, is_prefetch=False,
-                       is_write=ref.is_write)
-        self._handle_l1_eviction(core_id, fill.evicted, now)
+        evicted = l1.fill_fast(addr, now, arrival, is_prefetch=False,
+                               is_write=is_write)[1]
+        if evicted is not None:
+            self._handle_l1_eviction(core_id, evicted, now)
         latency = hit_latency + max(0.0, arrival - now)
-        outcome = AccessOutcome(latency=latency, l1_hit=False, l2_hit=l2_hit)
-        self._notify_prefetcher(core_id, ref, hit=False, now=now)
-        return outcome
+        if self._notify_enabled[core_id]:
+            self._notify_prefetcher(core_id, pc, addr, size, is_write,
+                                    hit=False, now=now)
+        return latency, False, l2_hit, False, 0.0
 
     # ------------------------------------------------------------------
     # Prefetch path
@@ -149,12 +284,19 @@ class MemorySystem:
         The prefetch does not stall the core; its cost is the NoC/DRAM
         traffic it generates and the L1 capacity it occupies.
         """
-        core_stats = self.stats.cores[core_id]
         if self.config.ideal_memory:
             return now
         l1 = self.l1[core_id]
-        line = l1.probe(request.addr)
-        fetch_bytes = min(request.size, self.line_size)
+        addr = request.addr
+        # Inlined l1.probe (most prefetches find the line already resident).
+        if l1._tag_shift is not None:
+            line = l1._sets[(addr >> l1._line_shift) & l1._set_mask].get(
+                addr >> l1._tag_shift)
+        else:
+            line = l1.probe(addr)
+        size = request.size
+        line_size = self.line_size
+        fetch_bytes = size if size < line_size else line_size
         sectors = None
         if l1.sector_size:
             sectors = self._sector_mask_for_prefetch(l1, request.addr, fetch_bytes)
@@ -163,6 +305,7 @@ class MemorySystem:
                 return now  # already resident, nothing to do
             if (line.sector_valid & sectors) == sectors:
                 return now
+        core_stats = self.stats.cores[core_id]
         core_stats.prefetches_issued += 1
         if request.is_indirect:
             core_stats.indirect_prefetches_issued += 1
@@ -175,9 +318,10 @@ class MemorySystem:
                                       fetch_bytes=noc_bytes,
                                       dram_bytes=dram_bytes,
                                       sectors=sectors)
-        fill = l1.fill(request.addr, now, arrival, is_prefetch=True,
-                       sectors=sectors)
-        self._handle_l1_eviction(core_id, fill.evicted, now)
+        evicted = l1.fill_fast(request.addr, now, arrival, is_prefetch=True,
+                               sectors=sectors)[1]
+        if evicted is not None:
+            self._handle_l1_eviction(core_id, evicted, now)
         return arrival
 
     def _sector_mask_for_prefetch(self, l1: Cache, addr: int,
@@ -197,55 +341,68 @@ class MemorySystem:
         """Fetch a line (or sectors of it) for a core; return
         ``(arrival_time, l2_hit)``."""
         core_stats = self.stats.cores[core_id]
-        line = self.line_addr(addr)
-        home = self.home_tile(addr)
+        # line_addr / home_tile, inlined for power-of-two geometries.
+        if self._line_shift is not None:
+            line = addr & self._line_mask
+            line_no = addr >> self._line_shift
+        else:
+            line = self.line_addr(addr)
+            line_no = addr // self.line_size
+        if self._cores_pow2_mask is not None:
+            home = line_no & self._cores_pow2_mask
+        else:
+            home = line_no % self.config.n_cores
         directory = self.directories[home]
         l2 = self.l2[home]
         if dram_bytes is None:
             dram_bytes = fetch_bytes
+        noc_send = self.noc.send_fast
 
         # Request message: core tile -> home tile.
-        time = self.noc.send(Message(core_id, home, CONTROL_MESSAGE_BYTES),
-                             issue_time)
+        time = noc_send(core_id, home, CONTROL_MESSAGE_BYTES, issue_time)
 
         # Directory consultation and coherence actions.
         if is_write:
-            action = directory.write(line, core_id, self.config.n_cores,
-                                     self.line_size)
+            extra = directory.write(line, core_id, self.config.n_cores,
+                                    self.line_size).extra_hops_messages
         else:
-            action = directory.read(line, core_id, self.config.n_cores,
-                                    self.line_size)
-        coherence_done = time
-        for src, dst, payload in action.extra_hops_messages:
-            coherence_done = max(coherence_done,
-                                 self.noc.send(Message(src, dst, payload), time))
-        time = max(time, coherence_done)
+            extra = directory.read_fast(line, core_id, self.config.n_cores,
+                                        self.line_size)
+        if extra:
+            coherence_done = time
+            for src, dst, payload in extra:
+                sent = noc_send(src, dst, payload, time)
+                if sent > coherence_done:
+                    coherence_done = sent
+            if coherence_done > time:
+                time = coherence_done
 
         # L2 slice lookup at the home tile.
-        l2_result = l2.access(addr, max(1, fetch_bytes), is_write, time)
-        time += self.config.l2_slice.hit_latency
-        l2_hit = l2_result.hit
+        l2_hit = l2.access_fast(addr, fetch_bytes if fetch_bytes > 1 else 1,
+                                is_write, time) is not None
+        time += self._l2_hit_latency
         if l2_hit:
             core_stats.l2_hits += 1
         else:
             core_stats.l2_misses += 1
             # Miss in the shared L2: go to the memory controller and DRAM.
             mc_index, mc_tile = self.memory_controller(addr)
-            time = self.noc.send(Message(home, mc_tile, CONTROL_MESSAGE_BYTES), time)
+            time = noc_send(home, mc_tile, CONTROL_MESSAGE_BYTES, time)
             time = self.dram.access(mc_index, line, dram_bytes, time,
                                     is_write=False)
-            time = self.noc.send(Message(mc_tile, home, dram_bytes), time)
+            time = noc_send(mc_tile, home, dram_bytes, time)
             l2_sectors = None
             if l2.sector_size:
                 l2_sectors = (l2.sector_mask(addr, dram_bytes)
                               if dram_bytes < self.line_size
                               else full_mask(l2.sectors_per_line))
-            l2_fill = l2.fill(addr, time, time, is_write=is_write,
-                              sectors=l2_sectors)
-            self._handle_l2_eviction(home, l2_fill.evicted, time)
+            l2_evicted = l2.fill_fast(addr, time, time, is_write=is_write,
+                                      sectors=l2_sectors)[1]
+            if l2_evicted is not None:
+                self._handle_l2_eviction(home, l2_evicted, time)
 
         # Data response: home tile -> requesting core.
-        time = self.noc.send(Message(home, core_id, fetch_bytes), time)
+        time = noc_send(home, core_id, fetch_bytes, time)
         return time, l2_hit
 
     # ------------------------------------------------------------------
@@ -259,37 +416,51 @@ class MemorySystem:
         self.directories[home].evict(self.line_addr(victim.addr), core_id)
         if victim.dirty:
             # Write the dirty line back to its home L2 slice.
-            self.noc.send(Message(core_id, home, self.line_size), now)
-            self.l2[home].fill(victim.addr, now, now, is_write=True)
+            self.noc.send_fast(core_id, home, self.line_size, now)
+            self.l2[home].fill_fast(victim.addr, now, now, is_write=True)
 
     def _handle_l2_eviction(self, home: int, victim, now: float) -> None:
         if victim is None or not victim.dirty:
             return
         mc_index, mc_tile = self.memory_controller(victim.addr)
-        self.noc.send(Message(home, mc_tile, self.line_size), now)
+        self.noc.send_fast(home, mc_tile, self.line_size, now)
         self.dram.access(mc_index, victim.addr, self.line_size, now, is_write=True)
 
     # ------------------------------------------------------------------
     # Prefetcher plumbing
     # ------------------------------------------------------------------
-    def _notify_prefetcher(self, core_id: int, ref: MemRef, hit: bool,
-                           now: float) -> None:
-        prefetcher = self.prefetchers[core_id]
-        ctx = AccessContext(
-            core_id=core_id, pc=ref.pc, addr=ref.addr, size=ref.size,
-            is_write=ref.is_write, hit=hit, now=now,
-            read_value=lambda addr=ref.addr: self.mem_image.read_value(addr))
-        requests = prefetcher.on_access(ctx)
-        self._issue_requests(core_id, requests, now)
+    def _notify_prefetcher(self, core_id: int, pc: int, addr: int, size: int,
+                           is_write: bool, hit: bool, now: float) -> None:
+        ctx = self._ctx
+        ctx.core_id = core_id
+        ctx.pc = pc
+        ctx.addr = addr
+        ctx.size = size
+        ctx.is_write = is_write
+        ctx.hit = hit
+        ctx.now = now
+        requests = self.prefetchers[core_id].on_access(ctx)
+        if requests:
+            self._issue_requests(core_id, requests, now)
 
     def _issue_requests(self, core_id: int, requests: List[PrefetchRequest],
                         now: float) -> None:
+        issue_prefetch = self.issue_prefetch
+        if not self._has_on_fill[core_id]:
+            previous_completion = now
+            for request in requests:
+                issue_at = (previous_completion
+                            if request.depends_on_previous else now)
+                previous_completion = issue_prefetch(core_id, request,
+                                                     issue_at)
+            return
+        prefetcher = self.prefetchers[core_id]
         previous_completion = now
         for request in requests:
             issue_at = previous_completion if request.depends_on_previous else now
-            completion = self.issue_prefetch(core_id, request, issue_at)
+            completion = issue_prefetch(core_id, request, issue_at)
             previous_completion = completion
-            follow_on = self.prefetchers[core_id].on_fill(request.addr, completion)
+            follow_on = prefetcher.on_fill(request.addr, completion)
             if follow_on:
                 self._issue_requests(core_id, follow_on, completion)
 

@@ -36,6 +36,10 @@ class Message:
 class MeshNoC:
     """Square 2-D mesh with XY routing and per-link queueing."""
 
+    __slots__ = ("n_tiles", "dim", "config", "traffic", "_links",
+                 "_route_cache", "_hops_cache", "_payload_cache",
+                 "_hop_latency")
+
     def __init__(self, n_tiles: int, config: NoCConfig = NoCConfig(),
                  traffic: TrafficStats = None) -> None:
         dim = int(round(math.sqrt(n_tiles)))
@@ -47,6 +51,14 @@ class MeshNoC:
         self.traffic = traffic if traffic is not None else TrafficStats()
         # Reservation schedule per directed link, keyed by (src, dst) tile.
         self._links: Dict[Tuple[int, int], ResourceSchedule] = {}
+        # Hot-path caches: the (resolved) link schedules of each XY route and
+        # hop counts are pure functions of the (src, dst) pair, flit counts /
+        # serialization of the payload size.  All are recomputed millions of
+        # times per run without these.
+        self._route_cache: Dict[int, Tuple[ResourceSchedule, ...]] = {}
+        self._hops_cache: Dict[int, int] = {}
+        self._payload_cache: Dict[int, Tuple[int, float]] = {}
+        self._hop_latency = config.hop_latency
 
     # ------------------------------------------------------------------
     # Geometry
@@ -97,31 +109,51 @@ class MeshNoC:
         return self.hops(src, dst) * self.config.hop_latency + flits
 
     def send(self, message: Message, now: float) -> float:
-        """Send a message at time ``now``; return its arrival time.
+        """Send a message at time ``now``; return its arrival time."""
+        return self.send_fast(message.src, message.dst, message.payload_bytes,
+                              now)
+
+    def send_fast(self, src: int, dst: int, payload_bytes: int,
+                  now: float) -> float:
+        """Scalar variant of :meth:`send` (the hot path — no Message object).
 
         Contention: at every link of the route the message waits until the
         link is free, then occupies it for the serialization time of its
         flits.  Hop latency is added per link.
         """
-        cfg = self.config
-        flits = self._flits(message.payload_bytes)
-        serialization = flits / cfg.link_bandwidth_flits
+        traffic = self.traffic
+        cached = self._payload_cache.get(payload_bytes)
+        if cached is None:
+            flits = self._flits(payload_bytes)
+            cached = (flits, flits / self.config.link_bandwidth_flits)
+            self._payload_cache[payload_bytes] = cached
+        flits, serialization = cached
         time = float(now)
-        if message.src == message.dst:
+        if src == dst:
             # Local access: no network traversal, a single router pass.
-            self.traffic.noc_messages += 1
-            return time + cfg.hop_latency
-        for link in self.route(message.src, message.dst):
-            schedule = self._links.get(link)
-            if schedule is None:
-                schedule = self._links[link] = ResourceSchedule()
-            start = schedule.reserve(time, serialization)
-            time = start + cfg.hop_latency
+            traffic.noc_messages += 1
+            return time + self._hop_latency
+        pair = src * self.n_tiles + dst
+        schedules = self._route_cache.get(pair)
+        if schedules is None:
+            links = self._links
+            resolved = []
+            for link in self.route(src, dst):
+                schedule = links.get(link)
+                if schedule is None:
+                    schedule = links[link] = ResourceSchedule()
+                resolved.append(schedule)
+            schedules = tuple(resolved)
+            self._route_cache[pair] = schedules
+            self._hops_cache[pair] = self.hops(src, dst)
+        hop_latency = self._hop_latency
+        for schedule in schedules:
+            time = schedule.reserve(time, serialization) + hop_latency
         time += serialization  # pipeline drain of the message body
-        self.traffic.noc_messages += 1
-        self.traffic.noc_flits += flits * max(1, self.hops(message.src, message.dst))
-        self.traffic.noc_bytes += message.payload_bytes * max(
-            1, self.hops(message.src, message.dst))
+        hops = self._hops_cache[pair]
+        traffic.noc_messages += 1
+        traffic.noc_flits += flits * hops
+        traffic.noc_bytes += payload_bytes * hops
         return time
 
     def round_trip(self, src: int, dst: int, request_bytes: int,
@@ -152,3 +184,6 @@ class MeshNoC:
     def reset_contention(self) -> None:
         """Clear all link occupancy (used between independent runs)."""
         self._links.clear()
+        # Cached routes hold resolved ResourceSchedule objects; drop them so
+        # future sends see the cleared link state.
+        self._route_cache.clear()

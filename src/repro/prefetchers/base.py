@@ -13,9 +13,16 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessContext:
-    """Everything a hardware prefetcher can observe about one L1 access."""
+    """Everything a hardware prefetcher can observe about one L1 access.
+
+    .. warning:: The memory hierarchy reuses **one mutable instance** across
+       all accesses (and all cores) and rebinds its fields per access.  A
+       prefetcher must consume the context inside ``on_access`` — never
+       retain the object, and never call ``read_value`` after returning —
+       or it will observe fields from a later, unrelated access.
+    """
 
     core_id: int
     pc: int
@@ -31,21 +38,54 @@ class AccessContext:
     read_value: Callable[[], Optional[int]] = field(default=lambda: None)
 
 
-@dataclass
 class PrefetchRequest:
-    """A prefetch the hierarchy should issue on behalf of a prefetcher."""
+    """A prefetch the hierarchy should issue on behalf of a prefetcher.
 
-    addr: int
-    size: int = 64                 # bytes to fetch (partial accessing uses < 64)
-    is_indirect: bool = False      # an A[B[i]] prefetch (vs. a stream prefetch)
-    depends_on_previous: bool = False
-    #: Second-level indirection: the prefetch address can only be computed
-    #: after the previous request in this list has returned (Section 3.3.2).
-    exclusive: bool = False        # request the line in Exclusive state
+    A plain ``__slots__`` class rather than a dataclass: prefetch-heavy runs
+    construct one of these per generated prefetch, which makes allocation
+    cost measurable.
+    """
+
+    __slots__ = ("addr", "size", "is_indirect", "depends_on_previous",
+                 "exclusive")
+
+    def __init__(self, addr: int, size: int = 64, is_indirect: bool = False,
+                 depends_on_previous: bool = False,
+                 exclusive: bool = False) -> None:
+        self.addr = addr
+        self.size = size               # bytes to fetch (partial uses < 64)
+        self.is_indirect = is_indirect  # an A[B[i]] prefetch (vs. stream)
+        #: Second-level indirection: the prefetch address can only be
+        #: computed after the previous request in this list has returned
+        #: (Section 3.3.2).
+        self.depends_on_previous = depends_on_previous
+        self.exclusive = exclusive     # request the line in Exclusive state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PrefetchRequest(addr={self.addr:#x}, size={self.size}, "
+                f"is_indirect={self.is_indirect}, "
+                f"depends_on_previous={self.depends_on_previous}, "
+                f"exclusive={self.exclusive})")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PrefetchRequest):
+            return NotImplemented
+        return (self.addr == other.addr and self.size == other.size
+                and self.is_indirect == other.is_indirect
+                and self.depends_on_previous == other.depends_on_previous
+                and self.exclusive == other.exclusive)
 
 
 class PrefetcherBase:
-    """Base class: a prefetcher that never prefetches."""
+    """Base class: a prefetcher that never prefetches.
+
+    Declares empty ``__slots__`` so that slot-using subclasses (the stock
+    prefetchers are all on per-access hot paths) actually get dict-free
+    instances; subclasses that don't declare ``__slots__`` still work and
+    simply fall back to a dict.
+    """
+
+    __slots__ = ()
 
     name = "base"
 

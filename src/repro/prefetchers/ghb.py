@@ -16,8 +16,9 @@ G/AC (global, address-correlating) organisation:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.prefetchers.base import AccessContext, PrefetcherBase, PrefetchRequest
 
@@ -33,7 +34,7 @@ class GHBConfig:
     train_on_hits: bool = False    # classic GHB trains on the miss stream only
 
 
-@dataclass
+@dataclass(slots=True)
 class _HistoryEntry:
     addr: int
     prev: int = -1                 # index of previous entry with the same key
@@ -42,6 +43,9 @@ class _HistoryEntry:
 class GHBPrefetcher(PrefetcherBase):
     """Global History Buffer, address-correlating organisation."""
 
+    __slots__ = ("config", "_buffer", "_head", "_index", "_order",
+                 "correlation_hits")
+
     name = "ghb"
 
     def __init__(self, config: Optional[GHBConfig] = None) -> None:
@@ -49,6 +53,10 @@ class GHBPrefetcher(PrefetcherBase):
         self._buffer: List[Optional[_HistoryEntry]] = [None] * self.config.buffer_size
         self._head = 0             # next write position (monotonic counter)
         self._index: Dict[int, int] = {}
+        #: (position, key) pairs in insertion order; used to find the
+        #: least-recently-recorded key in amortised O(1) instead of scanning
+        #: the whole index table on every recorded miss.
+        self._order: Deque[Tuple[int, int]] = deque()
         self.correlation_hits = 0
 
     # ------------------------------------------------------------------
@@ -65,15 +73,33 @@ class GHBPrefetcher(PrefetcherBase):
 
     def _record(self, addr: int) -> None:
         key = self._key(addr)
-        prev = self._index.get(key, -1)
+        index = self._index
+        head = self._head
+        prev = index.get(key, -1)
         entry = _HistoryEntry(addr=addr, prev=prev)
-        self._buffer[self._slot(self._head)] = entry
-        self._index[key] = self._head
-        self._head += 1
-        if len(self._index) > self.config.index_table_size:
-            # Evict an arbitrary stale key to bound the index table.
-            stale = min(self._index, key=lambda k: self._index[k])
-            del self._index[stale]
+        self._buffer[head % self.config.buffer_size] = entry
+        index[key] = head
+        order = self._order
+        order.append((head, key))
+        self._head = head + 1
+        if len(order) > 4 * self.config.index_table_size + 64:
+            # Compact: drop stale pairs (keys since re-recorded at a newer
+            # position).  The live pairs, kept in position order, are
+            # exactly what victim selection consults, so this is a pure
+            # space bound — without it the deque grows by one pair per
+            # recorded miss whenever the index table never overflows.
+            self._order = order = deque(
+                sorted((position, k) for k, position in index.items()))
+        if len(index) > self.config.index_table_size:
+            # Evict the key whose last record is oldest.  Stale deque pairs
+            # (whose key has since been re-recorded at a newer position) are
+            # skipped; the first live pair holds the minimal position, i.e.
+            # exactly the victim a full min-scan of the index would find.
+            while True:
+                position, stale = order.popleft()
+                if index.get(stale) == position:
+                    del index[stale]
+                    break
 
     # ------------------------------------------------------------------
     def on_access(self, ctx: AccessContext) -> List[PrefetchRequest]:
@@ -100,4 +126,5 @@ class GHBPrefetcher(PrefetcherBase):
         self._buffer = [None] * self.config.buffer_size
         self._head = 0
         self._index.clear()
+        self._order.clear()
         self.correlation_hits = 0

@@ -10,6 +10,8 @@ from repro.prefetchers.base import AccessContext, PrefetcherBase, PrefetchReques
 class NullPrefetcher(PrefetcherBase):
     """Disable hardware prefetching entirely."""
 
+    __slots__ = ()
+
     name = "none"
 
     def on_access(self, ctx: AccessContext) -> List[PrefetchRequest]:

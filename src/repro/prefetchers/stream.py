@@ -36,7 +36,7 @@ class StreamPrefetcherConfig:
     max_hit_cnt: int = 15          # saturating counter ceiling
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamEntry:
     """One entry of the stream table (Figure 5, left half)."""
 
@@ -54,6 +54,8 @@ class StreamEntry:
 
 class StreamPrefetcher(PrefetcherBase):
     """Stride/stream prefetcher with PC-indexed entries."""
+
+    __slots__ = ("config", "_table", "streams_detected")
 
     name = "stream"
 
@@ -97,11 +99,14 @@ class StreamPrefetcher(PrefetcherBase):
         if delta == 0:
             return None
         if entry.stride == delta:
-            was_trained = entry.is_trained(self.config.train_threshold)
-            entry.hit_cnt = min(entry.hit_cnt + 1, self.config.max_hit_cnt)
+            # is_trained(), inlined: stride is known non-zero here.
+            threshold = self.config.train_threshold
+            hit_cnt = entry.hit_cnt
+            if hit_cnt < self.config.max_hit_cnt:
+                entry.hit_cnt = hit_cnt + 1
+                if hit_cnt + 1 == threshold:
+                    self.streams_detected += 1
             entry.addr = addr
-            if not was_trained and entry.is_trained(self.config.train_threshold):
-                self.streams_detected += 1
             return entry
         # Stride changed: lose some confidence, adopt the new stride only
         # after confidence has drained (hysteresis against noise).
@@ -132,20 +137,32 @@ class StreamPrefetcher(PrefetcherBase):
     def prefetches_for(self, entry: StreamEntry, addr: int) -> List[PrefetchRequest]:
         """Prefetch requests triggered by a stream hit of ``entry`` at ``addr``."""
         cfg = self.config
-        if not entry.is_trained(cfg.train_threshold):
+        stride = entry.stride
+        if stride == 0 or entry.hit_cnt < cfg.train_threshold:
             return []
         if entry.distance < cfg.max_distance:
             entry.distance += 1
+        line_size = cfg.line_size
+        if cfg.degree == 1:
+            # Common case, kept allocation-free when the dedup filter hits.
+            scale = line_size // abs(stride)
+            target = addr + stride * entry.distance * (scale if scale else 1)
+            target_line = target // line_size
+            if target_line == entry.last_prefetched_line:
+                return []
+            entry.last_prefetched_line = target_line
+            return [PrefetchRequest(addr=target_line * line_size,
+                                    size=line_size)]
         requests: List[PrefetchRequest] = []
         for step in range(cfg.degree):
-            target = addr + entry.stride * (entry.distance + step) * \
-                max(1, cfg.line_size // max(1, abs(entry.stride)))
-            target_line = target // cfg.line_size
+            target = addr + stride * (entry.distance + step) * \
+                max(1, line_size // max(1, abs(stride)))
+            target_line = target // line_size
             if target_line == entry.last_prefetched_line:
                 continue
             entry.last_prefetched_line = target_line
-            requests.append(PrefetchRequest(addr=target_line * cfg.line_size,
-                                            size=cfg.line_size))
+            requests.append(PrefetchRequest(addr=target_line * line_size,
+                                            size=line_size))
         return requests
 
     def on_access(self, ctx: AccessContext) -> List[PrefetchRequest]:

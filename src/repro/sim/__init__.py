@@ -1,7 +1,20 @@
 """Trace-driven multicore timing simulator substrate."""
 
 from repro.sim.config import SystemConfig
-from repro.sim.trace import AccessKind, Compute, MemRef, SwPrefetch, Trace
+from repro.sim.trace import (
+    KIND_BY_CODE,
+    KIND_CODES,
+    OP_COMPUTE,
+    OP_LOAD,
+    OP_STORE,
+    OP_SW_PREFETCH,
+    AccessKind,
+    Compute,
+    MemRef,
+    SwPrefetch,
+    Trace,
+    TraceBuilder,
+)
 from repro.sim.stats import CoreStats, SystemStats
 from repro.sim.system import System, SimulationResult, build_system, run_workload
 
@@ -9,13 +22,20 @@ __all__ = [
     "AccessKind",
     "Compute",
     "CoreStats",
+    "KIND_BY_CODE",
+    "KIND_CODES",
     "MemRef",
+    "OP_COMPUTE",
+    "OP_LOAD",
+    "OP_STORE",
+    "OP_SW_PREFETCH",
     "SimulationResult",
     "SwPrefetch",
     "System",
     "SystemConfig",
     "SystemStats",
     "Trace",
+    "TraceBuilder",
     "build_system",
     "run_workload",
 ]

@@ -10,25 +10,71 @@ Both models consume a :class:`repro.sim.trace.Trace` and charge:
   keeps executing younger instructions until the reorder buffer fills (or an
   outstanding-miss limit is hit), which hides part of the latency — the
   first-order behaviour of the Silvermont-class core the paper models.
+
+The run loop is the hottest code in the whole simulator, so it works
+directly on the trace's integer columns (see :mod:`repro.sim.trace`):
+entries are dispatched on their opcode, column references are hoisted into
+locals, and statistics are accumulated in plain instance counters that are
+flushed into :class:`repro.sim.stats.CoreStats` by :meth:`finish`.
+
+Latency and stall cycles are accumulated as floats and rounded once at
+:meth:`finish`; the original per-access ``int()`` truncation silently
+dropped up to one cycle per reference from the latency/stall statistics.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Optional, Tuple
+from typing import Deque, Tuple
 
-from repro.memory.hierarchy import MemorySystem
 from repro.sim.config import SystemConfig
 from repro.sim.stats import CoreStats
-from repro.sim.trace import AccessKind, Compute, MemRef, SwPrefetch, Trace
+from repro.sim.trace import (
+    KIND_BY_CODE,
+    NUM_KINDS,
+    OP_COMPUTE,
+    OP_LOAD,
+    OP_SW_PREFETCH,
+    MemRef,
+    Trace,
+)
+
+
+def _fast_access_of(memsys):
+    """Return a ``(core_id, pc, addr, size, is_write, now) -> (latency,
+    l1_hit)`` callable for ``memsys``.
+
+    :class:`repro.memory.hierarchy.MemorySystem` provides ``access_fast``
+    natively; stand-in memory systems (tests) that only implement the
+    object-based ``access(core_id, ref, now)`` API are adapted on the fly.
+    """
+    fast = getattr(memsys, "access_fast", None)
+    if fast is not None:
+        return fast
+    access = memsys.access
+
+    def adapter(core_id, pc, addr, size, is_write, now):
+        outcome = access(core_id, MemRef(pc=pc, addr=addr, size=size,
+                                         is_write=is_write), now)
+        return outcome.latency, outcome.l1_hit
+
+    return adapter
 
 
 class InOrderCore:
     """Single-issue in-order core: blocks on every memory access."""
 
-    def __init__(self, core_id: int, trace: Trace, memsys: MemorySystem,
-                 stats: CoreStats, config: SystemConfig) -> None:
+    __slots__ = ("core_id", "trace", "memsys", "stats", "config", "time",
+                 "_position", "_op", "_pc", "_addr", "_size", "_aux",
+                 "_lead", "_length", "_access", "_instructions",
+                 "_mem_accesses", "_loads", "_stores", "_l1_hits",
+                 "_l1_misses", "_accesses_by_kind", "_misses_by_kind",
+                 "_mem_latency", "_stall_cycles", "_stalls_by_kind",
+                 "_l1", "_l1_sets", "_l1_line_shift", "_l1_set_mask",
+                 "_l1_tag_shift", "_hit_latency")
+
+    def __init__(self, core_id: int, trace: Trace, memsys, stats: CoreStats,
+                 config: SystemConfig) -> None:
         self.core_id = core_id
         self.trace = trace
         self.memsys = memsys
@@ -36,72 +82,188 @@ class InOrderCore:
         self.config = config
         self.time: float = 0.0
         self._position = 0
+        # Trace columns, bound once.  ``_length`` counts storage rows (a
+        # row may encode leading compute ops plus its own instruction).
+        self._op = trace.op
+        self._pc = trace.pc
+        self._addr = trace.addr
+        self._size = trace.size
+        self._aux = trace.aux
+        self._lead = trace.lead
+        self._length = len(trace.op)
+        self._access = _fast_access_of(memsys)
+        # When this core's prefetcher can never observe accesses and the L1
+        # geometry supports inlined probing, an L1 hit has no side effect
+        # outside this core: the run loop handles it without entering the
+        # memory system at all.  (Must mirror MemorySystem.access_fast's
+        # hit path exactly.)
+        self._l1 = None
+        notify = getattr(memsys, "_notify_enabled", None)
+        if (notify is not None and not notify[core_id]
+                and getattr(memsys, "_l1_inline", False)
+                and not config.ideal_memory):
+            l1 = memsys.l1[core_id]
+            self._l1 = l1
+            self._l1_sets = l1._sets
+            self._l1_line_shift = l1._line_shift
+            self._l1_set_mask = l1._set_mask
+            self._l1_tag_shift = l1._tag_shift
+            self._hit_latency = memsys._hit_latency
+        # Statistic accumulators, flushed into ``stats`` by finish().
+        self._instructions = 0
+        self._mem_accesses = 0
+        self._loads = 0
+        self._stores = 0
+        self._l1_hits = 0
+        self._l1_misses = 0
+        self._accesses_by_kind = [0] * NUM_KINDS
+        self._misses_by_kind = [0] * NUM_KINDS
+        self._mem_latency = 0.0
+        self._stall_cycles = 0.0
+        self._stalls_by_kind = [0.0] * NUM_KINDS
 
     # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
-        return self._position >= len(self.trace.entries)
+        return self._position >= self._length
 
-    def run_until_memory_access(self) -> None:
+    def run_until_memory_access(self) -> bool:
         """Advance the core until it has performed one memory access (or the
         trace ends).  The system scheduler interleaves cores at this
-        granularity so that shared-resource contention is time-ordered."""
-        entries = self.trace.entries
-        while self._position < len(entries):
-            entry = entries[self._position]
-            self._position += 1
-            if isinstance(entry, Compute):
-                self._execute_compute(entry)
-            elif isinstance(entry, SwPrefetch):
-                self._execute_sw_prefetch(entry)
+        granularity so that shared-resource contention is time-ordered.
+        Returns True when the trace is exhausted."""
+        pos = self._position
+        length = self._length
+        if pos >= length:
+            return True
+        op_col = self._op
+        aux_col = self._aux
+        lead_col = self._lead
+        addr_col = self._addr
+        pc_col = self._pc
+        size_col = self._size
+        time = self.time
+        instructions = 0
+        while pos < length:
+            op = op_col[pos]
+            if op == OP_COMPUTE:
+                ops = aux_col[pos]
+                pos += 1
+                time += ops
+                instructions += ops
+            elif op == OP_SW_PREFETCH:
+                ops = lead_col[pos] + 1 + aux_col[pos]
+                time += ops
+                instructions += ops
+                addr = addr_col[pos]
+                pos += 1
+                self.memsys.software_prefetch(self.core_id, addr, time)
             else:
-                self._execute_mem_ref(entry)
-                return
+                lead = lead_col[pos]
+                if lead:
+                    time += lead
+                    instructions += lead
+                addr = addr_col[pos]
+                is_write = op != OP_LOAD
+                kind_code = aux_col[pos]
+                line = None
+                l1 = self._l1
+                if l1 is not None:
+                    line = self._l1_sets[
+                        (addr >> self._l1_line_shift) & self._l1_set_mask
+                    ].get(addr >> self._l1_tag_shift)
+                if line is not None:
+                    # L1 hit on a core whose prefetcher observes nothing:
+                    # no side effect leaves this core, so the whole hit is
+                    # handled here (mirrors MemorySystem.access_fast).
+                    l1.accesses += 1
+                    l1.hits += 1
+                    line.last_use = time
+                    if is_write:
+                        line.dirty = True
+                    hit_latency = self._hit_latency
+                    if line.from_prefetch and not line.prefetch_referenced:
+                        line.prefetch_referenced = True
+                        late = line.ready_time - time
+                        if late > 0.0:
+                            latency = hit_latency + late
+                        else:
+                            late = 0.0
+                            latency = hit_latency
+                        stats = self.stats
+                        stats.prefetch_covered_misses += 1
+                        stats.prefetches_useful += 1
+                        stats.prefetch_late_cycles += int(late)
+                    else:
+                        if line.from_prefetch:
+                            line.prefetch_referenced = True
+                        late = line.ready_time - time
+                        latency = (hit_latency + late if late > 0.0
+                                   else hit_latency)
+                    l1_hit = True
+                else:
+                    # access_fast returns a 5-tuple (2-tuple from adapters);
+                    # only latency and the L1-hit flag matter here.
+                    result = self._access(
+                        self.core_id, pc_col[pos], addr, size_col[pos],
+                        is_write, time)
+                    latency = result[0]
+                    l1_hit = result[1]
+                pos += 1
+                instructions += 1
+                self._mem_accesses += 1
+                if is_write:
+                    self._stores += 1
+                else:
+                    self._loads += 1
+                self._accesses_by_kind[kind_code] += 1
+                self._mem_latency += latency
+                if l1_hit:
+                    self._l1_hits += 1
+                else:
+                    self._l1_misses += 1
+                    self._misses_by_kind[kind_code] += 1
+                stall = latency - 1.0
+                if stall > 0.0:
+                    self._stall_cycles += stall
+                    self._stalls_by_kind[kind_code] += stall
+                    time += 1.0 + stall
+                else:
+                    time += 1.0
+                self._instructions += instructions
+                self._position = pos
+                self.time = time
+                return pos >= length
+        self._instructions += instructions
+        self._position = pos
+        self.time = time
+        return True
 
     def finish(self) -> None:
-        """Called once the trace is exhausted; records the final cycle count."""
-        self.stats.cycles = int(self.time)
-
-    # ------------------------------------------------------------------
-    def _execute_compute(self, entry: Compute) -> None:
-        self.time += entry.ops
-        self.stats.instructions += entry.ops
-
-    def _execute_sw_prefetch(self, entry: SwPrefetch) -> None:
-        ops = 1 + entry.overhead_ops
-        self.time += ops
-        self.stats.instructions += ops
-        self.memsys.software_prefetch(self.core_id, entry.addr, self.time)
-
-    def _execute_mem_ref(self, ref: MemRef) -> None:
-        outcome = self.memsys.access(self.core_id, ref, self.time)
-        self._record_access(ref, outcome.latency, outcome.l1_hit)
-        stall = max(0.0, outcome.latency - 1.0)
-        self.time += 1.0 + stall
-        self._record_stall(ref.kind, stall)
-
-    # ------------------------------------------------------------------
-    def _record_access(self, ref: MemRef, latency: float, l1_hit: bool) -> None:
+        """Called once the trace is exhausted; flushes accumulated counters
+        into :class:`CoreStats` (idempotent — safe to call repeatedly)."""
         stats = self.stats
-        stats.instructions += 1
-        stats.mem_accesses += 1
-        if ref.is_write:
-            stats.stores += 1
-        else:
-            stats.loads += 1
-        stats.accesses_by_kind[ref.kind] += 1
-        stats.total_mem_latency += int(latency)
-        if l1_hit:
-            stats.l1_hits += 1
-        else:
-            stats.l1_misses += 1
-            stats.misses_by_kind[ref.kind] += 1
+        stats.cycles = int(self.time)
+        stats.instructions = self._instructions
+        stats.mem_accesses = self._mem_accesses
+        stats.loads = self._loads
+        stats.stores = self._stores
+        stats.l1_hits = self._l1_hits
+        stats.l1_misses = self._l1_misses
+        stats.total_mem_latency = int(round(self._mem_latency))
+        stats.total_stall_cycles = int(round(self._stall_cycles))
+        for code, kind in enumerate(KIND_BY_CODE):
+            stats.accesses_by_kind[kind] = self._accesses_by_kind[code]
+            stats.misses_by_kind[kind] = self._misses_by_kind[code]
+            stats.stall_cycles_by_kind[kind] = int(round(
+                self._stalls_by_kind[code]))
 
-    def _record_stall(self, kind: AccessKind, stall: float) -> None:
+    # ------------------------------------------------------------------
+    def _record_stall(self, kind_code: int, stall: float) -> None:
         if stall <= 0:
             return
-        self.stats.total_stall_cycles += int(stall)
-        self.stats.stall_cycles_by_kind[kind] += int(stall)
+        self._stall_cycles += stall
+        self._stalls_by_kind[kind_code] += stall
 
 
 class OutOfOrderCore(InOrderCore):
@@ -117,77 +279,130 @@ class OutOfOrderCore(InOrderCore):
     #: bounds the memory-level parallelism the window can expose.
     MAX_OUTSTANDING_MISSES = 4
 
-    def __init__(self, core_id: int, trace: Trace, memsys: MemorySystem,
-                 stats: CoreStats, config: SystemConfig) -> None:
+    __slots__ = ("_inst_seq", "_pending")
+
+    def __init__(self, core_id: int, trace: Trace, memsys, stats: CoreStats,
+                 config: SystemConfig) -> None:
         super().__init__(core_id, trace, memsys, stats, config)
         self._inst_seq = 0
-        self._pending: Deque[Tuple[int, float, AccessKind]] = deque()
+        self._pending: Deque[Tuple[int, float, int]] = deque()
+
+    def run_until_memory_access(self) -> bool:
+        pos = self._position
+        length = self._length
+        op_col = self._op
+        aux_col = self._aux
+        lead_col = self._lead
+        while pos < length:
+            op = op_col[pos]
+            if op == OP_COMPUTE:
+                self._execute_compute(aux_col[pos])
+                pos += 1
+            elif op == OP_SW_PREFETCH:
+                lead = lead_col[pos]
+                if lead:
+                    self._execute_compute(lead)
+                overhead = aux_col[pos]
+                addr = self._addr[pos]
+                pos += 1
+                self._inst_seq += 1 + overhead
+                self._drain_window()
+                ops = 1 + overhead
+                self.time += ops
+                self._instructions += ops
+                self.memsys.software_prefetch(self.core_id, addr, self.time)
+            else:
+                lead = lead_col[pos]
+                if lead:
+                    self._execute_compute(lead)
+                pos += 1
+                self._position = pos
+                self._execute_mem_ref(op, self._pc[pos - 1],
+                                      self._addr[pos - 1],
+                                      self._size[pos - 1], aux_col[pos - 1])
+                return pos >= length
+        self._position = pos
+        return True
 
     def _drain_window(self, required_space: int = 0) -> None:
-        while self._pending:
-            oldest_seq, completion, kind = self._pending[0]
+        pending = self._pending
+        while pending:
+            oldest_seq, completion, kind_code = pending[0]
             window_full = (self._inst_seq - oldest_seq) >= self.config.rob_size
-            too_many = len(self._pending) >= self.MAX_OUTSTANDING_MISSES - required_space
+            too_many = len(pending) >= self.MAX_OUTSTANDING_MISSES - required_space
             if not window_full and not too_many:
                 break
-            self._pending.popleft()
+            pending.popleft()
             if completion > self.time:
                 stall = completion - self.time
-                self._record_stall(kind, stall)
+                self._record_stall(kind_code, stall)
                 self.time = completion
 
-    def _execute_compute(self, entry: Compute) -> None:
+    def _execute_compute(self, ops: int) -> None:
         # Independent compute retires from the window as it executes; an
         # outstanding miss only forces a stall once the distance to it
         # exceeds the ROB size, and by then part of the block has already
         # overlapped with the miss latency.
-        remaining = entry.ops
-        while self._pending and remaining > 0:
-            oldest_seq, completion, kind = self._pending[0]
+        remaining = ops
+        pending = self._pending
+        while pending and remaining > 0:
+            oldest_seq, completion, kind_code = pending[0]
             space = self.config.rob_size - (self._inst_seq - oldest_seq)
             if space > remaining:
                 break
             run = max(0, space)
             self.time += run
-            self.stats.instructions += run
+            self._instructions += run
             self._inst_seq += run
             remaining -= run
-            self._pending.popleft()
+            pending.popleft()
             if completion > self.time:
-                self._record_stall(kind, completion - self.time)
+                self._record_stall(kind_code, completion - self.time)
                 self.time = completion
         self.time += remaining
-        self.stats.instructions += remaining
+        self._instructions += remaining
         self._inst_seq += remaining
 
-    def _execute_sw_prefetch(self, entry: SwPrefetch) -> None:
-        self._inst_seq += 1 + entry.overhead_ops
-        self._drain_window()
-        super()._execute_sw_prefetch(entry)
-
-    def _execute_mem_ref(self, ref: MemRef) -> None:
+    def _execute_mem_ref(self, op: int, pc: int, addr: int, size: int,
+                         kind_code: int) -> None:
         self._inst_seq += 1
         self._drain_window(required_space=1)
-        outcome = self.memsys.access(self.core_id, ref, self.time)
-        self._record_access(ref, outcome.latency, outcome.l1_hit)
-        if outcome.latency <= self.config.l1d.hit_latency:
+        is_write = op != OP_LOAD
+        result = self._access(self.core_id, pc, addr, size, is_write,
+                              self.time)
+        latency = result[0]
+        l1_hit = result[1]
+        self._instructions += 1
+        self._mem_accesses += 1
+        if is_write:
+            self._stores += 1
+        else:
+            self._loads += 1
+        self._accesses_by_kind[kind_code] += 1
+        self._mem_latency += latency
+        if l1_hit:
+            self._l1_hits += 1
+        else:
+            self._l1_misses += 1
+            self._misses_by_kind[kind_code] += 1
+        if latency <= self.config.l1d.hit_latency:
             self.time += 1.0
             return
-        completion = self.time + outcome.latency
-        self._pending.append((self._inst_seq, completion, ref.kind))
+        completion = self.time + latency
+        self._pending.append((self._inst_seq, completion, kind_code))
         self.time += 1.0
 
     def finish(self) -> None:
         while self._pending:
-            _, completion, kind = self._pending.popleft()
+            _, completion, kind_code = self._pending.popleft()
             if completion > self.time:
-                self._record_stall(kind, completion - self.time)
+                self._record_stall(kind_code, completion - self.time)
                 self.time = completion
         super().finish()
 
 
 def make_core(config: SystemConfig, core_id: int, trace: Trace,
-              memsys: MemorySystem, stats: CoreStats) -> InOrderCore:
+              memsys, stats: CoreStats) -> InOrderCore:
     """Instantiate the core model selected by ``config.core_model``."""
     if config.core_model == "ooo":
         return OutOfOrderCore(core_id, trace, memsys, stats, config)

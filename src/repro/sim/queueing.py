@@ -23,6 +23,8 @@ from typing import List
 class ResourceSchedule:
     """Earliest-gap reservation schedule for one shared resource."""
 
+    __slots__ = ("_starts", "_ends", "total_busy")
+
     #: Reservations ending this many cycles before the earliest possible new
     #: arrival can safely be discarded.  The slack must exceed the maximum
     #: amount by which requests can arrive out of order (bounded by the
@@ -41,23 +43,62 @@ class ResourceSchedule:
 
         Returns the start time of the reservation.  ``duration`` of zero
         returns ``arrival`` without reserving anything.
+
+        Internally, reservations that touch exactly (one starts the instant
+        the previous ends — the serialise-behind case) are coalesced into a
+        single busy interval.  A zero-width gap can never hold a future
+        reservation, so coalescing leaves every placement decision
+        unchanged while keeping the interval lists short: saturated
+        resources would otherwise accumulate hundreds of back-to-back
+        entries inside the prune window, turning each mid-list insert into
+        a long memmove.
         """
         if duration <= 0:
             return arrival
         self.total_busy += duration
-        self._prune(arrival)
         starts, ends = self._starts, self._ends
+        if ends and ends[0] < arrival - self.PRUNE_SLACK:
+            self._prune(arrival)
+        n = len(ends)
+        if n == 0 or arrival >= ends[-1]:
+            # Fast path: the resource is idle at (and after) the arrival
+            # time, which is the common case for mostly time-ordered
+            # traffic.  Equivalent to the general search below.
+            if n and arrival == ends[-1]:
+                ends[-1] = arrival + duration
+            else:
+                starts.append(arrival)
+                ends.append(arrival + duration)
+            return arrival
         start = arrival
-        index = bisect.bisect_left(ends, arrival)
-        position = index
-        while position < len(starts):
+        position = bisect.bisect_left(ends, arrival)
+        while position < n:
             if starts[position] - start >= duration:
                 break                      # fits in the gap before this one
-            start = max(start, ends[position])
+            end_here = ends[position]
+            if end_here > start:
+                start = end_here
             position += 1
-        insert_at = bisect.bisect_left(starts, start)
-        starts.insert(insert_at, start)
-        ends.insert(insert_at, start + duration)
+        # The new busy interval is [start, start + duration); every interval
+        # before ``position`` ends at or before ``start`` and every interval
+        # from ``position`` on starts at or after ``start + duration``, so
+        # ``position`` is the insertion point.  Coalesce with exact-touch
+        # neighbours instead of inserting where possible.
+        end = start + duration
+        touches_prev = position > 0 and ends[position - 1] == start
+        if position < n and starts[position] == end:
+            if touches_prev:
+                # Bridges the two neighbouring intervals: merge all three.
+                ends[position - 1] = ends[position]
+                del starts[position]
+                del ends[position]
+            else:
+                starts[position] = start
+        elif touches_prev:
+            ends[position - 1] = end
+        else:
+            starts.insert(position, start)
+            ends.insert(position, end)
         return start
 
     def next_free(self, arrival: float) -> float:

@@ -18,7 +18,7 @@ from typing import Dict, List
 from repro.sim.trace import AccessKind
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Counters for a single core and its private L1/prefetcher."""
 
@@ -81,7 +81,7 @@ class CoreStats:
         return self.instructions / self.cycles if self.cycles else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class TrafficStats:
     """Interconnect and memory traffic, shared across the whole system."""
 
@@ -94,7 +94,7 @@ class TrafficStats:
     broadcasts: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class SystemStats:
     """Aggregated statistics of one simulation run."""
 

@@ -12,6 +12,7 @@ and a memory image) and :func:`run_workload` (when you have a
 
 from __future__ import annotations
 
+import gc
 import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -110,20 +111,50 @@ class System:
         self._prefetcher_name = prefetcher if isinstance(prefetcher, str) else "custom"
 
     def run(self) -> SimulationResult:
-        """Run every core to completion, interleaved in global time order."""
+        """Run every core to completion, interleaved in global time order.
+
+        The run loop allocates millions of short-lived, acyclic objects
+        (tuples, requests, cache lines); generational GC passes over them
+        are pure overhead, so collection is suspended for the duration of
+        the run and restored afterwards.
+        """
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(self) -> SimulationResult:
         heap: List = []
-        for core in self.cores:
+        cores = self.cores
+        for core in cores:
             if not core.done:
                 heapq.heappush(heap, (core.time, core.core_id))
+        heappush = heapq.heappush
+        heappop = heapq.heappop
         while heap:
-            _, core_id = heapq.heappop(heap)
-            core = self.cores[core_id]
-            core.run_until_memory_access()
-            if core.done:
-                core.finish()
-            else:
-                heapq.heappush(heap, (core.time, core.core_id))
-        for core in self.cores:
+            core_id = heappop(heap)[1]
+            core = cores[core_id]
+            while True:
+                if core.run_until_memory_access():
+                    core.finish()
+                    break
+                core_time = core.time
+                if heap:
+                    head_time, head_id = heap[0]
+                    if (core_time < head_time
+                            or (core_time == head_time and core_id < head_id)):
+                        # Still the globally earliest core: a push/pop pair
+                        # would hand execution straight back to it, so skip
+                        # the heap round-trip.  Exactly the seed schedule.
+                        continue
+                    heappush(heap, (core_time, core_id))
+                    break
+                # Only this core is still active: run it to completion.
+        for core in cores:
             core.finish()
         imps = [p for p in self.memsys.prefetchers if isinstance(p, IMP)]
         return SimulationResult(config=self.config, stats=self.stats,
@@ -147,11 +178,15 @@ def run_workload(workload, config: SystemConfig, *,
     the result.
 
     ``workload`` is any object implementing the
-    :class:`repro.workloads.base.Workload` interface.
+    :class:`repro.workloads.base.Workload` interface.  Builds are memoised
+    on the workload object (see :meth:`Workload.cached_build`), so sweeping
+    the same workload over several prefetchers pays the trace-generation
+    cost once.
     """
-    build = workload.build(config.n_cores,
-                           software_prefetch=software_prefetch,
-                           sw_prefetch_distance=sw_prefetch_distance)
+    builder = getattr(workload, "cached_build", workload.build)
+    build = builder(config.n_cores,
+                    software_prefetch=software_prefetch,
+                    sw_prefetch_distance=sw_prefetch_distance)
     system = System(config, build.traces, build.mem_image, prefetcher, imp_config)
     result = system.run()
     result.workload = getattr(workload, "name", type(workload).__name__)

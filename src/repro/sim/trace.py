@@ -1,8 +1,8 @@
-"""Per-core memory trace representation.
+"""Per-core memory trace representation (columnar encoding).
 
 Workloads do not run as native programs inside the simulator; instead they
-emit, per core, a list of trace entries that captures the instruction and
-memory behaviour of the kernel:
+emit, per core, a trace that captures the instruction and memory behaviour
+of the kernel.  Conceptually a trace is a sequence of three entry types:
 
 * :class:`Compute` — a run of non-memory instructions.
 * :class:`MemRef` — one load or store, tagged with the access *kind* so that
@@ -13,12 +13,46 @@ memory behaviour of the kernel:
 Every memory-touching entry carries the program counter of the instruction
 that produced it, because both the stream prefetcher and IMP associate
 patterns with PCs (Section 3.3.1 of the paper).
+
+Storage layout
+--------------
+
+Traces routinely hold hundreds of thousands of dynamic entries per core, so
+storing one Python object per entry (the original design) dominated both the
+memory footprint and the run time of ``System.run``.  A :class:`Trace` now
+stores six parallel ``array('q')`` columns::
+
+    op    opcode (OP_COMPUTE / OP_LOAD / OP_STORE / OP_SW_PREFETCH)
+    pc    program counter            (0 for compute runs)
+    addr  byte address               (0 for compute runs)
+    size  access size in bytes       (0 for compute runs)
+    aux   ops for compute runs, the AccessKind code for loads/stores,
+          overhead_ops for software prefetches
+    lead  non-memory ops executed immediately before this row's instruction
+
+``TraceBuilder`` folds a run of compute ops into the *lead* column of the
+next memory-touching row (the ubiquitous compute-then-load pattern then
+costs one row instead of two); a standalone ``OP_COMPUTE`` row appears only
+for a trailing compute run or via the object-level ``append`` API.
+
+Core models iterate the columns directly and dispatch on the integer opcode;
+the object forms (:class:`MemRef` & co.) are materialised on demand by the
+``entries`` property / iteration for tests and offline analysis only — a
+row with a non-zero *lead* expands to a :class:`Compute` entry followed by
+the row's own entry, so the object view is unchanged from the original
+representation.  ``len(trace)`` counts entries (not rows); ``num_rows`` has
+the row count.
+
+Summary counts (instruction count, memory references, per-kind reference
+counts) are maintained incrementally on append, so the per-core overhead
+accounting of Figure 10 no longer rescans the trace.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Union
 
 
@@ -37,6 +71,18 @@ class AccessKind(enum.Enum):
     STREAM = "stream"
     #: Everything else (stack, scalars, hash computations, ...).
     OTHER = "other"
+
+
+#: Integer opcodes stored in the ``op`` column.
+OP_COMPUTE = 0
+OP_LOAD = 1
+OP_STORE = 2
+OP_SW_PREFETCH = 3
+
+#: AccessKind <-> small-integer codes stored in the ``aux`` column.
+KIND_BY_CODE = tuple(AccessKind)
+KIND_CODES = {kind: code for code, kind in enumerate(KIND_BY_CODE)}
+NUM_KINDS = len(KIND_BY_CODE)
 
 
 @dataclass(frozen=True)
@@ -79,96 +125,253 @@ class SwPrefetch:
 TraceEntry = Union[MemRef, Compute, SwPrefetch]
 
 
-@dataclass
 class Trace:
-    """The instruction/memory trace of a single core."""
+    """The instruction/memory trace of a single core (columnar storage)."""
 
-    core_id: int
-    entries: List[TraceEntry] = field(default_factory=list)
+    __slots__ = ("core_id", "op", "pc", "addr", "size", "aux", "lead",
+                 "_instruction_count", "_mem_ref_count", "_kind_counts",
+                 "_entry_count")
 
+    def __init__(self, core_id: int,
+                 entries: Optional[Iterable[TraceEntry]] = None) -> None:
+        self.core_id = core_id
+        self.op = array("q")
+        self.pc = array("q")
+        self.addr = array("q")
+        self.size = array("q")
+        self.aux = array("q")
+        self.lead = array("q")
+        self._instruction_count = 0
+        self._mem_ref_count = 0
+        self._kind_counts = [0] * NUM_KINDS
+        self._entry_count = 0
+        if entries:
+            self.extend(entries)
+
+    # ------------------------------------------------------------------
+    # Raw (columnar) appends — the hot path used by TraceBuilder
+    # ------------------------------------------------------------------
+    def append_compute(self, ops: int) -> None:
+        self.op.append(OP_COMPUTE)
+        self.pc.append(0)
+        self.addr.append(0)
+        self.size.append(0)
+        self.aux.append(ops)
+        self.lead.append(0)
+        self._instruction_count += ops
+        self._entry_count += 1
+
+    def append_mem_ref(self, pc: int, addr: int, size: int, is_write: bool,
+                       kind_code: int, lead_ops: int = 0) -> None:
+        self.op.append(OP_STORE if is_write else OP_LOAD)
+        self.pc.append(pc)
+        self.addr.append(addr)
+        self.size.append(size)
+        self.aux.append(kind_code)
+        self.lead.append(lead_ops)
+        self._instruction_count += 1 + lead_ops
+        self._mem_ref_count += 1
+        self._kind_counts[kind_code] += 1
+        self._entry_count += 2 if lead_ops else 1
+
+    def append_sw_prefetch(self, pc: int, addr: int, overhead_ops: int,
+                           lead_ops: int = 0) -> None:
+        self.op.append(OP_SW_PREFETCH)
+        self.pc.append(pc)
+        self.addr.append(addr)
+        self.size.append(0)
+        self.aux.append(overhead_ops)
+        self.lead.append(lead_ops)
+        self._instruction_count += 1 + overhead_ops + lead_ops
+        self._entry_count += 2 if lead_ops else 1
+
+    # ------------------------------------------------------------------
+    # Object-level API (compatibility with the original representation)
+    # ------------------------------------------------------------------
     def append(self, entry: TraceEntry) -> None:
-        self.entries.append(entry)
+        if type(entry) is Compute:
+            self.append_compute(entry.ops)
+        elif type(entry) is MemRef:
+            self.append_mem_ref(entry.pc, entry.addr, entry.size,
+                                entry.is_write, KIND_CODES[entry.kind])
+        elif type(entry) is SwPrefetch:
+            self.append_sw_prefetch(entry.pc, entry.addr, entry.overhead_ops)
+        else:
+            raise TypeError(f"unsupported trace entry {entry!r}")
 
     def extend(self, entries: Iterable[TraceEntry]) -> None:
-        self.entries.extend(entries)
+        for entry in entries:
+            self.append(entry)
+
+    def _row_entries(self, row: int) -> Iterator[TraceEntry]:
+        """Materialise the entry object(s) encoded by one row."""
+        lead = self.lead[row]
+        if lead:
+            yield Compute(lead)
+        op = self.op[row]
+        if op == OP_COMPUTE:
+            yield Compute(self.aux[row])
+        elif op == OP_SW_PREFETCH:
+            yield SwPrefetch(pc=self.pc[row], addr=self.addr[row],
+                             overhead_ops=self.aux[row])
+        else:
+            yield MemRef(pc=self.pc[row], addr=self.addr[row],
+                         size=self.size[row], is_write=(op == OP_STORE),
+                         kind=KIND_BY_CODE[self.aux[row]])
+
+    def entry_at(self, position: int) -> TraceEntry:
+        """Materialise the entry object at ``position`` (slow path)."""
+        return self.entries[position]
+
+    @property
+    def entries(self) -> List[TraceEntry]:
+        """Materialised entry objects (slow path — tests / analysis only)."""
+        return list(self)
+
+    @property
+    def num_rows(self) -> int:
+        """Number of storage rows (<= number of entries)."""
+        return len(self.op)
 
     def __iter__(self) -> Iterator[TraceEntry]:
-        return iter(self.entries)
+        for row in range(len(self.op)):
+            yield from self._row_entries(row)
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return self._entry_count
 
     # ------------------------------------------------------------------
     # Summary helpers (used by workload tests and Figure 10)
     # ------------------------------------------------------------------
     @property
     def instruction_count(self) -> int:
-        """Total dynamic instruction count represented by the trace."""
-        total = 0
-        for entry in self.entries:
-            if isinstance(entry, Compute):
-                total += entry.ops
-            elif isinstance(entry, MemRef):
-                total += 1
-            else:  # SwPrefetch
-                total += 1 + entry.overhead_ops
-        return total
+        """Total dynamic instruction count represented by the trace.
+
+        Maintained incrementally on append — O(1), not a trace rescan.
+        """
+        return self._instruction_count
 
     @property
     def memory_reference_count(self) -> int:
-        """Number of demand loads/stores in the trace."""
-        return sum(1 for entry in self.entries if isinstance(entry, MemRef))
+        """Number of demand loads/stores in the trace (cached, O(1))."""
+        return self._mem_ref_count
 
     def count_by_kind(self) -> dict:
         """Return the number of memory references per :class:`AccessKind`."""
-        counts = {kind: 0 for kind in AccessKind}
-        for entry in self.entries:
-            if isinstance(entry, MemRef):
-                counts[entry.kind] += 1
-        return counts
+        return {kind: self._kind_counts[code]
+                for code, kind in enumerate(KIND_BY_CODE)}
 
 
 class TraceBuilder:
-    """Convenience builder that coalesces consecutive compute operations."""
+    """Convenience builder that coalesces consecutive compute operations.
+
+    The fluent API is unchanged from the object-per-entry design, so the
+    workload generators did not have to change.  Rows are buffered in plain
+    Python lists (the cheapest append available) and converted to the
+    trace's ``array('q')`` columns in one bulk pass at :meth:`build`;
+    pending compute ops are folded into the *lead* column of the next
+    memory-touching row.
+    """
+
+    __slots__ = ("_core_id", "_pending_ops", "_op", "_pc", "_addr", "_size",
+                 "_aux", "_lead", "_instruction_count", "_mem_ref_count",
+                 "_kind_counts", "_entry_count", "_built")
 
     def __init__(self, core_id: int) -> None:
-        self._trace = Trace(core_id=core_id)
+        self._core_id = core_id
         self._pending_ops = 0
+        self._op: List[int] = []
+        self._pc: List[int] = []
+        self._addr: List[int] = []
+        self._size: List[int] = []
+        self._aux: List[int] = []
+        self._lead: List[int] = []
+        self._instruction_count = 0
+        self._mem_ref_count = 0
+        self._kind_counts = [0] * NUM_KINDS
+        self._entry_count = 0
+        self._built: Optional[Trace] = None
 
     def compute(self, ops: int = 1) -> "TraceBuilder":
         """Add ``ops`` non-memory instructions."""
         if ops > 0:
+            if self._built is not None:
+                raise RuntimeError("TraceBuilder is finished: build() was "
+                                   "already called, further entries would "
+                                   "be silently lost")
             self._pending_ops += ops
         return self
 
-    def _flush(self) -> None:
-        if self._pending_ops:
-            self._trace.append(Compute(self._pending_ops))
+    def _append_row(self, op: int, pc: int, addr: int, size: int,
+                    aux: int) -> None:
+        if self._built is not None:
+            raise RuntimeError("TraceBuilder is finished: build() was "
+                               "already called, further entries would be "
+                               "silently lost")
+        lead = self._pending_ops
+        if lead:
             self._pending_ops = 0
+            self._entry_count += 1
+        self._op.append(op)
+        self._pc.append(pc)
+        self._addr.append(addr)
+        self._size.append(size)
+        self._aux.append(aux)
+        self._lead.append(lead)
+        self._entry_count += 1
+        self._instruction_count += lead
 
     def load(self, pc: int, addr: int, *, size: int = 8,
              kind: AccessKind = AccessKind.OTHER) -> "TraceBuilder":
         """Add a load instruction."""
-        self._flush()
-        self._trace.append(MemRef(pc=pc, addr=addr, size=size,
-                                  is_write=False, kind=kind))
+        kind_code = KIND_CODES[kind]
+        self._append_row(OP_LOAD, pc, addr, size, kind_code)
+        self._instruction_count += 1
+        self._mem_ref_count += 1
+        self._kind_counts[kind_code] += 1
         return self
 
     def store(self, pc: int, addr: int, *, size: int = 8,
               kind: AccessKind = AccessKind.OTHER) -> "TraceBuilder":
         """Add a store instruction."""
-        self._flush()
-        self._trace.append(MemRef(pc=pc, addr=addr, size=size,
-                                  is_write=True, kind=kind))
+        kind_code = KIND_CODES[kind]
+        self._append_row(OP_STORE, pc, addr, size, kind_code)
+        self._instruction_count += 1
+        self._mem_ref_count += 1
+        self._kind_counts[kind_code] += 1
         return self
 
     def sw_prefetch(self, pc: int, addr: int, *, overhead_ops: int = 3) -> "TraceBuilder":
         """Add a software prefetch instruction."""
-        self._flush()
-        self._trace.append(SwPrefetch(pc=pc, addr=addr, overhead_ops=overhead_ops))
+        self._append_row(OP_SW_PREFETCH, pc, addr, 0, overhead_ops)
+        self._instruction_count += 1 + overhead_ops
         return self
 
     def build(self) -> Trace:
-        """Finish the trace and return it."""
-        self._flush()
-        return self._trace
+        """Finish the trace and return it (idempotent)."""
+        if self._built is not None:
+            return self._built
+        if self._pending_ops:
+            # Trailing compute run gets its own row.
+            self._op.append(OP_COMPUTE)
+            self._pc.append(0)
+            self._addr.append(0)
+            self._size.append(0)
+            self._aux.append(self._pending_ops)
+            self._lead.append(0)
+            self._instruction_count += self._pending_ops
+            self._entry_count += 1
+            self._pending_ops = 0
+        trace = Trace(core_id=self._core_id)
+        trace.op = array("q", self._op)
+        trace.pc = array("q", self._pc)
+        trace.addr = array("q", self._addr)
+        trace.size = array("q", self._size)
+        trace.aux = array("q", self._aux)
+        trace.lead = array("q", self._lead)
+        trace._instruction_count = self._instruction_count
+        trace._mem_ref_count = self._mem_ref_count
+        trace._kind_counts = list(self._kind_counts)
+        trace._entry_count = self._entry_count
+        self._built = trace
+        return trace

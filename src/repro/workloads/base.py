@@ -16,6 +16,7 @@ sanity check).
 from __future__ import annotations
 
 import abc
+import gc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -60,6 +61,7 @@ class Workload(abc.ABC):
 
     def __init__(self, seed: int = 1) -> None:
         self.seed = seed
+        self._build_cache: Dict[tuple, WorkloadBuild] = {}
 
     def rng(self, salt: int = 0) -> np.random.Generator:
         """A deterministic random generator derived from the workload seed."""
@@ -69,6 +71,41 @@ class Workload(abc.ABC):
     def build(self, n_cores: int, *, software_prefetch: bool = False,
               sw_prefetch_distance: int = 8) -> WorkloadBuild:
         """Lay out the data structures and emit one trace per core."""
+
+    def cached_build(self, n_cores: int, *, software_prefetch: bool = False,
+                     sw_prefetch_distance: int = 8) -> WorkloadBuild:
+        """Memoised :meth:`build`.
+
+        Builds are deterministic in (workload seed, core count, software-
+        prefetch knobs), and the simulator never mutates a build (traces are
+        read-only columns, the memory image is read-only), so sweeping one
+        workload across prefetchers/configurations — what every figure of
+        the paper does — can reuse one build instead of regenerating the
+        trace per run.  Used by :func:`repro.sim.system.run_workload`.
+        """
+        key = (n_cores, software_prefetch, sw_prefetch_distance)
+        build = self._build_cache.get(key)
+        if build is None:
+            # Trace generation allocates heavily and creates no reference
+            # cycles; keep the generational GC out of it (same rationale as
+            # System.run).
+            gc_was_enabled = gc.isenabled()
+            if gc_was_enabled:
+                gc.disable()
+            try:
+                build = self.build(
+                    n_cores, software_prefetch=software_prefetch,
+                    sw_prefetch_distance=sw_prefetch_distance)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            self._build_cache[key] = build
+        return build
+
+    def clear_build_cache(self) -> None:
+        """Release memoised builds (they can be tens of MB each for
+        full-size inputs across a core-count sweep)."""
+        self._build_cache.clear()
 
     # ------------------------------------------------------------------
     # Helpers shared by the concrete workloads

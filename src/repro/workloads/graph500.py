@@ -89,17 +89,24 @@ class Graph500Workload(Workload):
                     distance: int) -> None:
         col_idx = graph.col_idx
         row_ptr = graph.row_ptr
+        # Hoisted address mappers and builder methods (hot generator loop).
+        frontier_addr = image.addr_fn("frontier")
+        row_ptr_addr = image.addr_fn("row_ptr")
+        col_idx_addr = image.addr_fn("col_idx")
+        visited_addr = image.addr_fn("visited")
+        parent_addr = image.addr_fn("parent")
+        load = builder.load
+        compute = builder.compute
         for position in chunk:
             vertex = int(level[position])
             frontier_index = offset + position
-            builder.load(self.PC_FRONTIER,
-                         image.addr_of("frontier", frontier_index),
-                         size=4, kind=AccessKind.INDEX)
+            load(self.PC_FRONTIER, frontier_addr(frontier_index),
+                 size=4, kind=AccessKind.INDEX)
             # Row pointer is indexed by the frontier *value*: an indirect
             # access whose own value positions the neighbour scan below.
-            builder.load(self.PC_ROW_PTR, image.addr_of("row_ptr", vertex),
-                         kind=AccessKind.INDIRECT)
-            builder.compute(2)
+            load(self.PC_ROW_PTR, row_ptr_addr(vertex),
+                 kind=AccessKind.INDIRECT)
+            compute(2)
             start = int(row_ptr[vertex])
             end = int(row_ptr[vertex + 1])
             for j in range(start, end):
@@ -107,14 +114,13 @@ class Graph500Workload(Workload):
                 if software_prefetch and j + distance < end:
                     target = int(col_idx[j + distance])
                     builder.sw_prefetch(self.PC_SW_PREFETCH,
-                                        image.addr_of("visited", target))
-                builder.load(self.PC_COL_IDX, image.addr_of("col_idx", j),
-                             size=4, kind=AccessKind.INDEX)
-                builder.load(self.PC_VISITED, image.addr_of("visited", neighbor),
-                             size=1, kind=AccessKind.INDIRECT)
-                builder.compute(1)
+                                        visited_addr(target))
+                load(self.PC_COL_IDX, col_idx_addr(j),
+                     size=4, kind=AccessKind.INDEX)
+                load(self.PC_VISITED, visited_addr(neighbor),
+                     size=1, kind=AccessKind.INDIRECT)
+                compute(1)
                 if not visited[neighbor]:
-                    builder.store(self.PC_PARENT,
-                                  image.addr_of("parent", neighbor),
+                    builder.store(self.PC_PARENT, parent_addr(neighbor),
                                   size=4, kind=AccessKind.INDIRECT)
-                    builder.compute(1)
+                    compute(1)

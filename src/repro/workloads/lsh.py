@@ -85,29 +85,33 @@ class LSHWorkload(Workload):
                     image: MemoryImage, software_prefetch: bool,
                     distance: int) -> Trace:
         builder = TraceBuilder(core_id)
+        # Hoisted address mappers and builder methods (hot generator loop).
+        queries_addr = image.addr_fn("queries")
+        bucket_ptr_addr = image.addr_fn("bucket_ptr")
+        candidates_addr = image.addr_fn("candidates")
+        dataset_addr = image.addr_fn("dataset")
+        load = builder.load
+        compute = builder.compute
         for query in queries:
-            builder.load(self.PC_QUERY, image.addr_of("queries", query),
-                         size=16, kind=AccessKind.STREAM)
-            builder.compute(8)            # hash the query for every table
+            load(self.PC_QUERY, queries_addr(query),
+                 size=16, kind=AccessKind.STREAM)
+            compute(8)                    # hash the query for every table
             for table in range(self.n_tables):
                 bucket = query * self.n_tables + table
                 start = bucket * self.bucket_size
                 end = start + self.bucket_size
-                builder.load(self.PC_BUCKET_PTR,
-                             image.addr_of("bucket_ptr", bucket),
-                             kind=AccessKind.STREAM)
-                builder.compute(2)
+                load(self.PC_BUCKET_PTR, bucket_ptr_addr(bucket),
+                     kind=AccessKind.STREAM)
+                compute(2)
                 for k in range(start, end):
                     candidate = int(candidates[k])
                     if software_prefetch and k + distance < end:
                         target = int(candidates[k + distance])
                         builder.sw_prefetch(self.PC_SW_PREFETCH,
-                                            image.addr_of("dataset", target))
-                    builder.load(self.PC_CANDIDATE,
-                                 image.addr_of("candidates", k),
-                                 size=4, kind=AccessKind.INDEX)
-                    builder.load(self.PC_DATASET,
-                                 image.addr_of("dataset", candidate),
-                                 size=16, kind=AccessKind.INDIRECT)
-                    builder.compute(6)    # distance computation
+                                            dataset_addr(target))
+                    load(self.PC_CANDIDATE, candidates_addr(k),
+                         size=4, kind=AccessKind.INDEX)
+                    load(self.PC_DATASET, dataset_addr(candidate),
+                         size=16, kind=AccessKind.INDIRECT)
+                    compute(6)            # distance computation
         return builder.build()

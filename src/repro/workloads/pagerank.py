@@ -76,29 +76,36 @@ class PagerankWorkload(Workload):
         builder = TraceBuilder(core_id)
         col_idx = graph.col_idx
         row_ptr = graph.row_ptr
+        # Hoisted address mappers and builder methods (hot generator loop).
+        row_ptr_addr = image.addr_fn("row_ptr")
+        col_idx_addr = image.addr_fn("col_idx")
+        rank_addr = image.addr_fn("rank")
+        degree_addr = image.addr_fn("out_degree")
+        new_rank_addr = image.addr_fn("new_rank")
+        load = builder.load
+        compute = builder.compute
         for _ in range(self.iterations):
             for vertex in vertices:
                 start = int(row_ptr[vertex])
                 end = int(row_ptr[vertex + 1])
                 # Row bounds: streaming loads of the row-pointer array.
-                builder.load(self.PC_ROW_PTR, image.addr_of("row_ptr", vertex),
-                             kind=AccessKind.STREAM)
-                builder.compute(2)
+                load(self.PC_ROW_PTR, row_ptr_addr(vertex),
+                     kind=AccessKind.STREAM)
+                compute(2)
                 for edge in range(start, end):
                     neighbor = int(col_idx[edge])
                     if software_prefetch and edge + distance < end:
                         target = int(col_idx[edge + distance])
                         builder.sw_prefetch(self.PC_SW_PREFETCH,
-                                            image.addr_of("rank", target))
-                    builder.load(self.PC_COL_IDX, image.addr_of("col_idx", edge),
-                                 size=4, kind=AccessKind.INDEX)
-                    builder.load(self.PC_RANK, image.addr_of("rank", neighbor),
-                                 kind=AccessKind.INDIRECT)
-                    builder.load(self.PC_DEGREE,
-                                 image.addr_of("out_degree", neighbor),
-                                 size=4, kind=AccessKind.INDIRECT)
-                    builder.compute(3)    # divide and accumulate
-                builder.store(self.PC_STORE, image.addr_of("new_rank", vertex),
+                                            rank_addr(target))
+                    load(self.PC_COL_IDX, col_idx_addr(edge),
+                         size=4, kind=AccessKind.INDEX)
+                    load(self.PC_RANK, rank_addr(neighbor),
+                         kind=AccessKind.INDIRECT)
+                    load(self.PC_DEGREE, degree_addr(neighbor),
+                         size=4, kind=AccessKind.INDIRECT)
+                    compute(3)            # divide and accumulate
+                builder.store(self.PC_STORE, new_rank_addr(vertex),
                               kind=AccessKind.STREAM)
-                builder.compute(2)
+                compute(2)
         return builder.build()

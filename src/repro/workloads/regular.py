@@ -52,26 +52,27 @@ class DenseStencilWorkload(Workload):
         traces: List[Trace] = []
         interior = range(1, self.rows - 1)
         chunks = self.partition(len(interior), n_cores)
+        grid_addr = image.addr_fn("grid")
+        out_addr = image.addr_fn("out")
         for core_id, chunk in enumerate(chunks):
             builder = TraceBuilder(core_id)
+            load = builder.load
             for offset in chunk:
                 row = 1 + offset
                 for col in range(1, self.cols - 1):
                     index = row * self.cols + col
-                    builder.load(self.PC_CENTER, image.addr_of("grid", index),
-                                 kind=AccessKind.STREAM)
-                    builder.load(self.PC_NORTH,
-                                 image.addr_of("grid", index - self.cols),
-                                 kind=AccessKind.STREAM)
-                    builder.load(self.PC_SOUTH,
-                                 image.addr_of("grid", index + self.cols),
-                                 kind=AccessKind.STREAM)
-                    builder.load(self.PC_WEST, image.addr_of("grid", index - 1),
-                                 kind=AccessKind.STREAM)
-                    builder.load(self.PC_EAST, image.addr_of("grid", index + 1),
-                                 kind=AccessKind.STREAM)
+                    load(self.PC_CENTER, grid_addr(index),
+                         kind=AccessKind.STREAM)
+                    load(self.PC_NORTH, grid_addr(index - self.cols),
+                         kind=AccessKind.STREAM)
+                    load(self.PC_SOUTH, grid_addr(index + self.cols),
+                         kind=AccessKind.STREAM)
+                    load(self.PC_WEST, grid_addr(index - 1),
+                         kind=AccessKind.STREAM)
+                    load(self.PC_EAST, grid_addr(index + 1),
+                         kind=AccessKind.STREAM)
                     builder.compute(5)
-                    builder.store(self.PC_STORE, image.addr_of("out", index),
+                    builder.store(self.PC_STORE, out_addr(index),
                                   kind=AccessKind.STREAM)
             traces.append(builder.build())
         return WorkloadBuild(name=self.name, mem_image=image, traces=traces,
@@ -125,20 +126,21 @@ class BlockedMatMulWorkload(Workload):
                     bi: int, bj: int, bk: int) -> None:
         base_i, base_j, base_k = (bi * self.block, bj * self.block,
                                   bk * self.block)
+        a_addr = image.addr_fn("mat_a")
+        b_addr = image.addr_fn("mat_b")
+        c_addr = image.addr_fn("mat_c")
+        load = builder.load
         for i in range(base_i, base_i + self.block):
             for j in range(base_j, base_j + self.block):
                 c_index = i * self.size + j
-                builder.load(self.PC_C_LOAD, image.addr_of("mat_c", c_index),
-                             kind=AccessKind.STREAM)
+                load(self.PC_C_LOAD, c_addr(c_index), kind=AccessKind.STREAM)
                 for k in range(base_k, base_k + self.block, 2):
-                    builder.load(self.PC_A,
-                                 image.addr_of("mat_a", i * self.size + k),
-                                 kind=AccessKind.STREAM)
-                    builder.load(self.PC_B,
-                                 image.addr_of("mat_b", k * self.size + j),
-                                 kind=AccessKind.STREAM)
+                    load(self.PC_A, a_addr(i * self.size + k),
+                         kind=AccessKind.STREAM)
+                    load(self.PC_B, b_addr(k * self.size + j),
+                         kind=AccessKind.STREAM)
                     builder.compute(4)
-                builder.store(self.PC_C_STORE, image.addr_of("mat_c", c_index),
+                builder.store(self.PC_C_STORE, c_addr(c_index),
                               kind=AccessKind.STREAM)
 
 
@@ -168,15 +170,17 @@ class StridedCopyWorkload(Workload):
                         writable=True)
         traces: List[Trace] = []
         per_core = self.n_elements // max(1, n_cores)
+        src_addr = image.addr_fn("src")
+        dst_addr = image.addr_fn("dst")
         for core_id, chunk in enumerate(self.partition(self.n_elements, n_cores)):
             builder = TraceBuilder(core_id)
             positions = list(chunk)
             for destination, position in enumerate(positions):
                 source = (position * self.stride) % self.n_elements
-                builder.load(self.PC_LOAD, image.addr_of("src", source),
+                builder.load(self.PC_LOAD, src_addr(source),
                              kind=AccessKind.STREAM)
                 builder.store(self.PC_STORE,
-                              image.addr_of("dst", chunk.start + destination),
+                              dst_addr(chunk.start + destination),
                               kind=AccessKind.STREAM)
                 builder.compute(1)
             traces.append(builder.build())

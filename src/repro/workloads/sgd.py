@@ -89,32 +89,38 @@ class SGDWorkload(Workload):
                     software_prefetch: bool, distance: int) -> Trace:
         builder = TraceBuilder(core_id)
         end = ratings.stop
+        # Hoisted address mappers and builder methods (hot generator loop).
+        rating_user_addr = image.addr_fn("rating_user")
+        rating_item_addr = image.addr_fn("rating_item")
+        rating_value_addr = image.addr_fn("rating_value")
+        user_feat_addr = image.addr_fn("user_feat")
+        item_feat_addr = image.addr_fn("item_feat")
+        load = builder.load
+        store = builder.store
         for k in ratings:
             user = int(users[k])
             item = int(items[k])
             if software_prefetch and k + distance < end:
                 builder.sw_prefetch(self.PC_SW_PREFETCH_U,
-                                    image.addr_of("user_feat",
-                                                  int(users[k + distance])))
+                                    user_feat_addr(int(users[k + distance])))
                 builder.sw_prefetch(self.PC_SW_PREFETCH_I,
-                                    image.addr_of("item_feat",
-                                                  int(items[k + distance])))
-            builder.load(self.PC_RATING_USER, image.addr_of("rating_user", k),
-                         size=4, kind=AccessKind.INDEX)
-            builder.load(self.PC_RATING_ITEM, image.addr_of("rating_item", k),
-                         size=4, kind=AccessKind.INDEX)
-            builder.load(self.PC_RATING_VALUE, image.addr_of("rating_value", k),
-                         kind=AccessKind.STREAM)
-            builder.load(self.PC_USER_FEAT, image.addr_of("user_feat", user),
-                         size=16, kind=AccessKind.INDIRECT)
-            builder.load(self.PC_ITEM_FEAT, image.addr_of("item_feat", item),
-                         size=16, kind=AccessKind.INDIRECT)
+                                    item_feat_addr(int(items[k + distance])))
+            load(self.PC_RATING_USER, rating_user_addr(k),
+                 size=4, kind=AccessKind.INDEX)
+            load(self.PC_RATING_ITEM, rating_item_addr(k),
+                 size=4, kind=AccessKind.INDEX)
+            load(self.PC_RATING_VALUE, rating_value_addr(k),
+                 kind=AccessKind.STREAM)
+            load(self.PC_USER_FEAT, user_feat_addr(user),
+                 size=16, kind=AccessKind.INDIRECT)
+            load(self.PC_ITEM_FEAT, item_feat_addr(item),
+                 size=16, kind=AccessKind.INDIRECT)
             # Dot product, error computation and least-squares update: the
             # compute-heavy part that makes SGD compute-bound.
             builder.compute(20)
-            builder.store(self.PC_USER_STORE, image.addr_of("user_feat", user),
-                          size=16, kind=AccessKind.INDIRECT)
-            builder.store(self.PC_ITEM_STORE, image.addr_of("item_feat", item),
-                          size=16, kind=AccessKind.INDIRECT)
+            store(self.PC_USER_STORE, user_feat_addr(user),
+                  size=16, kind=AccessKind.INDIRECT)
+            store(self.PC_ITEM_STORE, item_feat_addr(item),
+                  size=16, kind=AccessKind.INDIRECT)
             builder.compute(4)
         return builder.build()

@@ -93,25 +93,29 @@ class SpMVWorkload(Workload):
         builder = TraceBuilder(core_id)
         col_idx = matrix.col_idx
         row_ptr = matrix.row_ptr
+        # Hoisted address mappers and builder methods (hot generator loop).
+        row_ptr_addr = image.addr_fn("row_ptr")
+        col_idx_addr = image.addr_fn("col_idx")
+        values_addr = image.addr_fn("values")
+        vec_addr = image.addr_fn("vec")
+        result_addr = image.addr_fn("result")
+        load = builder.load
+        compute = builder.compute
         for row in rows:
             start = int(row_ptr[row])
             end = int(row_ptr[row + 1])
-            builder.load(self.PC_ROW_PTR, image.addr_of("row_ptr", row),
-                         kind=AccessKind.STREAM)
-            builder.compute(1)
+            load(self.PC_ROW_PTR, row_ptr_addr(row), kind=AccessKind.STREAM)
+            compute(1)
             for j in range(start, end):
                 col = int(col_idx[j])
                 if software_prefetch and j + distance < end:
                     target = int(col_idx[j + distance])
-                    builder.sw_prefetch(self.PC_SW_PREFETCH,
-                                        image.addr_of("vec", target))
-                builder.load(self.PC_COL_IDX, image.addr_of("col_idx", j),
-                             size=4, kind=AccessKind.INDEX)
-                builder.load(self.PC_VALUES, image.addr_of("values", j),
-                             kind=AccessKind.STREAM)
-                builder.load(self.PC_VECTOR, image.addr_of("vec", col),
-                             kind=AccessKind.INDIRECT)
-                builder.compute(2)        # multiply-accumulate
-            builder.store(self.PC_STORE, image.addr_of("result", row),
+                    builder.sw_prefetch(self.PC_SW_PREFETCH, vec_addr(target))
+                load(self.PC_COL_IDX, col_idx_addr(j),
+                     size=4, kind=AccessKind.INDEX)
+                load(self.PC_VALUES, values_addr(j), kind=AccessKind.STREAM)
+                load(self.PC_VECTOR, vec_addr(col), kind=AccessKind.INDIRECT)
+                compute(2)                # multiply-accumulate
+            builder.store(self.PC_STORE, result_addr(row),
                           kind=AccessKind.STREAM)
         return builder.build()

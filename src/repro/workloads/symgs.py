@@ -97,14 +97,20 @@ class SymGSWorkload(Workload):
                    self.PC_VECTOR_B, self.PC_STORE_B)
         pc_row, pc_col, pc_val, pc_vec, pc_store = pcs
         row_order = rows if forward else reversed(rows)
+        # Hoisted address mappers and builder methods (hot generator loop).
+        row_ptr_addr = image.addr_fn("row_ptr")
+        rhs_addr = image.addr_fn("rhs")
+        col_idx_addr = image.addr_fn("col_idx")
+        values_addr = image.addr_fn("values")
+        xvec_addr = image.addr_fn("xvec")
+        load = builder.load
+        compute = builder.compute
         for row in row_order:
             start = int(row_ptr[row])
             end = int(row_ptr[row + 1])
-            builder.load(pc_row, image.addr_of("row_ptr", row),
-                         kind=AccessKind.STREAM)
-            builder.load(pc_store, image.addr_of("rhs", row),
-                         kind=AccessKind.STREAM)
-            builder.compute(2)
+            load(pc_row, row_ptr_addr(row), kind=AccessKind.STREAM)
+            load(pc_store, rhs_addr(row), kind=AccessKind.STREAM)
+            compute(2)
             inner = range(start, end) if forward else range(end - 1, start - 1, -1)
             for j in inner:
                 col = int(col_idx[j])
@@ -112,19 +118,14 @@ class SymGSWorkload(Workload):
                     target_j = j + distance if forward else j - distance
                     if start <= target_j < end:
                         builder.sw_prefetch(self.PC_SW_PREFETCH,
-                                            image.addr_of("xvec",
-                                                          int(col_idx[target_j])))
-                builder.load(pc_col, image.addr_of("col_idx", j),
-                             size=4, kind=AccessKind.INDEX)
-                builder.load(pc_val, image.addr_of("values", j),
-                             kind=AccessKind.STREAM)
-                builder.load(pc_vec, image.addr_of("xvec", col),
-                             kind=AccessKind.INDIRECT)
-                builder.compute(2)
+                                            xvec_addr(int(col_idx[target_j])))
+                load(pc_col, col_idx_addr(j), size=4, kind=AccessKind.INDEX)
+                load(pc_val, values_addr(j), kind=AccessKind.STREAM)
+                load(pc_vec, xvec_addr(col), kind=AccessKind.INDIRECT)
+                compute(2)
             # The smoothed value is written back to the row's vector entry.
-            builder.compute(4)            # divide by the diagonal, busy-wait check
-            builder.store(pc_store, image.addr_of("xvec", row),
-                          kind=AccessKind.STREAM)
+            compute(4)                    # divide by the diagonal, busy-wait check
+            builder.store(pc_store, xvec_addr(row), kind=AccessKind.STREAM)
 
     def _core_trace(self, core_id: int, rows: range, matrix: CSRMatrix,
                     image: MemoryImage, software_prefetch: bool,

@@ -42,16 +42,18 @@ class StreamingWorkload(Workload):
         image.add_array("c", np.zeros(self.n_elements, dtype=np.float64),
                         writable=True)
         traces: List[Trace] = []
+        a_addr = image.addr_fn("a")
+        b_addr = image.addr_fn("b")
+        c_addr = image.addr_fn("c")
         for core_id, elements in enumerate(self.partition(self.n_elements,
                                                           n_cores)):
             builder = TraceBuilder(core_id)
+            load = builder.load
             for i in elements:
-                builder.load(self.PC_LOAD_A, image.addr_of("a", i),
-                             kind=AccessKind.STREAM)
-                builder.load(self.PC_LOAD_B, image.addr_of("b", i),
-                             kind=AccessKind.STREAM)
+                load(self.PC_LOAD_A, a_addr(i), kind=AccessKind.STREAM)
+                load(self.PC_LOAD_B, b_addr(i), kind=AccessKind.STREAM)
                 builder.compute(2)
-                builder.store(self.PC_STORE_C, image.addr_of("c", i),
+                builder.store(self.PC_STORE_C, c_addr(i),
                               kind=AccessKind.STREAM)
             traces.append(builder.build())
         return WorkloadBuild(name=self.name, mem_image=image, traces=traces)
@@ -92,23 +94,25 @@ class IndirectStreamWorkload(Workload):
             image.add_array("C", np.zeros(self.n_data, dtype=np.float64),
                             elem_size=self.elem_size, length=self.n_data)
         traces: List[Trace] = []
+        b_addr = image.addr_fn("B")
+        a_addr = image.addr_fn("A")
+        c_addr = image.addr_fn("C") if self.two_way else None
+        data_size = min(8, self.elem_size)
         for core_id, chunk in enumerate(self.partition(self.n_indices, n_cores)):
             builder = TraceBuilder(core_id)
+            load = builder.load
             end = chunk.stop
             for i in chunk:
                 target = int(indices[i])
                 if software_prefetch and i + sw_prefetch_distance < end:
                     future = int(indices[i + sw_prefetch_distance])
-                    builder.sw_prefetch(pc_of(98), image.addr_of("A", future))
-                builder.load(self.PC_INDEX, image.addr_of("B", i),
-                             size=4, kind=AccessKind.INDEX)
-                builder.load(self.PC_DATA, image.addr_of("A", target),
-                             size=min(8, self.elem_size),
-                             kind=AccessKind.INDIRECT)
+                    builder.sw_prefetch(pc_of(98), a_addr(future))
+                load(self.PC_INDEX, b_addr(i), size=4, kind=AccessKind.INDEX)
+                load(self.PC_DATA, a_addr(target), size=data_size,
+                     kind=AccessKind.INDIRECT)
                 if self.two_way:
-                    builder.load(self.PC_DATA2, image.addr_of("C", target),
-                                 size=min(8, self.elem_size),
-                                 kind=AccessKind.INDIRECT)
+                    load(self.PC_DATA2, c_addr(target), size=data_size,
+                         kind=AccessKind.INDIRECT)
                 builder.compute(2)
             traces.append(builder.build())
         return WorkloadBuild(name=self.name, mem_image=image, traces=traces)

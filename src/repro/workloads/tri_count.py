@@ -75,31 +75,36 @@ class TriangleCountWorkload(Workload):
         builder = TraceBuilder(core_id)
         col_idx = graph.col_idx
         row_ptr = graph.row_ptr
+        # Hoisted address mappers and builder methods (hot generator loop).
+        row_ptr_addr = image.addr_fn("row_ptr")
+        col_idx_addr = image.addr_fn("col_idx")
+        bitvec_addr = image.addr_fn("bitvec")
+        load = builder.load
+        compute = builder.compute
         for vertex in vertices:
             start = int(row_ptr[vertex])
             end = int(row_ptr[vertex + 1])
-            builder.load(self.PC_ROW_PTR_V, image.addr_of("row_ptr", vertex),
-                         kind=AccessKind.STREAM)
+            load(self.PC_ROW_PTR_V, row_ptr_addr(vertex),
+                 kind=AccessKind.STREAM)
             # Build the bit vector of v's neighbourhood (streaming writes).
             for j in range(start, end):
                 neighbor = int(col_idx[j])
-                builder.load(self.PC_COL_IDX_V, image.addr_of("col_idx", j),
-                             size=4, kind=AccessKind.INDEX)
-                builder.store(self.PC_BITVEC_SET,
-                              image.addr_of("bitvec", neighbor),
+                load(self.PC_COL_IDX_V, col_idx_addr(j),
+                     size=4, kind=AccessKind.INDEX)
+                builder.store(self.PC_BITVEC_SET, bitvec_addr(neighbor),
                               size=1, kind=AccessKind.INDIRECT)
-                builder.compute(1)
+                compute(1)
             # Intersect each neighbour's neighbour list with the bit vector.
             two_hop_budget = self.max_two_hop_per_vertex
             for j in range(start, end):
                 if two_hop_budget <= 0:
                     break
                 u = int(col_idx[j])
-                builder.load(self.PC_COL_IDX_V, image.addr_of("col_idx", j),
-                             size=4, kind=AccessKind.INDEX)
-                builder.load(self.PC_ROW_PTR_U, image.addr_of("row_ptr", u),
-                             kind=AccessKind.INDIRECT)
-                builder.compute(1)
+                load(self.PC_COL_IDX_V, col_idx_addr(j),
+                     size=4, kind=AccessKind.INDEX)
+                load(self.PC_ROW_PTR_U, row_ptr_addr(u),
+                     kind=AccessKind.INDIRECT)
+                compute(1)
                 u_start = int(row_ptr[u])
                 u_end = int(row_ptr[u + 1])
                 for k in range(u_start, u_end):
@@ -110,11 +115,10 @@ class TriangleCountWorkload(Workload):
                     if software_prefetch and k + distance < u_end:
                         target = int(col_idx[k + distance])
                         builder.sw_prefetch(self.PC_SW_PREFETCH,
-                                            image.addr_of("bitvec", target))
-                    builder.load(self.PC_COL_IDX_U, image.addr_of("col_idx", k),
-                                 size=4, kind=AccessKind.INDEX)
-                    builder.load(self.PC_BITVEC_TEST,
-                                 image.addr_of("bitvec", w),
-                                 size=1, kind=AccessKind.INDIRECT)
-                    builder.compute(2)   # bit test and triangle count update
+                                            bitvec_addr(target))
+                    load(self.PC_COL_IDX_U, col_idx_addr(k),
+                         size=4, kind=AccessKind.INDEX)
+                    load(self.PC_BITVEC_TEST, bitvec_addr(w),
+                         size=1, kind=AccessKind.INDIRECT)
+                    compute(2)           # bit test and triangle count update
         return builder.build()

@@ -1,0 +1,52 @@
+"""Effectiveness invariants (Table 3's headline claim, kept cheap).
+
+IMP must beat the stream-prefetcher baseline on the indirect-dominated
+kernels — spmv and pagerank at 16 cores — both in runtime and in prefetch
+coverage.  Performance work on the simulator cannot be allowed to silently
+break prefetcher fidelity: any hot-path change that corrupts training,
+confidence building or prefetch issue shows up here as a lost speedup.
+
+The inputs are scaled down (the invariant, not the absolute numbers, is
+what's asserted) so the test stays tier-1-fast.
+"""
+
+import pytest
+
+from repro.experiments.configs import scaled_config
+from repro.sim.system import run_workload
+from repro.workloads import make_workload
+
+CORES = 16
+
+
+@pytest.fixture(scope="module", params=["spmv", "pagerank"])
+def stream_vs_imp(request):
+    if request.param == "spmv":
+        workload = make_workload("spmv", seed=1, nx=9, ny=9, nz=9)
+    else:
+        workload = make_workload("pagerank", seed=1, n_vertices=1536)
+    config = scaled_config(CORES)
+    stream = run_workload(workload, config, prefetcher="stream")
+    imp = run_workload(workload, config, prefetcher="imp")
+    return request.param, stream, imp
+
+
+def test_imp_beats_stream_runtime(stream_vs_imp):
+    name, stream, imp = stream_vs_imp
+    assert imp.runtime_cycles < stream.runtime_cycles, (
+        f"IMP must outrun the stream baseline on {name} at {CORES} cores: "
+        f"imp={imp.runtime_cycles} stream={stream.runtime_cycles}")
+
+
+def test_imp_improves_coverage(stream_vs_imp):
+    name, stream, imp = stream_vs_imp
+    assert imp.stats.coverage > stream.stats.coverage + 0.2, (
+        f"IMP coverage must clearly exceed stream coverage on {name}: "
+        f"imp={imp.stats.coverage:.2f} stream={stream.stats.coverage:.2f}")
+    assert imp.stats.coverage > 0.5
+
+
+def test_imp_reduces_l1_misses(stream_vs_imp):
+    name, stream, imp = stream_vs_imp
+    assert imp.stats.total_l1_misses < stream.stats.total_l1_misses, (
+        f"IMP must cover misses the stream prefetcher cannot on {name}")

@@ -1,0 +1,100 @@
+"""Determinism regression tests.
+
+Two runs of the same (workload, config, prefetcher) triple must produce
+identical ``SystemStats``.  This guards the columnar-trace/hot-path
+refactors and any future parallelism work: a change that makes simulation
+results depend on allocation order, dict iteration, caching, or wall-clock
+time shows up here as a diff.
+"""
+
+import pytest
+
+from repro.experiments.configs import scaled_config
+from repro.sim.stats import SystemStats
+from repro.sim.system import run_workload
+from repro.sim.trace import AccessKind
+from repro.workloads.synthetic import IndirectStreamWorkload
+
+
+def snapshot(stats: SystemStats) -> dict:
+    """A complete, comparable snapshot of one simulation's statistics."""
+    return {
+        "runtime_cycles": stats.runtime_cycles,
+        "cores": [
+            {
+                "cycles": core.cycles,
+                "instructions": core.instructions,
+                "mem_accesses": core.mem_accesses,
+                "loads": core.loads,
+                "stores": core.stores,
+                "l1_hits": core.l1_hits,
+                "l1_misses": core.l1_misses,
+                "l2_hits": core.l2_hits,
+                "l2_misses": core.l2_misses,
+                "total_mem_latency": core.total_mem_latency,
+                "total_stall_cycles": core.total_stall_cycles,
+                "misses_by_kind": {k.value: v
+                                   for k, v in core.misses_by_kind.items()},
+                "stalls_by_kind": {
+                    k.value: v for k, v in core.stall_cycles_by_kind.items()},
+                "prefetches_issued": core.prefetches_issued,
+                "prefetches_useful": core.prefetches_useful,
+                "prefetch_covered_misses": core.prefetch_covered_misses,
+                "sw_prefetches_issued": core.sw_prefetches_issued,
+            }
+            for core in stats.cores
+        ],
+        "traffic": {
+            "noc_bytes": stats.traffic.noc_bytes,
+            "noc_flits": stats.traffic.noc_flits,
+            "noc_messages": stats.traffic.noc_messages,
+            "dram_bytes": stats.traffic.dram_bytes,
+            "dram_requests": stats.traffic.dram_requests,
+            "invalidations": stats.traffic.invalidations,
+        },
+    }
+
+
+@pytest.mark.parametrize("prefetcher", ["none", "stream", "imp"])
+def test_repeated_runs_are_identical(prefetcher):
+    config = scaled_config(4)
+    snapshots = []
+    for _ in range(2):
+        # Fresh workload objects: determinism must not depend on build
+        # caching or on reusing prefetcher/simulator state.
+        workload = IndirectStreamWorkload(n_indices=2048, n_data=4096, seed=3)
+        result = run_workload(workload, config, prefetcher=prefetcher)
+        snapshots.append(snapshot(result.stats))
+    assert snapshots[0] == snapshots[1]
+
+
+def test_same_workload_object_reruns_identically():
+    """Build caching (Workload.cached_build) must not change results."""
+    config = scaled_config(4)
+    workload = IndirectStreamWorkload(n_indices=2048, n_data=4096, seed=5)
+    first = run_workload(workload, config, prefetcher="imp")
+    second = run_workload(workload, config, prefetcher="imp")
+    assert snapshot(first.stats) == snapshot(second.stats)
+
+
+def test_ooo_core_model_is_deterministic():
+    config = scaled_config(4).with_ooo()
+    runs = [
+        run_workload(IndirectStreamWorkload(n_indices=2048, seed=7), config,
+                     prefetcher="imp")
+        for _ in range(2)
+    ]
+    assert snapshot(runs[0].stats) == snapshot(runs[1].stats)
+
+
+def test_access_kind_attribution_is_populated():
+    """The per-kind breakdowns survive the columnar refactor."""
+    config = scaled_config(4)
+    workload = IndirectStreamWorkload(n_indices=2048, n_data=4096, seed=3)
+    result = run_workload(workload, config, prefetcher="none")
+    misses = {kind: 0 for kind in AccessKind}
+    for core in result.stats.cores:
+        for kind, count in core.misses_by_kind.items():
+            misses[kind] += count
+    assert misses[AccessKind.INDIRECT] > 0
+    assert sum(misses.values()) == result.stats.total_l1_misses

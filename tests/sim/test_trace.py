@@ -3,6 +3,12 @@
 import pytest
 
 from repro.sim.trace import (
+    KIND_BY_CODE,
+    KIND_CODES,
+    OP_COMPUTE,
+    OP_LOAD,
+    OP_STORE,
+    OP_SW_PREFETCH,
     AccessKind,
     Compute,
     MemRef,
@@ -83,3 +89,69 @@ class TestTraceSummaries:
         trace = Trace(core_id=0)
         assert trace.instruction_count == 0
         assert trace.memory_reference_count == 0
+
+
+class TestColumnarStorage:
+    """The columnar encoding behind the object-level API."""
+
+    def test_columns_encode_opcodes(self):
+        trace = (TraceBuilder(0)
+                 .compute(3)
+                 .load(0x400, 0x1000, kind=AccessKind.INDEX)
+                 .store(0x408, 0x2000)
+                 .sw_prefetch(0x410, 0x3000, overhead_ops=2)
+                 .build())
+        # The leading compute(3) is folded into the load row's lead column.
+        assert list(trace.op) == [OP_LOAD, OP_STORE, OP_SW_PREFETCH]
+        assert list(trace.addr) == [0x1000, 0x2000, 0x3000]
+        assert list(trace.lead) == [3, 0, 0]
+        assert trace.aux[0] == KIND_CODES[AccessKind.INDEX]    # load kind
+        assert trace.aux[2] == 2                               # overhead ops
+        assert trace.num_rows == 3
+        assert len(trace) == 4          # the object view still has 4 entries
+        assert trace.entries[0] == Compute(3)
+
+    def test_trailing_compute_gets_its_own_row(self):
+        trace = TraceBuilder(0).load(0x400, 0x1000).compute(4).build()
+        assert list(trace.op) == [OP_LOAD, OP_COMPUTE]
+        assert trace.aux[1] == 4
+        assert len(trace) == 2
+
+    def test_entry_at_round_trips(self):
+        trace = Trace(core_id=1)
+        entries = [Compute(5),
+                   MemRef(pc=0x400, addr=0x1000, size=4, is_write=False,
+                          kind=AccessKind.INDIRECT),
+                   MemRef(pc=0x408, addr=0x2000, is_write=True,
+                          kind=AccessKind.STREAM),
+                   SwPrefetch(pc=0x410, addr=0x3000, overhead_ops=7)]
+        trace.extend(entries)
+        assert trace.entries == entries
+        assert trace.entry_at(-1) == entries[-1]
+        assert list(trace) == entries
+
+    def test_counts_maintained_incrementally(self):
+        trace = Trace(core_id=0)
+        assert trace.count_by_kind() == {kind: 0 for kind in KIND_BY_CODE}
+        trace.append(MemRef(pc=0, addr=0, kind=AccessKind.INDIRECT))
+        trace.append(Compute(9))
+        trace.append(SwPrefetch(pc=0, addr=64, overhead_ops=3))
+        assert trace.instruction_count == 1 + 9 + 4
+        assert trace.memory_reference_count == 1
+        assert trace.count_by_kind()[AccessKind.INDIRECT] == 1
+
+    def test_append_rejects_unknown_entry(self):
+        with pytest.raises(TypeError):
+            Trace(core_id=0).append(object())
+
+    def test_parallel_columns_stay_aligned(self):
+        builder = TraceBuilder(0)
+        for i in range(100):
+            builder.compute(1).load(0x400, 0x1000 + 64 * i)
+        trace = builder.build()
+        # 100 rows (compute folded into each load), 200 logical entries.
+        assert (len(trace.op) == len(trace.pc) == len(trace.addr)
+                == len(trace.size) == len(trace.aux) == len(trace.lead)
+                == trace.num_rows == 100)
+        assert len(trace) == 200
+        assert trace.instruction_count == 200

@@ -1,0 +1,57 @@
+"""Tests for the wall-clock benchmark harness (repro.experiments.bench)."""
+
+import copy
+import io
+
+from repro.experiments.bench import PREFETCHERS, compare, run_benchmark
+
+
+def small_run():
+    return run_benchmark(cores=4, seed=1, repeat=1, quick=True,
+                         workloads=["indirect_stream"], out=io.StringIO())
+
+
+class TestRunBenchmark:
+    def test_document_shape(self):
+        document = small_run()
+        assert document["schema"] == "repro-bench-v1"
+        assert document["cores"] == 4
+        keys = set(document["scenarios"])
+        assert keys == {f"indirect_stream/{p}" for p in PREFETCHERS}
+        for entry in document["scenarios"].values():
+            assert entry["wall_seconds"] > 0
+            fp = entry["fingerprint"]
+            assert fp["runtime_cycles"] > 0
+            assert fp["mem_accesses"] > 0
+        assert document["total_wall_seconds"] > 0
+
+    def test_fingerprints_reproducible(self):
+        first = small_run()
+        second = small_run()
+        for key, entry in first["scenarios"].items():
+            assert entry["fingerprint"] == second["scenarios"][key]["fingerprint"]
+
+
+class TestCompare:
+    def test_identical_documents_pass(self):
+        document = small_run()
+        assert compare(document, document, out=io.StringIO()) == 0
+
+    def test_fingerprint_divergence_fails(self):
+        document = small_run()
+        broken = copy.deepcopy(document)
+        key = next(iter(broken["scenarios"]))
+        broken["scenarios"][key]["fingerprint"]["runtime_cycles"] += 1
+        assert compare(broken, document, out=io.StringIO()) != 0
+
+    def test_wall_clock_regression_fails(self):
+        document = small_run()
+        slow = copy.deepcopy(document)
+        slow["total_wall_seconds"] = document["total_wall_seconds"] * 2.0
+        assert compare(slow, document, budget=1.25, out=io.StringIO()) != 0
+
+    def test_mismatched_parameters_fail(self):
+        document = small_run()
+        other = copy.deepcopy(document)
+        other["quick"] = not document["quick"]
+        assert compare(other, document, out=io.StringIO()) != 0
