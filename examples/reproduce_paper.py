@@ -10,9 +10,14 @@ machine finishes in a few minutes.  Raise ``--scale`` / add more
 ``--cores`` for results closer to the paper's operating point (much
 slower in pure Python).
 
+All simulations are declared up front and executed through the batched
+sweep engine: ``--jobs N`` spreads them over worker processes, and the
+persistent result cache (``--cache-dir``, default ``results/cache``)
+means a re-run only simulates what changed.
+
 Run with::
 
-    python examples/reproduce_paper.py --scale 0.35 --cores 16
+    python examples/reproduce_paper.py --scale 0.35 --cores 16 --jobs 8
     python examples/reproduce_paper.py --scale 1.0 --cores 16 64   # slower
 """
 
@@ -32,17 +37,36 @@ def main() -> None:
                         default=Path("results/reproduction_report.txt"))
     parser.add_argument("--skip-sensitivity", action="store_true",
                         help="skip Figures 13-16 (the slowest sweeps)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="sweep worker processes "
+                             "(default: $REPRO_JOBS, else serial)")
+    parser.add_argument("--cache-dir", default="results/cache",
+                        help="persistent result cache (default: "
+                             "results/cache); re-runs only simulate "
+                             "what changed")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
     args = parser.parse_args()
 
     primary_cores = args.cores[0]
     runner = ExperimentRunner(scale=args.scale, seed=1,
-                              base_config=scaled_config(primary_cores))
+                              base_config=scaled_config(primary_cores),
+                              jobs=args.jobs, cache_dir=args.cache_dir,
+                              use_cache=not args.no_cache)
     sections = []
 
     def emit(title: str, rows) -> None:
         text = f"== {title} ==\n{figures.format_table(rows)}\n"
         print(text)
         sections.append(text)
+
+    # Declare every run the shared-runner figures will need up front, so
+    # the whole cross-product executes as one deduplicated (and, with
+    # --jobs, parallel) sweep before any figure is rendered.
+    names = [name for name in figures.FIGURE_REQUESTS
+             if not (args.skip_sensitivity
+                     and name in ("fig14", "fig15", "fig16"))]
+    figures.prefetch_figures(runner, names, args.cores)
 
     emit(f"Figure 1: L1 miss breakdown ({primary_cores} cores)",
          figures.fig01_miss_breakdown(runner, primary_cores))
@@ -63,7 +87,9 @@ def main() -> None:
 
     if not args.skip_sensitivity:
         emit("Figure 13: in-order vs out-of-order cores",
-             figures.fig13_ooo(n_cores=primary_cores, scale=args.scale))
+             figures.fig13_ooo(n_cores=primary_cores, scale=args.scale,
+                               jobs=args.jobs, cache_dir=args.cache_dir,
+                               use_cache=not args.no_cache))
         emit("Figure 14: PT size sensitivity",
              figures.fig14_pt_size(runner, primary_cores))
         emit("Figure 15: IPD size sensitivity",

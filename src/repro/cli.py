@@ -9,10 +9,16 @@ Installed as the ``repro`` console script (also runnable as
 * ``compare``        — run the paper's named configurations side by side for
   one workload (a one-workload slice of Figure 9 / 11).
 * ``figure``         — regenerate one of the paper's figures/tables.
+* ``sweep``          — regenerate many figures in one batched sweep:
+  every required simulation is declared up front, deduplicated, executed
+  across ``--jobs`` worker processes, and memoised in the persistent
+  on-disk result cache (``--cache-dir``, default ``results/cache``), so
+  re-running only simulates what changed.
 * ``cost``           — print the Section 6.4 storage/energy cost report.
 * ``bench``          — run the wall-clock performance harness
   (``benchmarks/perf/bench_sim.py``) and optionally write/check a
-  ``BENCH_<n>.json`` trajectory file.
+  ``BENCH_<n>.json`` trajectory file; ``--sweep`` benchmarks the parallel
+  sweep engine itself.
 """
 
 from __future__ import annotations
@@ -98,6 +104,19 @@ def _build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("--cores", type=int, default=16)
     figure_parser.add_argument("--scale", type=float, default=0.35)
     figure_parser.add_argument("--seed", type=int, default=1)
+    _add_sweep_options(figure_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="regenerate many figures in one batched parallel sweep")
+    sweep_parser.add_argument("--figures", nargs="+", default=None,
+                              choices=sorted(FIGURES),
+                              help="figures to build (default: all)")
+    sweep_parser.add_argument("--cores", type=int, nargs="+", default=[16],
+                              help="core counts (fig9/fig11 sweep them all; "
+                                   "other figures use the first)")
+    sweep_parser.add_argument("--scale", type=float, default=0.35)
+    sweep_parser.add_argument("--seed", type=int, default=1)
+    _add_sweep_options(sweep_parser)
 
     sub.add_parser("cost", help="print the Section 6.4 hardware cost report")
 
@@ -116,7 +135,27 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--baseline", default=None)
     bench_parser.add_argument("--budget", type=float, default=1.25,
                               help="allowed wall-clock ratio vs baseline")
+    bench_parser.add_argument("--sweep", action="store_true",
+                              help="benchmark the multi-figure sweep engine "
+                                   "(serial vs --jobs vs warm cache) instead "
+                                   "of the per-scenario harness")
+    bench_parser.add_argument("--scale", type=float, default=0.15,
+                              help="workload scale for --sweep")
+    bench_parser.add_argument("--jobs", type=int, default=None,
+                              help="worker processes for --sweep (default: "
+                                   "$REPRO_JOBS, else 4)")
     return parser
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the sweep "
+                             "(default: $REPRO_JOBS, else 1)")
+    parser.add_argument("--cache-dir", default="results/cache",
+                        help="persistent result cache directory "
+                             "(default: results/cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
 
 
 def _command_list(out) -> int:
@@ -177,19 +216,63 @@ def _command_compare(args, out) -> int:
     return 0
 
 
+def _sweep_runner(args, n_cores: int) -> ExperimentRunner:
+    return ExperimentRunner(scale=args.scale, seed=args.seed,
+                            base_config=scaled_config(n_cores),
+                            jobs=args.jobs, cache_dir=args.cache_dir,
+                            use_cache=not args.no_cache)
+
+
 def _command_figure(args, out) -> int:
-    runner = ExperimentRunner(scale=args.scale, seed=args.seed,
-                              base_config=scaled_config(args.cores))
+    runner = _sweep_runner(args, args.cores)
     rows = FIGURES[args.name](runner, args.cores)
     print(figures.format_table(rows), file=out)
     return 0
 
 
-def _command_bench(args, out) -> int:
-    from repro.experiments.bench import run_benchmark, write_and_check
+def _command_sweep(args, out) -> int:
+    names = args.figures or sorted(FIGURES)
+    runner = _sweep_runner(args, args.cores[0])
+    # Declare the whole cross-product up front so runs shared between
+    # figures are simulated exactly once, then render from cache.
+    requested = figures.prefetch_figures(runner, names, args.cores)
+    for name in names:
+        if name == "fig9":  # multi-core-count figures sweep all of --cores
+            result = figures.fig09_performance(runner,
+                                               core_counts=args.cores)
+        elif name == "fig11":
+            result = figures.fig11_partial(runner, core_counts=args.cores)
+        else:
+            result = FIGURES[name](runner, args.cores[0])
+        if isinstance(result, dict):
+            for n_cores, rows in sorted(result.items()):
+                print(f"== {name} ({n_cores} cores) ==", file=out)
+                print(figures.format_table(rows), file=out)
+        else:
+            print(f"== {name} ==", file=out)
+            print(figures.format_table(result), file=out)
+    engine = runner.engine
+    cache = engine.cache
+    cache_note = (f"cache hits {cache.hits}, stores {cache.stores}"
+                  if cache else "cache disabled")
+    print(f"[sweep] {requested} requested runs, "
+          f"{engine.simulations_run} simulated ({engine.jobs} jobs, "
+          f"{cache_note})", file=out)
+    return 0
 
-    document = run_benchmark(cores=args.cores, seed=args.seed,
-                             repeat=args.repeat, quick=args.quick, out=out)
+
+def _command_bench(args, out) -> int:
+    from repro.experiments.bench import (run_benchmark, run_sweep_benchmark,
+                                         write_and_check)
+
+    if args.sweep:
+        document = run_sweep_benchmark(cores=args.cores, seed=args.seed,
+                                       scale=args.scale, jobs=args.jobs,
+                                       quick=args.quick, out=out)
+    else:
+        document = run_benchmark(cores=args.cores, seed=args.seed,
+                                 repeat=args.repeat, quick=args.quick,
+                                 out=out)
     return write_and_check(document, out_path=args.out, check=args.check,
                            baseline_path=args.baseline, budget=args.budget,
                            out=out)
@@ -215,6 +298,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_compare(args, out)
     if args.command == "figure":
         return _command_figure(args, out)
+    if args.command == "sweep":
+        return _command_sweep(args, out)
     if args.command == "cost":
         return _command_cost(out)
     if args.command == "bench":

@@ -83,3 +83,17 @@ class IMPConfig:
     def with_adaptive_distance(self, enabled: bool = True) -> "IMPConfig":
         """Return a copy with adaptive distance throttling toggled."""
         return replace(self, adaptive_distance=enabled)
+
+    # ------------------------------------------------------------------
+    # Serialisation (sweep specs, persistent result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "IMPConfig":
+        doc = dict(doc)
+        doc["shift_values"] = tuple(doc["shift_values"])
+        doc["stream"] = StreamPrefetcherConfig(**doc["stream"])
+        return cls(**doc)

@@ -5,14 +5,25 @@ from repro.experiments.configs import (
     experiment_config,
     scaled_config,
 )
-from repro.experiments.runner import ExperimentRunner, RunRecord
+from repro.experiments.runner import ExperimentRunner, RunRecord, RunRequest
+from repro.experiments.sweep import (
+    ResultCache,
+    RunSpec,
+    SweepEngine,
+    run_specs,
+)
 from repro.experiments import figures
 
 __all__ = [
     "CONFIG_MODES",
     "ExperimentRunner",
+    "ResultCache",
     "RunRecord",
+    "RunRequest",
+    "RunSpec",
+    "SweepEngine",
     "experiment_config",
     "figures",
+    "run_specs",
     "scaled_config",
 ]

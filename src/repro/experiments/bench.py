@@ -22,14 +22,16 @@ Run it via the CLI (``repro bench``) or via the thin wrapper
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import os
 import platform
 import sys
 import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.configs import scaled_config
-from repro.sim.system import SimulationResult, run_workload
+from repro.sim.system import run_workload
 from repro.workloads import make_workload
 from repro.workloads.synthetic import IndirectStreamWorkload
 
@@ -52,22 +54,6 @@ def _make_workload(name: str, seed: int, quick: bool):
         return (make_workload(name, seed=seed, n_vertices=1024) if quick
                 else make_workload(name, seed=seed))
     return make_workload(name, seed=seed)
-
-
-def _fingerprint(result: SimulationResult) -> Dict[str, int]:
-    stats = result.stats
-    return {
-        "runtime_cycles": stats.runtime_cycles,
-        "instructions": stats.total_instructions,
-        "mem_accesses": stats.total_mem_accesses,
-        "l1_misses": stats.total_l1_misses,
-        "l2_misses": sum(c.l2_misses for c in stats.cores),
-        "prefetches_issued": stats.prefetches_issued,
-        "prefetches_useful": stats.prefetches_useful,
-        "prefetch_covered_misses": stats.prefetch_covered_misses,
-        "noc_bytes": stats.traffic.noc_bytes,
-        "dram_bytes": stats.traffic.dram_bytes,
-    }
 
 
 def run_benchmark(cores: int = 16, seed: int = 1, repeat: int = 1,
@@ -96,7 +82,7 @@ def run_benchmark(cores: int = 16, seed: int = 1, repeat: int = 1,
                 elapsed = time.perf_counter() - t0
                 if key not in best or elapsed < best[key]:
                     best[key] = elapsed
-                fp = _fingerprint(result)
+                fp = result.stats.fingerprint()
                 if key in fingerprints and fingerprints[key] != fp:
                     raise AssertionError(
                         f"non-deterministic simulation for {key}")
@@ -123,6 +109,142 @@ def run_benchmark(cores: int = 16, seed: int = 1, repeat: int = 1,
                             "fingerprint": fingerprints[key]}
                       for key in best},
         "total_wall_seconds": total,
+    }
+
+
+# ----------------------------------------------------------------------
+# Sweep-level benchmark (the parallel engine + persistent result cache)
+# ----------------------------------------------------------------------
+
+#: Figures timed by the sweep benchmark.  They deliberately share runs
+#: (Base/PerfPref/IMP at one core count appear in several of them) so the
+#: batched prefetch path's deduplication is part of what is measured.
+SWEEP_FIGURES = ("fig1", "fig2", "fig9", "table3", "fig10", "fig12")
+SWEEP_FIGURES_QUICK = ("fig1", "fig2", "table3", "fig10")
+
+
+def _sweep_phase(names, cores: int, scale: float, seed: int,
+                 jobs: Optional[int], cache_dir) -> Dict:
+    """Build every figure in ``names`` once and time it end to end.
+
+    Returns wall seconds, simulation/cache counters, and one fingerprint
+    per unique underlying run so phases can be compared for fidelity.
+    """
+    from repro.cli import FIGURES
+    from repro.experiments import figures
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(scale=scale, seed=seed,
+                              base_config=scaled_config(cores),
+                              jobs=jobs, cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    figures.prefetch_figures(runner, names, [cores])
+    for name in names:
+        FIGURES[name](runner, cores)
+    wall = time.perf_counter() - t0
+    # One fingerprint per unique run.  The key carries the full cache key —
+    # including the IMP-config signature, which distinguishes the
+    # sensitivity-figure runs that share (workload, mode, cores) — hashed
+    # down to a JSON-friendly suffix.
+    fingerprints = {
+        f"{key[0]}/{key[1]}/{key[2]}/"
+        f"{hashlib.sha256(repr(key[3:]).encode()).hexdigest()[:8]}":
+        record.result.stats.fingerprint()
+        for key, record in runner.cached_records()}
+    cache = runner.engine.cache
+    return {
+        "wall_seconds": wall,
+        "simulations": runner.engine.simulations_run,
+        "unique_runs": len(fingerprints),
+        "cache_hits": cache.hits if cache else 0,
+        "fingerprints": fingerprints,
+    }
+
+
+def run_sweep_benchmark(cores: int = 16, seed: int = 1, scale: float = 0.15,
+                        jobs: Optional[int] = None, quick: bool = False,
+                        figures: Optional[List[str]] = None,
+                        out=sys.stdout) -> Dict:
+    """Benchmark the sweep engine: serial vs parallel vs warm cache.
+
+    Three phases build the same multi-figure set back-to-back:
+
+    1. ``serial`` — one process, no disk cache: the PR 1 serial engine.
+    2. ``parallel`` — ``jobs`` worker processes, cold disk cache.
+    3. ``warm_cache`` — same cache directory again; must simulate nothing.
+
+    All three phases must produce bit-identical stat fingerprints for
+    every underlying run.
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments.sweep import resolve_jobs
+
+    if quick:
+        cores, scale = min(cores, 4), min(scale, 0.05)
+        names = tuple(figures or SWEEP_FIGURES_QUICK)
+    else:
+        names = tuple(figures or SWEEP_FIGURES)
+    if jobs is None:
+        jobs = resolve_jobs(None)
+        if jobs <= 1:
+            jobs = 4  # the benchmark exists to measure the parallel engine
+    else:
+        jobs = max(1, int(jobs))  # an explicit --jobs 1 is honoured
+    cache_dir = tempfile.mkdtemp(prefix="repro-sweep-bench-")
+    try:
+        print(f"[sweep-bench] figures={','.join(names)} cores={cores} "
+              f"scale={scale} jobs={jobs}", file=out)
+        serial = _sweep_phase(names, cores, scale, seed, jobs=1,
+                              cache_dir=None)
+        print(f"[sweep-bench] serial    : {serial['wall_seconds']:8.3f}s  "
+              f"({serial['simulations']} simulations)", file=out)
+        parallel = _sweep_phase(names, cores, scale, seed, jobs=jobs,
+                                cache_dir=cache_dir)
+        print(f"[sweep-bench] parallel  : {parallel['wall_seconds']:8.3f}s  "
+              f"({parallel['simulations']} simulations, {jobs} jobs)",
+              file=out)
+        warm = _sweep_phase(names, cores, scale, seed, jobs=jobs,
+                            cache_dir=cache_dir)
+        print(f"[sweep-bench] warm cache: {warm['wall_seconds']:8.3f}s  "
+              f"({warm['simulations']} simulations, "
+              f"{warm['cache_hits']} cache hits)", file=out)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    identical = (serial["fingerprints"] == parallel["fingerprints"]
+                 == warm["fingerprints"])
+    speedups = {
+        "parallel_vs_serial": (serial["wall_seconds"]
+                               / max(1e-9, parallel["wall_seconds"])),
+        "warm_vs_serial": (serial["wall_seconds"]
+                           / max(1e-9, warm["wall_seconds"])),
+    }
+    print(f"[sweep-bench] fingerprints identical: {identical}; "
+          f"parallel speedup {speedups['parallel_vs_serial']:.2f}x, "
+          f"warm-cache speedup {speedups['warm_vs_serial']:.2f}x", file=out)
+    fingerprints = serial.pop("fingerprints")
+    for phase in (parallel, warm):
+        phase.pop("fingerprints")
+    return {
+        "schema": "repro-sweep-bench-v1",
+        "cores": cores,
+        "seed": seed,
+        "scale": scale,
+        "jobs": jobs,
+        "quick": quick,
+        "figures": list(names),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        # Parallel scaling is bounded by the host's core count; record it
+        # so single-core CI boxes don't read as engine regressions.
+        "cpus": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "phases": {"serial": serial, "parallel": parallel,
+                   "warm_cache": warm},
+        "fingerprints": fingerprints,
+        "fingerprints_identical": identical,
+        "speedup": speedups,
     }
 
 
@@ -179,6 +301,35 @@ def compare(current: Dict, baseline: Dict, budget: float = 1.25,
     return 1 if failures else 0
 
 
+def check_sweep_document(document: Dict, min_warm_speedup: float = 3.0,
+                         out=sys.stdout) -> int:
+    """Validate a sweep benchmark document; returns a process exit code.
+
+    Hard requirements: every phase produced bit-identical fingerprints and
+    the warm-cache phase performed zero simulations.  The warm-cache
+    rebuild must also beat the serial engine by ``min_warm_speedup``
+    (machine-relative: both sides were timed back-to-back).
+    """
+    failures = 0
+    if not document["fingerprints_identical"]:
+        failures += 1
+        print("[sweep-bench] FAIL: phases produced different fingerprints",
+              file=out)
+    warm = document["phases"]["warm_cache"]
+    if warm["simulations"] != 0:
+        failures += 1
+        print(f"[sweep-bench] FAIL: warm-cache phase simulated "
+              f"{warm['simulations']} runs (expected 0)", file=out)
+    speedup = document["speedup"]["warm_vs_serial"]
+    if speedup < min_warm_speedup:
+        failures += 1
+        print(f"[sweep-bench] FAIL: warm-cache speedup {speedup:.2f}x "
+              f"< {min_warm_speedup:.2f}x", file=out)
+    if failures == 0:
+        print("[sweep-bench] OK", file=out)
+    return 1 if failures else 0
+
+
 def write_and_check(document: Dict, *, out_path: Optional[str],
                     check: bool, baseline_path: Optional[str],
                     budget: float, out=sys.stdout) -> int:
@@ -189,6 +340,13 @@ def write_and_check(document: Dict, *, out_path: Optional[str],
             json.dump(document, handle, indent=1, sort_keys=True)
             handle.write("\n")
         print(f"[bench] wrote {out_path}", file=out)
+    if document.get("schema") == "repro-sweep-bench-v1":
+        # Sweep documents carry their own invariants; validate them always.
+        if check or baseline_path:
+            print("[sweep-bench] NOTE: --check/--baseline comparison does "
+                  "not apply to sweep documents; validating the sweep's "
+                  "built-in invariants instead", file=out)
+        return check_sweep_document(document, out=out)
     if check:
         if not baseline_path:
             print("[bench] --check requires --baseline", file=out)
@@ -216,11 +374,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="baseline JSON for --check")
     parser.add_argument("--budget", type=float, default=1.25,
                         help="allowed wall-clock ratio vs baseline")
+    parser.add_argument("--sweep", action="store_true",
+                        help="benchmark the multi-figure sweep engine "
+                             "(serial vs --jobs vs warm cache)")
+    parser.add_argument("--scale", type=float, default=0.15,
+                        help="workload scale for --sweep")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for --sweep "
+                             "(default: $REPRO_JOBS, else 4)")
     args = parser.parse_args(argv)
 
-    document = run_benchmark(cores=args.cores, seed=args.seed,
-                             repeat=args.repeat, quick=args.quick,
-                             workloads=args.workloads)
+    if args.sweep:
+        document = run_sweep_benchmark(cores=args.cores, seed=args.seed,
+                                       scale=args.scale, jobs=args.jobs,
+                                       quick=args.quick)
+    else:
+        document = run_benchmark(cores=args.cores, seed=args.seed,
+                                 repeat=args.repeat, quick=args.quick,
+                                 workloads=args.workloads)
     return write_and_check(document, out_path=args.out, check=args.check,
                            baseline_path=args.baseline, budget=args.budget)
 

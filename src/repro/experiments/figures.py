@@ -30,13 +30,121 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.core.config import IMPConfig
 from repro.core.cost import energy_overhead, storage_cost_bits
 from repro.experiments.configs import scaled_config
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentRunner, RunRequest
 from repro.sim.trace import AccessKind
 
 
 def _mean(values: Sequence[float]) -> float:
     values = list(values)
     return sum(values) / len(values) if values else 0.0
+
+
+# ----------------------------------------------------------------------
+# Per-figure run declarations
+# ----------------------------------------------------------------------
+# Every figure declares the simulations it needs up front as a list of
+# RunRequests.  The figure functions prefetch that list before reading any
+# result, so shared runs (e.g. the Base run at 64 cores used by Figures
+# 2, 9b and 10) are requested once through the batched — and, with
+# ``jobs > 1``, parallel — sweep path instead of implicitly via per-figure
+# cache lookups.  ``repro sweep`` concatenates the declarations of every
+# selected figure and prefetches the whole union in a single batch.
+
+def _mode_requests(runner: ExperimentRunner, modes: Sequence[str],
+                   core_counts: Iterable[int]) -> List[RunRequest]:
+    return [RunRequest(workload, mode, n_cores)
+            for n_cores in core_counts
+            for workload in runner.workload_names()
+            for mode in modes]
+
+
+def fig01_requests(runner, n_cores: int = 64) -> List[RunRequest]:
+    return _mode_requests(runner, ("base",), (n_cores,))
+
+
+def fig02_requests(runner, n_cores: int = 64) -> List[RunRequest]:
+    return _mode_requests(runner, ("ideal", "base", "perfpref"), (n_cores,))
+
+
+def fig09_requests(runner, core_counts: Iterable[int] = (16, 64, 256),
+                   modes: Sequence[str] = ("perfpref", "base", "imp",
+                                           "swpref")) -> List[RunRequest]:
+    return _mode_requests(runner, modes, core_counts)
+
+
+def table3_requests(runner, n_cores: int = 64) -> List[RunRequest]:
+    return _mode_requests(runner, ("perfpref", "base", "imp"), (n_cores,))
+
+
+def fig10_requests(runner, n_cores: int = 64) -> List[RunRequest]:
+    return _mode_requests(runner, ("base", "imp", "swpref"), (n_cores,))
+
+
+def fig11_requests(runner, core_counts: Iterable[int] = (16, 64, 256),
+                   ) -> List[RunRequest]:
+    return _mode_requests(runner, ("perfpref", "imp", "imp_partial_noc",
+                                   "imp_partial_noc_dram", "ideal"),
+                          core_counts)
+
+
+def fig12_requests(runner, n_cores: int = 64) -> List[RunRequest]:
+    return _mode_requests(runner, ("imp", "imp_partial_noc_dram"), (n_cores,))
+
+
+def _sensitivity_requests(runner, n_cores: int,
+                          configs: Dict[str, IMPConfig]) -> List[RunRequest]:
+    return [RunRequest(workload, "imp", n_cores, imp_config)
+            for workload in runner.workload_names()
+            for imp_config in configs.values()]
+
+
+def fig14_requests(runner, n_cores: int = 64,
+                   sizes: Sequence[int] = (8, 16, 32)) -> List[RunRequest]:
+    return _sensitivity_requests(runner, n_cores, _pt_configs(sizes))
+
+
+def fig15_requests(runner, n_cores: int = 64,
+                   sizes: Sequence[int] = (2, 4, 8)) -> List[RunRequest]:
+    return _sensitivity_requests(runner, n_cores, _ipd_configs(sizes))
+
+
+def fig16_requests(runner, n_cores: int = 64,
+                   distances: Sequence[int] = (4, 8, 16, 32),
+                   ) -> List[RunRequest]:
+    return _sensitivity_requests(runner, n_cores, _distance_configs(distances))
+
+
+def prefetch_figures(runner: ExperimentRunner, names: Iterable[str],
+                     core_counts: Sequence[int]) -> int:
+    """Batch-prefetch every run the named figures will need.
+
+    The single entry point behind ``repro sweep``, the sweep benchmark and
+    ``reproduce_paper.py``: the union of all declarations executes as one
+    deduplicated (and, with ``jobs > 1``, parallel) sweep before any
+    figure is rendered.  Returns the number of requested runs.
+    """
+    requests: List[RunRequest] = []
+    for name in names:
+        requests.extend(FIGURE_REQUESTS[name](runner, list(core_counts)))
+    runner.prefetch(requests)
+    return len(requests)
+
+
+#: Request builders per CLI figure name; each takes ``(runner, core_counts)``
+#: where ``core_counts`` is the full list the sweep covers (figures that use
+#: a single core count take the first entry).
+FIGURE_REQUESTS = {
+    "fig1": lambda runner, cores: fig01_requests(runner, cores[0]),
+    "fig2": lambda runner, cores: fig02_requests(runner, cores[0]),
+    "fig9": lambda runner, cores: fig09_requests(runner, cores),
+    "table3": lambda runner, cores: table3_requests(runner, cores[0]),
+    "fig10": lambda runner, cores: fig10_requests(runner, cores[0]),
+    "fig11": lambda runner, cores: fig11_requests(runner, cores),
+    "fig12": lambda runner, cores: fig12_requests(runner, cores[0]),
+    "fig14": lambda runner, cores: fig14_requests(runner, cores[0]),
+    "fig15": lambda runner, cores: fig15_requests(runner, cores[0]),
+    "fig16": lambda runner, cores: fig16_requests(runner, cores[0]),
+}
 
 
 def format_table(rows: List[Dict], columns: Optional[List[str]] = None) -> str:
@@ -67,6 +175,7 @@ def _fmt(value) -> str:
 # ----------------------------------------------------------------------
 def fig01_miss_breakdown(runner: ExperimentRunner, n_cores: int = 64) -> List[Dict]:
     """Fraction of L1 misses from indirect / stream / other accesses."""
+    runner.prefetch(fig01_requests(runner, n_cores))
     rows: List[Dict] = []
     for workload in runner.workload_names():
         record = runner.run(workload, "base", n_cores)
@@ -91,6 +200,7 @@ def fig01_miss_breakdown(runner: ExperimentRunner, n_cores: int = 64) -> List[Di
 # ----------------------------------------------------------------------
 def fig02_motivation(runner: ExperimentRunner, n_cores: int = 64) -> List[Dict]:
     """Runtime of the realistic system and PerfPref, normalised to Ideal."""
+    runner.prefetch(fig02_requests(runner, n_cores))
     rows: List[Dict] = []
     for workload in runner.workload_names():
         ideal = runner.run(workload, "ideal", n_cores)
@@ -125,6 +235,8 @@ def fig09_performance(runner: ExperimentRunner,
                       modes: Sequence[str] = ("perfpref", "base", "imp", "swpref"),
                       ) -> Dict[int, List[Dict]]:
     """Throughput normalised to Perfect Prefetching, per core count."""
+    core_counts = list(core_counts)
+    runner.prefetch(fig09_requests(runner, core_counts, modes))
     results: Dict[int, List[Dict]] = {}
     for n_cores in core_counts:
         rows: List[Dict] = []
@@ -159,6 +271,7 @@ def imp_speedup_over_base(fig9_rows: List[Dict]) -> Dict[str, float]:
 # ----------------------------------------------------------------------
 def table3_effectiveness(runner: ExperimentRunner, n_cores: int = 64) -> List[Dict]:
     """Coverage / accuracy / relative latency for stream-only and stream+IMP."""
+    runner.prefetch(table3_requests(runner, n_cores))
     rows: List[Dict] = []
     for workload in runner.workload_names():
         perf = runner.run(workload, "perfpref", n_cores)
@@ -188,6 +301,7 @@ def table3_effectiveness(runner: ExperimentRunner, n_cores: int = 64) -> List[Di
 # ----------------------------------------------------------------------
 def fig10_sw_overhead(runner: ExperimentRunner, n_cores: int = 64) -> List[Dict]:
     """Instruction count of IMP and SW-prefetching relative to Base."""
+    runner.prefetch(fig10_requests(runner, n_cores))
     rows: List[Dict] = []
     for workload in runner.workload_names():
         base = runner.run(workload, "base", n_cores)
@@ -216,6 +330,8 @@ def fig11_partial(runner: ExperimentRunner,
                   core_counts: Iterable[int] = (16, 64, 256)) -> Dict[int, List[Dict]]:
     """IMP with partial accessing (NoC, NoC+DRAM) and Ideal, vs PerfPref."""
     modes = ("imp", "imp_partial_noc", "imp_partial_noc_dram", "ideal")
+    core_counts = list(core_counts)
+    runner.prefetch(fig11_requests(runner, core_counts))
     results: Dict[int, List[Dict]] = {}
     for n_cores in core_counts:
         rows: List[Dict] = []
@@ -239,6 +355,7 @@ def fig11_partial(runner: ExperimentRunner,
 # ----------------------------------------------------------------------
 def fig12_traffic(runner: ExperimentRunner, n_cores: int = 64) -> List[Dict]:
     """Traffic with partial accessing normalised to full-cacheline accessing."""
+    runner.prefetch(fig12_requests(runner, n_cores))
     rows: List[Dict] = []
     for workload in runner.workload_names():
         full = runner.run(workload, "imp", n_cores)
@@ -262,7 +379,9 @@ def fig12_traffic(runner: ExperimentRunner, n_cores: int = 64) -> List[Dict]:
 # Figure 13: in-order vs out-of-order cores
 # ----------------------------------------------------------------------
 def fig13_ooo(workloads: Optional[Sequence] = None, n_cores: int = 64,
-              scale: float = 1.0, seed: int = 1) -> List[Dict]:
+              scale: float = 1.0, seed: int = 1,
+              jobs: Optional[int] = None, cache_dir=None,
+              use_cache: bool = True) -> List[Dict]:
     """IMP and partial accessing on in-order and OoO cores (pagerank, SGD)."""
     from repro.workloads import PagerankWorkload, SGDWorkload
 
@@ -274,9 +393,17 @@ def fig13_ooo(workloads: Optional[Sequence] = None, n_cores: int = 64,
                                  n_ratings=max(64, int(24576 * scale)),
                                  seed=seed)]
     io_runner = ExperimentRunner(workloads=workloads,
-                                 base_config=scaled_config(n_cores))
+                                 base_config=scaled_config(n_cores),
+                                 jobs=jobs, cache_dir=cache_dir,
+                                 use_cache=use_cache)
     ooo_runner = ExperimentRunner(workloads=workloads,
-                                  base_config=scaled_config(n_cores).with_ooo())
+                                  base_config=scaled_config(n_cores).with_ooo(),
+                                  jobs=jobs, cache_dir=cache_dir,
+                                  use_cache=use_cache)
+    modes = ("base", "imp", "imp_partial_noc_dram")
+    for figure_runner in (io_runner, ooo_runner):
+        figure_runner.prefetch(_mode_requests(figure_runner, modes,
+                                              (n_cores,)))
     rows: List[Dict] = []
     for workload in io_runner.workload_names():
         base_ooo = ooo_runner.run(workload, "base", n_cores)
@@ -298,8 +425,21 @@ def fig13_ooo(workloads: Optional[Sequence] = None, n_cores: int = 64,
 # ----------------------------------------------------------------------
 # Figures 14-16: sensitivity studies
 # ----------------------------------------------------------------------
+def _pt_configs(sizes: Sequence[int]) -> Dict[str, IMPConfig]:
+    return {f"PT={size}": IMPConfig().with_pt_size(size) for size in sizes}
+
+
+def _ipd_configs(sizes: Sequence[int]) -> Dict[str, IMPConfig]:
+    return {f"IPD={size}": IMPConfig().with_ipd_size(size) for size in sizes}
+
+
+def _distance_configs(distances: Sequence[int]) -> Dict[str, IMPConfig]:
+    return {f"Dist={d}": IMPConfig().with_max_distance(d) for d in distances}
+
+
 def _sensitivity(runner: ExperimentRunner, n_cores: int,
                  configs: Dict[str, IMPConfig], reference_key: str) -> List[Dict]:
+    runner.prefetch(_sensitivity_requests(runner, n_cores, configs))
     rows: List[Dict] = []
     for workload in runner.workload_names():
         reference = runner.run(workload, "imp", n_cores,
@@ -319,22 +459,20 @@ def _sensitivity(runner: ExperimentRunner, n_cores: int,
 def fig14_pt_size(runner: ExperimentRunner, n_cores: int = 64,
                   sizes: Sequence[int] = (8, 16, 32)) -> List[Dict]:
     """Sensitivity to the Prefetch Table size, normalised to PT=16."""
-    configs = {f"PT={size}": IMPConfig().with_pt_size(size) for size in sizes}
-    return _sensitivity(runner, n_cores, configs, "PT=16")
+    return _sensitivity(runner, n_cores, _pt_configs(sizes), "PT=16")
 
 
 def fig15_ipd_size(runner: ExperimentRunner, n_cores: int = 64,
                    sizes: Sequence[int] = (2, 4, 8)) -> List[Dict]:
     """Sensitivity to the IPD size, normalised to IPD=4."""
-    configs = {f"IPD={size}": IMPConfig().with_ipd_size(size) for size in sizes}
-    return _sensitivity(runner, n_cores, configs, "IPD=4")
+    return _sensitivity(runner, n_cores, _ipd_configs(sizes), "IPD=4")
 
 
 def fig16_prefetch_distance(runner: ExperimentRunner, n_cores: int = 64,
                             distances: Sequence[int] = (4, 8, 16, 32)) -> List[Dict]:
     """Sensitivity to the max indirect prefetch distance, normalised to 16."""
-    configs = {f"Dist={d}": IMPConfig().with_max_distance(d) for d in distances}
-    return _sensitivity(runner, n_cores, configs, "Dist=16")
+    return _sensitivity(runner, n_cores, _distance_configs(distances),
+                        "Dist=16")
 
 
 # ----------------------------------------------------------------------

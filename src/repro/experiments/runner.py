@@ -2,20 +2,28 @@
 
 Several figures share the same underlying simulations (e.g. the *Base* run
 at 64 cores appears in Figures 2, 9b and 10), so the runner memoises results
-by (workload, mode, core count, IMP-config signature).
+by (workload, mode, core count, IMP-config signature) in memory, and —
+when a cache directory is configured — persists them on disk via
+:class:`repro.experiments.sweep.ResultCache` so repeated figure builds
+across CLI invocations only simulate what changed.
+
+Figures declare the runs they need up front and request them through
+:meth:`ExperimentRunner.prefetch`, which deduplicates the batch and (with
+``jobs > 1``) executes the outstanding simulations across a worker pool.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.config import IMPConfig
-from repro.experiments.configs import experiment_config, scaled_config
+from repro.experiments.configs import experiment_config
+from repro.experiments.sweep import ResultCache, RunSpec, SweepEngine, _freeze
 from repro.sim.config import SystemConfig
 from repro.sim.system import SimulationResult, run_workload
 from repro.workloads import paper_workloads
-from repro.workloads.base import Workload
+from repro.workloads.base import Workload, WorkloadSpecError
 
 
 @dataclass
@@ -36,24 +44,47 @@ class RunRecord:
         return self.result.throughput
 
 
+class RunRequest(NamedTuple):
+    """One simulation a figure declares it will need (see ``prefetch``)."""
+
+    workload: str
+    mode: str
+    n_cores: int = 64
+    imp_config: Optional[IMPConfig] = None
+    sw_prefetch_distance: int = 8
+
+
 def _imp_signature(imp_config: Optional[IMPConfig]) -> Tuple:
-    if imp_config is None:
-        return ()
-    return (imp_config.pt_size, imp_config.ipd_size,
-            imp_config.max_prefetch_distance, imp_config.partial_enabled,
-            imp_config.confidence_threshold)
+    """Canonical in-memory cache signature of an IMP configuration.
+
+    ``None`` and ``IMPConfig()`` resolve to the same simulation (see
+    :func:`repro.experiments.configs.experiment_config`), so they share a
+    signature; any field difference — including nested stream-prefetcher
+    knobs — produces a distinct one.
+    """
+    return _freeze((imp_config or IMPConfig()).to_dict())
 
 
 class ExperimentRunner:
-    """Runs (and caches) the paper's named configurations over workloads."""
+    """Runs (and caches) the paper's named configurations over workloads.
+
+    ``jobs`` selects the sweep worker count (default: ``$REPRO_JOBS``,
+    else serial).  ``cache_dir`` enables the persistent on-disk result
+    cache; ``use_cache=False`` bypasses it without forgetting the path.
+    """
 
     def __init__(self, workloads: Optional[Sequence[Workload]] = None,
                  scale: float = 1.0, seed: int = 1,
-                 base_config: Optional[SystemConfig] = None) -> None:
+                 base_config: Optional[SystemConfig] = None,
+                 jobs: Optional[int] = None, cache_dir=None,
+                 use_cache: bool = True) -> None:
         self.workloads: List[Workload] = (
             list(workloads) if workloads is not None
             else paper_workloads(scale=scale, seed=seed))
         self.base_config = base_config
+        disk_cache = (ResultCache(cache_dir)
+                      if (cache_dir is not None and use_cache) else None)
+        self.engine = SweepEngine(jobs=jobs, cache=disk_cache)
         self._cache: Dict[Tuple, RunRecord] = {}
 
     # ------------------------------------------------------------------
@@ -66,25 +97,90 @@ class ExperimentRunner:
                 return workload
         raise KeyError(f"workload {name!r} not registered with this runner")
 
+    def _key(self, request: RunRequest) -> Tuple:
+        return (request.workload, request.mode, request.n_cores,
+                _imp_signature(request.imp_config),
+                request.sw_prefetch_distance)
+
+    def _spec(self, workload: Workload,
+              request: RunRequest) -> Optional[RunSpec]:
+        """Spec for a request, or ``None`` when the workload cannot be
+        serialised (it then runs in-process, without the disk cache)."""
+        try:
+            return RunSpec.for_run(workload, request.mode, request.n_cores,
+                                   imp_config=request.imp_config,
+                                   base_config=self.base_config,
+                                   sw_prefetch_distance=(
+                                       request.sw_prefetch_distance))
+        except WorkloadSpecError:
+            return None
+
+    def _run_unspecable(self, workload: Workload,
+                        request: RunRequest) -> SimulationResult:
+        config, prefetcher, imp_cfg, software = experiment_config(
+            request.mode, request.n_cores, request.imp_config,
+            self.base_config)
+        self.engine.simulations_run += 1
+        return run_workload(workload, config, prefetcher=prefetcher,
+                            imp_config=imp_cfg, software_prefetch=software,
+                            sw_prefetch_distance=request.sw_prefetch_distance)
+
     # ------------------------------------------------------------------
     def run(self, workload: str, mode: str, n_cores: int = 64,
             imp_config: Optional[IMPConfig] = None,
             sw_prefetch_distance: int = 8) -> RunRecord:
         """Run one (workload, mode, core count) point, with caching."""
-        key = (workload, mode, n_cores, _imp_signature(imp_config),
-               sw_prefetch_distance)
-        if key in self._cache:
-            return self._cache[key]
-        config, prefetcher, imp_cfg, software_prefetch = experiment_config(
-            mode, n_cores, imp_config, self.base_config)
-        result = run_workload(self._workload(workload), config,
-                              prefetcher=prefetcher, imp_config=imp_cfg,
-                              software_prefetch=software_prefetch,
-                              sw_prefetch_distance=sw_prefetch_distance)
+        request = RunRequest(workload, mode, n_cores, imp_config,
+                             sw_prefetch_distance)
+        key = self._key(request)
+        record = self._cache.get(key)
+        if record is not None:
+            return record
+        workload_obj = self._workload(workload)
+        spec = self._spec(workload_obj, request)
+        if spec is None:
+            result = self._run_unspecable(workload_obj, request)
+        else:
+            result = self.engine.run(
+                [spec], workload_lookup=lambda _: workload_obj)[spec]
         record = RunRecord(workload=workload, mode=mode, n_cores=n_cores,
                            result=result)
         self._cache[key] = record
         return record
+
+    # ------------------------------------------------------------------
+    def prefetch(self, requests: Iterable[RunRequest]) -> None:
+        """Batch-execute every not-yet-cached request, in one sweep.
+
+        Figures call this with the full list of runs they are about to
+        consume; shared runs are deduplicated here (and against the
+        in-memory and on-disk caches), and with ``jobs > 1`` the
+        outstanding simulations execute across the worker pool.  After
+        ``prefetch`` returns, the figure's ``run`` calls are all hits.
+        """
+        pending: Dict[Tuple, Tuple[Optional[RunSpec], Workload, RunRequest]] \
+            = {}
+        for item in requests:
+            request = RunRequest(*item)
+            key = self._key(request)
+            if key in self._cache or key in pending:
+                continue
+            workload_obj = self._workload(request.workload)
+            pending[key] = (self._spec(workload_obj, request), workload_obj,
+                            request)
+        spec_lookup = {spec: workload for spec, workload, _
+                       in pending.values() if spec is not None}
+        results = self.engine.run(list(spec_lookup),
+                                  workload_lookup=spec_lookup.get)
+        for key, (spec, workload_obj, request) in pending.items():
+            if spec is not None:
+                result = results[spec]
+            else:
+                result = self._run_unspecable(workload_obj, request)
+            self._cache[key] = RunRecord(workload=request.workload,
+                                         mode=request.mode,
+                                         n_cores=request.n_cores,
+                                         result=result)
 
     def run_all(self, modes: Iterable[str], n_cores: int = 64,
                 imp_config: Optional[IMPConfig] = None) -> Dict[str, Dict[str, RunRecord]]:
@@ -92,13 +188,21 @@ class ExperimentRunner:
 
         Returns ``{workload: {mode: record}}``.
         """
-        table: Dict[str, Dict[str, RunRecord]] = {}
-        for workload in self.workload_names():
-            table[workload] = {}
-            for mode in modes:
-                table[workload][mode] = self.run(workload, mode, n_cores,
-                                                 imp_config)
-        return table
+        modes = list(modes)
+        self.prefetch(RunRequest(workload, mode, n_cores, imp_config)
+                      for workload in self.workload_names()
+                      for mode in modes)
+        return {workload: {mode: self.run(workload, mode, n_cores, imp_config)
+                           for mode in modes}
+                for workload in self.workload_names()}
+
+    def cached_records(self) -> List[Tuple[Tuple, RunRecord]]:
+        """Every memoised run as ``(cache key, record)`` pairs, in a
+        deterministic order.  The cache key is ``(workload, mode, n_cores,
+        imp signature, sw prefetch distance)``; the sweep benchmark uses
+        this to compare per-run fingerprints across engine configurations
+        without depending on the cache's internal layout."""
+        return sorted(self._cache.items(), key=lambda item: repr(item[0]))
 
     def clear_cache(self) -> None:
         self._cache.clear()

@@ -1,0 +1,385 @@
+"""Parallel sweep engine with a persistent on-disk result cache.
+
+The paper's evaluation is a large cross-product — ~10 workloads x 6+ modes
+x {16, 64, 128, 256} cores — and each point is an independent, perfectly
+deterministic simulation.  This module turns every simulation request into
+a picklable, hashable :class:`RunSpec`, executes deduplicated specs across
+a ``ProcessPoolExecutor`` worker pool, and memoises completed results in a
+versioned on-disk cache so re-running any figure, table, or
+``reproduce_paper.py`` only simulates what changed.
+
+Design rules:
+
+* **Specs, not objects, cross process boundaries.**  A ``RunSpec`` carries
+  the workload's registry name + constructor parameters (seed included),
+  the experiment mode, the core count, and the full IMP / system
+  configuration.  Workers rebuild workloads and configs from the spec;
+  live simulators, traces or memory images are never pickled.
+* **Deterministic everywhere.**  All workload randomness derives from the
+  seed inside the spec, so a spec simulates to bit-identical statistics
+  regardless of process, worker count, or execution order.  The engine's
+  regression tests assert serial and ``--jobs N`` sweeps produce identical
+  stat fingerprints.
+* **Per-worker trace-build memoisation.**  Specs are grouped into batches
+  that share one (workload, parameters, core count); each batch runs on
+  one worker with a single workload object, so the trace build is paid
+  once per batch exactly like the serial runner pays it once per sweep.
+* **Versioned cache records.**  Cache entries live under ``results/cache/``
+  (by convention) as one JSON record per spec digest, carrying the schema
+  version, the full spec, a statistics fingerprint, and the serialised
+  result.  Any config field change changes the digest; a schema bump,
+  spec-digest collision, fingerprint mismatch, or corrupted file is
+  treated as a miss and the entry is rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import IMPConfig
+from repro.experiments.configs import experiment_config, scaled_config
+from repro.sim.config import SystemConfig
+from repro.sim.system import SimulationResult, run_workload
+from repro.workloads import workload_from_spec
+from repro.workloads.base import Workload, WorkloadSpecError
+
+#: Bump when the record layout or the simulation semantics change in a way
+#: that invalidates previously cached results.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable consulted when no explicit worker count is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``$REPRO_JOBS``, else serial."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get(JOBS_ENV_VAR)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            import sys
+            print(f"[sweep] warning: ignoring non-integer "
+                  f"{JOBS_ENV_VAR}={env!r}; running serially",
+                  file=sys.stderr)
+    return 1
+
+
+# ----------------------------------------------------------------------
+# Canonical freezing of nested config dictionaries
+# ----------------------------------------------------------------------
+def _freeze(value):
+    """Recursively convert dicts/lists into sorted, hashable tuples."""
+    if isinstance(value, dict):
+        return tuple(sorted((key, _freeze(val)) for key, val in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def _thaw(value):
+    """Inverse of :func:`_freeze` for dict-shaped tuples."""
+    if isinstance(value, tuple):
+        if all(isinstance(item, tuple) and len(item) == 2
+               and isinstance(item[0], str) for item in value):
+            return {key: _thaw(val) for key, val in value}
+        return [_thaw(item) for item in value]
+    return value
+
+
+# ----------------------------------------------------------------------
+# RunSpec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully described simulation point, hashable and picklable.
+
+    ``workload_params``, ``imp_config`` and ``base_config`` are stored as
+    canonically frozen (sorted, nested) tuples so that two specs built from
+    equal configurations compare and hash equal, whatever dict ordering
+    they were built from.
+    """
+
+    workload: str
+    workload_params: Tuple
+    mode: str
+    n_cores: int
+    imp_config: Tuple
+    base_config: Tuple
+    sw_prefetch_distance: int = 8
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_run(cls, workload: Workload, mode: str, n_cores: int,
+                imp_config: Optional[IMPConfig] = None,
+                base_config: Optional[SystemConfig] = None,
+                sw_prefetch_distance: int = 8) -> "RunSpec":
+        """Build the spec for one ``ExperimentRunner.run``-style request.
+
+        ``imp_config=None`` and ``base_config=None`` are normalised to the
+        defaults :func:`repro.experiments.configs.experiment_config` would
+        resolve them to, so equivalent requests share one cache entry.
+
+        Raises :class:`repro.workloads.base.WorkloadSpecError` when the
+        workload cannot be reconstructed from plain parameters (the caller
+        should then fall back to in-process execution).
+        """
+        from repro.workloads import WORKLOAD_REGISTRY
+
+        name = getattr(workload, "name", None)
+        if type(workload) is not WORKLOAD_REGISTRY.get(name):
+            raise WorkloadSpecError(
+                f"workload {name!r} ({type(workload).__name__}) is not the "
+                f"registered implementation; cannot spec-serialise it")
+        resolved_base = (base_config or scaled_config(n_cores))
+        if resolved_base.n_cores != n_cores:
+            resolved_base = resolved_base.with_cores(n_cores)
+        return cls(workload=name,
+                   workload_params=_freeze(workload.spec_params()),
+                   mode=mode, n_cores=n_cores,
+                   imp_config=_freeze((imp_config or IMPConfig()).to_dict()),
+                   base_config=_freeze(resolved_base.to_dict()),
+                   sw_prefetch_distance=sw_prefetch_distance)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "workload_params": _thaw(self.workload_params),
+            "mode": self.mode,
+            "n_cores": self.n_cores,
+            "imp_config": _thaw(self.imp_config),
+            "base_config": _thaw(self.base_config),
+            "sw_prefetch_distance": self.sw_prefetch_distance,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "RunSpec":
+        return cls(workload=doc["workload"],
+                   workload_params=_freeze(doc["workload_params"]),
+                   mode=doc["mode"], n_cores=doc["n_cores"],
+                   imp_config=_freeze(doc["imp_config"]),
+                   base_config=_freeze(doc["base_config"]),
+                   sw_prefetch_distance=doc["sw_prefetch_distance"])
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Stable cache key: sha256 over the canonical spec JSON."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    @property
+    def build_key(self) -> Tuple:
+        """Specs sharing this key reuse one workload object (and therefore
+        one memoised trace build) inside a worker batch."""
+        return (self.workload, self.workload_params, self.n_cores,
+                self.sw_prefetch_distance)
+
+    def make_workload(self) -> Workload:
+        return workload_from_spec(self.workload, _thaw(self.workload_params))
+
+
+# ----------------------------------------------------------------------
+# Spec execution (shared by the serial path and pool workers)
+# ----------------------------------------------------------------------
+def execute_spec(spec: RunSpec,
+                 workload: Optional[Workload] = None) -> SimulationResult:
+    """Simulate one spec; reconstructs the workload unless one is passed."""
+    if workload is None:
+        workload = spec.make_workload()
+    config, prefetcher, imp_cfg, software = experiment_config(
+        spec.mode, spec.n_cores,
+        IMPConfig.from_dict(_thaw(spec.imp_config)),
+        SystemConfig.from_dict(_thaw(spec.base_config)))
+    return run_workload(workload, config, prefetcher=prefetcher,
+                        imp_config=imp_cfg, software_prefetch=software,
+                        sw_prefetch_distance=spec.sw_prefetch_distance)
+
+
+def make_record(spec: RunSpec, result: SimulationResult) -> Dict:
+    """The JSON cache/transport record for one completed spec."""
+    return {"schema": CACHE_SCHEMA_VERSION,
+            "spec": spec.to_dict(),
+            "fingerprint": result.stats.fingerprint(),
+            "result": result.to_dict()}
+
+
+def record_result(record: Dict) -> SimulationResult:
+    """Reconstruct a result from a record, verifying its fingerprint."""
+    result = SimulationResult.from_dict(record["result"])
+    if result.stats.fingerprint() != record["fingerprint"]:
+        raise ValueError("cache record fingerprint does not match its stats")
+    return result
+
+
+def _run_batch(spec_dicts: List[Dict]) -> List[Dict]:
+    """Worker entry point: simulate one batch of specs.
+
+    All specs in a batch share one ``build_key``, so a single workload
+    object (and its memoised trace build) serves the whole batch.
+    """
+    specs = [RunSpec.from_dict(doc) for doc in spec_dicts]
+    workload = specs[0].make_workload()
+    return [make_record(spec, execute_spec(spec, workload=workload))
+            for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# Persistent on-disk cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Versioned JSON result store, one file per spec digest.
+
+    Reads validate the schema version, the stored spec (digest collisions)
+    and the statistics fingerprint; anything invalid or unparseable is
+    deleted and reported as a miss, so a corrupted cache heals itself on
+    the next sweep.
+    """
+
+    def __init__(self, directory, enabled: bool = True) -> None:
+        self.directory = Path(directory)
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    def _path(self, spec: RunSpec) -> Path:
+        return self.directory / f"{spec.digest()}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, spec: RunSpec) -> Optional[SimulationResult]:
+        if not self.enabled:
+            return None
+        path = self._path(spec)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+            if record.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("cache schema version mismatch")
+            if record.get("spec") != spec.to_dict():
+                raise ValueError("cache entry does not match spec")
+            result = record_result(record)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, AttributeError, OSError):
+            # Corrupted, stale-schema, or colliding entry: drop and re-run.
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, record: Dict) -> None:
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(spec)
+        # Atomic publish: concurrent sweeps may race on the same entry, and
+        # both sides write identical bytes (deterministic simulation), so
+        # last-rename-wins is safe.
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class SweepEngine:
+    """Executes deduplicated :class:`RunSpec` sets, in parallel when asked.
+
+    ``jobs`` defaults to ``$REPRO_JOBS`` (else 1).  ``cache`` is an
+    optional :class:`ResultCache`; completed specs are looked up before
+    simulating and stored after.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.simulations_run = 0
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[RunSpec],
+            workload_lookup: Optional[Callable[[RunSpec],
+                                               Optional[Workload]]] = None,
+            ) -> Dict[RunSpec, SimulationResult]:
+        """Run every spec (each exactly once) and return spec -> result.
+
+        ``workload_lookup`` lets the serial path reuse live workload
+        objects (and their memoised builds); the parallel path always
+        reconstructs workloads inside the workers.
+        """
+        ordered: List[RunSpec] = list(dict.fromkeys(specs))
+        results: Dict[RunSpec, SimulationResult] = {}
+        misses: List[RunSpec] = []
+        for spec in ordered:
+            cached = self.cache.get(spec) if self.cache else None
+            if cached is not None:
+                results[spec] = cached
+            else:
+                misses.append(spec)
+        if not misses:
+            return results
+        if self.jobs <= 1 or len(misses) == 1:
+            for spec in misses:
+                workload = workload_lookup(spec) if workload_lookup else None
+                result = execute_spec(spec, workload=workload)
+                self.simulations_run += 1
+                if self.cache:
+                    self.cache.put(spec, make_record(spec, result))
+                results[spec] = result
+            return results
+        # Group cache misses into batches that share one trace build, then
+        # fan the batches out across the pool.  Batch order (and therefore
+        # result assembly) is deterministic: first-seen spec order.
+        batches: Dict[Tuple, List[RunSpec]] = {}
+        for spec in misses:
+            batches.setdefault(spec.build_key, []).append(spec)
+        batch_list = list(batches.values())
+        workers = min(self.jobs, len(batch_list))
+        payloads = [[spec.to_dict() for spec in batch] for batch in batch_list]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for batch, records in zip(batch_list,
+                                      pool.map(_run_batch, payloads)):
+                for spec, record in zip(batch, records):
+                    self.simulations_run += 1
+                    if self.cache:
+                        self.cache.put(spec, record)
+                    results[spec] = record_result(record)
+        return results
+
+
+def run_specs(specs: Iterable[RunSpec], *, jobs: Optional[int] = None,
+              cache_dir=None, use_cache: bool = True,
+              ) -> Dict[RunSpec, SimulationResult]:
+    """One-shot convenience wrapper around :class:`SweepEngine`."""
+    cache = (ResultCache(cache_dir) if (cache_dir is not None and use_cache)
+             else None)
+    return SweepEngine(jobs=jobs, cache=cache).run(list(specs))

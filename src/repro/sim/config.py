@@ -202,3 +202,18 @@ class SystemConfig:
     def with_ooo(self, rob_size: int = 32) -> "SystemConfig":
         """Use the out-of-order core model (Figure 13)."""
         return replace(self, core_model="ooo", rob_size=rob_size)
+
+    # ------------------------------------------------------------------
+    # Serialisation (sweep specs, persistent result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SystemConfig":
+        doc = dict(doc)
+        doc["l1d"] = CacheConfig(**doc["l1d"])
+        doc["noc"] = NoCConfig(**doc["noc"])
+        doc["dram"] = DramConfig(**doc["dram"])
+        return cls(**doc)

@@ -17,6 +17,21 @@ from typing import Dict, List
 
 from repro.sim.trace import AccessKind
 
+#: CoreStats counters keyed by AccessKind (serialised via the kind's value).
+_KIND_FIELDS = ("misses_by_kind", "accesses_by_kind", "stall_cycles_by_kind")
+
+#: Plain integer counters of CoreStats, in declaration order.
+_CORE_SCALAR_FIELDS = (
+    "core_id", "cycles", "instructions", "mem_accesses", "loads", "stores",
+    "l1_hits", "l1_misses", "l2_hits", "l2_misses", "total_stall_cycles",
+    "total_mem_latency", "prefetches_issued", "stream_prefetches_issued",
+    "indirect_prefetches_issued", "prefetches_useful",
+    "prefetch_covered_misses", "prefetch_late_cycles", "sw_prefetches_issued",
+)
+
+_TRAFFIC_FIELDS = ("noc_bytes", "noc_flits", "noc_messages", "dram_bytes",
+                   "dram_requests", "invalidations", "broadcasts")
+
 
 @dataclass(slots=True)
 class CoreStats:
@@ -80,6 +95,24 @@ class CoreStats:
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
 
+    # ------------------------------------------------------------------
+    # Serialisation (persistent result cache, cross-process sweeps)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        doc: Dict = {name: getattr(self, name) for name in _CORE_SCALAR_FIELDS}
+        for name in _KIND_FIELDS:
+            doc[name] = {kind.value: count
+                         for kind, count in getattr(self, name).items()}
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "CoreStats":
+        stats = cls(**{name: doc[name] for name in _CORE_SCALAR_FIELDS})
+        for name in _KIND_FIELDS:
+            setattr(stats, name, {AccessKind(value): count
+                                  for value, count in doc[name].items()})
+        return stats
+
 
 @dataclass(slots=True)
 class TrafficStats:
@@ -92,6 +125,13 @@ class TrafficStats:
     dram_requests: int = 0
     invalidations: int = 0
     broadcasts: int = 0
+
+    def to_dict(self) -> Dict:
+        return {name: getattr(self, name) for name in _TRAFFIC_FIELDS}
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "TrafficStats":
+        return cls(**{name: doc[name] for name in _TRAFFIC_FIELDS})
 
 
 @dataclass(slots=True)
@@ -184,3 +224,35 @@ class SystemStats:
 
     def total_stall_cycles(self) -> int:
         return self._sum("total_stall_cycles")
+
+    # ------------------------------------------------------------------
+    # Serialisation and fidelity fingerprint
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {"cores": [core.to_dict() for core in self.cores],
+                "traffic": self.traffic.to_dict()}
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "SystemStats":
+        return cls(cores=[CoreStats.from_dict(core) for core in doc["cores"]],
+                   traffic=TrafficStats.from_dict(doc["traffic"]))
+
+    def fingerprint(self) -> Dict[str, int]:
+        """Compact simulation-fidelity fingerprint.
+
+        Two runs of the same scenario must produce identical fingerprints
+        regardless of process, worker count, or cache state; the benchmark
+        harness and the on-disk result cache both compare these.
+        """
+        return {
+            "runtime_cycles": self.runtime_cycles,
+            "instructions": self.total_instructions,
+            "mem_accesses": self.total_mem_accesses,
+            "l1_misses": self.total_l1_misses,
+            "l2_misses": self._sum("l2_misses"),
+            "prefetches_issued": self.prefetches_issued,
+            "prefetches_useful": self.prefetches_useful,
+            "prefetch_covered_misses": self.prefetch_covered_misses,
+            "noc_bytes": self.traffic.noc_bytes,
+            "dram_bytes": self.traffic.dram_bytes,
+        }

@@ -89,6 +89,27 @@ class SimulationResult:
             return 0.0
         return self.throughput / reference.throughput
 
+    # ------------------------------------------------------------------
+    # Serialisation (sweep workers, persistent result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form of this result.
+
+        Carries the full per-core statistics and the resolved system
+        configuration, which is everything the figure/table generators
+        consume.  Live prefetcher objects (``imps``) are introspection-only
+        and deliberately not serialised; a deserialised result has an empty
+        ``imps`` list.
+        """
+        return {"config": self.config.to_dict(), "stats": self.stats.to_dict(),
+                "prefetcher": self.prefetcher, "workload": self.workload}
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "SimulationResult":
+        return cls(config=SystemConfig.from_dict(doc["config"]),
+                   stats=SystemStats.from_dict(doc["stats"]),
+                   prefetcher=doc["prefetcher"], workload=doc["workload"])
+
 
 class System:
     """A full chip: cores + memory hierarchy, driven by per-core traces."""

@@ -30,6 +30,20 @@ PAPER_WORKLOADS: Dict[str, Type[Workload]] = {
 }
 
 
+#: Every instantiable workload class, keyed by its ``name`` attribute.
+#: This is the reconstruction table of the sweep engine: a
+#: :class:`repro.experiments.sweep.RunSpec` stores ``(registry key,
+#: spec_params())`` and worker processes rebuild the workload from those
+#: alone, so live workload (or simulator) objects are never pickled.
+WORKLOAD_REGISTRY: Dict[str, Type[Workload]] = {
+    cls.name: cls
+    for cls in (*PAPER_WORKLOADS.values(),
+                DenseStencilWorkload, BlockedMatMulWorkload,
+                StridedCopyWorkload,
+                IndirectStreamWorkload, StreamingWorkload)
+}
+
+
 def make_workload(name: str, **kwargs) -> Workload:
     """Instantiate a paper workload by name."""
     try:
@@ -38,6 +52,16 @@ def make_workload(name: str, **kwargs) -> Workload:
         raise ValueError(f"unknown workload {name!r}; "
                          f"choose from {sorted(PAPER_WORKLOADS)}") from None
     return cls(**kwargs)
+
+
+def workload_from_spec(name: str, params: Dict[str, object]) -> Workload:
+    """Recreate a workload from its registry name and ``spec_params()``."""
+    try:
+        cls = WORKLOAD_REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}; "
+                         f"choose from {sorted(WORKLOAD_REGISTRY)}") from None
+    return cls(**params)
 
 
 def paper_workloads(scale: float = 1.0, seed: int = 1) -> List[Workload]:
@@ -84,8 +108,10 @@ __all__ = [
     "StreamingWorkload",
     "SymGSWorkload",
     "TriangleCountWorkload",
+    "WORKLOAD_REGISTRY",
     "Workload",
     "WorkloadBuild",
     "make_workload",
     "paper_workloads",
+    "workload_from_spec",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import abc
 import gc
+import inspect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -24,6 +25,14 @@ import numpy as np
 
 from repro.mem_image import MemoryImage
 from repro.sim.trace import Trace
+
+
+class WorkloadSpecError(TypeError):
+    """Raised when a workload cannot be described by plain constructor
+    parameters (e.g. it was built around a live, pre-constructed matrix
+    object).  Such workloads still simulate fine in-process; they just
+    cannot be shipped to sweep worker processes or keyed into the
+    persistent result cache."""
 
 
 #: Base address used for the synthetic program counters of each load site.
@@ -106,6 +115,47 @@ class Workload(abc.ABC):
         """Release memoised builds (they can be tens of MB each for
         full-size inputs across a core-count sweep)."""
         self._build_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Spec serialisation (parallel sweeps, persistent result cache)
+    # ------------------------------------------------------------------
+    def spec_params(self) -> Dict[str, object]:
+        """Constructor parameters that recreate this workload exactly.
+
+        Every workload stores its constructor arguments as same-named
+        attributes (``matrix``-style object parameters live under a leading
+        underscore), so the parameters can be recovered by introspecting
+        ``__init__``.  The result must be JSON-serialisable: it becomes part
+        of the :class:`repro.experiments.sweep.RunSpec` that worker
+        processes use to rebuild the workload, and part of the on-disk
+        cache key.  Raises :class:`WorkloadSpecError` when a parameter is a
+        live object (a pre-built matrix, say) that has no such
+        representation.
+        """
+        params: Dict[str, object] = {}
+        signature = inspect.signature(type(self).__init__)
+        for name, parameter in signature.parameters.items():
+            if name == "self" or parameter.kind in (
+                    inspect.Parameter.VAR_POSITIONAL,
+                    inspect.Parameter.VAR_KEYWORD):
+                continue
+            missing = object()
+            value = getattr(self, name, missing)
+            if value is missing or inspect.ismethod(value):
+                value = getattr(self, "_" + name, missing)
+            if value is missing:
+                raise WorkloadSpecError(
+                    f"{type(self).__name__} does not expose constructor "
+                    f"parameter {name!r} as an attribute")
+            if value is None and parameter.default is None:
+                continue  # omitted optional object parameter
+            if not isinstance(value, (bool, int, float, str)):
+                raise WorkloadSpecError(
+                    f"{type(self).__name__} parameter {name!r} is a "
+                    f"{type(value).__name__}, not a plain scalar; this "
+                    f"workload cannot be spec-serialised")
+            params[name] = value
+        return params
 
     # ------------------------------------------------------------------
     # Helpers shared by the concrete workloads

@@ -41,7 +41,12 @@ class SpMVWorkload(Workload):
                  permute_columns: bool = True) -> None:
         super().__init__(seed=seed)
         self.nx, self.ny, self.nz = nx, ny, nz
+        # The constructor parameter and the lazily built matrix are kept
+        # apart: only a user-*supplied* matrix makes this workload
+        # unserialisable (spec_params), while the derived one is always
+        # reconstructible from (nx, ny, nz, seed).
         self._matrix = matrix
+        self._matrix_cache: Optional[CSRMatrix] = None
         #: HPCG's optimised multicore implementation (Park et al.) reorders
         #: the unknowns, which destroys the natural grid ordering of the
         #: column indices.  At full problem scale the vector accesses are
@@ -51,7 +56,9 @@ class SpMVWorkload(Workload):
 
     def matrix(self) -> CSRMatrix:
         """The sparse matrix used by the kernel (built lazily)."""
-        if self._matrix is None:
+        if self._matrix is not None:
+            return self._matrix
+        if self._matrix_cache is None:
             matrix = stencil_27pt(self.nx, self.ny, self.nz, seed=self.seed)
             if self.permute_columns:
                 permutation = self.rng(1).permutation(matrix.num_rows)
@@ -59,8 +66,8 @@ class SpMVWorkload(Workload):
                                    col_idx=permutation[matrix.col_idx].astype(
                                        matrix.col_idx.dtype),
                                    values=matrix.values)
-            self._matrix = matrix
-        return self._matrix
+            self._matrix_cache = matrix
+        return self._matrix_cache
 
     # ------------------------------------------------------------------
     def _layout(self, matrix: CSRMatrix) -> MemoryImage:

@@ -44,12 +44,17 @@ class SymGSWorkload(Workload):
                  permute_columns: bool = True) -> None:
         super().__init__(seed=seed)
         self.nx, self.ny, self.nz = nx, ny, nz
+        # User-supplied vs lazily derived matrix kept apart so the lazy
+        # build does not poison spec serialisation (see SpMVWorkload).
         self._matrix = matrix
+        self._matrix_cache: Optional[CSRMatrix] = None
         # Same column permutation rationale as SpMVWorkload (see DESIGN.md).
         self.permute_columns = permute_columns
 
     def matrix(self) -> CSRMatrix:
-        if self._matrix is None:
+        if self._matrix is not None:
+            return self._matrix
+        if self._matrix_cache is None:
             matrix = stencil_27pt(self.nx, self.ny, self.nz, seed=self.seed)
             if self.permute_columns:
                 permutation = self.rng(1).permutation(matrix.num_rows)
@@ -57,8 +62,8 @@ class SymGSWorkload(Workload):
                                    col_idx=permutation[matrix.col_idx].astype(
                                        matrix.col_idx.dtype),
                                    values=matrix.values)
-            self._matrix = matrix
-        return self._matrix
+            self._matrix_cache = matrix
+        return self._matrix_cache
 
     def _layout(self, matrix: CSRMatrix) -> MemoryImage:
         image = MemoryImage()

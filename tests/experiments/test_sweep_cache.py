@@ -1,0 +1,216 @@
+"""Tests for the parallel sweep engine's persistent on-disk result cache.
+
+Covers the satellite checklist of the sweep-engine PR: hit/miss behaviour,
+invalidation when any config field or the cache schema version changes,
+corrupted-entry recovery, and the ``--no-cache`` bypass.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import IMPConfig
+from repro.experiments import figures
+from repro.experiments.configs import scaled_config
+from repro.experiments.runner import ExperimentRunner, RunRequest
+from repro.experiments.sweep import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    RunSpec,
+    SweepEngine,
+    execute_spec,
+    make_record,
+)
+from repro.workloads import PagerankWorkload, WORKLOAD_REGISTRY
+from repro.workloads.base import WorkloadSpecError
+from repro.workloads.synthetic import IndirectStreamWorkload
+
+N_CORES = 4
+
+
+def tiny_workload(seed: int = 3) -> IndirectStreamWorkload:
+    return IndirectStreamWorkload(n_indices=512, n_data=2048, seed=seed)
+
+
+def tiny_spec(mode: str = "base", **kwargs) -> RunSpec:
+    return RunSpec.for_run(tiny_workload(), mode, N_CORES, **kwargs)
+
+
+@pytest.fixture()
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRunSpec:
+    def test_round_trips_through_json(self):
+        spec = tiny_spec("imp", imp_config=IMPConfig().with_pt_size(8))
+        clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+
+    def test_every_registered_workload_is_reconstructible(self):
+        for name, cls in WORKLOAD_REGISTRY.items():
+            workload = cls(seed=7)
+            rebuilt = RunSpec.for_run(workload, "base", N_CORES) \
+                .make_workload()
+            assert type(rebuilt) is cls
+            assert rebuilt.spec_params() == workload.spec_params()
+
+    def test_equivalent_default_configs_share_a_digest(self):
+        explicit = tiny_spec(imp_config=IMPConfig(),
+                             base_config=scaled_config(N_CORES))
+        assert tiny_spec().digest() == explicit.digest()
+
+    def test_any_config_field_change_changes_the_digest(self):
+        base = tiny_spec()
+        assert tiny_spec(
+            imp_config=IMPConfig().with_ipd_size(8)).digest() != base.digest()
+        assert tiny_spec(
+            base_config=scaled_config(N_CORES).with_ooo()
+        ).digest() != base.digest()
+        assert tiny_spec(sw_prefetch_distance=4).digest() != base.digest()
+        assert RunSpec.for_run(tiny_workload(seed=9), "base",
+                               N_CORES).digest() != base.digest()
+
+    def test_unserialisable_workload_is_rejected(self):
+        class CustomWorkload(IndirectStreamWorkload):
+            pass
+
+        with pytest.raises(WorkloadSpecError):
+            RunSpec.for_run(CustomWorkload(), "base", N_CORES)
+
+    def test_lazy_matrix_build_does_not_poison_spec(self, tmp_path):
+        """Running SpMV once must not disable caching for later runs: the
+        lazily derived matrix is not a constructor parameter."""
+        from repro.workloads import SpMVWorkload
+
+        workload = SpMVWorkload(nx=4, ny=4, nz=4, seed=3)
+        before = RunSpec.for_run(workload, "base", N_CORES)
+        workload.matrix()  # triggers the lazy build
+        assert RunSpec.for_run(workload, "base", N_CORES) == before
+        # End to end: both runs of a two-mode sweep reach the disk cache.
+        runner = ExperimentRunner(workloads=[SpMVWorkload(nx=4, ny=4, nz=4,
+                                                          seed=3)],
+                                  base_config=scaled_config(N_CORES),
+                                  cache_dir=tmp_path / "cache")
+        runner.run("spmv", "base", N_CORES)
+        runner.run("spmv", "imp", N_CORES)
+        assert runner.engine.cache.stores == 2
+        # A user-supplied matrix is still (correctly) unserialisable.
+        with pytest.raises(WorkloadSpecError):
+            SpMVWorkload(matrix=workload.matrix(), seed=3).spec_params()
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, cache):
+        spec = tiny_spec()
+        assert cache.get(spec) is None
+        result = execute_spec(spec)
+        cache.put(spec, make_record(spec, result))
+        restored = cache.get(spec)
+        assert restored is not None
+        assert restored.stats.fingerprint() == result.stats.fingerprint()
+        assert restored.config == result.config
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_config_change_misses(self, cache):
+        spec = tiny_spec()
+        cache.put(spec, make_record(spec, execute_spec(spec)))
+        assert cache.get(tiny_spec(sw_prefetch_distance=4)) is None
+
+    def test_schema_version_change_invalidates(self, cache, monkeypatch):
+        spec = tiny_spec()
+        cache.put(spec, make_record(spec, execute_spec(spec)))
+        monkeypatch.setattr("repro.experiments.sweep.CACHE_SCHEMA_VERSION",
+                            CACHE_SCHEMA_VERSION + 1)
+        assert cache.get(spec) is None
+        assert cache.corrupt == 1
+        # The stale entry was dropped so the next sweep rewrites it.
+        assert not list(cache.directory.iterdir())
+
+    @pytest.mark.parametrize("garbage", ["{ not json", "[]", "null", '"x"'])
+    def test_corrupted_entry_is_dropped_and_rerun(self, cache, garbage):
+        spec = tiny_spec()
+        cache.put(spec, make_record(spec, execute_spec(spec)))
+        [entry] = list(cache.directory.iterdir())
+        entry.write_text(garbage)
+        assert cache.get(spec) is None
+        assert cache.corrupt == 1
+        # A fresh store recovers the entry.
+        cache.put(spec, make_record(spec, execute_spec(spec)))
+        assert cache.get(spec) is not None
+
+    def test_fingerprint_tampering_is_detected(self, cache):
+        spec = tiny_spec()
+        cache.put(spec, make_record(spec, execute_spec(spec)))
+        [entry] = list(cache.directory.iterdir())
+        record = json.loads(entry.read_text())
+        record["fingerprint"]["runtime_cycles"] += 1
+        entry.write_text(json.dumps(record))
+        assert cache.get(spec) is None
+        assert cache.corrupt == 1
+
+    def test_disabled_cache_bypasses_disk(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", enabled=False)
+        spec = tiny_spec()
+        cache.put(spec, make_record(spec, execute_spec(spec)))
+        assert not (tmp_path / "cache").exists()
+        assert cache.get(spec) is None
+
+
+class TestEngineAndRunnerIntegration:
+    def test_engine_reuses_cache_across_instances(self, cache):
+        specs = [tiny_spec("base"), tiny_spec("imp")]
+        first = SweepEngine(jobs=1, cache=cache)
+        results = first.run(specs)
+        assert first.simulations_run == 2
+        second = SweepEngine(jobs=1, cache=cache)
+        warm = second.run(specs)
+        assert second.simulations_run == 0
+        for spec in specs:
+            assert (warm[spec].stats.fingerprint()
+                    == results[spec].stats.fingerprint())
+
+    def test_warm_figure_rebuild_performs_zero_simulations(self, tmp_path):
+        def make_runner():
+            return ExperimentRunner(workloads=[tiny_workload()],
+                                    base_config=scaled_config(N_CORES),
+                                    cache_dir=tmp_path / "cache")
+
+        cold = make_runner()
+        rows = figures.fig02_motivation(cold, N_CORES)
+        assert cold.engine.simulations_run > 0
+        warm = make_runner()
+        assert figures.fig02_motivation(warm, N_CORES) == rows
+        assert warm.engine.simulations_run == 0
+        assert warm.engine.cache.hits == cold.engine.simulations_run
+
+    def test_use_cache_false_bypasses_disk(self, tmp_path):
+        runner = ExperimentRunner(workloads=[tiny_workload()],
+                                  base_config=scaled_config(N_CORES),
+                                  cache_dir=tmp_path / "cache",
+                                  use_cache=False)
+        runner.run("indirect_stream", "base", N_CORES)
+        assert runner.engine.cache is None
+        assert not (tmp_path / "cache").exists()
+
+    def test_shared_runs_are_simulated_once_across_figures(self, tmp_path):
+        """Fig 1/2/10 all need the Base run; the batched prefetch path must
+        request it exactly once (the PR's figure-dedup satellite)."""
+        runner = ExperimentRunner(
+            workloads=[tiny_workload(), PagerankWorkload(n_vertices=256,
+                                                         seed=3)],
+            base_config=scaled_config(N_CORES))
+        figures.fig01_miss_breakdown(runner, N_CORES)   # base
+        base_only = runner.engine.simulations_run
+        assert base_only == 2                            # one per workload
+        figures.fig02_motivation(runner, N_CORES)       # ideal/base/perfpref
+        assert runner.engine.simulations_run == base_only + 4
+        figures.fig10_sw_overhead(runner, N_CORES)      # base/imp/swpref
+        assert runner.engine.simulations_run == base_only + 8
+
+    def test_prefetch_deduplicates_requests(self):
+        runner = ExperimentRunner(workloads=[tiny_workload()],
+                                  base_config=scaled_config(N_CORES))
+        runner.prefetch([RunRequest("indirect_stream", "base", N_CORES)] * 5)
+        assert runner.engine.simulations_run == 1

@@ -10,9 +10,11 @@ time shows up here as a diff.
 import pytest
 
 from repro.experiments.configs import scaled_config
+from repro.experiments.runner import ExperimentRunner, RunRequest
 from repro.sim.stats import SystemStats
 from repro.sim.system import run_workload
 from repro.sim.trace import AccessKind
+from repro.workloads import PagerankWorkload
 from repro.workloads.synthetic import IndirectStreamWorkload
 
 
@@ -85,6 +87,43 @@ def test_ooo_core_model_is_deterministic():
         for _ in range(2)
     ]
     assert snapshot(runs[0].stats) == snapshot(runs[1].stats)
+
+
+def test_parallel_sweep_matches_serial_fingerprints():
+    """A ``--jobs 4`` sweep must be bit-identical to the serial engine.
+
+    Covers every scenario of a small cross-product (two workloads, five
+    modes, two core counts): worker processes rebuild workloads from specs
+    with deterministic per-spec seeding, so parallel execution must not
+    change a single statistic.
+    """
+    def make_runner(jobs):
+        workloads = [
+            IndirectStreamWorkload(n_indices=1024, n_data=4096, seed=3),
+            PagerankWorkload(n_vertices=256, seed=3),
+        ]
+        return ExperimentRunner(workloads=workloads,
+                                base_config=scaled_config(4), jobs=jobs)
+
+    requests = [RunRequest(workload, mode, n_cores)
+                for workload in ("indirect_stream", "pagerank")
+                for mode in ("ideal", "base", "imp", "swpref",
+                             "imp_partial_noc_dram")
+                for n_cores in (1, 4)]
+    serial, parallel = make_runner(1), make_runner(4)
+    parallel.prefetch(requests)
+    assert parallel.engine.jobs == 4
+    snapshots = {}
+    for request in requests:
+        record_s = serial.run(request.workload, request.mode, request.n_cores)
+        record_p = parallel.run(request.workload, request.mode,
+                                request.n_cores)
+        key = (request.workload, request.mode, request.n_cores)
+        snapshots[key] = (snapshot(record_s.result.stats),
+                          snapshot(record_p.result.stats))
+    assert parallel.engine.simulations_run == len(requests)
+    for key, (serial_snap, parallel_snap) in snapshots.items():
+        assert serial_snap == parallel_snap, f"divergence in {key}"
 
 
 def test_access_kind_attribution_is_populated():

@@ -3,7 +3,13 @@
 import copy
 import io
 
-from repro.experiments.bench import PREFETCHERS, compare, run_benchmark
+from repro.experiments.bench import (
+    PREFETCHERS,
+    check_sweep_document,
+    compare,
+    run_benchmark,
+    run_sweep_benchmark,
+)
 
 
 def small_run():
@@ -55,3 +61,33 @@ class TestCompare:
         other = copy.deepcopy(document)
         other["quick"] = not document["quick"]
         assert compare(other, document, out=io.StringIO()) != 0
+
+
+class TestSweepBenchmark:
+    def test_quick_sweep_document_and_invariants(self):
+        document = run_sweep_benchmark(quick=True, jobs=2,
+                                       figures=["fig1"], out=io.StringIO())
+        assert document["schema"] == "repro-sweep-bench-v1"
+        assert document["fingerprints_identical"] is True
+        phases = document["phases"]
+        assert phases["serial"]["simulations"] == \
+            phases["serial"]["unique_runs"] > 0
+        assert phases["warm_cache"]["simulations"] == 0
+        assert phases["warm_cache"]["cache_hits"] == \
+            phases["serial"]["unique_runs"]
+        # The built-in validation accepts its own output.
+        assert check_sweep_document(document, min_warm_speedup=1.0,
+                                    out=io.StringIO()) == 0
+
+    def test_check_rejects_divergence_and_warm_simulations(self):
+        document = run_sweep_benchmark(quick=True, jobs=2,
+                                       figures=["fig1"], out=io.StringIO())
+        divergent = copy.deepcopy(document)
+        divergent["fingerprints_identical"] = False
+        assert check_sweep_document(divergent, out=io.StringIO()) != 0
+        warm_sim = copy.deepcopy(document)
+        warm_sim["phases"]["warm_cache"]["simulations"] = 1
+        assert check_sweep_document(warm_sim, out=io.StringIO()) != 0
+        slow = copy.deepcopy(document)
+        slow["speedup"]["warm_vs_serial"] = 2.0
+        assert check_sweep_document(slow, out=io.StringIO()) != 0

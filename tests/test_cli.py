@@ -59,8 +59,30 @@ class TestCompareAndFigure:
     def test_figure_names_registered(self):
         assert {"fig1", "fig2", "fig9", "table3", "fig12"} <= set(FIGURES)
 
-    def test_figure_cost_free_generation(self):
+    def test_figure_cost_free_generation(self, tmp_path):
         # fig14 on a tiny scale exercises the runner path end to end.
-        output = run_cli("figure", "fig1", "--cores", "4", "--scale", "0.05")
+        output = run_cli("figure", "fig1", "--cores", "4", "--scale", "0.05",
+                         "--cache-dir", str(tmp_path / "cache"))
         assert "workload" in output
         assert "avg" in output
+
+    def test_figure_no_cache_writes_nothing(self, tmp_path):
+        run_cli("figure", "fig1", "--cores", "4", "--scale", "0.05",
+                "--cache-dir", str(tmp_path / "cache"), "--no-cache")
+        assert not (tmp_path / "cache").exists()
+
+
+class TestSweep:
+    def test_sweep_builds_figures_and_reports_cache_reuse(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        cold = run_cli("sweep", "--figures", "fig1", "fig2", "--cores", "4",
+                       "--scale", "0.05", "--jobs", "2",
+                       "--cache-dir", cache_dir)
+        assert "== fig1 ==" in cold and "== fig2 ==" in cold
+        assert "[sweep]" in cold
+        # Warm rerun: every run comes from the on-disk cache.
+        warm = run_cli("sweep", "--figures", "fig1", "fig2", "--cores", "4",
+                       "--scale", "0.05", "--cache-dir", cache_dir)
+        assert "0 simulated" in warm
+        # The figures themselves are identical to the cold run.
+        assert warm.split("[sweep]")[0] == cold.split("[sweep]")[0]
