@@ -3,9 +3,16 @@
 Installed as the ``repro`` console script (also runnable as
 ``python -m repro.cli``).  Sub-commands:
 
+* ``list``           — enumerate every registered component (prefetchers,
+  DRAM models, workloads, experiment modes) with one-line descriptions.
 * ``list-workloads`` — show the available paper and synthetic workloads.
 * ``run``            — simulate one workload under one configuration and
-  print runtime, coverage, accuracy and traffic.
+  print runtime, coverage, accuracy and traffic.  ``--scenario file.json``
+  runs a declarative scenario instead (see
+  :mod:`repro.experiments.scenario`): workload, mode, core count and
+  config overrides — including explicit cache hierarchies — all come from
+  the file, and ``--expect-fingerprint`` turns the run into a
+  reproducibility check.
 * ``compare``        — run the paper's named configurations side by side for
   one workload (a one-workload slice of Figure 9 / 11).
 * ``figure``         — regenerate one of the paper's figures/tables.
@@ -30,6 +37,8 @@ from typing import List, Optional, Sequence
 from repro.core.config import IMPConfig
 from repro.experiments import ExperimentRunner, figures, scaled_config
 from repro.experiments.configs import CONFIG_MODES, experiment_config
+from repro.experiments.scenario import ScenarioError, load_scenario
+from repro.registry import ALL_REGISTRIES, PREFETCHERS
 from repro.sim.system import run_workload
 from repro.workloads import PAPER_WORKLOADS, REGULAR_WORKLOADS, make_workload
 from repro.workloads.synthetic import IndirectStreamWorkload, StreamingWorkload
@@ -77,12 +86,48 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-workloads", help="list available workloads")
 
-    run_parser = sub.add_parser("run", help="simulate one workload")
-    run_parser.add_argument("workload", help="workload name (see list-workloads)")
-    run_parser.add_argument("--prefetcher", default="imp",
-                            choices=["none", "stream", "ghb", "imp"])
-    run_parser.add_argument("--cores", type=int, default=16)
-    run_parser.add_argument("--seed", type=int, default=1)
+    list_parser = sub.add_parser(
+        "list", help="list registered components (prefetchers, DRAM models, "
+                     "workloads, experiment modes)")
+    list_parser.add_argument("registry", nargs="?", default=None,
+                             choices=sorted(ALL_REGISTRIES),
+                             help="show one registry only (default: all)")
+
+    run_parser = sub.add_parser(
+        "run", help="simulate one workload (or a --scenario file)")
+    run_parser.add_argument("workload", nargs="?", default=None,
+                            help="workload name (see list-workloads); "
+                                 "omit when using --scenario")
+    run_parser.add_argument("--scenario", default=None, metavar="FILE",
+                            help="run a declarative JSON scenario instead "
+                                 "of a named workload")
+    run_parser.add_argument("--expect-fingerprint", default=None,
+                            metavar="FILE",
+                            help="with --scenario: compare the run's stat "
+                                 "fingerprint against this JSON file and "
+                                 "exit non-zero on mismatch")
+    run_parser.add_argument("--write-fingerprint", default=None,
+                            metavar="FILE",
+                            help="with --scenario: write the run's stat "
+                                 "fingerprint to this JSON file")
+    run_parser.add_argument("--jobs", type=int, default=None,
+                            help="sweep worker processes for --scenario")
+    run_parser.add_argument("--cache-dir", default=None,
+                            help="persistent result cache for --scenario "
+                                 "(default: off)")
+    # Defaults resolved in _command_run (None = not given) so that flags a
+    # --scenario file would override can be rejected instead of silently
+    # ignored.
+    run_parser.add_argument("--prefetcher", default=None,
+                            choices=PREFETCHERS.names(),
+                            help="prefetcher for a named workload "
+                                 "(default: imp)")
+    run_parser.add_argument("--cores", type=int, default=None,
+                            help="core count for a named workload "
+                                 "(default: 16)")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="workload seed for a named workload "
+                                 "(default: 1)")
     run_parser.add_argument("--partial", action="store_true",
                             help="enable partial cacheline accessing (NoC+DRAM)")
     run_parser.add_argument("--software-prefetch", action="store_true")
@@ -165,21 +210,140 @@ def _command_list(out) -> int:
     return 0
 
 
+def _command_registry_list(args, out) -> int:
+    names = [args.registry] if args.registry else list(ALL_REGISTRIES)
+    for index, registry_name in enumerate(names):
+        registry = ALL_REGISTRIES[registry_name]
+        if index:
+            print(file=out)
+        print(f"{registry_name} ({registry.kind}s):", file=out)
+        entries = registry.entries()
+        width = max((len(entry.name) for entry in entries), default=0)
+        for entry in entries:
+            tags = f"  [{', '.join(entry.tags)}]" if entry.tags else ""
+            print(f"  {entry.name:{width}s}  {entry.description}{tags}",
+                  file=out)
+    return 0
+
+
+def _command_run_scenario(args, out) -> int:
+    import json
+
+    conflicting = [flag for flag, given in (
+        ("--prefetcher", args.prefetcher is not None),
+        ("--cores", args.cores is not None),
+        ("--seed", args.seed is not None),
+        ("--partial", args.partial),
+        ("--software-prefetch", args.software_prefetch),
+        ("--ooo", args.ooo),
+    ) if given]
+    if conflicting:
+        print(f"error: {', '.join(conflicting)} cannot be combined with "
+              f"--scenario; the scenario file defines the configuration",
+              file=out)
+        return 2
+    try:
+        scenario = load_scenario(args.scenario)
+    except ValueError as exc:
+        # ScenarioError and RegistryError both subclass ValueError; either
+        # way the message already lists the valid choices.
+        print(f"error: {exc}", file=out)
+        return 2
+    expected = None
+    if args.expect_fingerprint:
+        # Read (and validate) the expectation before paying for the
+        # simulation, so a bad path fails fast and cleanly.
+        try:
+            with open(args.expect_fingerprint) as handle:
+                expected = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read expected fingerprint "
+                  f"{args.expect_fingerprint}: {exc}", file=out)
+            return 2
+        if not isinstance(expected, dict):
+            print(f"error: expected fingerprint "
+                  f"{args.expect_fingerprint} must be a JSON object",
+                  file=out)
+            return 2
+        expected = expected.get("fingerprint", expected)
+    result = scenario.run(jobs=args.jobs, cache_dir=args.cache_dir,
+                          use_cache=args.cache_dir is not None)
+    stats = result.stats
+    fingerprint = stats.fingerprint()
+    label = scenario.name or scenario.workload
+    hierarchy = result.config.resolved_hierarchy()
+    shape = " -> ".join(
+        f"{lvl.name}({lvl.scope})" for lvl in hierarchy.levels) + " -> dram"
+    print(f"scenario          : {label}", file=out)
+    if scenario.description:
+        print(f"description       : {scenario.description}", file=out)
+    print(f"workload          : {result.workload}", file=out)
+    print(f"mode              : {scenario.mode}", file=out)
+    print(f"cores             : {scenario.n_cores}", file=out)
+    print(f"hierarchy         : {shape} "
+          f"(prefetch @ {hierarchy.prefetch_level})", file=out)
+    print(f"runtime (cycles)  : {result.runtime_cycles}", file=out)
+    print(f"throughput (IPC)  : {result.throughput:.3f}", file=out)
+    print(f"prefetch coverage : {stats.coverage:.3f}", file=out)
+    print(f"cache digest      : {scenario.digest()}", file=out)
+    print(f"fingerprint       : {json.dumps(fingerprint, sort_keys=True)}",
+          file=out)
+    if args.write_fingerprint:
+        with open(args.write_fingerprint, "w") as handle:
+            json.dump({"scenario": label, "fingerprint": fingerprint},
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote fingerprint : {args.write_fingerprint}", file=out)
+    if expected is not None:
+        if expected != fingerprint:
+            print("FINGERPRINT MISMATCH", file=out)
+            print(f"  expected: {json.dumps(expected, sort_keys=True)}",
+                  file=out)
+            print(f"  actual  : {json.dumps(fingerprint, sort_keys=True)}",
+                  file=out)
+            return 1
+        print("fingerprint check : ok", file=out)
+    return 0
+
+
 def _command_run(args, out) -> int:
-    workload = _make_named_workload(args.workload, args.seed)
-    config = scaled_config(args.cores)
+    if args.scenario is not None:
+        if args.workload is not None:
+            print("error: give either a workload name or --scenario, "
+                  "not both", file=out)
+            return 2
+        return _command_run_scenario(args, out)
+    if args.workload is None:
+        print("error: a workload name (or --scenario FILE) is required; "
+              "see 'repro list'", file=out)
+        return 2
+    scenario_only = [flag for flag, given in (
+        ("--expect-fingerprint", args.expect_fingerprint is not None),
+        ("--write-fingerprint", args.write_fingerprint is not None),
+        ("--jobs", args.jobs is not None),
+        ("--cache-dir", args.cache_dir is not None),
+    ) if given]
+    if scenario_only:
+        print(f"error: {', '.join(scenario_only)} require(s) --scenario",
+              file=out)
+        return 2
+    prefetcher = args.prefetcher if args.prefetcher is not None else "imp"
+    cores = args.cores if args.cores is not None else 16
+    seed = args.seed if args.seed is not None else 1
+    workload = _make_named_workload(args.workload, seed)
+    config = scaled_config(cores)
     if args.partial:
         config = config.with_partial(noc=True, dram=True)
     if args.ooo:
         config = config.with_ooo()
     imp_config = IMPConfig(partial_enabled=args.partial)
-    result = run_workload(workload, config, prefetcher=args.prefetcher,
+    result = run_workload(workload, config, prefetcher=prefetcher,
                           imp_config=imp_config,
                           software_prefetch=args.software_prefetch)
     stats = result.stats
     print(f"workload          : {result.workload}", file=out)
     print(f"prefetcher        : {result.prefetcher}", file=out)
-    print(f"cores             : {args.cores}", file=out)
+    print(f"cores             : {cores}", file=out)
     print(f"runtime (cycles)  : {result.runtime_cycles}", file=out)
     print(f"throughput (IPC)  : {result.throughput:.3f}", file=out)
     print(f"L1 miss rate      : "
@@ -292,6 +456,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list-workloads":
         return _command_list(out)
+    if args.command == "list":
+        return _command_registry_list(args, out)
     if args.command == "run":
         return _command_run(args, out)
     if args.command == "compare":

@@ -397,3 +397,19 @@ class IMP(PrefetcherBase):
         self.secondary_patterns_detected = 0
         self.indirect_prefetches_generated = 0
         self.stream_prefetches_generated = 0
+
+
+# ----------------------------------------------------------------------
+# Registry entry (kept here, next to the implementation, so that adding a
+# prefetcher stays a one-file change — see repro.registry).
+# ----------------------------------------------------------------------
+def _make_imp(core_id, mem_image=None, imp_config=None, **_):
+    return IMP(imp_config or IMPConfig(), mem_image)
+
+
+from repro.registry import PREFETCHERS  # noqa: E402
+
+PREFETCHERS.register(
+    "imp", _make_imp,
+    description="Indirect Memory Prefetcher (the paper's contribution)",
+    config_cls=IMPConfig)

@@ -6,6 +6,7 @@ from repro.experiments.configs import (
     scaled_config,
 )
 from repro.experiments.runner import ExperimentRunner, RunRecord, RunRequest
+from repro.experiments.scenario import ScenarioError, ScenarioSpec, load_scenario
 from repro.experiments.sweep import (
     ResultCache,
     RunSpec,
@@ -21,9 +22,12 @@ __all__ = [
     "RunRecord",
     "RunRequest",
     "RunSpec",
+    "ScenarioError",
+    "ScenarioSpec",
     "SweepEngine",
     "experiment_config",
     "figures",
+    "load_scenario",
     "run_specs",
     "scaled_config",
 ]

@@ -19,6 +19,7 @@ from dataclasses import replace
 from typing import Dict, Optional, Tuple
 
 from repro.core.config import IMPConfig
+from repro.registry import MODES
 from repro.sim.config import CacheConfig, DramConfig, SystemConfig
 
 
@@ -41,43 +42,28 @@ def experiment_config(mode: str, n_cores: int = 64,
                       base_config: Optional[SystemConfig] = None,
                       ) -> Tuple[SystemConfig, str, Optional[IMPConfig], bool]:
     """Return ``(system_config, prefetcher, imp_config, software_prefetch)``
-    for one of the paper's named configurations (Section 5.4).
+    for a named experiment mode.
 
-    Modes: ``ideal``, ``perfpref``, ``base``, ``swpref``, ``ghb``, ``imp``,
-    ``imp_partial_noc``, ``imp_partial_noc_dram``.
+    Modes are resolved through :data:`repro.registry.MODES`; the stock
+    entries (defined in :mod:`repro.experiments.modes`) are the paper's
+    Section 5.4 configurations: ``ideal``, ``perfpref``, ``base``,
+    ``swpref``, ``ghb``, ``imp``, ``imp_partial_noc``,
+    ``imp_partial_noc_dram``.  Unknown modes raise an error listing every
+    registered name.
     """
+    entry = MODES.get(mode)  # unknown modes raise, listing valid names
     config = base_config or scaled_config(n_cores)
     config = config.with_cores(n_cores) if config.n_cores != n_cores else config
     imp_cfg = imp_config or IMPConfig()
-    if mode == "ideal":
-        return config.as_ideal(), "none", None, False
-    if mode == "perfpref":
-        return config.as_perfect_prefetch(), "none", None, False
-    if mode == "base":
-        return config, "stream", None, False
-    if mode == "swpref":
-        return config, "stream", None, True
-    if mode == "ghb":
-        return config, "ghb", None, False
-    if mode == "imp":
-        return config, "imp", imp_cfg.with_partial(False), False
-    if mode == "imp_partial_noc":
-        return (config.with_partial(noc=True, dram=False), "imp",
-                imp_cfg.with_partial(True), False)
-    if mode == "imp_partial_noc_dram":
-        return (config.with_partial(noc=True, dram=True), "imp",
-                imp_cfg.with_partial(True), False)
-    raise ValueError(f"unknown experiment mode {mode!r}")
+    return entry.factory(config, imp_cfg)
 
+
+# The stock mode entries register on import.  Imported explicitly (rather
+# than through the registry's lazy populate) so the CONFIG_MODES snapshot
+# below is complete even when this module is the first one loaded.
+import repro.experiments.modes  # noqa: E402,F401
 
 #: All recognised configuration modes, in the order the figures report them.
-CONFIG_MODES = (
-    "ideal",
-    "perfpref",
-    "base",
-    "swpref",
-    "ghb",
-    "imp",
-    "imp_partial_noc",
-    "imp_partial_noc_dram",
-)
+#: Snapshotted from the registry at import time; consult ``MODES`` directly
+#: to also see modes registered later.
+CONFIG_MODES = tuple(MODES.names())

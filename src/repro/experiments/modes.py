@@ -1,0 +1,76 @@
+"""Experiment-mode registry entries (the paper's Section 5.4 configurations).
+
+A *mode* names a complete platform variant: which idealisation knobs are
+set, which prefetcher runs, and whether the software-prefetch trace variant
+is used.  Each mode is one registry entry whose factory resolves
+``(base SystemConfig, IMPConfig)`` into the concrete
+``(system_config, prefetcher, imp_config, software_prefetch)`` tuple the
+simulator consumes — the single place that mode's meaning is defined.
+
+Adding a mode is a one-file change::
+
+    from repro.registry import MODES
+
+    @MODES.register("imp_adaptive", description="IMP with adaptive distance")
+    def _imp_adaptive(config, imp_cfg):
+        return (config, "imp",
+                imp_cfg.with_partial(False).with_adaptive_distance(), False)
+
+The new name immediately works in ``repro run/compare``, scenario files,
+``RunSpec`` digests and the on-disk result cache.
+"""
+
+from __future__ import annotations
+
+from repro.registry import MODES
+
+
+@MODES.register("ideal",
+                description="every access hits in the L1 (upper bound)")
+def _ideal(config, imp_cfg):
+    return config.as_ideal(), "none", None, False
+
+
+@MODES.register("perfpref",
+                description="magic prefetcher with finite NoC/DRAM bandwidth")
+def _perfpref(config, imp_cfg):
+    return config.as_perfect_prefetch(), "none", None, False
+
+
+@MODES.register("base",
+                description="hardware stream prefetcher (the paper's baseline)")
+def _base(config, imp_cfg):
+    return config, "stream", None, False
+
+
+@MODES.register("swpref",
+                description="stream prefetcher + Mowry-style software "
+                            "indirect prefetches")
+def _swpref(config, imp_cfg):
+    return config, "stream", None, True
+
+
+@MODES.register("ghb",
+                description="Global History Buffer G/DC prefetcher")
+def _ghb(config, imp_cfg):
+    return config, "ghb", None, False
+
+
+@MODES.register("imp",
+                description="Indirect Memory Prefetcher, full-line fetches")
+def _imp(config, imp_cfg):
+    return config, "imp", imp_cfg.with_partial(False), False
+
+
+@MODES.register("imp_partial_noc",
+                description="IMP + partial cacheline transfer on the NoC")
+def _imp_partial_noc(config, imp_cfg):
+    return (config.with_partial(noc=True, dram=False), "imp",
+            imp_cfg.with_partial(True), False)
+
+
+@MODES.register("imp_partial_noc_dram",
+                description="IMP + partial cacheline transfer on NoC and DRAM")
+def _imp_partial_noc_dram(config, imp_cfg):
+    return (config.with_partial(noc=True, dram=True), "imp",
+            imp_cfg.with_partial(True), False)

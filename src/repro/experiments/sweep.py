@@ -52,7 +52,10 @@ from repro.workloads.base import Workload, WorkloadSpecError
 
 #: Bump when the record layout or the simulation semantics change in a way
 #: that invalidates previously cached results.
-CACHE_SCHEMA_VERSION = 1
+#: v2: registry-driven configuration — ``SystemConfig`` gained the
+#: ``hierarchy`` field (explicit level chains) and ``CoreStats`` gained
+#: shared-L3 counters, so v1 records no longer describe the full spec.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable consulted when no explicit worker count is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -133,10 +136,10 @@ class RunSpec:
         workload cannot be reconstructed from plain parameters (the caller
         should then fall back to in-process execution).
         """
-        from repro.workloads import WORKLOAD_REGISTRY
+        from repro.registry import WORKLOADS
 
         name = getattr(workload, "name", None)
-        if type(workload) is not WORKLOAD_REGISTRY.get(name):
+        if name not in WORKLOADS or type(workload) is not WORKLOADS.get(name).factory:
             raise WorkloadSpecError(
                 f"workload {name!r} ({type(workload).__name__}) is not the "
                 f"registered implementation; cannot spec-serialise it")

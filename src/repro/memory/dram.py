@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.registry import DRAM_MODELS
 from repro.sim.config import DramConfig
 from repro.sim.queueing import ResourceSchedule
 from repro.sim.stats import TrafficStats
@@ -163,11 +164,27 @@ class BankedDram(DramModel):
             bus.reset()
 
 
+DRAM_MODELS.register(
+    "simple", SimpleDram,
+    description="fixed 100 ns latency + 10 GB/s per-controller bandwidth "
+                "(within 5% of DRAMSim per the paper)",
+    config_cls=DramConfig)
+
+DRAM_MODELS.register(
+    "banked", BankedDram,
+    description="DDR3-10-10-10-24-style model with per-bank row buffers",
+    config_cls=DramConfig)
+
+
 def make_dram(config: DramConfig, n_controllers: int,
               traffic: TrafficStats = None) -> DramModel:
-    """Instantiate the DRAM model selected by ``config.model``."""
-    if config.model == "simple":
-        return SimpleDram(config, n_controllers, traffic)
-    if config.model == "banked":
-        return BankedDram(config, n_controllers, traffic)
-    raise ValueError(f"unknown DRAM model {config.model!r}")
+    """Instantiate the DRAM model selected by ``config.model``.
+
+    Unknown model names are normally rejected earlier, when the
+    :class:`~repro.sim.config.DramConfig` is constructed; the registry
+    lookup here raises the same name-listing error for config objects
+    built without ``__init__`` (e.g. mutated via ``object.__setattr__``
+    or unpickled from a stale cache).
+    """
+    return DRAM_MODELS.get(config.model).factory(config, n_controllers,
+                                                 traffic)

@@ -16,6 +16,18 @@ Idealised configurations of Section 5.4 are supported directly:
   which is exactly what makes *PerfPref* fall behind *Ideal* at high core
   counts in the paper (Section 2.2).
 
+The hierarchy *shape* is configurable (``SystemConfig.hierarchy``, a
+:class:`~repro.sim.config.HierarchyConfig`): a chain of private per-core
+levels under one shared, distributed last level, with the per-core
+prefetcher attachable to any private level.  The default (``hierarchy is
+None``) is the classic Table 1 shape — private L1s + shared L2 — and runs
+on the fully inlined fast path below; explicit hierarchies (a private L2,
+a shared L3, IMP attached at L2, ...) take the generalised
+``_access_extended`` walk, which reuses the same shared-level fetch,
+directory, NoC and DRAM machinery.  An explicit hierarchy with the classic
+geometry simulates bit-identically to the fast path (the determinism suite
+asserts this).
+
 Hot-path notes: cores call :meth:`MemorySystem.access_fast` with plain
 scalars (no :class:`MemRef` is built per dynamic reference); the
 object-based :meth:`MemorySystem.access` remains as a thin wrapper.  One
@@ -75,7 +87,9 @@ class MemorySystem:
                  "_cores_pow2_mask", "_hit_latency", "_l2_hit_latency",
                  "_l1_inline", "_l1_line_shift", "_l1_set_mask",
                  "_l1_tag_shift", "_plain_hit", "_has_on_fill",
-                 "_notify_enabled", "_ctx")
+                 "_notify_enabled", "_ctx", "_extended", "_private_caches",
+                 "_private_latencies", "_pf_level", "_outermost_private",
+                 "_shared_is_l3")
 
     def __init__(self, config: SystemConfig, mem_image: Optional[MemoryImage] = None,
                  prefetcher_factory: Optional[PrefetcherFactory] = None,
@@ -93,10 +107,47 @@ class MemorySystem:
                               traffic=self.traffic)
         self._mc_tiles = config.memory_controller_tiles()
         self._num_mcs = len(self._mc_tiles)
-        l1_cfg = config.l1d_effective
-        l2_cfg = config.l2_slice
-        self.l1 = [Cache(l1_cfg) for _ in range(n)]
-        self.l2 = [Cache(l2_cfg) for _ in range(n)]
+        hierarchy = config.hierarchy
+        self._extended = hierarchy is not None
+        if not self._extended:
+            # Classic Table 1 shape: private L1s + shared distributed L2.
+            # This is the hot configuration; it keeps the fully inlined
+            # access path below.
+            l1_cfg = config.l1d_effective
+            l2_cfg = config.l2_slice
+            self.l1 = [Cache(l1_cfg) for _ in range(n)]
+            self.l2 = [Cache(l2_cfg) for _ in range(n)]
+            self._private_caches = [self.l1]
+            self._private_latencies = [config.l1d.hit_latency]
+            self._pf_level = 0
+            self._outermost_private = 0
+            self._shared_is_l3 = False
+        else:
+            # Explicit hierarchy: a chain of private levels under one
+            # shared, distributed last level (see HierarchyConfig).  Built
+            # generically; accesses take _access_extended.
+            partial = config.partial_noc or config.partial_dram
+            privates = hierarchy.private_levels
+            shared = hierarchy.shared_level
+            self._pf_level = hierarchy.prefetch_level_index
+            self._outermost_private = len(privates) - 1
+            self._private_caches = []
+            self._private_latencies = []
+            for index, level in enumerate(privates):
+                sector = level.sector_size
+                if not sector and partial and index == self._pf_level:
+                    sector = config.l1_sector_size
+                level_cfg = level.cache_config(sector_size=sector)
+                self._private_caches.append(
+                    [Cache(level_cfg) for _ in range(n)])
+                self._private_latencies.append(level.hit_latency)
+            self.l1 = self._private_caches[0]
+            shared_sector = shared.sector_size or (
+                config.l2_sector_size if partial else 0)
+            l2_cfg = shared.cache_config(sector_size=shared_sector)
+            self.l2 = [Cache(l2_cfg) for _ in range(n)]
+            self._shared_is_l3 = len(hierarchy.levels) >= 3
+            l1_cfg = self._private_caches[0][0].config
         self.directories = [Directory(tile, config.ackwise_pointers, self.traffic)
                             for tile in range(n)]
         factory = prefetcher_factory or (lambda core_id: PrefetcherBase())
@@ -111,13 +162,15 @@ class MemorySystem:
             self._line_shift = None
             self._line_mask = None
         self._cores_pow2_mask = (n - 1) if (n & (n - 1)) == 0 else None
-        self._hit_latency = config.l1d.hit_latency
-        self._l2_hit_latency = config.l2_slice.hit_latency
+        self._hit_latency = self._private_latencies[0]
+        self._l2_hit_latency = l2_cfg.hit_latency
         # All L1s share one geometry; when it is power-of-two and
         # non-sectored (the default), the demand-hit lookup is inlined in
         # access_fast (mirrors Cache.access_fast — keep the two in sync).
+        # Extended hierarchies always take the generic lookups.
         sample_l1 = self.l1[0]
-        self._l1_inline = (sample_l1._tag_shift is not None
+        self._l1_inline = (not self._extended
+                           and sample_l1._tag_shift is not None
                            and not sample_l1.sector_size)
         self._l1_line_shift = sample_l1._line_shift
         self._l1_set_mask = sample_l1._set_mask
@@ -191,6 +244,9 @@ class MemorySystem:
         elements, so stand-in memory systems may return any indexable with
         latency at [0] and the L1-hit flag at [1].
         """
+        if self._extended:
+            return self._access_extended(core_id, pc, addr, size, is_write,
+                                         now)
         config = self.config
         if config.ideal_memory:
             if self._notify_enabled[core_id]:
@@ -275,6 +331,131 @@ class MemorySystem:
         return latency, False, l2_hit, False, 0.0
 
     # ------------------------------------------------------------------
+    # Extended (explicit-hierarchy) demand path
+    # ------------------------------------------------------------------
+    def _access_extended(self, core_id: int, pc: int, addr: int, size: int,
+                         is_write: bool, now: float):
+        """Demand access through an explicit hierarchy chain.
+
+        Walks the private levels inside-out, then fetches through the
+        shared last level (directory + NoC + DRAM, the same path the
+        classic shape uses).  The per-core prefetcher observes the access
+        stream reaching its attachment level and its prefetches install
+        there (see ``HierarchyConfig.prefetch_level``).
+        """
+        config = self.config
+        pf_level = self._pf_level
+        notify = self._notify_enabled[core_id]
+        if config.ideal_memory:
+            if notify and pf_level == 0:
+                self._notify_prefetcher(core_id, pc, addr, size, is_write,
+                                        hit=True, now=now)
+            return self._hit_latency, True, False, False, 0.0
+
+        levels = self._private_caches
+        latencies = self._private_latencies
+        core_stats = self.stats.cores[core_id]
+        n_private = len(levels)
+        latency = 0.0
+        hit = None
+        hit_level = -1
+        for index in range(n_private):
+            latency += latencies[index]
+            hit = levels[index][core_id].access_fast(addr, size, is_write,
+                                                     now)
+            if hit is not None:
+                hit_level = index
+                break
+            if index > 0:
+                core_stats.l2_misses += 1
+
+        if hit is not None:
+            ready, covered = hit
+            late = ready - now
+            if late > 0.0:
+                latency += late
+            else:
+                late = 0.0
+            if hit_level > 0:
+                core_stats.l2_hits += 1
+            if covered:
+                core_stats.prefetch_covered_misses += 1
+                core_stats.prefetches_useful += 1
+                core_stats.prefetch_late_cycles += int(late)
+            arrival = now + latency
+            # Pull the line into every inner level (inclusive fill).
+            for index in range(hit_level - 1, -1, -1):
+                evicted = levels[index][core_id].fill_fast(
+                    addr, now, arrival, is_prefetch=False,
+                    is_write=is_write)[1]
+                if evicted is not None:
+                    self._handle_private_eviction(core_id, index, evicted,
+                                                  now)
+            if notify and hit_level >= pf_level:
+                # The prefetcher sees accesses that reach its level: for an
+                # L1 attachment that is every access; deeper attachments
+                # see the miss stream of the levels above.
+                self._notify_prefetcher(core_id, pc, addr, size, is_write,
+                                        hit=hit_level == pf_level, now=now)
+            return (latency, hit_level == 0, hit_level > 0, covered, late)
+
+        # Missed every private level: fetch through the shared level.
+        issue_time = now
+        if config.perfect_prefetch:
+            issue_time = now - config.perfect_prefetch_lead
+        arrival, shared_hit = self._fetch_line(core_id, addr, issue_time,
+                                               is_write=is_write,
+                                               fetch_bytes=self.line_size,
+                                               sectors=None)
+        for index in range(n_private - 1, -1, -1):
+            evicted = levels[index][core_id].fill_fast(
+                addr, now, arrival, is_prefetch=False, is_write=is_write)[1]
+            if evicted is not None:
+                self._handle_private_eviction(core_id, index, evicted, now)
+        latency += max(0.0, arrival - now)
+        if notify:
+            self._notify_prefetcher(core_id, pc, addr, size, is_write,
+                                    hit=False, now=now)
+        return latency, False, shared_hit, False, 0.0
+
+    def _handle_private_eviction(self, core_id: int, level_index: int,
+                                 victim, now: float) -> None:
+        """Eviction from one private level of an explicit hierarchy.
+
+        Outermost private evictions leave the core's domain: the line is
+        back-invalidated from every inner private level (the chain is
+        inclusive, and the directory tracks the outermost level — an inner
+        copy surviving the directory's ``evict`` would go stale), then the
+        directory is told and dirty lines ride the NoC to their home slice
+        of the shared level.  Inner evictions stay local: a dirty victim
+        is written back into the next private level (which may cascade).
+        """
+        if victim is None:
+            return
+        if level_index == self._pf_level:
+            self.prefetchers[core_id].on_eviction(victim.addr,
+                                                  victim.sector_touched, now)
+        if level_index == self._outermost_private:
+            dirty = victim.dirty
+            for inner in range(level_index):
+                line = self._private_caches[inner][core_id].invalidate(
+                    victim.addr)
+                if line is not None and line.dirty:
+                    dirty = True
+            home = self.home_tile(victim.addr)
+            self.directories[home].evict(self.line_addr(victim.addr), core_id)
+            if dirty:
+                self.noc.send_fast(core_id, home, self.line_size, now)
+                self.l2[home].fill_fast(victim.addr, now, now, is_write=True)
+            return
+        if victim.dirty:
+            evicted = self._private_caches[level_index + 1][core_id].fill_fast(
+                victim.addr, now, now, is_write=True)[1]
+            if evicted is not None:
+                self._handle_private_eviction(core_id, level_index + 1,
+                                              evicted, now)
+
+    # ------------------------------------------------------------------
     # Prefetch path
     # ------------------------------------------------------------------
     def issue_prefetch(self, core_id: int, request: PrefetchRequest,
@@ -282,26 +463,31 @@ class MemorySystem:
         """Issue one prefetch for ``core_id``; return its completion time.
 
         The prefetch does not stall the core; its cost is the NoC/DRAM
-        traffic it generates and the L1 capacity it occupies.
+        traffic it generates and the capacity it occupies at its target
+        level (the L1 classically; the attachment level of an explicit
+        hierarchy).
         """
         if self.config.ideal_memory:
             return now
-        l1 = self.l1[core_id]
+        extended = self._extended
+        cache = (self._private_caches[self._pf_level][core_id] if extended
+                 else self.l1[core_id])
         addr = request.addr
-        # Inlined l1.probe (most prefetches find the line already resident).
-        if l1._tag_shift is not None:
-            line = l1._sets[(addr >> l1._line_shift) & l1._set_mask].get(
-                addr >> l1._tag_shift)
+        # Inlined cache.probe (most prefetches find the line already
+        # resident).
+        if cache._tag_shift is not None:
+            line = cache._sets[(addr >> cache._line_shift)
+                               & cache._set_mask].get(addr >> cache._tag_shift)
         else:
-            line = l1.probe(addr)
+            line = cache.probe(addr)
         size = request.size
         line_size = self.line_size
         fetch_bytes = size if size < line_size else line_size
         sectors = None
-        if l1.sector_size:
-            sectors = self._sector_mask_for_prefetch(l1, request.addr, fetch_bytes)
+        if cache.sector_size:
+            sectors = self._sector_mask_for_prefetch(cache, addr, fetch_bytes)
         if line is not None:
-            if not l1.sector_size:
+            if not cache.sector_size:
                 return now  # already resident, nothing to do
             if (line.sector_valid & sectors) == sectors:
                 return now
@@ -311,17 +497,30 @@ class MemorySystem:
             core_stats.indirect_prefetches_issued += 1
         else:
             core_stats.stream_prefetches_issued += 1
-        noc_bytes = fetch_bytes if self.config.partial_noc else self.line_size
-        dram_bytes = fetch_bytes if self.config.partial_dram else self.line_size
-        arrival, _ = self._fetch_line(core_id, request.addr, now,
+        noc_bytes = fetch_bytes if self.config.partial_noc else line_size
+        dram_bytes = fetch_bytes if self.config.partial_dram else line_size
+        arrival, _ = self._fetch_line(core_id, addr, now,
                                       is_write=request.exclusive,
                                       fetch_bytes=noc_bytes,
                                       dram_bytes=dram_bytes,
                                       sectors=sectors)
-        evicted = l1.fill_fast(request.addr, now, arrival, is_prefetch=True,
-                               sectors=sectors)[1]
-        if evicted is not None:
-            self._handle_l1_eviction(core_id, evicted, now)
+        if not extended:
+            evicted = cache.fill_fast(addr, now, arrival, is_prefetch=True,
+                                      sectors=sectors)[1]
+            if evicted is not None:
+                self._handle_l1_eviction(core_id, evicted, now)
+            return arrival
+        # Fill the attachment level and every private level outside it
+        # (outermost first): the chain is inclusive, and a line resident
+        # only in an inner level would break the directory bookkeeping,
+        # which tracks the outermost private level.
+        for level in range(self._outermost_private, self._pf_level - 1, -1):
+            level_sectors = sectors if level == self._pf_level else None
+            evicted = self._private_caches[level][core_id].fill_fast(
+                addr, now, arrival, is_prefetch=True,
+                sectors=level_sectors)[1]
+            if evicted is not None:
+                self._handle_private_eviction(core_id, level, evicted, now)
         return arrival
 
     def _sector_mask_for_prefetch(self, l1: Cache, addr: int,
@@ -382,10 +581,16 @@ class MemorySystem:
                                 is_write, time) is not None
         time += self._l2_hit_latency
         if l2_hit:
-            core_stats.l2_hits += 1
+            if self._shared_is_l3:
+                core_stats.l3_hits += 1
+            else:
+                core_stats.l2_hits += 1
         else:
-            core_stats.l2_misses += 1
-            # Miss in the shared L2: go to the memory controller and DRAM.
+            if self._shared_is_l3:
+                core_stats.l3_misses += 1
+            else:
+                core_stats.l2_misses += 1
+            # Miss in the shared level: go to the memory controller and DRAM.
             mc_index, mc_tile = self.memory_controller(addr)
             time = noc_send(home, mc_tile, CONTROL_MESSAGE_BYTES, time)
             time = self.dram.access(mc_index, line, dram_bytes, time,

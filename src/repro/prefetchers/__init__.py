@@ -9,6 +9,30 @@ from repro.prefetchers.base import AccessContext, PrefetcherBase, PrefetchReques
 from repro.prefetchers.null import NullPrefetcher
 from repro.prefetchers.stream import StreamPrefetcher, StreamPrefetcherConfig
 from repro.prefetchers.ghb import GHBPrefetcher, GHBConfig
+from repro.registry import PREFETCHERS
+
+# ----------------------------------------------------------------------
+# Registry entries (see repro.registry for the factory contract).  The
+# ``imp`` prefetcher registers itself in repro.core.imp, next to its
+# implementation.
+# ----------------------------------------------------------------------
+PREFETCHERS.register(
+    "none", lambda core_id, **_: NullPrefetcher(),
+    description="no prefetching (the paper's NoPref baseline)")
+
+PREFETCHERS.register(
+    "stream",
+    lambda core_id, stream_config=None, **_:
+        StreamPrefetcher(stream_config or StreamPrefetcherConfig()),
+    description="stride/stream prefetcher (the paper's Base configuration)",
+    config_cls=StreamPrefetcherConfig)
+
+PREFETCHERS.register(
+    "ghb",
+    lambda core_id, ghb_config=None, **_:
+        GHBPrefetcher(ghb_config or GHBConfig()),
+    description="Global History Buffer G/DC correlation prefetcher",
+    config_cls=GHBConfig)
 
 __all__ = [
     "AccessContext",

@@ -1,0 +1,217 @@
+"""Plugin registries: the component architecture of the reproduction.
+
+Every pluggable component family — prefetchers, DRAM models, workloads and
+experiment modes — is catalogued in a named :class:`Registry`.  Each entry
+carries a factory, a one-line description (surfaced by ``repro list``) and,
+where applicable, the configuration class the factory consumes.  Adding a
+component is a one-file change: define it, call ``register`` (usually via
+the decorator form) in the module that defines it, and every consumer — the
+system builder, ``experiment_config``, the sweep engine, scenario files and
+the CLI — picks it up by name.
+
+The registries themselves live here so that any module can import them
+without creating an import cycle: this module imports nothing from the rest
+of the package.  Registration happens in the modules that define the
+components, which the registry imports lazily on first lookup (the
+``populate`` module list).
+
+Factory contracts
+-----------------
+
+* **prefetchers** — ``factory(core_id, mem_image, imp_config,
+  stream_config, ghb_config) -> PrefetcherBase``.  Factories accept the
+  full keyword set and ignore what they do not need (declare ``**_``).
+* **dram** — ``factory(config, n_controllers, traffic) -> DramModel``.
+* **workloads** — the workload class itself; called with the plain
+  ``spec_params()`` keyword arguments.
+* **modes** — ``factory(config, imp_config) -> (SystemConfig, prefetcher
+  name, Optional[IMPConfig], software_prefetch)``; the resolver applied by
+  :func:`repro.experiments.configs.experiment_config`.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class RegistryError(ValueError):
+    """An unknown name was looked up in a registry.
+
+    Subclasses :class:`ValueError` so call sites that historically raised
+    (and tests that expect) ``ValueError`` keep working; the message always
+    lists the valid registered names.
+    """
+
+    def __init__(self, kind: str, name: object, valid: Sequence[str]) -> None:
+        self.kind = kind
+        self.name = name
+        self.valid = tuple(valid)
+        choices = ", ".join(self.valid) if self.valid else "<none registered>"
+        super().__init__(
+            f"unknown {kind} {name!r}; valid {kind}s: {choices}")
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered component."""
+
+    name: str
+    factory: Callable
+    description: str = ""
+    #: Configuration class the factory consumes (``None`` when it takes
+    #: plain keyword arguments); used by documentation and scenario
+    #: validation, not by the factory call itself.
+    config_cls: Optional[type] = None
+    #: Free-form classification tags (e.g. ``("paper",)`` for the seven
+    #: evaluated applications).
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+
+class Registry:
+    """A named component catalogue.
+
+    ``populate`` lists modules whose import registers this registry's stock
+    entries; they are imported lazily on first access so that the registry
+    module stays dependency-free (and importable from anywhere).
+    """
+
+    def __init__(self, kind: str,
+                 populate: Sequence[str] = ()) -> None:
+        self.kind = kind
+        self._populate = tuple(populate)
+        self._populated = not self._populate
+        self._populating = False
+        self._entries: Dict[str, RegistryEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, name: str, factory: Optional[Callable] = None, *,
+                 description: str = "", config_cls: Optional[type] = None,
+                 tags: Sequence[str] = (), replace: bool = False):
+        """Register ``factory`` under ``name``.
+
+        Usable directly (``registry.register("x", make_x, ...)``) or as a
+        decorator (``@registry.register("x", description=...)``).  Duplicate
+        names are an error unless ``replace=True`` (for tests and
+        user overrides).
+        """
+        def _add(factory: Callable) -> Callable:
+            # During populate, duplicates are overwritten silently: a
+            # populate module that failed mid-import leaves its earlier
+            # registrations behind, and the retried import must not trip
+            # over them (it would mask the real ImportError).
+            if (not replace and not self._populating
+                    and name in self._entries):
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered; "
+                    f"pass replace=True to override")
+            self._entries[name] = RegistryEntry(
+                name=name, factory=factory, description=description,
+                config_cls=config_cls, tags=tuple(tags))
+            return factory
+
+        if factory is None:
+            return _add
+        return _add(factory)
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (primarily for tests)."""
+        self._entries.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _ensure_populated(self) -> None:
+        if self._populated:
+            return
+        # Mark populated up front so registrations triggered during the
+        # imports (which may look the registry up re-entrantly) don't
+        # recurse; roll back on failure so the next lookup retries and
+        # surfaces the real ImportError instead of an empty registry.
+        self._populated = True
+        self._populating = True
+        try:
+            for module in self._populate:
+                importlib.import_module(module)
+        except BaseException:
+            self._populated = False
+            raise
+        finally:
+            self._populating = False
+
+    def get(self, name: str) -> RegistryEntry:
+        """Look up an entry; unknown names raise a :class:`RegistryError`
+        listing every valid choice."""
+        self._ensure_populated()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise RegistryError(self.kind, name, self.names()) from None
+
+    def names(self) -> List[str]:
+        """Registered names, in registration order."""
+        self._ensure_populated()
+        return list(self._entries)
+
+    def entries(self) -> List[RegistryEntry]:
+        """Registered entries, in registration order."""
+        self._ensure_populated()
+        return list(self._entries.values())
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_populated()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        self._ensure_populated()
+        return iter(list(self._entries))
+
+    def __len__(self) -> int:
+        self._ensure_populated()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {len(self._entries)} entries)"
+
+
+# ----------------------------------------------------------------------
+# The named registries
+# ----------------------------------------------------------------------
+#: Hardware prefetchers attachable to a cache level.  Stock entries:
+#: ``none``, ``stream``, ``ghb`` (registered by :mod:`repro.prefetchers`)
+#: and ``imp`` (registered by :mod:`repro.core.imp`).
+PREFETCHERS = Registry("prefetcher",
+                       populate=("repro.prefetchers", "repro.core.imp"))
+
+#: DRAM timing models (registered by :mod:`repro.memory.dram`).
+DRAM_MODELS = Registry("DRAM model", populate=("repro.memory.dram",))
+
+#: Workload generators (registered by :mod:`repro.workloads`).
+WORKLOADS = Registry("workload", populate=("repro.workloads",))
+
+#: Named experiment modes — the paper's Section 5.4 configurations plus any
+#: user-registered ones (registered by :mod:`repro.experiments.modes`).
+MODES = Registry("experiment mode", populate=("repro.experiments.modes",))
+
+#: Every registry, keyed by the name ``repro list`` shows them under.
+ALL_REGISTRIES: Dict[str, Registry] = {
+    "prefetchers": PREFETCHERS,
+    "dram-models": DRAM_MODELS,
+    "workloads": WORKLOADS,
+    "modes": MODES,
+}
+
+
+__all__ = [
+    "ALL_REGISTRIES",
+    "DRAM_MODELS",
+    "MODES",
+    "PREFETCHERS",
+    "Registry",
+    "RegistryEntry",
+    "RegistryError",
+    "WORKLOADS",
+]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -56,6 +56,132 @@ class NoCConfig:
 
 
 @dataclass(frozen=True)
+class LevelConfig:
+    """One level of a configurable cache hierarchy.
+
+    ``scope`` is ``"private"`` (one cache per core, at the core's tile) or
+    ``"shared"`` (one slice per tile of a single distributed cache, homed by
+    line interleaving).  For shared levels ``size_bytes`` is the capacity of
+    **one slice**, mirroring how the Table 1 L2 is specified per tile.
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    scope: str = "private"
+    line_size: int = 64
+    hit_latency: int = 1
+    sector_size: int = 0  # 0 = not sectored (partial knobs may sector L1/shared)
+
+    def __post_init__(self) -> None:
+        if self.scope not in ("private", "shared"):
+            raise ValueError(
+                f"level {self.name!r}: scope must be 'private' or 'shared', "
+                f"got {self.scope!r}")
+        # Delegate geometry validation to CacheConfig.
+        self.cache_config()
+
+    def cache_config(self, sector_size: Optional[int] = None) -> CacheConfig:
+        """The :class:`CacheConfig` for one cache (or slice) of this level."""
+        return CacheConfig(size_bytes=self.size_bytes,
+                           associativity=self.associativity,
+                           line_size=self.line_size,
+                           sector_size=(self.sector_size if sector_size is None
+                                        else sector_size),
+                           hit_latency=self.hit_latency)
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Shape of the cache hierarchy: an ordered chain of levels.
+
+    The chain runs inside-out: ``levels[0]`` is what cores issue accesses
+    to, the **last** level is the single shared, distributed level that
+    fronts DRAM and owns the directory (the coherence point), and any
+    levels in between are private per-core caches.  The classic paper
+    platform is the two-level chain ``(l1 private, l2 shared)``; a
+    ``(l1 private, l2 private, l3 shared)`` chain gives each core a private
+    L2 under a shared L3.
+
+    ``prefetch_level`` names the **private** level the per-core prefetcher
+    observes and fills: the prefetcher sees every demand access that
+    reaches that level (for the L1 that is all of them; for a private L2 it
+    is the L1 miss stream) and its prefetches install there.
+    """
+
+    levels: Tuple[LevelConfig, ...]
+    prefetch_level: str = "l1"
+
+    def __post_init__(self) -> None:
+        # Tolerate lists/dicts from JSON-shaped constructors.
+        levels = tuple(LevelConfig(**lvl) if isinstance(lvl, dict) else lvl
+                       for lvl in self.levels)
+        object.__setattr__(self, "levels", levels)
+        if len(levels) < 2:
+            raise ValueError("a hierarchy needs at least two levels "
+                             "(innermost private + shared last level)")
+        if len(levels) > 3:
+            # Deeper chains would conflate the per-level statistics
+            # (CoreStats tracks l1/l2/l3); lifting this is a roadmap item.
+            raise ValueError("at most three levels are supported "
+                             "(up to two private levels + the shared level)")
+        names = [lvl.name for lvl in levels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate level names in hierarchy: {names}")
+        for lvl in levels[:-1]:
+            if lvl.scope != "private":
+                raise ValueError(
+                    f"level {lvl.name!r}: only the last hierarchy level may "
+                    f"be shared (it is the coherence point before DRAM)")
+        if levels[-1].scope != "shared":
+            raise ValueError(
+                f"last hierarchy level {levels[-1].name!r} must be shared "
+                f"(it fronts DRAM and owns the directory)")
+        line_sizes = {lvl.line_size for lvl in levels}
+        if len(line_sizes) != 1:
+            raise ValueError(
+                f"all hierarchy levels must share one line size, "
+                f"got {sorted(line_sizes)}")
+        if self.prefetch_level not in names[:-1]:
+            raise ValueError(
+                f"prefetch_level {self.prefetch_level!r} must name a "
+                f"private level; private levels: {names[:-1]}")
+
+    # ------------------------------------------------------------------
+    @property
+    def private_levels(self) -> Tuple[LevelConfig, ...]:
+        return self.levels[:-1]
+
+    @property
+    def shared_level(self) -> LevelConfig:
+        return self.levels[-1]
+
+    @property
+    def prefetch_level_index(self) -> int:
+        for index, lvl in enumerate(self.levels):
+            if lvl.name == self.prefetch_level:
+                return index
+        raise ValueError(f"prefetch_level {self.prefetch_level!r} not found")
+
+    def level_names(self) -> List[str]:
+        return [lvl.name for lvl in self.levels]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"levels": [lvl.to_dict() for lvl in self.levels],
+                "prefetch_level": self.prefetch_level}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "HierarchyConfig":
+        return cls(levels=tuple(LevelConfig(**lvl) for lvl in doc["levels"]),
+                   prefetch_level=doc.get("prefetch_level", "l1"))
+
+
+@dataclass(frozen=True)
 class DramConfig:
     """DRAM model parameters (simple model and DDR3-style banked model)."""
 
@@ -70,6 +196,13 @@ class DramConfig:
     t_cas: int = 10
     t_ras: int = 24
     row_size: int = 2048
+
+    def __post_init__(self) -> None:
+        # Validate the model name against the registry here, at
+        # configuration time, so a typo fails with the full list of valid
+        # models instead of erroring deep inside system construction.
+        from repro.registry import DRAM_MODELS
+        DRAM_MODELS.get(self.model)
 
 
 @dataclass(frozen=True)
@@ -95,6 +228,13 @@ class SystemConfig:
     ideal_memory: bool = False          # "Ideal": every access hits L1
     perfect_prefetch: bool = False      # "PerfPref": magic prefetcher, finite BW
     perfect_prefetch_lead: int = 2000   # cycles of lead time for PerfPref
+    # Optional explicit hierarchy shape.  ``None`` (the default) means the
+    # classic Table 1 chain derived from ``l1d`` / ``l2_*`` above: private
+    # L1s under one shared, distributed L2.  Setting a HierarchyConfig
+    # overrides that shape entirely (extra private levels, an L3, a
+    # different prefetcher attachment point); see
+    # :meth:`resolved_hierarchy`.
+    hierarchy: Optional[HierarchyConfig] = None
 
     def __post_init__(self) -> None:
         mesh = int(round(math.sqrt(self.n_cores)))
@@ -102,6 +242,9 @@ class SystemConfig:
             raise ValueError("n_cores must be a perfect square for a 2-D mesh")
         if self.core_model not in ("in-order", "ooo"):
             raise ValueError("core_model must be 'in-order' or 'ooo'")
+        if isinstance(self.hierarchy, dict):
+            object.__setattr__(self, "hierarchy",
+                               HierarchyConfig.from_dict(self.hierarchy))
 
     # ------------------------------------------------------------------
     # Derived geometry
@@ -203,6 +346,36 @@ class SystemConfig:
         """Use the out-of-order core model (Figure 13)."""
         return replace(self, core_model="ooo", rob_size=rob_size)
 
+    def with_hierarchy(self, hierarchy: Optional[HierarchyConfig]) -> "SystemConfig":
+        """Return a copy with an explicit hierarchy shape (``None`` restores
+        the classic two-level chain)."""
+        return replace(self, hierarchy=hierarchy)
+
+    def resolved_hierarchy(self) -> HierarchyConfig:
+        """The effective hierarchy shape.
+
+        Returns :attr:`hierarchy` when set; otherwise the classic Table 1
+        chain — private L1s (``l1d``) under the shared, distributed L2
+        (``l2_slice``) — expressed as a :class:`HierarchyConfig`, so
+        introspection code can treat every configuration uniformly.
+        """
+        if self.hierarchy is not None:
+            return self.hierarchy
+        l1 = self.l1d
+        l2 = self.l2_slice
+        return HierarchyConfig(levels=(
+            LevelConfig(name="l1", size_bytes=l1.size_bytes,
+                        associativity=l1.associativity,
+                        scope="private", line_size=l1.line_size,
+                        hit_latency=l1.hit_latency,
+                        sector_size=l1.sector_size),
+            LevelConfig(name="l2", size_bytes=l2.size_bytes,
+                        associativity=l2.associativity,
+                        scope="shared", line_size=l2.line_size,
+                        hit_latency=l2.hit_latency,
+                        sector_size=l2.sector_size),
+        ))
+
     # ------------------------------------------------------------------
     # Serialisation (sweep specs, persistent result cache)
     # ------------------------------------------------------------------
@@ -216,4 +389,7 @@ class SystemConfig:
         doc["l1d"] = CacheConfig(**doc["l1d"])
         doc["noc"] = NoCConfig(**doc["noc"])
         doc["dram"] = DramConfig(**doc["dram"])
+        hierarchy = doc.get("hierarchy")
+        doc["hierarchy"] = (HierarchyConfig.from_dict(hierarchy)
+                            if hierarchy else None)
         return cls(**doc)

@@ -23,7 +23,8 @@ _KIND_FIELDS = ("misses_by_kind", "accesses_by_kind", "stall_cycles_by_kind")
 #: Plain integer counters of CoreStats, in declaration order.
 _CORE_SCALAR_FIELDS = (
     "core_id", "cycles", "instructions", "mem_accesses", "loads", "stores",
-    "l1_hits", "l1_misses", "l2_hits", "l2_misses", "total_stall_cycles",
+    "l1_hits", "l1_misses", "l2_hits", "l2_misses", "l3_hits", "l3_misses",
+    "total_stall_cycles",
     "total_mem_latency", "prefetches_issued", "stream_prefetches_issued",
     "indirect_prefetches_issued", "prefetches_useful",
     "prefetch_covered_misses", "prefetch_late_cycles", "sw_prefetches_issued",
@@ -47,6 +48,11 @@ class CoreStats:
     l1_misses: int = 0
     l2_hits: int = 0
     l2_misses: int = 0
+    # Shared-level counters for explicit >=3-level hierarchies (see
+    # repro.sim.config.HierarchyConfig); zero on the classic two-level
+    # shape, where the shared level accounts into l2_hits/l2_misses.
+    l3_hits: int = 0
+    l3_misses: int = 0
     misses_by_kind: Dict[AccessKind, int] = field(
         default_factory=lambda: {kind: 0 for kind in AccessKind})
     accesses_by_kind: Dict[AccessKind, int] = field(

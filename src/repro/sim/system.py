@@ -22,9 +22,9 @@ from repro.core.imp import IMP
 from repro.mem_image import MemoryImage
 from repro.memory.hierarchy import MemorySystem
 from repro.prefetchers.base import PrefetcherBase
-from repro.prefetchers.ghb import GHBConfig, GHBPrefetcher
-from repro.prefetchers.null import NullPrefetcher
-from repro.prefetchers.stream import StreamPrefetcher, StreamPrefetcherConfig
+from repro.prefetchers.ghb import GHBConfig
+from repro.prefetchers.stream import StreamPrefetcherConfig
+from repro.registry import PREFETCHERS
 from repro.sim.config import SystemConfig
 from repro.sim.core_model import make_core
 from repro.sim.stats import CoreStats, SystemStats
@@ -39,24 +39,20 @@ def make_prefetcher_factory(spec: PrefetcherSpec,
                             stream_config: Optional[StreamPrefetcherConfig] = None,
                             ghb_config: Optional[GHBConfig] = None,
                             ) -> Callable[[int], PrefetcherBase]:
-    """Build a per-core prefetcher factory from a name or callable.
+    """Build a per-core prefetcher factory from a registry name or callable.
 
-    Recognised names: ``"none"``, ``"stream"`` (the paper's baseline),
-    ``"ghb"`` and ``"imp"``.
+    Names are resolved through :data:`repro.registry.PREFETCHERS` (stock:
+    ``"none"``, ``"stream"``, ``"ghb"``, ``"imp"``); an unknown name raises
+    a :class:`repro.registry.RegistryError` listing the registered choices.
     """
     if callable(spec):
         return spec
-    name = spec.lower()
-    if name == "none":
-        return lambda core_id: NullPrefetcher()
-    if name == "stream":
-        return lambda core_id: StreamPrefetcher(stream_config or StreamPrefetcherConfig())
-    if name == "ghb":
-        return lambda core_id: GHBPrefetcher(ghb_config or GHBConfig())
-    if name == "imp":
-        config = imp_config or IMPConfig()
-        return lambda core_id: IMP(config, mem_image)
-    raise ValueError(f"unknown prefetcher {spec!r}")
+    entry = PREFETCHERS.get(spec.lower())
+    factory = entry.factory
+    return lambda core_id: factory(core_id, mem_image=mem_image,
+                                   imp_config=imp_config,
+                                   stream_config=stream_config,
+                                   ghb_config=ghb_config)
 
 
 @dataclass

@@ -18,50 +18,70 @@ from repro.workloads.symgs import SymGSWorkload
 from repro.workloads.synthetic import IndirectStreamWorkload, StreamingWorkload
 from repro.workloads.tri_count import TriangleCountWorkload
 
+from repro.registry import WORKLOADS, RegistryError
+
+# ----------------------------------------------------------------------
+# Registry entries.  The factory is the workload class itself (called with
+# plain ``spec_params()`` keyword arguments); the ``paper`` tag marks the
+# seven applications of the paper's evaluation, in figure order.
+# ----------------------------------------------------------------------
+for _cls, _desc, _tags in (
+    (PagerankWorkload,
+     "PageRank over an R-MAT graph in CRS form", ("paper",)),
+    (TriangleCountWorkload,
+     "triangle counting by sorted adjacency intersection", ("paper",)),
+    (Graph500Workload,
+     "Graph500 breadth-first search over an R-MAT graph", ("paper",)),
+    (SGDWorkload,
+     "SGD matrix factorisation over a sparse rating matrix", ("paper",)),
+    (LSHWorkload,
+     "locality-sensitive hashing nearest-neighbour queries", ("paper",)),
+    (SpMVWorkload,
+     "HPCG sparse matrix-vector multiply (27-point grid)", ("paper",)),
+    (SymGSWorkload,
+     "HPCG symmetric Gauss-Seidel smoother", ("paper",)),
+    (DenseStencilWorkload,
+     "dense 5-point stencil (regular, stream-friendly)", ("regular",)),
+    (BlockedMatMulWorkload,
+     "cache-blocked dense matrix multiply (regular)", ("regular",)),
+    (StridedCopyWorkload,
+     "strided array copy (regular)", ("regular",)),
+    (IndirectStreamWorkload,
+     "synthetic A[B[i]] indirect-stream micro-kernel", ("synthetic",)),
+    (StreamingWorkload,
+     "synthetic sequential stream, no indirection", ("synthetic",)),
+):
+    WORKLOADS.register(_cls.name, _cls, description=_desc, tags=_tags)
+
+
 #: The seven applications of the paper's evaluation, in figure order.
 PAPER_WORKLOADS: Dict[str, Type[Workload]] = {
-    "pagerank": PagerankWorkload,
-    "tri_count": TriangleCountWorkload,
-    "graph500": Graph500Workload,
-    "sgd": SGDWorkload,
-    "lsh": LSHWorkload,
-    "spmv": SpMVWorkload,
-    "symgs": SymGSWorkload,
+    entry.name: entry.factory
+    for entry in WORKLOADS.entries() if "paper" in entry.tags
 }
 
 
-#: Every instantiable workload class, keyed by its ``name`` attribute.
-#: This is the reconstruction table of the sweep engine: a
+#: Every instantiable workload class, keyed by its ``name`` attribute —
+#: a plain-dict view of :data:`repro.registry.WORKLOADS`.  This is the
+#: reconstruction table of the sweep engine: a
 #: :class:`repro.experiments.sweep.RunSpec` stores ``(registry key,
 #: spec_params())`` and worker processes rebuild the workload from those
 #: alone, so live workload (or simulator) objects are never pickled.
 WORKLOAD_REGISTRY: Dict[str, Type[Workload]] = {
-    cls.name: cls
-    for cls in (*PAPER_WORKLOADS.values(),
-                DenseStencilWorkload, BlockedMatMulWorkload,
-                StridedCopyWorkload,
-                IndirectStreamWorkload, StreamingWorkload)
+    entry.name: entry.factory for entry in WORKLOADS.entries()
 }
 
 
 def make_workload(name: str, **kwargs) -> Workload:
     """Instantiate a paper workload by name."""
-    try:
-        cls = PAPER_WORKLOADS[name]
-    except KeyError:
-        raise ValueError(f"unknown workload {name!r}; "
-                         f"choose from {sorted(PAPER_WORKLOADS)}") from None
-    return cls(**kwargs)
+    if name not in PAPER_WORKLOADS:
+        raise RegistryError("paper workload", name, sorted(PAPER_WORKLOADS))
+    return PAPER_WORKLOADS[name](**kwargs)
 
 
 def workload_from_spec(name: str, params: Dict[str, object]) -> Workload:
     """Recreate a workload from its registry name and ``spec_params()``."""
-    try:
-        cls = WORKLOAD_REGISTRY[name]
-    except KeyError:
-        raise ValueError(f"unknown workload {name!r}; "
-                         f"choose from {sorted(WORKLOAD_REGISTRY)}") from None
-    return cls(**params)
+    return WORKLOADS.get(name).factory(**params)
 
 
 def paper_workloads(scale: float = 1.0, seed: int = 1) -> List[Workload]:
@@ -109,6 +129,7 @@ __all__ = [
     "SymGSWorkload",
     "TriangleCountWorkload",
     "WORKLOAD_REGISTRY",
+    "WORKLOADS",
     "Workload",
     "WorkloadBuild",
     "make_workload",

@@ -1,0 +1,199 @@
+"""Tests for declarative scenarios (repro.experiments.scenario)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scenario import ScenarioError, ScenarioSpec, load_scenario
+from repro.experiments.sweep import ResultCache
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCENARIO_DIR = REPO_ROOT / "examples" / "scenarios"
+
+
+def three_level_doc(**overrides):
+    doc = {
+        "workload": "indirect_stream",
+        "workload_params": {"n_indices": 512, "n_data": 2048, "seed": 3},
+        "mode": "imp",
+        "n_cores": 4,
+        "system": {
+            "hierarchy": {
+                "prefetch_level": "l2",
+                "levels": [
+                    {"name": "l1", "size_bytes": 4096, "associativity": 4},
+                    {"name": "l2", "size_bytes": 16384, "associativity": 8,
+                     "hit_latency": 4},
+                    {"name": "l3", "size_bytes": 32768, "associativity": 8,
+                     "scope": "shared", "hit_latency": 8},
+                ],
+            },
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestValidation:
+    def test_unknown_top_level_key(self):
+        with pytest.raises(ScenarioError, match="unknown scenario key"):
+            ScenarioSpec.from_dict({"workload": "spmv", "coresx": 4})
+
+    def test_missing_workload(self):
+        with pytest.raises(ScenarioError, match="must name a 'workload'"):
+            ScenarioSpec.from_dict({"mode": "base"})
+
+    def test_unknown_workload_lists_choices(self):
+        with pytest.raises(ValueError, match="indirect_stream"):
+            ScenarioSpec.from_dict({"workload": "minesweeper"})
+
+    def test_unknown_mode_lists_choices(self):
+        with pytest.raises(ValueError, match="imp_partial_noc_dram"):
+            ScenarioSpec.from_dict({"workload": "spmv", "mode": "turbo"})
+
+    def test_unknown_system_key_lists_fields(self):
+        with pytest.raises(ScenarioError, match="valid keys"):
+            ScenarioSpec.from_dict({"workload": "spmv",
+                                    "system": {"l5_size": 1}})
+
+    def test_n_cores_must_be_top_level(self):
+        with pytest.raises(ScenarioError, match="top-level 'n_cores'"):
+            ScenarioSpec.from_dict({"workload": "spmv",
+                                    "system": {"n_cores": 16}})
+
+    def test_bad_dram_model_fails_at_validation(self):
+        with pytest.raises(ValueError, match="simple, banked"):
+            ScenarioSpec.from_dict({"workload": "spmv",
+                                    "system": {"dram": {"model": "quantum"}}})
+
+    def test_bad_hierarchy_prefetch_level(self):
+        doc = three_level_doc()
+        doc["system"]["hierarchy"]["prefetch_level"] = "l9"
+        with pytest.raises(ScenarioError, match="prefetch_level"):
+            ScenarioSpec.from_dict(doc)
+
+    def test_shared_level_must_be_last(self):
+        doc = three_level_doc()
+        doc["system"]["hierarchy"]["levels"][0]["scope"] = "shared"
+        with pytest.raises(ScenarioError):
+            ScenarioSpec.from_dict(doc)
+
+    def test_bad_workload_params(self):
+        with pytest.raises(ScenarioError, match="workload_params"):
+            ScenarioSpec.from_dict({"workload": "spmv",
+                                    "workload_params": {"bogus_arg": 1}})
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ScenarioError, match="not valid JSON"):
+            ScenarioSpec.from_json("{nope")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ScenarioError, match="cannot read"):
+            load_scenario(tmp_path / "absent.json")
+
+
+class TestCanonicalisationAndDigest:
+    def test_key_order_does_not_change_digest(self):
+        doc = three_level_doc()
+        # Same document, keys spelled in reversed order at every level.
+        def reorder(value):
+            if isinstance(value, dict):
+                return {k: reorder(value[k]) for k in reversed(list(value))}
+            if isinstance(value, list):
+                return [reorder(item) for item in value]
+            return value
+
+        spec_a = ScenarioSpec.from_dict(doc)
+        spec_b = ScenarioSpec.from_dict(reorder(doc))
+        assert spec_a.digest() == spec_b.digest()
+        assert spec_a.canonical_dict() == spec_b.canonical_dict()
+        assert spec_a.to_runspec() == spec_b.to_runspec()
+
+    def test_hierarchy_field_changes_digest(self):
+        base = ScenarioSpec.from_dict(three_level_doc())
+        changed_doc = three_level_doc()
+        changed_doc["system"]["hierarchy"]["levels"][1]["size_bytes"] = 8192
+        changed = ScenarioSpec.from_dict(changed_doc)
+        assert base.digest() != changed.digest()
+
+    def test_prefetch_level_changes_digest(self):
+        base = ScenarioSpec.from_dict(three_level_doc())
+        moved_doc = three_level_doc()
+        moved_doc["system"]["hierarchy"]["prefetch_level"] = "l1"
+        moved = ScenarioSpec.from_dict(moved_doc)
+        assert base.digest() != moved.digest()
+
+    def test_defaults_do_not_change_digest(self):
+        explicit = ScenarioSpec.from_dict({
+            "workload": "indirect_stream",
+            "workload_params": {"n_indices": 512, "n_data": 2048, "seed": 3},
+            "mode": "imp", "n_cores": 4, "sw_prefetch_distance": 8,
+        })
+        implicit = ScenarioSpec.from_dict({
+            "workload": "indirect_stream",
+            "workload_params": {"n_indices": 512, "n_data": 2048, "seed": 3},
+            "mode": "imp", "n_cores": 4,
+        })
+        assert explicit.digest() == implicit.digest()
+
+    def test_name_and_description_do_not_affect_digest(self):
+        plain = ScenarioSpec.from_dict(three_level_doc())
+        labelled = ScenarioSpec.from_dict(
+            three_level_doc(name="labelled", description="with prose"))
+        assert plain.digest() == labelled.digest()
+
+
+class TestExecution:
+    def test_three_level_scenario_runs_end_to_end(self):
+        spec = ScenarioSpec.from_dict(three_level_doc())
+        result = spec.run()
+        stats = result.stats
+        assert result.runtime_cycles > 0
+        # The shared level is an L3 here: its counters must be populated
+        # and the private-L2 counters must be too.
+        assert sum(core.l3_misses for core in stats.cores) > 0
+        assert sum(core.l2_misses for core in stats.cores) > 0
+        # IMP attached at L2 issues prefetches from the L1 miss stream.
+        assert stats.prefetches_issued > 0
+
+    def test_scenario_results_are_deterministic(self):
+        spec = ScenarioSpec.from_dict(three_level_doc())
+        first = spec.run().stats.fingerprint()
+        second = ScenarioSpec.from_dict(three_level_doc()).run().stats.fingerprint()
+        assert first == second
+
+    def test_scenario_flows_through_disk_cache(self, tmp_path):
+        spec = ScenarioSpec.from_dict(three_level_doc())
+        cache_dir = tmp_path / "cache"
+        first = spec.run(cache_dir=cache_dir)
+        # The record lands under the scenario's digest...
+        assert (cache_dir / f"{spec.digest()}.json").exists()
+        # ...and a fresh run is served from it, bit-identically.
+        cache = ResultCache(cache_dir)
+        cached = cache.get(spec.to_runspec())
+        assert cached is not None
+        assert cached.stats.fingerprint() == first.stats.fingerprint()
+        assert cache.hits == 1
+
+    def test_checked_in_example_scenarios_validate(self):
+        for path in sorted(SCENARIO_DIR.glob("*.json")):
+            if path.name.endswith(".fingerprint.json"):
+                continue
+            spec = load_scenario(path)
+            assert spec.workload
+            assert spec.digest()
+
+    def test_tiny_smoke_matches_checked_in_fingerprint(self):
+        # The same check CI runs via `repro run --scenario ...
+        # --expect-fingerprint ...`, kept in tier-1 so it cannot rot.
+        spec = load_scenario(SCENARIO_DIR / "tiny_smoke.json")
+        expected = json.loads(
+            (SCENARIO_DIR / "tiny_smoke.fingerprint.json").read_text())
+        assert spec.run().stats.fingerprint() == expected["fingerprint"]
+
+    def test_three_level_example_matches_checked_in_fingerprint(self):
+        spec = load_scenario(SCENARIO_DIR / "imp_l2_three_level.json")
+        expected = json.loads(
+            (SCENARIO_DIR / "imp_l2_three_level.fingerprint.json").read_text())
+        assert spec.run().stats.fingerprint() == expected["fingerprint"]

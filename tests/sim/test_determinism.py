@@ -7,15 +7,22 @@ results depend on allocation order, dict iteration, caching, or wall-clock
 time shows up here as a diff.
 """
 
+import json
+from pathlib import Path
+
 import pytest
 
-from repro.experiments.configs import scaled_config
+from repro.experiments.configs import CONFIG_MODES, experiment_config, scaled_config
 from repro.experiments.runner import ExperimentRunner, RunRequest
+from repro.sim.config import HierarchyConfig, LevelConfig
 from repro.sim.stats import SystemStats
 from repro.sim.system import run_workload
 from repro.sim.trace import AccessKind
 from repro.workloads import PagerankWorkload
 from repro.workloads.synthetic import IndirectStreamWorkload
+
+GOLDEN_PATH = (Path(__file__).resolve().parents[1] / "data"
+               / "mode_fingerprints.json")
 
 
 def snapshot(stats: SystemStats) -> dict:
@@ -137,3 +144,77 @@ def test_access_kind_attribution_is_populated():
             misses[kind] += count
     assert misses[AccessKind.INDIRECT] > 0
     assert sum(misses.values()) == result.stats.total_l1_misses
+
+
+# ----------------------------------------------------------------------
+# Registry-refactor bit-identity
+# ----------------------------------------------------------------------
+def _golden_workloads():
+    params = json.loads(GOLDEN_PATH.read_text())["workloads"]
+    return {
+        "indirect_stream": IndirectStreamWorkload(**params["indirect_stream"]),
+        "pagerank": PagerankWorkload(**params["pagerank"]),
+    }
+
+
+def test_registry_modes_match_pre_refactor_fingerprints():
+    """Every mode, resolved through the registry, must reproduce the
+    fingerprints captured before the registry/hierarchy refactor
+    bit-identically (tests/data/mode_fingerprints.json)."""
+    golden = json.loads(GOLDEN_PATH.read_text())["fingerprints"]
+    workloads = _golden_workloads()
+    assert set(golden) == {f"{name}/{mode}/4" for name in workloads
+                           for mode in CONFIG_MODES}
+    for name, workload in workloads.items():
+        for mode in CONFIG_MODES:
+            config, prefetcher, imp_cfg, software = experiment_config(
+                mode, 4, base_config=scaled_config(4))
+            result = run_workload(workload, config, prefetcher=prefetcher,
+                                  imp_config=imp_cfg,
+                                  software_prefetch=software)
+            key = f"{name}/{mode}/4"
+            assert result.stats.fingerprint() == golden[key], \
+                f"fingerprint drift in {key}"
+
+
+def test_explicit_classic_hierarchy_matches_inlined_path():
+    """An explicit (l1 private, l2 shared) HierarchyConfig with the classic
+    geometry must simulate bit-identically to the implicit fast path —
+    the strongest check that the generalised level chain implements the
+    same semantics the inlined classic code does."""
+    base = scaled_config(4)
+    explicit = base.with_hierarchy(HierarchyConfig(levels=(
+        LevelConfig(name="l1", size_bytes=base.l1d.size_bytes,
+                    associativity=base.l1d.associativity,
+                    hit_latency=base.l1d.hit_latency),
+        LevelConfig(name="l2", size_bytes=base.l2_slice.size_bytes,
+                    associativity=base.l2_slice.associativity,
+                    scope="shared", hit_latency=base.l2_slice.hit_latency),
+    )))
+    for prefetcher in ("none", "stream", "imp"):
+        classic = run_workload(
+            IndirectStreamWorkload(n_indices=1024, n_data=4096, seed=3),
+            base, prefetcher=prefetcher)
+        generalised = run_workload(
+            IndirectStreamWorkload(n_indices=1024, n_data=4096, seed=3),
+            explicit, prefetcher=prefetcher)
+        assert snapshot(classic.stats) == snapshot(generalised.stats), \
+            f"extended-path divergence with prefetcher={prefetcher}"
+
+
+def test_three_level_hierarchy_is_deterministic():
+    hierarchy = HierarchyConfig(prefetch_level="l2", levels=(
+        LevelConfig(name="l1", size_bytes=4 * 1024, associativity=4),
+        LevelConfig(name="l2", size_bytes=16 * 1024, associativity=8,
+                    hit_latency=4),
+        LevelConfig(name="l3", size_bytes=32 * 1024, associativity=8,
+                    scope="shared", hit_latency=8),
+    ))
+    config = scaled_config(4).with_hierarchy(hierarchy)
+    runs = [
+        run_workload(IndirectStreamWorkload(n_indices=1024, n_data=4096,
+                                            seed=3),
+                     config, prefetcher="imp")
+        for _ in range(2)
+    ]
+    assert snapshot(runs[0].stats) == snapshot(runs[1].stats)

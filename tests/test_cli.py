@@ -86,3 +86,110 @@ class TestSweep:
         assert "0 simulated" in warm
         # The figures themselves are identical to the cold run.
         assert warm.split("[sweep]")[0] == cold.split("[sweep]")[0]
+
+
+class TestRegistryList:
+    def test_list_shows_all_registries(self):
+        output = run_cli("list")
+        for heading in ("prefetchers", "dram-models", "workloads", "modes"):
+            assert heading in output
+        # Entries appear with their descriptions.
+        assert "imp" in output
+        assert "Indirect Memory Prefetcher" in output
+        assert "imp_partial_noc_dram" in output
+
+    def test_list_single_registry(self):
+        output = run_cli("list", "modes")
+        assert "imp_partial_noc_dram" in output
+        assert "dram-models" not in output
+
+
+class TestScenario:
+    SCENARIO = "examples/scenarios/tiny_smoke.json"
+    FINGERPRINT = "examples/scenarios/tiny_smoke.fingerprint.json"
+
+    def test_scenario_run_prints_summary(self):
+        output = run_cli("run", "--scenario", self.SCENARIO)
+        assert "scenario          : tiny-smoke" in output
+        assert "hierarchy         : l1(private) -> l2(shared) -> dram" in output
+        assert "fingerprint       :" in output
+
+    def test_scenario_fingerprint_check_passes(self):
+        output = run_cli("run", "--scenario", self.SCENARIO,
+                         "--expect-fingerprint", self.FINGERPRINT)
+        assert "fingerprint check : ok" in output
+
+    def test_three_level_scenario_runs(self):
+        output = run_cli(
+            "run", "--scenario", "examples/scenarios/imp_l2_three_level.json",
+            "--expect-fingerprint",
+            "examples/scenarios/imp_l2_three_level.fingerprint.json")
+        assert "l1(private) -> l2(private) -> l3(shared) -> dram" in output
+        assert "prefetch @ l2" in output
+        assert "fingerprint check : ok" in output
+
+    def test_fingerprint_mismatch_fails(self, tmp_path):
+        import io
+        import json
+
+        bogus = tmp_path / "wrong.json"
+        bogus.write_text(json.dumps({"fingerprint": {"runtime_cycles": 1}}))
+        out = io.StringIO()
+        code = main(["run", "--scenario", self.SCENARIO,
+                     "--expect-fingerprint", str(bogus)], out=out)
+        assert code == 1
+        assert "FINGERPRINT MISMATCH" in out.getvalue()
+
+    def test_write_fingerprint(self, tmp_path):
+        import json
+
+        target = tmp_path / "fp.json"
+        run_cli("run", "--scenario", self.SCENARIO,
+                "--write-fingerprint", str(target))
+        doc = json.loads(target.read_text())
+        assert doc["scenario"] == "tiny-smoke"
+        assert doc["fingerprint"]["runtime_cycles"] > 0
+
+    def test_workload_and_scenario_are_exclusive(self):
+        import io
+
+        out = io.StringIO()
+        code = main(["run", "spmv", "--scenario", self.SCENARIO], out=out)
+        assert code == 2
+
+    def test_run_without_workload_or_scenario_errors(self):
+        import io
+
+        out = io.StringIO()
+        code = main(["run"], out=out)
+        assert code == 2
+        assert "repro list" in out.getvalue()
+
+    def test_invalid_scenario_file_reports_error(self, tmp_path):
+        import io
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"workload": "minesweeper"}')
+        out = io.StringIO()
+        code = main(["run", "--scenario", str(bad)], out=out)
+        assert code == 2
+        assert "minesweeper" in out.getvalue()
+
+    def test_plain_run_flags_rejected_with_scenario(self):
+        import io
+
+        out = io.StringIO()
+        code = main(["run", "--scenario", self.SCENARIO, "--cores", "64"],
+                    out=out)
+        assert code == 2
+        assert "--cores" in out.getvalue()
+
+    def test_missing_expectation_file_fails_cleanly(self, tmp_path):
+        import io
+
+        out = io.StringIO()
+        code = main(["run", "--scenario", self.SCENARIO,
+                     "--expect-fingerprint", str(tmp_path / "absent.json")],
+                    out=out)
+        assert code == 2
+        assert "cannot read expected fingerprint" in out.getvalue()
