@@ -1,0 +1,56 @@
+"""The benchmark-tables results file must be rewritten deterministically.
+
+Regression tests for the section-merge behaviour of
+``benchmarks.conftest.record_table``: re-recording a table replaces its
+section instead of appending a duplicate block (the file once accumulated
+four identical copies of every table), unrelated sections survive partial
+runs, and the section order is stable (sorted) regardless of recording
+order.
+"""
+
+import benchmarks.conftest as bench_conftest
+from benchmarks.conftest import load_sections, write_sections
+
+
+def _with_tables_path(tmp_path, monkeypatch):
+    path = tmp_path / "benchmark_tables.txt"
+    monkeypatch.setattr(bench_conftest, "TABLES_PATH", path)
+    monkeypatch.setattr(bench_conftest, "RESULTS_PATH", tmp_path)
+    monkeypatch.setattr(bench_conftest, "_sections", None)
+    return path
+
+
+def test_rerecording_replaces_section(tmp_path, monkeypatch):
+    path = _with_tables_path(tmp_path, monkeypatch)
+    rows = [{"workload": "spmv", "cycles": 1}]
+    bench_conftest.record_table("Table X", rows)
+    bench_conftest.record_table("Table X", [{"workload": "spmv",
+                                             "cycles": 2}])
+    text = path.read_text()
+    assert text.count("== Table X ==") == 1
+    assert "2" in text
+
+
+def test_partial_run_preserves_other_sections(tmp_path, monkeypatch):
+    path = _with_tables_path(tmp_path, monkeypatch)
+    write_sections({"Old table": "kept-row 1"}, path)
+    bench_conftest.record_table("New table", [{"a": 1}])
+    sections = load_sections(path)
+    assert set(sections) == {"Old table", "New table"}
+    assert sections["Old table"] == "kept-row 1"
+
+
+def test_sections_written_in_sorted_order(tmp_path, monkeypatch):
+    path = _with_tables_path(tmp_path, monkeypatch)
+    bench_conftest.record_table("B table", [{"a": 1}])
+    bench_conftest.record_table("A table", [{"a": 1}])
+    text = path.read_text()
+    assert text.index("== A table ==") < text.index("== B table ==")
+
+
+def test_load_sections_collapses_legacy_duplicates(tmp_path):
+    path = tmp_path / "tables.txt"
+    block = "== Dup ==\nrow\n\n"
+    path.write_text(block * 4 + "== Other ==\nvalue\n\n")
+    sections = load_sections(path)
+    assert sections == {"Dup": "row", "Other": "value"}

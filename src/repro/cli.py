@@ -26,6 +26,10 @@ Installed as the ``repro`` console script (also runnable as
   (``benchmarks/perf/bench_sim.py``) and optionally write/check a
   ``BENCH_<n>.json`` trajectory file; ``--sweep`` benchmarks the parallel
   sweep engine itself.
+* ``profile``        — run one workload/prefetcher under cProfile and
+  attribute self-time to simulator subsystems (cache, directory, DRAM,
+  NoC, prefetcher, core/scheduler); the tool that drives the hot-path
+  perf PRs.
 """
 
 from __future__ import annotations
@@ -152,10 +156,16 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_sweep_options(figure_parser)
 
     sweep_parser = sub.add_parser(
-        "sweep", help="regenerate many figures in one batched parallel sweep")
+        "sweep", help="regenerate many figures in one batched parallel "
+                      "sweep, or run a directory of scenario files")
     sweep_parser.add_argument("--figures", nargs="+", default=None,
                               choices=sorted(FIGURES),
                               help="figures to build (default: all)")
+    sweep_parser.add_argument("--scenario-dir", default=None, metavar="DIR",
+                              help="instead of figures: run every *.json "
+                                   "scenario in DIR through the sweep "
+                                   "engine/cache, checking any sibling "
+                                   "*.fingerprint.json expectations")
     sweep_parser.add_argument("--cores", type=int, nargs="+", default=[16],
                               help="core counts (fig9/fig11 sweep them all; "
                                    "other figures use the first)")
@@ -189,6 +199,27 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--jobs", type=int, default=None,
                               help="worker processes for --sweep (default: "
                                    "$REPRO_JOBS, else 4)")
+
+    profile_parser = sub.add_parser(
+        "profile", help="profile one simulation run and attribute time to "
+                        "simulator subsystems")
+    profile_parser.add_argument("workload", nargs="?",
+                                default="indirect_stream",
+                                help="bench workload name (default: "
+                                     "indirect_stream, the miss-heavy "
+                                     "kernel)")
+    profile_parser.add_argument("--prefetcher", default="imp",
+                                choices=PREFETCHERS.names())
+    profile_parser.add_argument("--cores", type=int, default=16)
+    profile_parser.add_argument("--seed", type=int, default=1)
+    profile_parser.add_argument("--quick", action="store_true",
+                                help="smaller inputs (smoke run)")
+    profile_parser.add_argument("--top", type=int, default=12,
+                                help="number of individual functions to "
+                                     "list (default: 12)")
+    profile_parser.add_argument("--out", default=None,
+                                help="write the attribution document as "
+                                     "JSON to this path")
     return parser
 
 
@@ -394,7 +425,83 @@ def _command_figure(args, out) -> int:
     return 0
 
 
+def _command_sweep_scenario_dir(args, out) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.experiments.sweep import ResultCache, SweepEngine
+
+    directory = Path(args.scenario_dir)
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=out)
+        return 2
+    files = sorted(path for path in directory.glob("*.json")
+                   if not path.name.endswith(".fingerprint.json"))
+    if not files:
+        print(f"error: no scenario files (*.json) in {directory}", file=out)
+        return 2
+    scenarios = []
+    for path in files:
+        try:
+            scenarios.append((path, load_scenario(path)))
+        except ValueError as exc:
+            # ScenarioError / RegistryError: the message lists the choices.
+            print(f"error: {path.name}: {exc}", file=out)
+            return 2
+    # One batched engine run: duplicate scenarios (same canonical RunSpec)
+    # simulate once, and the persistent cache memoises across invocations.
+    workloads = {}
+    specs = []
+    for path, scenario in scenarios:
+        spec = scenario.to_runspec()
+        if spec not in workloads:
+            workloads[spec] = scenario.resolve()[0]
+            specs.append(spec)
+    cache = (ResultCache(args.cache_dir)
+             if (args.cache_dir and not args.no_cache) else None)
+    engine = SweepEngine(jobs=args.jobs, cache=cache)
+    results = engine.run(specs, workload_lookup=workloads.get)
+    failures = 0
+    width = max(len(path.name) for path, _ in scenarios)
+    for path, scenario in scenarios:
+        result = results[scenario.to_runspec()]
+        fingerprint = result.stats.fingerprint()
+        expect_path = path.with_suffix(".fingerprint.json")
+        if expect_path.exists():
+            try:
+                with open(expect_path) as handle:
+                    expected = json.load(handle)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"{path.name:{width}s}  ERROR reading "
+                      f"{expect_path.name}: {exc}", file=out)
+                failures += 1
+                continue
+            if isinstance(expected, dict):
+                expected = expected.get("fingerprint", expected)
+            if expected == fingerprint:
+                status = "fingerprint ok"
+            else:
+                status = "FINGERPRINT MISMATCH"
+                failures += 1
+        else:
+            status = "no expectation"
+        print(f"{path.name:{width}s}  {result.runtime_cycles:10d} cycles  "
+              f"{status}", file=out)
+    cache_note = (f"cache hits {cache.hits}, stores {cache.stores}"
+                  if cache else "cache disabled")
+    print(f"[sweep] {len(scenarios)} scenarios, {len(specs)} unique runs, "
+          f"{engine.simulations_run} simulated ({engine.jobs} jobs, "
+          f"{cache_note})", file=out)
+    return 1 if failures else 0
+
+
 def _command_sweep(args, out) -> int:
+    if args.scenario_dir is not None:
+        if args.figures is not None:
+            print("error: give either --figures or --scenario-dir, "
+                  "not both", file=out)
+            return 2
+        return _command_sweep_scenario_dir(args, out)
     names = args.figures or sorted(FIGURES)
     runner = _sweep_runner(args, args.cores[0])
     # Declare the whole cross-product up front so runs shared between
@@ -442,6 +549,28 @@ def _command_bench(args, out) -> int:
                            out=out)
 
 
+def _command_profile(args, out) -> int:
+    import json
+
+    from repro.experiments.bench import WORKLOADS
+    from repro.experiments.profile import format_report, profile_run
+
+    if args.workload not in WORKLOADS:
+        print(f"error: unknown bench workload {args.workload!r}; "
+              f"try: {', '.join(WORKLOADS)}", file=out)
+        return 2
+    document = profile_run(args.workload, prefetcher=args.prefetcher,
+                           cores=args.cores, seed=args.seed,
+                           quick=args.quick)
+    format_report(document, top=args.top, out=out)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.out}", file=out)
+    return 0
+
+
 def _command_cost(out) -> int:
     cost = figures.sec64_hardware_cost()
     width = max(len(key) for key in cost)
@@ -470,6 +599,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_cost(out)
     if args.command == "bench":
         return _command_bench(args, out)
+    if args.command == "profile":
+        return _command_profile(args, out)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

@@ -30,6 +30,10 @@ from repro.mem_image import MemoryImage
 from repro.prefetchers.base import AccessContext, PrefetcherBase, PrefetchRequest
 from repro.prefetchers.stream import StreamEntry, StreamPrefetcher
 
+#: Shared empty result for the no-prefetch case (never mutated; callers
+#: treat the return value of ``on_access`` as read-only).
+_NO_REQUESTS: List[PrefetchRequest] = []
+
 
 # IPD stream keys.  The IPD accepts any hashable key; IMP packs the key kind
 # into the low bits of an integer because these keys are built (and hashed)
@@ -60,7 +64,8 @@ class IMP(PrefetcherBase):
                  "indirect_prefetches_generated",
                  "stream_prefetches_generated", "_partial_enabled",
                  "_adaptive_distance", "_max_ways", "_confidence_threshold",
-                 "_two_level")
+                 "_two_level", "_rw_predictor", "_rw_write_threshold",
+                 "observes_evictions")
 
     name = "imp"
 
@@ -78,6 +83,11 @@ class IMP(PrefetcherBase):
         self._max_ways = self.config.max_indirect_ways
         self._confidence_threshold = self.config.confidence_threshold
         self._two_level = self.config.max_indirect_levels >= 2
+        self._rw_predictor = self.config.rw_predictor
+        self._rw_write_threshold = self.config.rw_write_threshold
+        # The granularity predictor (and with it on_eviction) only runs in
+        # partial-cacheline mode; let the memory system skip the call.
+        self.observes_evictions = self.config.partial_enabled
         # Statistics about the prefetcher itself.
         self.patterns_detected = 0
         self.secondary_patterns_detected = 0
@@ -88,7 +98,6 @@ class IMP(PrefetcherBase):
     # Main entry point: one L1 access
     # ------------------------------------------------------------------
     def on_access(self, ctx: AccessContext) -> List[PrefetchRequest]:
-        requests: List[PrefetchRequest] = []
         if self._partial_enabled:
             self.gp.on_demand_access(ctx.addr, ctx.size)
         if self._adaptive_distance:
@@ -96,8 +105,43 @@ class IMP(PrefetcherBase):
 
         # 1. Check this access against outstanding indirect predictions
         #    (confidence building, Section 3.2.3), and feed second-level
-        #    detection with the values loaded by recognised indirect accesses.
-        self._check_confidence(ctx)
+        #    detection with the values loaded by recognised indirect
+        #    accesses.  The _check_confidence loop is inlined: it runs on
+        #    every single access once a pattern is enabled.
+        pt = self.pt
+        entries = pt._enabled_cache
+        if entries is None:
+            entries = pt.enabled_entries()
+        if entries:
+            addr = ctx.addr
+            for entry in entries:
+                if not entry.pending_match:
+                    continue
+                value = entry.index_value
+                if value is None:
+                    continue
+                shift = entry.shift
+                if shift >= 0:
+                    offset = addr - ((value << shift) + entry.base_addr)
+                    tolerance = 1 << shift
+                else:
+                    offset = addr - ((value >> -shift) + entry.base_addr)
+                    tolerance = 1
+                if 0 <= offset < tolerance:
+                    # PrefetchTable.confirm_match and _update_rw_predictor,
+                    # inlined (they run once per recognised indirect
+                    # access).
+                    hit_cnt = entry.hit_cnt + 1
+                    if hit_cnt <= pt.config.max_confidence:
+                        entry.hit_cnt = hit_cnt
+                    entry.pending_match = False
+                    if self._rw_predictor:
+                        if ctx.is_write:
+                            if entry.write_cnt < self.config.rw_max_count:
+                                entry.write_cnt += 1
+                        elif entry.write_cnt > 0:
+                            entry.write_cnt -= 1
+                    self._feed_second_level(entry, ctx)
 
         # 2. Cache misses train the IPD (they are candidate indirect
         #    addresses for whatever index values were recently recorded).
@@ -106,14 +150,22 @@ class IMP(PrefetcherBase):
                 self._install_pattern(pattern, ctx.now)
 
         # 3. Stream detection: is this access part of a (word-granularity)
-        #    sequential scan?  If so it is a candidate index access.
+        #    sequential scan?  If so it is a candidate index access.  The
+        #    request list is only materialised once there is something to
+        #    issue — the overwhelmingly common outcome of an access is no
+        #    prefetch at all.
         stream_entry = self.stream.observe(ctx.pc, ctx.addr, ctx.now)
-        if stream_entry is not None:
-            stream_requests = self.stream.prefetches_for(stream_entry, ctx.addr)
-            self.stream_prefetches_generated += len(stream_requests)
-            requests.extend(stream_requests)
-            if not ctx.is_write:
-                requests.extend(self._handle_index_access(ctx, stream_entry))
+        if stream_entry is None:
+            return _NO_REQUESTS
+        requests = self.stream.prefetches_for(stream_entry, ctx.addr)
+        self.stream_prefetches_generated += len(requests)
+        if not ctx.is_write:
+            indirect = self._handle_index_access(ctx, stream_entry)
+            if indirect:
+                if requests:
+                    requests.extend(indirect)
+                else:
+                    requests = indirect
         return requests
 
     # ------------------------------------------------------------------
@@ -121,17 +173,25 @@ class IMP(PrefetcherBase):
     # ------------------------------------------------------------------
     def _handle_index_access(self, ctx: AccessContext,
                              stream_entry: StreamEntry) -> List[PrefetchRequest]:
-        value = ctx.read_value()
-        pt_entry = self.pt.allocate_primary(ctx.pc, ctx.now)
+        # Read through the prefetcher's own memory image (the same image
+        # the context's read_value closure wraps) — skips a lambda hop on
+        # a per-index-access call.
+        value = self.mem_image.read_value(ctx.addr)
+        pc = ctx.pc
+        # allocate_primary's existing-entry fast path, inlined (one lookup
+        # per recognised index access).
+        pt_entry = self.pt._by_pc.get(pc)
         if pt_entry is None:
-            return []
+            pt_entry = self.pt.allocate_primary(pc, ctx.now)
+            if pt_entry is None:
+                return _NO_REQUESTS
         pt_entry.last_use = ctx.now
         if not pt_entry.enabled:
             # No indirect pattern yet: keep feeding the IPD.
-            self.ipd.on_index_access(_primary_key(ctx.pc), value, ctx.now)
-            return []
+            self.ipd.on_index_access((pc << 2) | _KEY_PRIMARY, value, ctx.now)
+            return _NO_REQUESTS
         if value is None:
-            return []
+            return _NO_REQUESTS
         # Known pattern: record the index value for confidence tracking
         # (PrefetchTable.observe_index inlined; the enabled guard is already
         # established above).
@@ -143,12 +203,20 @@ class IMP(PrefetcherBase):
         pt_entry.index_value = value
         pt_entry.pending_match = True
         pt_entry.last_use = ctx.now
-        # Try to discover a second way sharing this index array.
+        # Try to discover a second way sharing this index array (with the
+        # IPD backoff short-circuit — see _feed_second_level).
         if len(pt_entry.next_ways) + 1 < self._max_ways:
-            self.ipd.on_index_access(_way_key(ctx.pc), value, ctx.now)
+            ipd = self.ipd
+            key = (pc << 2) | _KEY_WAY
+            if key in ipd._entries:
+                ipd.on_index_access(key, value, ctx.now)
+            else:
+                backoff = ipd._backoff.get(key)
+                if backoff is None or ctx.now >= backoff.blocked_until:
+                    ipd.on_index_access(key, value, ctx.now)
         if not (pt_entry.enabled
                 and pt_entry.hit_cnt >= self._confidence_threshold):
-            return []
+            return _NO_REQUESTS
         return self._generate_prefetches(pt_entry, stream_entry, ctx)
 
     # ------------------------------------------------------------------
@@ -157,31 +225,6 @@ class IMP(PrefetcherBase):
     def _match_tolerance(self, shift: int) -> int:
         """Allowed byte offset between prediction and access (struct fields)."""
         return max(1, int(coefficient_of(shift)))
-
-    def _check_confidence(self, ctx: AccessContext) -> None:
-        entries = self.pt.enabled_entries()
-        if not entries:
-            return
-        addr = ctx.addr
-        for entry in entries:
-            if not entry.pending_match:
-                continue
-            value = entry.index_value
-            if value is None:
-                continue
-            # Inlined predict_address + _match_tolerance (this loop runs on
-            # every L1 access once a pattern is enabled).
-            shift = entry.shift
-            if shift >= 0:
-                offset = addr - ((value << shift) + entry.base_addr)
-                tolerance = 1 << shift
-            else:
-                offset = addr - ((value >> -shift) + entry.base_addr)
-                tolerance = 1
-            if 0 <= offset < tolerance:
-                self.pt.confirm_match(entry)
-                self._update_rw_predictor(entry, ctx)
-                self._feed_second_level(entry, ctx)
 
     def _update_rw_predictor(self, entry: PTEntry, ctx: AccessContext) -> None:
         """Track whether this pattern's demand accesses are writes, so later
@@ -241,10 +284,19 @@ class IMP(PrefetcherBase):
             return
         if entry.ind_type is IndirectType.SECOND_LEVEL:
             return                        # bounded at two levels (Table 2)
-        value = ctx.read_value()
+        # IPD backoff short-circuit: when the second-level stream key has
+        # no in-flight detection and is inside its backoff window, feeding
+        # it is a provable no-op — skip the value read and the call.
+        ipd = self.ipd
+        key = (entry.entry_id << 2) | _KEY_LEVEL
+        if key not in ipd._entries:
+            backoff = ipd._backoff.get(key)
+            if backoff is not None and ctx.now < backoff.blocked_until:
+                return
+        value = self.mem_image.read_value(ctx.addr)
         if value is None:
             return
-        self.ipd.on_index_access(_level_key(entry.entry_id), value, ctx.now)
+        ipd.on_index_access(key, value, ctx.now)
 
     # ------------------------------------------------------------------
     # Pattern installation (IPD -> PT)
@@ -356,8 +408,11 @@ class IMP(PrefetcherBase):
             entry.record_prefetched_line(addr - (addr % cfg.line_size))
             self._maybe_throttle(entry)
         self.indirect_prefetches_generated += 1
+        # _wants_exclusive, inlined (per generated request).
+        exclusive = (self._rw_predictor
+                     and entry.write_cnt >= self._rw_write_threshold)
         requests = [PrefetchRequest(addr=addr, size=size, is_indirect=True,
-                                    exclusive=self._wants_exclusive(entry))]
+                                    exclusive=exclusive)]
         # Second-level indirection: the child prefetch needs the value the
         # parent prefetch returns, so it is issued dependent on the parent.
         if entry.next_level is None:

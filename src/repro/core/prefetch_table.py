@@ -276,7 +276,9 @@ class PrefetchTable:
 
     def confirm_match(self, entry: PTEntry) -> None:
         """An access matched the address predicted from the last index."""
-        entry.hit_cnt = min(self.config.max_confidence, entry.hit_cnt + 1)
+        hit_cnt = entry.hit_cnt + 1
+        if hit_cnt <= self.config.max_confidence:
+            entry.hit_cnt = hit_cnt
         entry.pending_match = False
 
     def children_of(self, entry: PTEntry) -> List[PTEntry]:

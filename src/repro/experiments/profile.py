@@ -1,0 +1,147 @@
+"""``repro profile``: cProfile harness with per-subsystem attribution.
+
+Profiling drove the allocation-free rewrite of the memory-hierarchy hot
+path (flat-column caches, packed-bitmap directory, flat-array DRAM banks,
+the generator-based core scheduler), and this module keeps that workflow
+reproducible: one command runs a workload under :mod:`cProfile`, buckets
+the self-time of every function into the simulator subsystem that owns it,
+and prints a table answering "where does a simulated cycle's wall time
+go?".
+
+The subsystem map is intentionally coarse — it mirrors the units a perf PR
+touches (cache, directory, DRAM, NoC/queueing, prefetchers, core/
+scheduler) rather than individual functions; ``--top`` lists the hottest
+individual functions for drill-down.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: Ordered (path fragment, subsystem) rules; first match wins.  Paths use
+#: forward slashes after normalisation.
+SUBSYSTEM_RULES: Tuple[Tuple[str, str], ...] = (
+    ("repro/memory/cache", "cache"),
+    ("repro/memory/hierarchy", "hierarchy"),
+    ("repro/memory/coherence", "directory"),
+    ("repro/memory/dram", "dram"),
+    ("repro/noc/", "noc"),
+    ("repro/sim/queueing", "noc"),
+    ("repro/prefetchers/", "prefetcher"),
+    ("repro/core/", "prefetcher"),
+    ("repro/mem_image", "mem-image"),
+    ("repro/sim/core_model", "core"),
+    ("repro/sim/system", "scheduler"),
+    ("repro/sim/trace", "trace"),
+    ("repro/workloads/", "workload-build"),
+)
+
+OTHER = "other"
+
+
+def subsystem_of(filename: str) -> str:
+    """Map a source filename to its simulator subsystem bucket."""
+    path = filename.replace("\\", "/")
+    for fragment, name in SUBSYSTEM_RULES:
+        if fragment in path:
+            return name
+    return OTHER
+
+
+def profile_run(workload_name: str, prefetcher: str = "imp",
+                cores: int = 16, seed: int = 1,
+                quick: bool = False) -> Dict:
+    """Profile one simulation run; return the attribution document.
+
+    The workload's trace is built (and memoised) *before* profiling starts,
+    so the report covers the steady-state simulation loop — the part perf
+    PRs optimise — not trace generation.
+    """
+    from repro.experiments.bench import _make_workload
+    from repro.experiments.configs import scaled_config
+    from repro.sim.system import run_workload
+
+    workload = _make_workload(workload_name, seed, quick)
+    config = scaled_config(cores)
+    workload.cached_build(cores)          # excluded from the profile
+
+    profiler = cProfile.Profile()
+    wall_start = time.perf_counter()
+    profiler.enable()
+    result = run_workload(workload, config, prefetcher=prefetcher)
+    profiler.disable()
+    wall = time.perf_counter() - wall_start
+
+    stats = pstats.Stats(profiler)
+    subsystems: Dict[str, Dict[str, float]] = {}
+    functions: List[Tuple[float, int, str]] = []
+    total_self = 0.0
+    for (filename, lineno, name), (cc, nc, tt, ct, callers) in \
+            stats.stats.items():
+        bucket = subsystems.setdefault(
+            subsystem_of(filename), {"self_seconds": 0.0, "calls": 0})
+        bucket["self_seconds"] += tt
+        bucket["calls"] += nc
+        total_self += tt
+        functions.append(
+            (tt, nc, f"{filename.replace(chr(92), '/').rsplit('/', 1)[-1]}"
+                     f":{name}"))
+    functions.sort(reverse=True)
+
+    fingerprint = result.stats.fingerprint()
+    cycles = fingerprint["runtime_cycles"]
+    return {
+        "schema": "repro-profile-v1",
+        "workload": workload_name,
+        "prefetcher": prefetcher,
+        "cores": cores,
+        "seed": seed,
+        "quick": quick,
+        "wall_seconds": wall,
+        "profiled_seconds": total_self,
+        "runtime_cycles": cycles,
+        "cycles_per_wall_second": cycles / wall if wall > 0 else 0.0,
+        "fingerprint": fingerprint,
+        "subsystems": {
+            name: {
+                "self_seconds": bucket["self_seconds"],
+                "calls": bucket["calls"],
+                "share": (bucket["self_seconds"] / total_self
+                          if total_self else 0.0),
+            }
+            for name, bucket in subsystems.items()
+        },
+        "top_functions": [
+            {"self_seconds": tt, "calls": nc, "function": label}
+            for tt, nc, label in functions[:40]
+        ],
+    }
+
+
+def format_report(document: Dict, top: int = 12, out=sys.stdout) -> None:
+    """Pretty-print a profile document as two tables."""
+    print(f"workload          : {document['workload']}"
+          f"/{document['prefetcher']} "
+          f"({document['cores']} cores, seed {document['seed']})", file=out)
+    print(f"wall time         : {document['wall_seconds']:.3f} s "
+          f"(cProfile overhead included)", file=out)
+    print(f"simulated cycles  : {document['runtime_cycles']} "
+          f"({document['cycles_per_wall_second']:,.0f} cycles/s)", file=out)
+    print(file=out)
+    print(f"{'subsystem':16s} {'self(s)':>9s} {'share':>7s} {'calls':>12s}",
+          file=out)
+    ordered = sorted(document["subsystems"].items(),
+                     key=lambda item: -item[1]["self_seconds"])
+    for name, bucket in ordered:
+        print(f"{name:16s} {bucket['self_seconds']:9.3f} "
+              f"{100 * bucket['share']:6.1f}% {bucket['calls']:12d}",
+              file=out)
+    print(file=out)
+    print(f"{'top functions':44s} {'self(s)':>9s} {'calls':>12s}", file=out)
+    for row in document["top_functions"][:top]:
+        print(f"{row['function']:44s} {row['self_seconds']:9.3f} "
+              f"{row['calls']:12d}", file=out)

@@ -109,6 +109,10 @@ class MemoryImage:
         # footprints and dtype checks on every call (it runs once per index
         # load under IMP).
         self._read_index: List[tuple] = []
+        # Move-to-front memo of the _read_index entries that recently
+        # served read_value hits (only entries with backing data are
+        # cached, so the hit path can skip the backing check).
+        self._read_memo: List[tuple] = []
 
     # ------------------------------------------------------------------
     # Registration
@@ -155,7 +159,12 @@ class MemoryImage:
             shift = None
             if size >= 1 and size.is_integer() and (int(size) & (int(size) - 1)) == 0:
                 shift = int(size).bit_length() - 1
-            entry = (spec.base, spec.end, shift, size, flat.item,
+            # Snapshot the values as a plain list: ndarray.item() re-boxes
+            # a numpy scalar on every call, several times the cost of a
+            # list subscript on the per-index-load read_value path.  The
+            # image is immutable after registration, so the snapshot
+            # cannot go stale.
+            entry = (spec.base, spec.end, shift, size, flat.tolist(),
                      flat.size, bool(np.issubdtype(data.dtype, np.integer)))
         else:
             entry = (spec.base, spec.end, None, float(elem_size), None, 0,
@@ -179,7 +188,14 @@ class MemoryImage:
         return [region.spec for region in self._by_base]
 
     def data(self, name: str) -> np.ndarray:
-        """Return the numpy array backing a registered array."""
+        """Return the numpy array backing a registered array.
+
+        Treat the returned array as **read-only**: ``read_value`` serves
+        from a snapshot taken at registration (a plain-list copy, which is
+        what keeps the per-index-load hot path off ``ndarray.item``), so
+        in-place mutation after registration would silently diverge from
+        what prefetchers observe.  Build the data first, register once.
+        """
         backing = self._regions[name].data
         if backing is None:
             raise ValueError(f"array {name!r} has no backing data")
@@ -222,13 +238,29 @@ class MemoryImage:
         snooping raw bits would *not* be able to use — callers that need the
         semantic value should read through :meth:`data` instead.
         """
-        pos = bisect.bisect_right(self._bases, addr) - 1
-        if pos < 0:
-            return default
-        base, end, shift, elem_size, item, length, is_int = \
-            self._read_index[pos]
-        if addr >= end or item is None:
-            return default
+        # Consecutive reads overwhelmingly cycle between a handful of
+        # arrays (the index streams and the target arrays they point
+        # into); a small move-to-front memo of recent hits skips the
+        # bisect for all of them.
+        memo = self._read_memo
+        entry = None
+        for slot, candidate in enumerate(memo):
+            if candidate[0] <= addr < candidate[1]:
+                entry = candidate
+                if slot:
+                    del memo[slot]
+                    memo.insert(0, candidate)
+                break
+        if entry is None:
+            pos = bisect.bisect_right(self._bases, addr) - 1
+            if pos < 0:
+                return default
+            entry = self._read_index[pos]
+            if addr >= entry[1] or entry[4] is None:
+                return default
+            memo.insert(0, entry)
+            del memo[4:]
+        base, end, shift, elem_size, items, length, is_int = entry
         if shift is not None:
             index = (addr - base) >> shift
         elif elem_size >= 1:
@@ -238,8 +270,8 @@ class MemoryImage:
         if index >= length:
             return default
         if is_int:
-            return item(index)
-        return int(item(index))
+            return items[index]
+        return int(items[index])
 
     def __contains__(self, name: str) -> bool:
         return name in self._regions

@@ -14,9 +14,29 @@ values through :class:`repro.mem_image.MemoryImage`).  Lines track:
   a touched-bit mask used by the granularity predictor.
 
 ``Cache.access`` sits on the hot path of every simulated memory reference,
-so line/set/tag arithmetic uses shifts and masks for the (ubiquitous)
-power-of-two geometries, sector masks come from a precomputed table instead
-of a per-access Python loop, and the line/result records use ``__slots__``.
+so the steady-state storage is **flat preallocated columns**, not objects:
+one slot per (set, way) in parallel columns holding tag, line address,
+ready time, LRU stamp, insertion sequence number, packed status flags and
+the two sector masks.  A per-set ``{tag: way}`` dict provides the O(1)
+probe; misses, fills and evictions move integers and floats between the
+columns and allocate nothing.  (The columns are plain Python lists rather
+than ``array('q')``/``array('d')`` buffers: ``array`` re-boxes a fresh
+int/float object on *every* subscript read, which measures ~40% slower on
+the miss-heavy fill/evict loop this layout exists for.)
+
+:class:`CacheLine` objects survive only at the slow-path API boundary —
+:meth:`probe`, :meth:`access`, :meth:`fill`, :meth:`invalidate` and
+:meth:`resident_lines` materialise read-only snapshots for tests and
+external callers.  The hot path (:meth:`access_fast` / :meth:`fill_fast`)
+returns scalars, and eviction victims are exposed as the ``victim_addr`` /
+``victim_dirty`` / ``victim_touched`` scalar scratch fields, valid until
+the next fill into the same cache.
+
+Victim selection is true LRU with the insertion-order tie-break of the
+previous ``Dict[int, CacheLine]`` representation: the per-line ``seq``
+column carries a monotonically increasing fill sequence number, and the
+victim is the minimum of ``(last_use, seq)`` — bit-identical to
+``min(cache_set, key=last_use)`` over an insertion-ordered dict.
 """
 
 from __future__ import annotations
@@ -24,6 +44,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.sim.config import CacheConfig
+
+#: Packed per-line status flags (the ``_flags`` column).
+FLAG_DIRTY = 1
+FLAG_FROM_PREFETCH = 2
+FLAG_PREFETCH_REFERENCED = 4
 
 
 def full_mask(num_sectors: int) -> int:
@@ -39,7 +64,12 @@ def _shift_of(value: int) -> Optional[int]:
 
 
 class CacheLine:
-    """Metadata of one resident cache line."""
+    """Read-only snapshot of one resident cache line (API boundary only).
+
+    The simulator's steady state lives in the flat columns of
+    :class:`Cache`; a ``CacheLine`` is materialised on demand for tests and
+    slow-path callers.  Mutating a snapshot does not write back.
+    """
 
     __slots__ = ("tag", "addr", "valid", "dirty", "ready_time", "last_use",
                  "from_prefetch", "prefetch_referenced", "sector_valid",
@@ -89,11 +119,14 @@ class Cache:
     """A single level of cache (one L1, or one slice of the shared L2)."""
 
     __slots__ = ("config", "line_size", "num_sets", "assoc", "sector_size",
-                 "sectors_per_line", "_sets", "_line_shift", "_set_shift",
-                 "_offset_mask", "_set_mask", "_tag_shift",
-                 "_sector_mask_cache", "accesses", "hits", "misses",
-                 "sector_misses", "evictions", "prefetch_fills",
-                 "unused_prefetch_evictions")
+                 "sectors_per_line", "_index", "_free", "_tags", "_addrs",
+                 "_ready", "_last_use", "_seq", "_flags", "_sector_valid",
+                 "_sector_touched", "_fill_seq", "_full_sectors",
+                 "_line_shift", "_set_shift", "_offset_mask", "_set_mask",
+                 "_tag_shift", "_sector_mask_cache", "accesses", "hits",
+                 "misses", "sector_misses", "evictions", "prefetch_fills",
+                 "unused_prefetch_evictions", "victim_addr", "victim_dirty",
+                 "victim_touched")
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
@@ -102,7 +135,31 @@ class Cache:
         self.assoc = config.associativity
         self.sector_size = config.sector_size
         self.sectors_per_line = config.sectors_per_line
-        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        slots = self.num_sets * self.assoc
+        # Flat per-(set, way) columns; slot s*assoc+w belongs to set s.
+        self._tags: List[int] = [-1] * slots
+        self._addrs: List[int] = [0] * slots
+        self._ready: List[float] = [0.0] * slots
+        self._last_use: List[float] = [0.0] * slots
+        self._seq: List[int] = [0] * slots
+        self._flags: List[int] = [0] * slots
+        self._sector_valid: List[int] = [0] * slots
+        self._sector_touched: List[int] = [0] * slots
+        # O(1) probe index: one {tag: way} dict per set.  Slots not in the
+        # index are free and listed (in reverse so pop() hands them out in
+        # way order) in the per-set free list.
+        self._index: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._free: List[List[int]] = [
+            list(range((s + 1) * self.assoc - 1, s * self.assoc - 1, -1))
+            for s in range(self.num_sets)]
+        #: Monotonic fill counter: the LRU tie-break (insertion order).
+        self._fill_seq = 0
+        self._full_sectors = full_mask(self.sectors_per_line)
+        # Scratch fields describing the victim of the most recent evicting
+        # fill (valid until the next fill into this cache).
+        self.victim_addr = 0
+        self.victim_dirty = 0
+        self.victim_touched = 0
         # Shift/mask addressing for power-of-two geometries (the normal
         # case); division/modulo fallbacks keep odd geometries working.
         self._line_shift = _shift_of(self.line_size)
@@ -168,12 +225,29 @@ class Cache:
     # ------------------------------------------------------------------
     # Lookup / access
     # ------------------------------------------------------------------
-    def probe(self, addr: int) -> Optional[CacheLine]:
-        """Return the resident line containing ``addr`` without side effects."""
+    def _way_of(self, addr: int) -> Optional[int]:
+        """Slot of the resident line containing ``addr``, or None."""
         if self._tag_shift is not None:
-            return self._sets[(addr >> self._line_shift) & self._set_mask].get(
-                addr >> self._tag_shift)
-        return self._sets[self.set_index(addr)].get(self.tag_of(addr))
+            return self._index[(addr >> self._line_shift)
+                               & self._set_mask].get(addr >> self._tag_shift)
+        return self._index[self.set_index(addr)].get(self.tag_of(addr))
+
+    def _line_view(self, way: int) -> CacheLine:
+        """Materialise a :class:`CacheLine` snapshot of one slot."""
+        flags = self._flags[way]
+        return CacheLine(self._tags[way], self._addrs[way], True,
+                         bool(flags & FLAG_DIRTY), self._ready[way],
+                         self._last_use[way],
+                         bool(flags & FLAG_FROM_PREFETCH),
+                         bool(flags & FLAG_PREFETCH_REFERENCED),
+                         self._sector_valid[way], self._sector_touched[way])
+
+    def probe(self, addr: int) -> Optional[CacheLine]:
+        """Snapshot of the resident line containing ``addr`` (no side
+        effects); None when absent.  Slow path — hot callers use the way
+        index and columns directly."""
+        way = self._way_of(addr)
+        return None if way is None else self._line_view(way)
 
     def access(self, addr: int, size: int, is_write: bool, now: float) -> AccessResult:
         """Perform a demand access and return the outcome.
@@ -182,8 +256,8 @@ class Cache:
         leaves the cache unmodified; the caller is expected to call
         :meth:`fill` once the data has been fetched.
         """
-        line = self.probe(addr)
         hit = self.access_fast(addr, size, is_write, now)
+        line = self.probe(addr)
         if hit is None:
             return AccessResult(hit=False, line=line,
                                 sector_miss=line is not None)
@@ -197,16 +271,16 @@ class Cache:
         :meth:`access`, without building an :class:`AccessResult`."""
         self.accesses += 1
         if self._tag_shift is not None:
-            line = self._sets[(addr >> self._line_shift) & self._set_mask].get(
-                addr >> self._tag_shift)
+            way = self._index[(addr >> self._line_shift)
+                              & self._set_mask].get(addr >> self._tag_shift)
         else:
-            line = self._sets[self.set_index(addr)].get(self.tag_of(addr))
-        if line is None:
+            way = self._index[self.set_index(addr)].get(self.tag_of(addr))
+        if way is None:
             self.misses += 1
             return None
         if self.sector_size:
             mask = self.sector_mask(addr, size)
-            if (line.sector_valid & mask) != mask:
+            if (self._sector_valid[way] & mask) != mask:
                 # Line present but the requested sector(s) are not.
                 self.sector_misses += 1
                 self.misses += 1
@@ -214,15 +288,51 @@ class Cache:
         else:
             mask = 1
         self.hits += 1
-        line.last_use = now
-        line.sector_touched |= mask
+        self._last_use[way] = now
+        self._sector_touched[way] |= mask
+        flags = self._flags[way]
         if is_write:
-            line.dirty = True
-        if line.from_prefetch:
-            was_prefetched = not line.prefetch_referenced
-            line.prefetch_referenced = True
-            return line.ready_time, was_prefetched
-        return line.ready_time, False
+            flags |= FLAG_DIRTY
+        if flags & FLAG_FROM_PREFETCH:
+            was_prefetched = not flags & FLAG_PREFETCH_REFERENCED
+            self._flags[way] = flags | FLAG_PREFETCH_REFERENCED
+            return self._ready[way], was_prefetched
+        self._flags[way] = flags
+        return self._ready[way], False
+
+    def access_hit(self, addr: int, size: int, is_write: bool,
+                   now: float) -> bool:
+        """:meth:`access_fast` for callers that only need the hit/miss
+        outcome (the shared-level lookup): same state transitions and
+        counters, no ``(ready_time, was_prefetched)`` tuple built."""
+        self.accesses += 1
+        if self._tag_shift is not None:
+            way = self._index[(addr >> self._line_shift)
+                              & self._set_mask].get(addr >> self._tag_shift)
+        else:
+            way = self._index[self.set_index(addr)].get(self.tag_of(addr))
+        if way is None:
+            self.misses += 1
+            return False
+        if self.sector_size:
+            mask = self.sector_mask(addr, size)
+            if (self._sector_valid[way] & mask) != mask:
+                self.sector_misses += 1
+                self.misses += 1
+                return False
+        else:
+            mask = 1
+        self.hits += 1
+        self._last_use[way] = now
+        self._sector_touched[way] |= mask
+        flags = self._flags[way]
+        if is_write:
+            flags |= FLAG_DIRTY
+        if flags & FLAG_FROM_PREFETCH:
+            self._flags[way] = flags | FLAG_PREFETCH_REFERENCED
+        else:
+            self._flags[way] = flags
+        return True
 
     # ------------------------------------------------------------------
     # Fill / eviction
@@ -234,79 +344,165 @@ class Cache:
 
         ``sectors`` is the mask of sectors being brought in; ``None`` means
         the full line.  Returns an :class:`AccessResult` whose ``evicted``
-        field carries the victim line, if any (the caller charges write-back
-        traffic for dirty victims).
+        field carries a snapshot of the victim line, if any (the caller
+        charges write-back traffic for dirty victims).
         """
-        line, evicted = self.fill_fast(addr, now, ready_time,
-                                       is_prefetch=is_prefetch,
-                                       is_write=is_write, sectors=sectors)
-        return AccessResult(hit=True, line=line, evicted=evicted,
-                            ready_time=line.ready_time)
-
-    def fill_fast(self, addr: int, now: float, ready_time: float, *,
-                  is_prefetch: bool = False, is_write: bool = False,
-                  sectors: Optional[int] = None):
-        """Hot-path :meth:`fill`: returns ``(line, evicted_line_or_None)``
-        without building an :class:`AccessResult`."""
+        # Snapshot the victim (if this fill will evict) before the columns
+        # are overwritten; fill_fast repeats the same deterministic scan.
+        evicted = None
         if self._tag_shift is not None:
-            index = (addr >> self._line_shift) & self._set_mask
+            set_i = (addr >> self._line_shift) & self._set_mask
             tag = addr >> self._tag_shift
         else:
-            index = self.set_index(addr)
+            set_i = self.set_index(addr)
             tag = self.tag_of(addr)
-        cache_set = self._sets[index]
-        if sectors is None:
-            sectors = full_mask(self.sectors_per_line)
-        line = cache_set.get(tag)
-        evicted = None
-        if line is None:
-            if len(cache_set) >= self.assoc:
-                evicted = self._evict(cache_set)
-            # Positional CacheLine construction (hot): (tag, addr, valid,
-            # dirty, ready_time, last_use, from_prefetch,
-            # prefetch_referenced, sector_valid, sector_touched).
-            line = CacheLine(tag, self.line_addr(addr), True, False,
-                             ready_time, now, is_prefetch, False, sectors, 0)
-            cache_set[tag] = line
-            if is_prefetch:
-                self.prefetch_fills += 1
-        else:
-            # Sector fill into an already-resident line.
-            line.sector_valid |= sectors
-            line.ready_time = max(line.ready_time, ready_time)
-            line.last_use = now
-        if is_write:
-            line.dirty = True
-        if not is_prefetch:
-            line.prefetch_referenced = True
-        return line, evicted
+        if tag not in self._index[set_i] and not self._free[set_i]:
+            evicted = self._line_view(self._victim_way(set_i))
+        self.fill_fast(addr, now, ready_time, is_prefetch, is_write, sectors)
+        way = self._index[set_i][tag]
+        return AccessResult(hit=True, line=self._line_view(way),
+                            evicted=evicted, ready_time=self._ready[way])
 
-    def _evict(self, cache_set: Dict[int, CacheLine]) -> CacheLine:
-        victim_tag = min(cache_set, key=lambda t: cache_set[t].last_use)
-        victim = cache_set.pop(victim_tag)
-        self.evictions += 1
-        if victim.from_prefetch and not victim.prefetch_referenced:
-            self.unused_prefetch_evictions += 1
-        return victim
+    def fill_fast(self, addr: int, now: float, ready_time: float,
+                  is_prefetch: bool = False, is_write: bool = False,
+                  sectors: Optional[int] = None) -> bool:
+        """Hot-path :meth:`fill`: returns True when a line was evicted, in
+        which case ``victim_addr`` / ``victim_dirty`` / ``victim_touched``
+        describe the victim (valid until the next fill).  Allocates
+        nothing."""
+        if self._tag_shift is not None:
+            set_i = (addr >> self._line_shift) & self._set_mask
+            tag = addr >> self._tag_shift
+        else:
+            set_i = self.set_index(addr)
+            tag = self.tag_of(addr)
+        index = self._index[set_i]
+        way = index.get(tag)
+        if way is not None:
+            # Sector fill into an already-resident line.
+            if sectors is None:
+                sectors = self._full_sectors
+            self._sector_valid[way] |= sectors
+            if ready_time > self._ready[way]:
+                self._ready[way] = ready_time
+            self._last_use[way] = now
+            flags = self._flags[way]
+            if is_write:
+                flags |= FLAG_DIRTY
+            if not is_prefetch:
+                flags |= FLAG_PREFETCH_REFERENCED
+            self._flags[way] = flags
+            return False
+        flag_col = self._flags
+        last_use = self._last_use
+        free = self._free[set_i]
+        evicted = False
+        if free:
+            way = free.pop()
+        else:
+            # _victim_way, inlined (per steady-state miss).
+            seq_col = self._seq
+            base = set_i * self.assoc
+            way = base
+            best = last_use[base]
+            best_seq = seq_col[base]
+            for slot in range(base + 1, base + self.assoc):
+                stamp = last_use[slot]
+                if stamp < best or (stamp == best and seq_col[slot] < best_seq):
+                    best = stamp
+                    best_seq = seq_col[slot]
+                    way = slot
+            flags = flag_col[way]
+            self.evictions += 1
+            if flags & FLAG_FROM_PREFETCH \
+                    and not flags & FLAG_PREFETCH_REFERENCED:
+                self.unused_prefetch_evictions += 1
+            self.victim_addr = self._addrs[way]
+            self.victim_dirty = flags & FLAG_DIRTY
+            self.victim_touched = self._sector_touched[way]
+            del index[self._tags[way]]
+            evicted = True
+        self._fill_seq = seq = self._fill_seq + 1
+        self._tags[way] = tag
+        if self._line_shift is not None:
+            self._addrs[way] = addr & ~self._offset_mask
+        else:
+            self._addrs[way] = addr - (addr % self.line_size)
+        self._ready[way] = ready_time
+        last_use[way] = now
+        self._seq[way] = seq
+        flags = 0
+        if is_write:
+            flags = FLAG_DIRTY
+        if is_prefetch:
+            flags |= FLAG_FROM_PREFETCH
+            self.prefetch_fills += 1
+        else:
+            flags |= FLAG_PREFETCH_REFERENCED
+        flag_col[way] = flags
+        self._sector_valid[way] = (self._full_sectors if sectors is None
+                                   else sectors)
+        self._sector_touched[way] = 0
+        index[tag] = way
+        return evicted
+
+    def _victim_way(self, set_i: int) -> int:
+        """LRU victim slot of a full set: minimum ``(last_use, seq)``.
+
+        The ``seq`` tie-break reproduces the insertion-order iteration of
+        the previous dict-of-lines representation, so victim choice (and
+        therefore every downstream fingerprint) is unchanged.
+        """
+        last_use = self._last_use
+        seq = self._seq
+        base = set_i * self.assoc
+        way = base
+        best = last_use[base]
+        best_seq = seq[base]
+        for slot in range(base + 1, base + self.assoc):
+            stamp = last_use[slot]
+            if stamp < best or (stamp == best and seq[slot] < best_seq):
+                best = stamp
+                best_seq = seq[slot]
+                way = slot
+        return way
 
     def invalidate(self, addr: int) -> Optional[CacheLine]:
-        """Invalidate the line containing ``addr``; return it if present."""
-        index = self.set_index(addr)
-        return self._sets[index].pop(self.tag_of(addr), None)
+        """Invalidate the line containing ``addr``; return a snapshot of it
+        if it was present."""
+        way = self._way_of(addr)
+        if way is None:
+            return None
+        line = self._line_view(way)
+        set_i = self.set_index(addr)
+        del self._index[set_i][self._tags[way]]
+        self._free[set_i].append(way)
+        return line
+
+    def invalidate_fast(self, addr: int) -> Optional[int]:
+        """Hot-path :meth:`invalidate`: returns the victim's flags (test
+        ``FLAG_DIRTY`` for write-back) or None when absent.  Allocates no
+        snapshot."""
+        way = self._way_of(addr)
+        if way is None:
+            return None
+        flags = self._flags[way]
+        set_i = self.set_index(addr)
+        del self._index[set_i][self._tags[way]]
+        self._free[set_i].append(way)
+        return flags
 
     # ------------------------------------------------------------------
     # Introspection helpers (used by tests)
     # ------------------------------------------------------------------
     def resident_lines(self) -> List[CacheLine]:
-        """Return every valid line currently in the cache."""
-        lines: List[CacheLine] = []
-        for cache_set in self._sets:
-            lines.extend(cache_set.values())
-        return lines
+        """Return a snapshot of every valid line currently in the cache."""
+        return [self._line_view(way)
+                for index in self._index for way in index.values()]
 
     def occupancy(self) -> int:
         """Number of resident lines."""
-        return sum(len(cache_set) for cache_set in self._sets)
+        return sum(len(index) for index in self._index)
 
     @property
     def capacity_lines(self) -> int:

@@ -11,6 +11,16 @@ L2 access, the *extra* latency and NoC traffic caused by coherence actions
 writes), which is all the evaluated experiments depend on: the workloads are
 read-dominated, but stores to shared output arrays still generate
 invalidation traffic that loads the mesh.
+
+Steady-state storage is flat: each tracked line maps to a five-slot list
+``[state, owner, sharer_bitmap, sharer_count, overflowed]`` where the
+sharer set is a packed int bitmap (bit ``i`` set means core ``i`` holds the
+line) and ``owner`` is ``-1`` when there is none.  The hot path
+(:meth:`Directory.read_fast` / :meth:`Directory.evict`) works on these
+integers directly and allocates nothing after a line's first touch;
+:class:`DirectoryEntry` objects (enum state + sharer ``set``) survive only
+as snapshots materialised by :meth:`Directory.lookup` / :meth:`Directory.
+entry` for tests and external callers.
 """
 
 from __future__ import annotations
@@ -21,6 +31,18 @@ from typing import Dict, List, Optional, Set
 
 from repro.sim.stats import TrafficStats
 
+# Flat-entry slots (see module docstring).
+_STATE = 0
+_OWNER = 1
+_SHARERS = 2
+_COUNT = 3
+_OVERFLOWED = 4
+
+# Integer line states of the flat representation.
+_INVALID = 0
+_SHARED = 1
+_MODIFIED = 2
+
 
 class LineState(enum.Enum):
     """Directory-visible state of a cache line."""
@@ -30,9 +52,13 @@ class LineState(enum.Enum):
     MODIFIED = "M"
 
 
+_STATE_BY_CODE = (LineState.INVALID, LineState.SHARED, LineState.MODIFIED)
+
+
 @dataclass(slots=True)
 class DirectoryEntry:
-    """Directory state for one cache line."""
+    """Snapshot of the directory state for one cache line (API boundary
+    only; the steady state lives in the packed flat entries)."""
 
     state: LineState = LineState.INVALID
     sharers: Set[int] = field(default_factory=set)
@@ -52,6 +78,16 @@ class CoherenceAction:
     writeback: bool = False
 
 
+def _sharer_set(bitmap: int) -> Set[int]:
+    """Expand a sharer bitmap into the equivalent set of core ids."""
+    sharers: Set[int] = set()
+    while bitmap:
+        low = bitmap & -bitmap
+        sharers.add(low.bit_length() - 1)
+        bitmap ^= low
+    return sharers
+
+
 class Directory:
     """Limited-pointer (ACKwise_k) directory for one home tile."""
 
@@ -62,19 +98,34 @@ class Directory:
         self.home_tile = home_tile
         self.max_pointers = max_pointers
         self.traffic = traffic if traffic is not None else TrafficStats()
-        self._entries: Dict[int, DirectoryEntry] = {}
+        # line_addr -> [state, owner, sharer_bitmap, count, overflowed]
+        self._entries: Dict[int, list] = {}
 
-    def entry(self, line_addr: int) -> DirectoryEntry:
-        """Return (creating if needed) the directory entry for a line."""
+    def _raw_entry(self, line_addr: int) -> list:
+        """Return (creating if needed) the flat entry for a line."""
         entry = self._entries.get(line_addr)
         if entry is None:
-            entry = DirectoryEntry()
+            entry = [_INVALID, -1, 0, 0, 0]
             self._entries[line_addr] = entry
         return entry
 
+    def entry(self, line_addr: int) -> DirectoryEntry:
+        """Snapshot of the entry for a line, creating the line if needed."""
+        return self._view(self._raw_entry(line_addr))
+
     def lookup(self, line_addr: int) -> Optional[DirectoryEntry]:
-        """Return the entry for a line if the directory is tracking it."""
-        return self._entries.get(line_addr)
+        """Snapshot of the entry for a line the directory is tracking."""
+        entry = self._entries.get(line_addr)
+        return None if entry is None else self._view(entry)
+
+    @staticmethod
+    def _view(entry: list) -> DirectoryEntry:
+        owner = entry[_OWNER]
+        return DirectoryEntry(state=_STATE_BY_CODE[entry[_STATE]],
+                              sharers=_sharer_set(entry[_SHARERS]),
+                              owner=None if owner < 0 else owner,
+                              sharer_count=entry[_COUNT],
+                              overflowed=bool(entry[_OVERFLOWED]))
 
     # ------------------------------------------------------------------
     # Requests
@@ -86,60 +137,76 @@ class Directory:
         case — no :class:`CoherenceAction` is allocated for it)."""
         entry = self._entries.get(line_addr)
         if entry is None:
-            entry = DirectoryEntry()
-            self._entries[line_addr] = entry
-        elif (entry.state is LineState.MODIFIED and entry.owner is not None
-                and entry.owner != requester):
+            # First touch: shared, one sharer, no traffic.
+            self._entries[line_addr] = [_SHARED, -1, 1 << requester, 1, 0]
+            return None
+        owner = entry[_OWNER]
+        if entry[_STATE] == _MODIFIED and owner >= 0 and owner != requester:
             return self.read(line_addr, requester, n_cores,
                              line_size).extra_hops_messages
-        entry.state = LineState.SHARED
+        entry[_STATE] = _SHARED
         self._add_sharer(entry, requester)
         return None
 
     def read(self, line_addr: int, requester: int, n_cores: int,
              line_size: int) -> CoherenceAction:
         """Handle a read miss arriving at the home tile."""
-        entry = self.entry(line_addr)
+        entry = self._raw_entry(line_addr)
         action = CoherenceAction()
-        if entry.state is LineState.MODIFIED and entry.owner is not None \
-                and entry.owner != requester:
+        owner = entry[_OWNER]
+        if entry[_STATE] == _MODIFIED and owner >= 0 and owner != requester:
             # Fetch the dirty copy from the current owner: home -> owner
             # (control) and owner -> home (data write-back).
-            action.extra_hops_messages.append((self.home_tile, entry.owner, 8))
-            action.extra_hops_messages.append((entry.owner, self.home_tile, line_size))
+            action.extra_hops_messages.append((self.home_tile, owner, 8))
+            action.extra_hops_messages.append((owner, self.home_tile, line_size))
             action.writeback = True
-            entry.sharers = {entry.owner}
-            entry.owner = None
-        entry.state = LineState.SHARED
+            entry[_SHARERS] = 1 << owner
+            entry[_OWNER] = -1
+        entry[_STATE] = _SHARED
         self._add_sharer(entry, requester)
         return action
 
     def write(self, line_addr: int, requester: int, n_cores: int,
               line_size: int) -> CoherenceAction:
         """Handle a write (miss or upgrade) arriving at the home tile."""
-        entry = self.entry(line_addr)
+        entry = self._raw_entry(line_addr)
         action = CoherenceAction()
-        if entry.state is LineState.MODIFIED and entry.owner is not None \
-                and entry.owner != requester:
-            action.extra_hops_messages.append((self.home_tile, entry.owner, 8))
-            action.extra_hops_messages.append((entry.owner, self.home_tile, line_size))
+        state = entry[_STATE]
+        owner = entry[_OWNER]
+        if state == _MODIFIED and owner >= 0 and owner != requester:
+            action.extra_hops_messages.append((self.home_tile, owner, 8))
+            action.extra_hops_messages.append((owner, self.home_tile, line_size))
             action.writeback = True
-        elif entry.state is LineState.SHARED:
-            targets = self._invalidation_targets(entry, requester, n_cores)
-            action.invalidations = len(targets)
-            action.broadcast = entry.overflowed
-            for target in targets:
-                # Invalidation plus acknowledgement.
-                action.extra_hops_messages.append((self.home_tile, target, 8))
-                action.extra_hops_messages.append((target, self.home_tile, 8))
-            self.traffic.invalidations += len(targets)
-            if entry.overflowed:
+        elif state == _SHARED:
+            home = self.home_tile
+            messages = action.extra_hops_messages
+            invalidations = 0
+            if entry[_OVERFLOWED]:
+                # ACKwise broadcast: every core but the requester.
+                action.broadcast = True
+                for target in range(n_cores):
+                    if target != requester:
+                        # Invalidation plus acknowledgement.
+                        messages.append((home, target, 8))
+                        messages.append((target, home, 8))
+                        invalidations += 1
                 self.traffic.broadcasts += 1
-        entry.state = LineState.MODIFIED
-        entry.owner = requester
-        entry.sharers = {requester}
-        entry.sharer_count = 1
-        entry.overflowed = False
+            else:
+                bitmap = entry[_SHARERS] & ~(1 << requester)
+                while bitmap:
+                    low = bitmap & -bitmap
+                    target = low.bit_length() - 1
+                    messages.append((home, target, 8))
+                    messages.append((target, home, 8))
+                    invalidations += 1
+                    bitmap ^= low
+            action.invalidations = invalidations
+            self.traffic.invalidations += invalidations
+        entry[_STATE] = _MODIFIED
+        entry[_OWNER] = requester
+        entry[_SHARERS] = 1 << requester
+        entry[_COUNT] = 1
+        entry[_OVERFLOWED] = 0
         return action
 
     def evict(self, line_addr: int, core: int) -> None:
@@ -147,34 +214,33 @@ class Directory:
         entry = self._entries.get(line_addr)
         if entry is None:
             return
-        entry.sharers.discard(core)
-        if entry.owner == core:
-            entry.owner = None
-            entry.state = LineState.SHARED if entry.sharers else LineState.INVALID
-        if not entry.sharers and not entry.overflowed:
-            entry.sharer_count = 0
-            if entry.state is not LineState.MODIFIED:
-                entry.state = LineState.INVALID
+        bitmap = entry[_SHARERS]
+        bit = 1 << core
+        if bitmap & bit:
+            bitmap ^= bit
+            entry[_SHARERS] = bitmap
+        if entry[_OWNER] == core:
+            entry[_OWNER] = -1
+            entry[_STATE] = _SHARED if bitmap else _INVALID
+        if not bitmap and not entry[_OVERFLOWED]:
+            entry[_COUNT] = 0
+            if entry[_STATE] != _MODIFIED:
+                entry[_STATE] = _INVALID
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _add_sharer(self, entry: DirectoryEntry, core: int) -> None:
-        if entry.overflowed:
-            entry.sharer_count += 1
+    def _add_sharer(self, entry: list, core: int) -> None:
+        if entry[_OVERFLOWED]:
+            entry[_COUNT] += 1
             return
-        entry.sharers.add(core)
-        entry.sharer_count = len(entry.sharers)
-        if len(entry.sharers) > self.max_pointers:
+        bitmap = entry[_SHARERS] | (1 << core)
+        entry[_SHARERS] = bitmap
+        count = bitmap.bit_count()
+        entry[_COUNT] = count
+        if count > self.max_pointers:
             # ACKwise: stop tracking exact sharers, keep only the count.
-            entry.overflowed = True
-
-    def _invalidation_targets(self, entry: DirectoryEntry, requester: int,
-                              n_cores: int) -> List[int]:
-        if entry.overflowed:
-            # Broadcast invalidation to every core but the requester.
-            return [core for core in range(n_cores) if core != requester]
-        return [core for core in entry.sharers if core != requester]
+            entry[_OVERFLOWED] = 1
 
     def tracked_lines(self) -> int:
         """Number of lines with a directory entry (for tests)."""

@@ -15,8 +15,7 @@ both respect the 32-byte minimum access granularity of Section 4.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.registry import DRAM_MODELS
 from repro.sim.config import DramConfig
@@ -74,7 +73,20 @@ class SimpleDram(DramModel):
         else:
             nbytes = ((nbytes + granule - 1) // granule) * granule
         service = nbytes / self.config.bandwidth_bytes_per_cycle
-        start = self._channels[controller].reserve(now, service)
+        # ResourceSchedule.reserve with its append-at-end fast path inlined
+        # (mostly time-ordered traffic keeps the channel list tail-only).
+        channel = self._channels[controller]
+        ends = channel._ends
+        if ends and now >= ends[-1] and ends[0] >= now - 8192.0:
+            channel.total_busy += service
+            if now > ends[-1]:
+                channel._starts.append(now)
+                ends.append(now + service)
+            else:
+                ends[-1] = now + service
+            start = now
+        else:
+            start = channel.reserve(now, service)
         traffic = self.traffic
         traffic.dram_bytes += nbytes
         traffic.dram_requests += 1
@@ -91,12 +103,6 @@ class SimpleDram(DramModel):
             channel.reset()
 
 
-@dataclass
-class _Bank:
-    open_row: int = -1
-    schedule: ResourceSchedule = field(default_factory=ResourceSchedule)
-
-
 class BankedDram(DramModel):
     """DDR3-style model with per-bank row buffers.
 
@@ -105,17 +111,22 @@ class BankedDram(DramModel):
     burst length over the channel bandwidth.  Requests to the same bank
     serialize; requests to different banks of the same controller overlap but
     share the data bus.
+
+    Bank state lives in flat parallel lists indexed by
+    ``controller * banks_per_rank + bank`` (an open-row column and a
+    schedule column) rather than per-bank objects, so the per-request walk
+    touches two list slots and allocates nothing.
     """
 
-    __slots__ = ("_banks", "_buses")
+    __slots__ = ("_open_rows", "_bank_schedules", "_buses")
 
     def __init__(self, config: DramConfig, n_controllers: int,
                  traffic: TrafficStats = None) -> None:
         super().__init__(config, n_controllers, traffic)
-        self._banks: Dict[int, List[_Bank]] = {
-            mc: [_Bank() for _ in range(config.banks_per_rank)]
-            for mc in range(n_controllers)
-        }
+        slots = n_controllers * config.banks_per_rank
+        self._open_rows: List[int] = [-1] * slots
+        self._bank_schedules: List[ResourceSchedule] = [
+            ResourceSchedule() for _ in range(slots)]
         self._buses: List[ResourceSchedule] = [
             ResourceSchedule() for _ in range(n_controllers)]
 
@@ -131,17 +142,20 @@ class BankedDram(DramModel):
             raise ValueError(f"controller {controller} out of range")
         cfg = self.config
         nbytes = self.effective_bytes(nbytes)
-        bank_id, row = self._bank_and_row(addr)
-        bank = self._banks[controller][bank_id]
-        if bank.open_row == row:
+        # _bank_and_row, inlined (hot path — no tuple built).
+        banks_per_rank = cfg.banks_per_rank
+        row = addr // cfg.row_size
+        slot = controller * banks_per_rank + row % banks_per_rank
+        if self._open_rows[slot] == row:
             access_latency = cfg.t_cas
         else:
             access_latency = cfg.t_rp + cfg.t_rcd + cfg.t_cas
-            bank.open_row = row
+            self._open_rows[slot] = row
         transfer = nbytes / cfg.bandwidth_bytes_per_cycle
         # The bank is occupied for the activate/read, then the shared data
         # bus of this controller carries the burst.
-        start = bank.schedule.reserve(now, access_latency + transfer)
+        start = self._bank_schedules[slot].reserve(now,
+                                                   access_latency + transfer)
         bus_start = self._buses[controller].reserve(start + access_latency,
                                                     transfer)
         done = bus_start + transfer
@@ -156,10 +170,9 @@ class BankedDram(DramModel):
         return max(bus.busy_time() for bus in self._buses) / now
 
     def reset_contention(self) -> None:
-        for banks in self._banks.values():
-            for bank in banks:
-                bank.open_row = -1
-                bank.schedule.reset()
+        for slot in range(len(self._open_rows)):
+            self._open_rows[slot] = -1
+            self._bank_schedules[slot].reset()
         for bus in self._buses:
             bus.reset()
 

@@ -86,8 +86,10 @@ class MemorySystem:
                  "prefetchers", "line_size", "_line_shift", "_line_mask",
                  "_cores_pow2_mask", "_hit_latency", "_l2_hit_latency",
                  "_l1_inline", "_l1_line_shift", "_l1_set_mask",
-                 "_l1_tag_shift", "_plain_hit", "_has_on_fill",
-                 "_notify_enabled", "_ctx", "_extended", "_private_caches",
+                 "_l1_tag_shift", "_plain_hit", "_ret", "_has_on_fill",
+                 "_has_on_eviction",
+                 "_notify_enabled", "_notify_hits", "_ctx", "_extended",
+                 "_private_caches",
                  "_private_latencies", "_pf_level", "_outermost_private",
                  "_shared_is_l3")
 
@@ -176,16 +178,32 @@ class MemorySystem:
         self._l1_set_mask = sample_l1._set_mask
         self._l1_tag_shift = sample_l1._tag_shift
         # Shared result tuple for the overwhelmingly common plain L1 hit
-        # (immutable, so safe to return repeatedly).
+        # (immutable, so safe to return repeatedly), plus one reusable
+        # result list for every other access_fast outcome — callers consume
+        # the latency/flags immediately (see access_fast's contract), so no
+        # per-access result tuple is allocated.
         self._plain_hit = (self._hit_latency, True, False, False, 0.0)
+        self._ret = [0.0, False, False, False, 0.0]
         # on_fill is a chaining hook no stock prefetcher implements; skip
-        # the per-request call when it is the base-class no-op.
+        # the per-request call when it is the base-class no-op.  Same for
+        # on_eviction (only IMP's granularity predictor uses it).
         self._has_on_fill = [type(p).on_fill is not PrefetcherBase.on_fill
                              for p in self.prefetchers]
+        self._has_on_eviction = [
+            type(p).on_eviction is not PrefetcherBase.on_eviction
+            and getattr(p, "observes_evictions", True)
+            for p in self.prefetchers]
         # Which cores have a prefetcher worth notifying (skips the whole
         # AccessContext path for the "none" baseline).
         self._notify_enabled = [not _prefetcher_is_inert(p)
                                 for p in self.prefetchers]
+        # Which cores must be notified on cache *hits*: miss-stream-only
+        # prefetchers (``observes_hits`` False, e.g. the classic GHB) treat
+        # a hit notification as a no-op, so the hit path skips it — and
+        # core models keep such hits entirely core-local.
+        self._notify_hits = [
+            enabled and getattr(p, "observes_hits", True)
+            for enabled, p in zip(self._notify_enabled, self.prefetchers)]
         # One reusable AccessContext: fields are rebound per access instead
         # of allocating a context (plus a read_value closure) per reference.
         self._ctx = AccessContext(core_id=0, pc=0, addr=0, size=0,
@@ -242,48 +260,58 @@ class MemorySystem:
         Returns ``(latency, l1_hit, l2_hit, covered_by_prefetch,
         late_prefetch_cycles)``; core models read only the first two
         elements, so stand-in memory systems may return any indexable with
-        latency at [0] and the L1-hit flag at [1].
+        latency at [0] and the L1-hit flag at [1].  The returned indexable
+        may be a **reused scratch list** — callers must consume it before
+        the next access, never retain it.
         """
         if self._extended:
             return self._access_extended(core_id, pc, addr, size, is_write,
                                          now)
         config = self.config
         if config.ideal_memory:
-            if self._notify_enabled[core_id]:
+            if self._notify_hits[core_id]:
                 self._notify_prefetcher(core_id, pc, addr, size, is_write,
                                         hit=True, now=now)
             return self._hit_latency, True, False, False, 0.0
 
         l1 = self.l1[core_id]
+        miss = False
+        covered = False
+        ready = 0.0
         if self._l1_inline:
             # Cache.access_fast, inlined for the shared power-of-two
-            # non-sectored L1 geometry (the hottest lines in the simulator).
+            # non-sectored L1 geometry (the hottest lines in the simulator);
+            # scalar locals instead of the (ready, was_prefetched) tuple.
             l1.accesses += 1
-            line = l1._sets[(addr >> self._l1_line_shift)
+            way = l1._index[(addr >> self._l1_line_shift)
                             & self._l1_set_mask].get(
                                 addr >> self._l1_tag_shift)
-            if line is None:
+            if way is None:
                 l1.misses += 1
-                hit = None
+                miss = True
             else:
                 l1.hits += 1
-                line.last_use = now
+                l1._last_use[way] = now
                 # (sector_touched is only consumed by the granularity
                 # predictor, which requires a sectored L1 — not this path.)
+                flags = l1._flags[way]
                 if is_write:
-                    line.dirty = True
-                if line.from_prefetch:
-                    was_prefetched = not line.prefetch_referenced
-                    line.prefetch_referenced = True
-                    hit = (line.ready_time, was_prefetched)
+                    flags |= 1          # FLAG_DIRTY
+                if flags & 2:           # FLAG_FROM_PREFETCH
+                    covered = not flags & 4  # FLAG_PREFETCH_REFERENCED
+                    l1._flags[way] = flags | 4
                 else:
-                    hit = (line.ready_time, False)
+                    l1._flags[way] = flags
+                ready = l1._ready[way]
         else:
             hit = l1.access_fast(addr, size, is_write, now)
+            if hit is None:
+                miss = True
+            else:
+                ready, covered = hit
         hit_latency = self._hit_latency
 
-        if hit is not None:
-            ready, covered = hit
+        if not miss:
             late = ready - now
             if late > 0.0:
                 latency = hit_latency + late
@@ -295,7 +323,7 @@ class MemorySystem:
                 core_stats.prefetch_covered_misses += 1
                 core_stats.prefetches_useful += 1
                 core_stats.prefetch_late_cycles += int(late)
-            if self._notify_enabled[core_id]:
+            if self._notify_hits[core_id]:
                 # _notify_prefetcher, inlined (hottest call site).
                 ctx = self._ctx
                 ctx.core_id = core_id
@@ -309,7 +337,13 @@ class MemorySystem:
                 if requests:
                     self._issue_requests(core_id, requests, now)
             if covered or late:
-                return latency, True, False, covered, late
+                ret = self._ret
+                ret[0] = latency
+                ret[1] = True
+                ret[2] = False
+                ret[3] = covered
+                ret[4] = late
+                return ret
             return self._plain_hit
 
         # L1 miss: fetch the line through the shared L2 / DRAM.
@@ -320,15 +354,19 @@ class MemorySystem:
                                            is_write=is_write,
                                            fetch_bytes=self.line_size,
                                            sectors=None)
-        evicted = l1.fill_fast(addr, now, arrival, is_prefetch=False,
-                               is_write=is_write)[1]
-        if evicted is not None:
-            self._handle_l1_eviction(core_id, evicted, now)
+        if l1.fill_fast(addr, now, arrival, False, is_write):
+            self._handle_l1_eviction(core_id, l1, now)
         latency = hit_latency + max(0.0, arrival - now)
         if self._notify_enabled[core_id]:
             self._notify_prefetcher(core_id, pc, addr, size, is_write,
                                     hit=False, now=now)
-        return latency, False, l2_hit, False, 0.0
+        ret = self._ret
+        ret[0] = latency
+        ret[1] = False
+        ret[2] = l2_hit
+        ret[3] = False
+        ret[4] = 0.0
+        return ret
 
     # ------------------------------------------------------------------
     # Extended (explicit-hierarchy) demand path
@@ -347,7 +385,7 @@ class MemorySystem:
         pf_level = self._pf_level
         notify = self._notify_enabled[core_id]
         if config.ideal_memory:
-            if notify and pf_level == 0:
+            if pf_level == 0 and self._notify_hits[core_id]:
                 self._notify_prefetcher(core_id, pc, addr, size, is_write,
                                         hit=True, now=now)
             return self._hit_latency, True, False, False, 0.0
@@ -385,18 +423,20 @@ class MemorySystem:
             arrival = now + latency
             # Pull the line into every inner level (inclusive fill).
             for index in range(hit_level - 1, -1, -1):
-                evicted = levels[index][core_id].fill_fast(
-                    addr, now, arrival, is_prefetch=False,
-                    is_write=is_write)[1]
-                if evicted is not None:
-                    self._handle_private_eviction(core_id, index, evicted,
-                                                  now)
+                if levels[index][core_id].fill_fast(addr, now, arrival,
+                                                    False, is_write):
+                    self._handle_private_eviction(core_id, index, now)
             if notify and hit_level >= pf_level:
                 # The prefetcher sees accesses that reach its level: for an
                 # L1 attachment that is every access; deeper attachments
-                # see the miss stream of the levels above.
-                self._notify_prefetcher(core_id, pc, addr, size, is_write,
-                                        hit=hit_level == pf_level, now=now)
+                # see the miss stream of the levels above.  A hit *at* the
+                # attachment level is a hit notification, which miss-
+                # stream-only prefetchers skip.
+                if hit_level > pf_level or self._notify_hits[core_id]:
+                    self._notify_prefetcher(core_id, pc, addr, size,
+                                            is_write,
+                                            hit=hit_level == pf_level,
+                                            now=now)
             return (latency, hit_level == 0, hit_level > 0, covered, late)
 
         # Missed every private level: fetch through the shared level.
@@ -408,10 +448,9 @@ class MemorySystem:
                                                fetch_bytes=self.line_size,
                                                sectors=None)
         for index in range(n_private - 1, -1, -1):
-            evicted = levels[index][core_id].fill_fast(
-                addr, now, arrival, is_prefetch=False, is_write=is_write)[1]
-            if evicted is not None:
-                self._handle_private_eviction(core_id, index, evicted, now)
+            if levels[index][core_id].fill_fast(addr, now, arrival,
+                                                False, is_write):
+                self._handle_private_eviction(core_id, index, now)
         latency += max(0.0, arrival - now)
         if notify:
             self._notify_prefetcher(core_id, pc, addr, size, is_write,
@@ -419,8 +458,12 @@ class MemorySystem:
         return latency, False, shared_hit, False, 0.0
 
     def _handle_private_eviction(self, core_id: int, level_index: int,
-                                 victim, now: float) -> None:
+                                 now: float) -> None:
         """Eviction from one private level of an explicit hierarchy.
+
+        The victim is described by the evicting cache's ``victim_*``
+        scratch fields (captured into locals first: cascading write-backs
+        below may evict again and overwrite deeper levels' scratch).
 
         Outermost private evictions leave the core's domain: the line is
         back-invalidated from every inner private level (the chain is
@@ -430,30 +473,29 @@ class MemorySystem:
         of the shared level.  Inner evictions stay local: a dirty victim
         is written back into the next private level (which may cascade).
         """
-        if victim is None:
-            return
-        if level_index == self._pf_level:
-            self.prefetchers[core_id].on_eviction(victim.addr,
-                                                  victim.sector_touched, now)
+        cache = self._private_caches[level_index][core_id]
+        victim_addr = cache.victim_addr
+        victim_dirty = cache.victim_dirty
+        if level_index == self._pf_level and self._has_on_eviction[core_id]:
+            self.prefetchers[core_id].on_eviction(victim_addr,
+                                                  cache.victim_touched, now)
         if level_index == self._outermost_private:
-            dirty = victim.dirty
+            dirty = victim_dirty
             for inner in range(level_index):
-                line = self._private_caches[inner][core_id].invalidate(
-                    victim.addr)
-                if line is not None and line.dirty:
+                flags = self._private_caches[inner][core_id].invalidate_fast(
+                    victim_addr)
+                if flags is not None and flags & 1:   # FLAG_DIRTY
                     dirty = True
-            home = self.home_tile(victim.addr)
-            self.directories[home].evict(self.line_addr(victim.addr), core_id)
+            home = self.home_tile(victim_addr)
+            self.directories[home].evict(self.line_addr(victim_addr), core_id)
             if dirty:
                 self.noc.send_fast(core_id, home, self.line_size, now)
-                self.l2[home].fill_fast(victim.addr, now, now, is_write=True)
+                self.l2[home].fill_fast(victim_addr, now, now, False, True)
             return
-        if victim.dirty:
-            evicted = self._private_caches[level_index + 1][core_id].fill_fast(
-                victim.addr, now, now, is_write=True)[1]
-            if evicted is not None:
-                self._handle_private_eviction(core_id, level_index + 1,
-                                              evicted, now)
+        if victim_dirty:
+            if self._private_caches[level_index + 1][core_id].fill_fast(
+                    victim_addr, now, now, False, True):
+                self._handle_private_eviction(core_id, level_index + 1, now)
 
     # ------------------------------------------------------------------
     # Prefetch path
@@ -473,23 +515,23 @@ class MemorySystem:
         cache = (self._private_caches[self._pf_level][core_id] if extended
                  else self.l1[core_id])
         addr = request.addr
-        # Inlined cache.probe (most prefetches find the line already
+        # Inlined cache way lookup (most prefetches find the line already
         # resident).
         if cache._tag_shift is not None:
-            line = cache._sets[(addr >> cache._line_shift)
+            way = cache._index[(addr >> cache._line_shift)
                                & cache._set_mask].get(addr >> cache._tag_shift)
         else:
-            line = cache.probe(addr)
+            way = cache._way_of(addr)
         size = request.size
         line_size = self.line_size
         fetch_bytes = size if size < line_size else line_size
         sectors = None
         if cache.sector_size:
             sectors = self._sector_mask_for_prefetch(cache, addr, fetch_bytes)
-        if line is not None:
+        if way is not None:
             if not cache.sector_size:
                 return now  # already resident, nothing to do
-            if (line.sector_valid & sectors) == sectors:
+            if (cache._sector_valid[way] & sectors) == sectors:
                 return now
         core_stats = self.stats.cores[core_id]
         core_stats.prefetches_issued += 1
@@ -505,10 +547,8 @@ class MemorySystem:
                                       dram_bytes=dram_bytes,
                                       sectors=sectors)
         if not extended:
-            evicted = cache.fill_fast(addr, now, arrival, is_prefetch=True,
-                                      sectors=sectors)[1]
-            if evicted is not None:
-                self._handle_l1_eviction(core_id, evicted, now)
+            if cache.fill_fast(addr, now, arrival, True, False, sectors):
+                self._handle_l1_eviction(core_id, cache, now)
             return arrival
         # Fill the attachment level and every private level outside it
         # (outermost first): the chain is inclusive, and a line resident
@@ -516,11 +556,9 @@ class MemorySystem:
         # which tracks the outermost private level.
         for level in range(self._outermost_private, self._pf_level - 1, -1):
             level_sectors = sectors if level == self._pf_level else None
-            evicted = self._private_caches[level][core_id].fill_fast(
-                addr, now, arrival, is_prefetch=True,
-                sectors=level_sectors)[1]
-            if evicted is not None:
-                self._handle_private_eviction(core_id, level, evicted, now)
+            if self._private_caches[level][core_id].fill_fast(
+                    addr, now, arrival, True, False, level_sectors):
+                self._handle_private_eviction(core_id, level, now)
         return arrival
 
     def _sector_mask_for_prefetch(self, l1: Cache, addr: int,
@@ -577,8 +615,8 @@ class MemorySystem:
                 time = coherence_done
 
         # L2 slice lookup at the home tile.
-        l2_hit = l2.access_fast(addr, fetch_bytes if fetch_bytes > 1 else 1,
-                                is_write, time) is not None
+        l2_hit = l2.access_hit(addr, fetch_bytes if fetch_bytes > 1 else 1,
+                               is_write, time)
         time += self._l2_hit_latency
         if l2_hit:
             if self._shared_is_l3:
@@ -601,10 +639,8 @@ class MemorySystem:
                 l2_sectors = (l2.sector_mask(addr, dram_bytes)
                               if dram_bytes < self.line_size
                               else full_mask(l2.sectors_per_line))
-            l2_evicted = l2.fill_fast(addr, time, time, is_write=is_write,
-                                      sectors=l2_sectors)[1]
-            if l2_evicted is not None:
-                self._handle_l2_eviction(home, l2_evicted, time)
+            if l2.fill_fast(addr, time, time, False, is_write, l2_sectors):
+                self._handle_l2_eviction(home, l2, time)
 
         # Data response: home tile -> requesting core.
         time = noc_send(home, core_id, fetch_bytes, time)
@@ -613,23 +649,49 @@ class MemorySystem:
     # ------------------------------------------------------------------
     # Evictions and write-backs
     # ------------------------------------------------------------------
-    def _handle_l1_eviction(self, core_id: int, victim, now: float) -> None:
-        if victim is None:
-            return
-        self.prefetchers[core_id].on_eviction(victim.addr, victim.sector_touched, now)
-        home = self.home_tile(victim.addr)
-        self.directories[home].evict(self.line_addr(victim.addr), core_id)
-        if victim.dirty:
-            # Write the dirty line back to its home L2 slice.
+    def _handle_l1_eviction(self, core_id: int, cache, now: float) -> None:
+        """Handle the victim described by ``cache``'s scratch fields (read
+        into locals first — the write-back below fills the home L2 slice,
+        whose own scratch this must not confuse with the L1 victim's)."""
+        victim_addr = cache.victim_addr
+        victim_dirty = cache.victim_dirty
+        if self._has_on_eviction[core_id]:
+            self.prefetchers[core_id].on_eviction(victim_addr,
+                                                  cache.victim_touched, now)
+        # home_tile / line_addr, inlined for power-of-two geometries (this
+        # runs once per steady-state miss).
+        if self._line_shift is not None:
+            line = victim_addr & self._line_mask
+            line_no = victim_addr >> self._line_shift
+        else:
+            line = self.line_addr(victim_addr)
+            line_no = victim_addr // self.line_size
+        if self._cores_pow2_mask is not None:
+            home = line_no & self._cores_pow2_mask
+        else:
+            home = line_no % self.config.n_cores
+        self.directories[home].evict(line, core_id)
+        if victim_dirty:
+            # Write the dirty line back to its home L2 slice.  (A dirty L2
+            # victim of this fill is dropped, as before the flat-column
+            # rewrite: the write-back path never charged nested L2
+            # evictions.)
             self.noc.send_fast(core_id, home, self.line_size, now)
-            self.l2[home].fill_fast(victim.addr, now, now, is_write=True)
+            self.l2[home].fill_fast(victim_addr, now, now, False, True)
 
-    def _handle_l2_eviction(self, home: int, victim, now: float) -> None:
-        if victim is None or not victim.dirty:
+    def _handle_l2_eviction(self, home: int, cache, now: float) -> None:
+        if not cache.victim_dirty:
             return
-        mc_index, mc_tile = self.memory_controller(victim.addr)
-        self.noc.send_fast(home, mc_tile, self.line_size, now)
-        self.dram.access(mc_index, victim.addr, self.line_size, now, is_write=True)
+        victim_addr = cache.victim_addr
+        # memory_controller, inlined (no tuple built).
+        if self._line_shift is not None:
+            mc_index = (victim_addr >> self._line_shift) % self._num_mcs
+        else:
+            mc_index = (victim_addr // self.line_size) % self._num_mcs
+        self.noc.send_fast(home, self._mc_tiles[mc_index], self.line_size,
+                           now)
+        self.dram.access(mc_index, victim_addr, self.line_size, now,
+                         is_write=True)
 
     # ------------------------------------------------------------------
     # Prefetcher plumbing
@@ -652,10 +714,25 @@ class MemorySystem:
                         now: float) -> None:
         issue_prefetch = self.issue_prefetch
         if not self._has_on_fill[core_id]:
+            # Inline the already-resident early-out of issue_prefetch for
+            # the non-sectored target cache: a resident full-line request
+            # completes at its issue time with no other effect, and most
+            # generated requests are exactly that.
+            cache = (self._private_caches[self._pf_level][core_id]
+                     if self._extended else self.l1[core_id])
+            index = cache._index if not cache.sector_size else None
+            tag_shift = cache._tag_shift
             previous_completion = now
             for request in requests:
                 issue_at = (previous_completion
                             if request.depends_on_previous else now)
+                if index is not None and tag_shift is not None:
+                    addr = request.addr
+                    if index[(addr >> cache._line_shift)
+                             & cache._set_mask].get(
+                                 addr >> tag_shift) is not None:
+                        previous_completion = issue_at
+                        continue
                 previous_completion = issue_prefetch(core_id, request,
                                                      issue_at)
             return

@@ -16,6 +16,7 @@ Traffic is accounted in bytes and flits so Figure 12 can be reproduced.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -37,8 +38,7 @@ class MeshNoC:
     """Square 2-D mesh with XY routing and per-link queueing."""
 
     __slots__ = ("n_tiles", "dim", "config", "traffic", "_links",
-                 "_route_cache", "_hops_cache", "_payload_cache",
-                 "_hop_latency")
+                 "_send_cache", "_hop_latency")
 
     def __init__(self, n_tiles: int, config: NoCConfig = NoCConfig(),
                  traffic: TrafficStats = None) -> None:
@@ -51,13 +51,13 @@ class MeshNoC:
         self.traffic = traffic if traffic is not None else TrafficStats()
         # Reservation schedule per directed link, keyed by (src, dst) tile.
         self._links: Dict[Tuple[int, int], ResourceSchedule] = {}
-        # Hot-path caches: the (resolved) link schedules of each XY route and
-        # hop counts are pure functions of the (src, dst) pair, flit counts /
-        # serialization of the payload size.  All are recomputed millions of
-        # times per run without these.
-        self._route_cache: Dict[int, Tuple[ResourceSchedule, ...]] = {}
-        self._hops_cache: Dict[int, int] = {}
-        self._payload_cache: Dict[int, Tuple[int, float]] = {}
+        # Hot-path cache: everything about one (src, dst, payload) send that
+        # does not depend on time — the resolved link schedules of the XY
+        # route, the serialization delay of the payload's flits, and the
+        # precomputed per-hop traffic totals — fused into a single dict
+        # lookup keyed by one packed integer.  All of it is recomputed
+        # millions of times per run without this.
+        self._send_cache: Dict[int, tuple] = {}
         self._hop_latency = config.hop_latency
 
     # ------------------------------------------------------------------
@@ -119,42 +119,105 @@ class MeshNoC:
 
         Contention: at every link of the route the message waits until the
         link is free, then occupies it for the serialization time of its
-        flits.  Hop latency is added per link.
+        flits.  Hop latency is added per link.  The per-link reservation
+        inlines :meth:`ResourceSchedule.reserve`'s append-at-end fast path
+        (mostly time-ordered traffic lands at the tail of each link's
+        schedule); out-of-order or prune-due placements fall back to the
+        general method, so schedule state stays bit-identical.
         """
         traffic = self.traffic
-        cached = self._payload_cache.get(payload_bytes)
-        if cached is None:
-            flits = self._flits(payload_bytes)
-            cached = (flits, flits / self.config.link_bandwidth_flits)
-            self._payload_cache[payload_bytes] = cached
-        flits, serialization = cached
         time = float(now)
         if src == dst:
             # Local access: no network traversal, a single router pass.
             traffic.noc_messages += 1
             return time + self._hop_latency
-        pair = src * self.n_tiles + dst
-        schedules = self._route_cache.get(pair)
-        if schedules is None:
-            links = self._links
-            resolved = []
-            for link in self.route(src, dst):
-                schedule = links.get(link)
-                if schedule is None:
-                    schedule = links[link] = ResourceSchedule()
-                resolved.append(schedule)
-            schedules = tuple(resolved)
-            self._route_cache[pair] = schedules
-            self._hops_cache[pair] = self.hops(src, dst)
+        key = (src * self.n_tiles + dst) << 20 | payload_bytes
+        cached = self._send_cache.get(key)
+        if cached is None:
+            cached = self._resolve_send(src, dst, payload_bytes)
+            self._send_cache[key] = cached
+        schedules, serialization, flits_hops, bytes_hops = cached
         hop_latency = self._hop_latency
+        # Per-link reservation: ResourceSchedule.reserve, fully inlined
+        # (the single hottest loop in the simulator — the call, argument
+        # and attribute traffic of ~2.5 method calls per message measurably
+        # dominates the placement work itself).  Identical placement,
+        # coalescing and pruning decisions; keep in sync with reserve().
         for schedule in schedules:
-            time = schedule.reserve(time, serialization) + hop_latency
+            ends = schedule._ends
+            schedule.total_busy += serialization
+            n = len(ends)
+            if n == 0 or time >= ends[-1]:
+                # Idle at (and after) the arrival time: append at the tail,
+                # coalescing an exact touch with the last interval.  Old
+                # reservations are only pruned once the list is provably
+                # longer than the prune window can hold (coalescing bounds
+                # a window's worth of intervals below 4096), keeping the
+                # per-append bookkeeping to this one length check.
+                if n and time == ends[-1]:
+                    ends[-1] = time + serialization
+                else:
+                    schedule._starts.append(time)
+                    ends.append(time + serialization)
+                    if n >= 8192:
+                        schedule._prune(time)
+                time += hop_latency
+                continue
+            starts = schedule._starts
+            if ends[0] < time - 16384.0:             # PRUNE_TRIGGER
+                schedule._prune(time)
+                n = len(ends)
+            start = time
+            position = bisect_left(ends, start)
+            if position < n and starts[position] - start < serialization:
+                # Walk over the intervals the message cannot squeeze in
+                # front of.  After the first step ``start`` sits on an
+                # interval end, so every later interval provably ends past
+                # it and the inner loop needs no max().
+                end_here = ends[position]
+                if end_here > start:
+                    start = end_here
+                position += 1
+                while position < n:
+                    if starts[position] - start >= serialization:
+                        break              # fits in the gap before this one
+                    start = ends[position]
+                    position += 1
+            end = start + serialization
+            touches_prev = position > 0 and ends[position - 1] == start
+            if position < n and starts[position] == end:
+                if touches_prev:
+                    # Bridges the two neighbouring intervals: merge all.
+                    ends[position - 1] = ends[position]
+                    del starts[position]
+                    del ends[position]
+                else:
+                    starts[position] = start
+            elif touches_prev:
+                ends[position - 1] = end
+            else:
+                starts.insert(position, start)
+                ends.insert(position, end)
+            time = start + hop_latency
         time += serialization  # pipeline drain of the message body
-        hops = self._hops_cache[pair]
         traffic.noc_messages += 1
-        traffic.noc_flits += flits * hops
-        traffic.noc_bytes += payload_bytes * hops
+        traffic.noc_flits += flits_hops
+        traffic.noc_bytes += bytes_hops
         return time
+
+    def _resolve_send(self, src: int, dst: int, payload_bytes: int) -> tuple:
+        """Build the time-independent part of a (src, dst, payload) send."""
+        links = self._links
+        resolved = []
+        for link in self.route(src, dst):
+            schedule = links.get(link)
+            if schedule is None:
+                schedule = links[link] = ResourceSchedule()
+            resolved.append(schedule)
+        flits = self._flits(payload_bytes)
+        hops = self.hops(src, dst)
+        return (tuple(resolved), flits / self.config.link_bandwidth_flits,
+                flits * hops, payload_bytes * hops)
 
     def round_trip(self, src: int, dst: int, request_bytes: int,
                    response_bytes: int, now: float,
@@ -184,6 +247,6 @@ class MeshNoC:
     def reset_contention(self) -> None:
         """Clear all link occupancy (used between independent runs)."""
         self._links.clear()
-        # Cached routes hold resolved ResourceSchedule objects; drop them so
+        # Cached sends hold resolved ResourceSchedule objects; drop them so
         # future sends see the cleared link state.
-        self._route_cache.clear()
+        self._send_cache.clear()

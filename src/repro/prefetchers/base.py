@@ -89,6 +89,15 @@ class PrefetcherBase:
 
     name = "base"
 
+    #: True when ``on_access`` observes (or could react to) cache *hits*.
+    #: Prefetchers that train on the miss stream only (the classic GHB)
+    #: override this with False, which lets the memory system skip the
+    #: whole notification path — context rebinding, the ``on_access`` call
+    #: and its empty result — on the overwhelmingly common L1 hit, and
+    #: lets core models keep hits entirely core-local.  Only set it to
+    #: False when ``on_access`` with ``ctx.hit`` is a provable no-op.
+    observes_hits = True
+
     def on_access(self, ctx: AccessContext) -> List[PrefetchRequest]:
         """Observe one demand access; return prefetches to issue."""
         return []

@@ -70,8 +70,11 @@ class InOrderCore:
                  "_mem_accesses", "_loads", "_stores", "_l1_hits",
                  "_l1_misses", "_accesses_by_kind", "_misses_by_kind",
                  "_mem_latency", "_stall_cycles", "_stalls_by_kind",
-                 "_l1", "_l1_sets", "_l1_line_shift", "_l1_set_mask",
-                 "_l1_tag_shift", "_hit_latency")
+                 "_l1", "_l1_index", "_l1_ready", "_l1_last_use",
+                 "_l1_flags", "_l1_line_shift", "_l1_set_mask",
+                 "_l1_tag_shift", "_hit_latency", "_driver",
+                 "_notify_on_hit", "_prefetcher", "_pf_ctx",
+                 "_issue_requests", "_pf_skip_resident")
 
     def __init__(self, core_id: int, trace: Trace, memsys, stats: CoreStats,
                  config: SystemConfig) -> None:
@@ -92,23 +95,44 @@ class InOrderCore:
         self._lead = trace.lead
         self._length = len(trace.op)
         self._access = _fast_access_of(memsys)
-        # When this core's prefetcher can never observe accesses and the L1
-        # geometry supports inlined probing, an L1 hit has no side effect
-        # outside this core: the run loop handles it without entering the
-        # memory system at all.  (Must mirror MemorySystem.access_fast's
-        # hit path exactly.)
+        # When the L1 geometry supports inlined probing, an L1 *hit* is
+        # handled entirely inside the run loop — its only possible effect
+        # outside this core is the prefetch requests a hit notification may
+        # produce, and those are issued under this core's scheduling turn
+        # (see _drive).  Prefetchers that never observe hits (the "none"
+        # baseline, the classic GHB) skip the notification entirely.
+        # Misses always go through MemorySystem.access_fast.  (Must mirror
+        # access_fast's hit path exactly.)
         self._l1 = None
-        notify = getattr(memsys, "_notify_enabled", None)
-        if (notify is not None and not notify[core_id]
+        self._notify_on_hit = False
+        self._prefetcher = None
+        self._pf_ctx = None
+        self._issue_requests = None
+        self._pf_skip_resident = False
+        notify_hits = getattr(memsys, "_notify_hits", None)
+        if (notify_hits is not None
                 and getattr(memsys, "_l1_inline", False)
                 and not config.ideal_memory):
             l1 = memsys.l1[core_id]
             self._l1 = l1
-            self._l1_sets = l1._sets
+            # Flat-column L1 state, bound once (see repro.memory.cache):
+            # the per-set {tag: way} index and the metadata columns.
+            self._l1_index = l1._index
+            self._l1_ready = l1._ready
+            self._l1_last_use = l1._last_use
+            self._l1_flags = l1._flags
             self._l1_line_shift = l1._line_shift
             self._l1_set_mask = l1._set_mask
             self._l1_tag_shift = l1._tag_shift
             self._hit_latency = memsys._hit_latency
+            if notify_hits[core_id]:
+                self._notify_on_hit = True
+                self._prefetcher = memsys.prefetchers[core_id]
+                self._pf_ctx = memsys._ctx
+                self._issue_requests = memsys._issue_requests
+                self._pf_skip_resident = not memsys._has_on_fill[core_id]
+        #: Lazily-created generator behind run_until_memory_access.
+        self._driver = None
         # Statistic accumulators, flushed into ``stats`` by finish().
         self._instructions = 0
         self._mem_accesses = 0
@@ -128,22 +152,89 @@ class InOrderCore:
         return self._position >= self._length
 
     def run_until_memory_access(self) -> bool:
-        """Advance the core until it has performed one memory access (or the
-        trace ends).  The system scheduler interleaves cores at this
+        """Advance the core through one scheduling turn: up to (and
+        including) its next *shared* memory operation, plus any core-local
+        work around it.  The system scheduler interleaves cores at this
         granularity so that shared-resource contention is time-ordered.
-        Returns True when the trace is exhausted."""
+        Returns True when the trace is exhausted.
+
+        Thin wrapper over :meth:`_drive`: the run loop lives in a generator
+        so its dozen-plus working locals (trace columns, clock, L1 columns)
+        survive between scheduling turns instead of being rebound on every
+        call — at one shared operation per turn that prologue dominated the
+        loop itself.
+        """
+        driver = self._driver
+        if driver is None:
+            driver = self._driver = self._drive()
+        try:
+            next(driver)
+            return False
+        except StopIteration:
+            return True
+
+    def _drive(self):
+        """Generator body of the run loop.
+
+        Scheduling protocol (bit-identical to the one-yield-per-access
+        scheduler this replaces): every *shared* operation — an access that
+        misses the L1, a hit notification that produces prefetch requests,
+        a software prefetch — executes under a scheduling turn granted by
+        the scheduler, ordered by ``(turn_time, core_id)`` where
+        ``turn_time`` is this core's clock right after its previous memory
+        access.  That key is exactly the time the old scheduler re-queued
+        the core with after each access, so the global order of shared
+        operations is unchanged; what disappears is the scheduler
+        round-trip for every core-local step in between:
+
+        * plain L1 hits (and their prefetcher notifications — prefetcher
+          state is per-core) update nothing another core can observe and
+          run back-to-back without yielding,
+        * when a hit notification *does* return prefetch requests, the
+          requests are issued under the turn the hit would have been
+          scheduled with (yield first if this turn already performed a
+          shared operation),
+        * software prefetches execute under an unused turn without
+          consuming it (the old scheduler ran them in the turn of the
+          access that follows them).
+
+        ``self.time`` is flushed with ``turn_time`` at every yield (the
+        scheduler sorts on it); statistics accumulate in instance counters
+        exactly as before.
+        """
         pos = self._position
         length = self._length
-        if pos >= length:
-            return True
         op_col = self._op
         aux_col = self._aux
         lead_col = self._lead
         addr_col = self._addr
         pc_col = self._pc
         size_col = self._size
+        access = self._access
+        core_id = self.core_id
         time = self.time
         instructions = 0
+        l1 = self._l1
+        if l1 is not None:
+            l1_index = self._l1_index
+            l1_ready = self._l1_ready
+            l1_last_use = self._l1_last_use
+            l1_flags = self._l1_flags
+            l1_line_shift = self._l1_line_shift
+            l1_set_mask = self._l1_set_mask
+            l1_tag_shift = self._l1_tag_shift
+            notify_on_hit = self._notify_on_hit
+            prefetcher = self._prefetcher
+            pf_ctx = self._pf_ctx
+            issue_requests = self._issue_requests
+            pf_skip_resident = self._pf_skip_resident
+        #: Scheduling key of this core's next shared operation: its clock
+        #: just after the previous memory access.
+        turn_time = time
+        #: True once the current turn's key has gone stale — a shared
+        #: operation was performed, or any access advanced the key past
+        #: the time this turn was granted at.
+        turn_used = False
         while pos < length:
             op = op_col[pos]
             if op == OP_COMPUTE:
@@ -152,39 +243,51 @@ class InOrderCore:
                 time += ops
                 instructions += ops
             elif op == OP_SW_PREFETCH:
+                if turn_used:
+                    # A software prefetch runs under an unused turn (and
+                    # does not consume it): the old scheduler executed it
+                    # in the turn of the access that follows.
+                    self._instructions += instructions
+                    instructions = 0
+                    self._position = pos
+                    self.time = turn_time
+                    yield
+                    turn_used = False
                 ops = lead_col[pos] + 1 + aux_col[pos]
                 time += ops
                 instructions += ops
                 addr = addr_col[pos]
                 pos += 1
-                self.memsys.software_prefetch(self.core_id, addr, time)
+                self.memsys.software_prefetch(core_id, addr, time)
             else:
-                lead = lead_col[pos]
-                if lead:
-                    time += lead
-                    instructions += lead
                 addr = addr_col[pos]
-                is_write = op != OP_LOAD
-                kind_code = aux_col[pos]
-                line = None
-                l1 = self._l1
+                way = None
                 if l1 is not None:
-                    line = self._l1_sets[
-                        (addr >> self._l1_line_shift) & self._l1_set_mask
-                    ].get(addr >> self._l1_tag_shift)
-                if line is not None:
-                    # L1 hit on a core whose prefetcher observes nothing:
-                    # no side effect leaves this core, so the whole hit is
-                    # handled here (mirrors MemorySystem.access_fast).
+                    way = l1_index[
+                        (addr >> l1_line_shift) & l1_set_mask
+                    ].get(addr >> l1_tag_shift)
+                if way is not None:
+                    lead = lead_col[pos]
+                    if lead:
+                        time += lead
+                        instructions += lead
+                    is_write = op != OP_LOAD
+                    kind_code = aux_col[pos]
+                    # L1 hit, handled entirely in the run loop (mirrors
+                    # MemorySystem.access_fast's hit path).
                     l1.accesses += 1
                     l1.hits += 1
-                    line.last_use = time
+                    l1_last_use[way] = time
+                    flags = l1_flags[way]
                     if is_write:
-                        line.dirty = True
+                        flags |= 1      # FLAG_DIRTY
+                        self._stores += 1
+                    else:
+                        self._loads += 1
                     hit_latency = self._hit_latency
-                    if line.from_prefetch and not line.prefetch_referenced:
-                        line.prefetch_referenced = True
-                        late = line.ready_time - time
+                    if flags & 2 and not flags & 4:  # unreferenced prefetch
+                        l1_flags[way] = flags | 4
+                        late = l1_ready[way] - time
                         if late > 0.0:
                             latency = hit_latency + late
                         else:
@@ -195,20 +298,96 @@ class InOrderCore:
                         stats.prefetches_useful += 1
                         stats.prefetch_late_cycles += int(late)
                     else:
-                        if line.from_prefetch:
-                            line.prefetch_referenced = True
-                        late = line.ready_time - time
+                        l1_flags[way] = flags
+                        late = l1_ready[way] - time
                         latency = (hit_latency + late if late > 0.0
                                    else hit_latency)
-                    l1_hit = True
-                else:
-                    # access_fast returns a 5-tuple (2-tuple from adapters);
-                    # only latency and the L1-hit flag matter here.
-                    result = self._access(
-                        self.core_id, pc_col[pos], addr, size_col[pos],
-                        is_write, time)
-                    latency = result[0]
-                    l1_hit = result[1]
+                    if notify_on_hit:
+                        # _notify_prefetcher, inlined: the prefetcher
+                        # observes the hit now (its state is core-local);
+                        # any prefetch requests it returns are shared work
+                        # and wait for this core's turn below.
+                        pf_ctx.core_id = core_id
+                        pf_ctx.pc = pc_col[pos]
+                        pf_ctx.addr = addr
+                        pf_ctx.size = size_col[pos]
+                        pf_ctx.is_write = is_write
+                        pf_ctx.hit = True
+                        pf_ctx.now = time
+                        requests = prefetcher.on_access(pf_ctx)
+                        if requests:
+                            # Requests whose line is already resident in
+                            # this (non-sectored) L1 are no-ops in
+                            # issue_prefetch; a batch of only those has no
+                            # shared effect and needs no scheduling turn.
+                            # No other core can change this L1's contents,
+                            # so the check cannot go stale across a yield.
+                            # (Disabled for prefetchers with an on_fill
+                            # chaining hook, which observes every request.)
+                            all_resident = False
+                            if pf_skip_resident:
+                                all_resident = True
+                                for request in requests:
+                                    target = request.addr
+                                    if l1_index[
+                                        (target >> l1_line_shift)
+                                        & l1_set_mask
+                                    ].get(target >> l1_tag_shift) is None:
+                                        all_resident = False
+                                        break
+                            if not all_resident:
+                                if turn_used:
+                                    self._instructions += instructions
+                                    instructions = 0
+                                    self._position = pos
+                                    self.time = turn_time
+                                    yield
+                                issue_requests(core_id, requests, time)
+                                turn_used = True
+                    pos += 1
+                    instructions += 1
+                    self._mem_accesses += 1
+                    self._accesses_by_kind[kind_code] += 1
+                    self._mem_latency += latency
+                    self._l1_hits += 1
+                    stall = latency - 1.0
+                    if stall > 0.0:
+                        self._stall_cycles += stall
+                        self._stalls_by_kind[kind_code] += stall
+                        time += 1.0 + stall
+                    else:
+                        time += 1.0
+                    # The turn's scheduling key is stale once any access
+                    # has been processed: the next shared operation must be
+                    # re-granted at the advanced key.
+                    turn_time = time
+                    turn_used = True
+                    continue
+                if turn_used:
+                    # Shared access, but this turn already performed a
+                    # shared operation: yield so cores with earlier clocks
+                    # take their turns first.  (The probe above is
+                    # side-effect-free, and no other core can mutate this
+                    # core's private L1, so the access is simply processed
+                    # on resumption.)
+                    self._instructions += instructions
+                    instructions = 0
+                    self._position = pos
+                    self.time = turn_time
+                    yield
+                lead = lead_col[pos]
+                if lead:
+                    time += lead
+                    instructions += lead
+                is_write = op != OP_LOAD
+                kind_code = aux_col[pos]
+                # access_fast returns a 5-indexable (2-tuple from
+                # adapters), possibly a reused scratch list; only latency
+                # and the L1-hit flag matter here, read immediately.
+                result = access(core_id, pc_col[pos], addr, size_col[pos],
+                                is_write, time)
+                latency = result[0]
+                l1_hit = result[1]
                 pos += 1
                 instructions += 1
                 self._mem_accesses += 1
@@ -230,14 +409,11 @@ class InOrderCore:
                     time += 1.0 + stall
                 else:
                     time += 1.0
-                self._instructions += instructions
-                self._position = pos
-                self.time = time
-                return pos >= length
+                turn_time = time
+                turn_used = True
         self._instructions += instructions
         self._position = pos
         self.time = time
-        return True
 
     def finish(self) -> None:
         """Called once the trace is exhausted; flushes accumulated counters

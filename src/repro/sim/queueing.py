@@ -31,6 +31,13 @@ class ResourceSchedule:
     #: worst-case memory latency plus the perfect-prefetch lead time).
     PRUNE_SLACK = 8192.0
 
+    #: Pruning is *triggered* only once the oldest reservation has aged past
+    #: twice the slack (hysteresis): reservations older than the slack can
+    #: never influence a placement, so retaining them a while longer is free,
+    #: and batching the discards halves the bookkeeping on the reserve hot
+    #: path.  Each prune still discards down to ``PRUNE_SLACK``.
+    PRUNE_TRIGGER = 16384.0
+
     def __init__(self) -> None:
         self._starts: List[float] = []
         self._ends: List[float] = []
@@ -57,7 +64,7 @@ class ResourceSchedule:
             return arrival
         self.total_busy += duration
         starts, ends = self._starts, self._ends
-        if ends and ends[0] < arrival - self.PRUNE_SLACK:
+        if ends and ends[0] < arrival - self.PRUNE_TRIGGER:
             self._prune(arrival)
         n = len(ends)
         if n == 0 or arrival >= ends[-1]:

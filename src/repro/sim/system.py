@@ -26,7 +26,7 @@ from repro.prefetchers.ghb import GHBConfig
 from repro.prefetchers.stream import StreamPrefetcherConfig
 from repro.registry import PREFETCHERS
 from repro.sim.config import SystemConfig
-from repro.sim.core_model import make_core
+from repro.sim.core_model import InOrderCore, make_core
 from repro.sim.stats import CoreStats, SystemStats
 from repro.sim.trace import Trace
 
@@ -107,6 +107,13 @@ class SimulationResult:
                    prefetcher=doc["prefetcher"], workload=doc["workload"])
 
 
+def _method_driver(core):
+    """Adapt a method-based core (OutOfOrderCore, test stand-ins) to the
+    generator-driving scheduler: one yield per scheduling turn."""
+    while not core.run_until_memory_access():
+        yield
+
+
 class System:
     """A full chip: cores + memory hierarchy, driven by per-core traces."""
 
@@ -147,6 +154,22 @@ class System:
     def _run(self) -> SimulationResult:
         heap: List = []
         cores = self.cores
+        # Drive each core through its scheduling generator (see
+        # InOrderCore._drive): resuming a live frame per turn instead of
+        # re-entering a method keeps the core's working locals alive.
+        # Cores without a generator driver (the out-of-order model, test
+        # stand-ins) are adapted on the fly.
+        drivers = []
+        for core in cores:
+            drive = getattr(core, "_drive", None)
+            if drive is not None and type(core).run_until_memory_access \
+                    is InOrderCore.run_until_memory_access:
+                driver = core._driver
+                if driver is None:
+                    driver = core._driver = drive()
+            else:
+                driver = _method_driver(core)
+            drivers.append(driver)
         for core in cores:
             if not core.done:
                 heapq.heappush(heap, (core.time, core.core_id))
@@ -155,22 +178,26 @@ class System:
         while heap:
             core_id = heappop(heap)[1]
             core = cores[core_id]
-            while True:
-                if core.run_until_memory_access():
-                    core.finish()
-                    break
-                core_time = core.time
-                if heap:
-                    head_time, head_id = heap[0]
-                    if (core_time < head_time
-                            or (core_time == head_time and core_id < head_id)):
-                        # Still the globally earliest core: a push/pop pair
-                        # would hand execution straight back to it, so skip
-                        # the heap round-trip.  Exactly the seed schedule.
-                        continue
-                    heappush(heap, (core_time, core_id))
-                    break
-                # Only this core is still active: run it to completion.
+            driver = drivers[core_id]
+            try:
+                while True:
+                    next(driver)
+                    core_time = core.time
+                    if heap:
+                        head_time, head_id = heap[0]
+                        if (core_time < head_time
+                                or (core_time == head_time
+                                    and core_id < head_id)):
+                            # Still the globally earliest core: a push/pop
+                            # pair would hand execution straight back to it,
+                            # so skip the heap round-trip.  Exactly the seed
+                            # schedule.
+                            continue
+                        heappush(heap, (core_time, core_id))
+                        break
+                    # Only this core is still active: run it to completion.
+            except StopIteration:
+                core.finish()
         for core in cores:
             core.finish()
         imps = [p for p in self.memsys.prefetchers if isinstance(p, IMP)]

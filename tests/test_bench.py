@@ -3,6 +3,8 @@
 import copy
 import io
 
+import pytest
+
 from repro.experiments.bench import (
     PREFETCHERS,
     check_sweep_document,
@@ -91,3 +93,33 @@ class TestSweepBenchmark:
         slow = copy.deepcopy(document)
         slow["speedup"]["warm_vs_serial"] = 2.0
         assert check_sweep_document(slow, out=io.StringIO()) != 0
+
+
+class TestBaselineComparison:
+    def _document(self, wall, cycles):
+        return {"schema": "repro-bench-v1",
+                "scenarios": {
+                    "spmv/imp": {"wall_seconds": wall,
+                                 "fingerprint": {"runtime_cycles": cycles}},
+                    "spmv/none": {"wall_seconds": 2 * wall,
+                                  "fingerprint": {"runtime_cycles": cycles}},
+                }}
+
+    def test_speedups_and_miss_heavy_geomean(self):
+        from repro.experiments.bench import baseline_comparison
+
+        current = self._document(1.0, 100)
+        baseline = self._document(1.5, 100)
+        section = baseline_comparison(current, baseline)
+        assert section["speedup_by_scenario"]["spmv/imp"] == pytest.approx(1.5)
+        assert section["miss_heavy_rows"] == ["spmv/imp"]
+        assert section["miss_heavy_geomean_speedup"] == pytest.approx(1.5)
+        assert section["fingerprints_identical"] is True
+
+    def test_fingerprint_divergence_flagged(self):
+        from repro.experiments.bench import baseline_comparison
+
+        current = self._document(1.0, 100)
+        baseline = self._document(1.0, 101)
+        assert baseline_comparison(current,
+                                   baseline)["fingerprints_identical"] is False

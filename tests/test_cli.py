@@ -193,3 +193,75 @@ class TestScenario:
                     out=out)
         assert code == 2
         assert "cannot read expected fingerprint" in out.getvalue()
+
+
+class TestProfileCommand:
+    def test_profile_reports_subsystem_attribution(self):
+        output = run_cli("profile", "indirect_stream", "--prefetcher",
+                         "stream", "--quick", "--cores", "4")
+        assert "subsystem" in output
+        for bucket in ("noc", "cache", "prefetcher"):
+            assert bucket in output
+        assert "simulated cycles" in output
+
+    def test_profile_writes_json_document(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "profile.json"
+        run_cli("profile", "indirect_stream", "--prefetcher", "none",
+                "--quick", "--cores", "4", "--out", str(out_path))
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "repro-profile-v1"
+        assert document["runtime_cycles"] > 0
+        assert 0.99 < sum(bucket["share"] for bucket
+                          in document["subsystems"].values()) < 1.01
+        assert document["top_functions"]
+
+    def test_profile_unknown_workload_errors(self):
+        out = io.StringIO()
+        assert main(["profile", "nonsense"], out=out) == 2
+        assert "unknown bench workload" in out.getvalue()
+
+
+class TestSweepScenarioDir:
+    def test_scenario_dir_checks_fingerprints(self, tmp_path):
+        output = run_cli("sweep", "--scenario-dir", "examples/scenarios",
+                         "--cache-dir", str(tmp_path / "cache"))
+        assert "tiny_smoke.json" in output
+        assert "imp_l2_three_level.json" in output
+        assert "fingerprint ok" in output
+        assert "MISMATCH" not in output
+
+    def test_scenario_dir_warm_cache_simulates_nothing(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run_cli("sweep", "--scenario-dir", "examples/scenarios",
+                "--cache-dir", cache_dir)
+        output = run_cli("sweep", "--scenario-dir", "examples/scenarios",
+                         "--cache-dir", cache_dir)
+        assert "0 simulated" in output
+
+    def test_scenario_dir_mismatch_fails(self, tmp_path):
+        import json
+        import shutil
+
+        scenario_dir = tmp_path / "scenarios"
+        scenario_dir.mkdir()
+        shutil.copy("examples/scenarios/tiny_smoke.json",
+                    scenario_dir / "tiny_smoke.json")
+        (scenario_dir / "tiny_smoke.fingerprint.json").write_text(
+            json.dumps({"fingerprint": {"runtime_cycles": -1}}))
+        out = io.StringIO()
+        assert main(["sweep", "--scenario-dir", str(scenario_dir),
+                     "--no-cache"], out=out) == 1
+        assert "MISMATCH" in out.getvalue()
+
+    def test_scenario_dir_empty_errors(self, tmp_path):
+        out = io.StringIO()
+        assert main(["sweep", "--scenario-dir", str(tmp_path)], out=out) == 2
+        assert "no scenario files" in out.getvalue()
+
+    def test_scenario_dir_excludes_figures(self):
+        out = io.StringIO()
+        assert main(["sweep", "--scenario-dir", "examples/scenarios",
+                     "--figures", "fig1"], out=out) == 2
+        assert "not both" in out.getvalue()
