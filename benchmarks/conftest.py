@@ -41,6 +41,17 @@ TABLES_PATH = RESULTS_PATH / "benchmark_tables.txt"
 
 _SECTION_HEADER = re.compile(r"^== (.+) ==$")
 
+#: Body lines that would parse as a section header on re-load (a recorded
+#: scenario-corpus section may quote ``== fig9 (16 cores) ==``-style sweep
+#: output) are escaped with this prefix on write and unescaped on load,
+#: so any recorded text round-trips instead of splitting its section.
+#: Lines that already carry escape prefixes gain one more (and lose one on
+#: load), keeping the scheme symmetric at every nesting depth.
+_HEADER_ESCAPE = "\\"
+
+#: A header line under zero or more escape prefixes.
+_ESCAPED_HEADER = re.compile(r"^\\*== .+ ==$")
+
 #: Section name -> table text, loaded from the existing file on first use.
 _sections: Optional[Dict[str, str]] = None
 
@@ -66,10 +77,21 @@ def load_sections(path: Optional[Path] = None) -> Dict[str, str]:
             name = match.group(1)
             lines = []
         elif name is not None:
+            if line.startswith(_HEADER_ESCAPE) \
+                    and _ESCAPED_HEADER.match(line[len(_HEADER_ESCAPE):]):
+                line = line[len(_HEADER_ESCAPE):]
             lines.append(line)
     if name is not None:
         sections[name] = "\n".join(lines).strip("\n")
     return sections
+
+
+def _escape_body(text: str) -> str:
+    """Escape body lines that would be mistaken for section headers (or
+    for already-escaped headers, which load_sections would unescape)."""
+    return "\n".join(
+        _HEADER_ESCAPE + line if _ESCAPED_HEADER.match(line) else line
+        for line in text.splitlines())
 
 
 def write_sections(sections: Dict[str, str],
@@ -80,7 +102,7 @@ def write_sections(sections: Dict[str, str],
     path.parent.mkdir(exist_ok=True)
     with open(path, "w") as handle:
         for name in sorted(sections):
-            handle.write(f"== {name} ==\n{sections[name]}\n\n")
+            handle.write(f"== {name} ==\n{_escape_body(sections[name])}\n\n")
 
 
 def bench_scale() -> float:
@@ -116,13 +138,20 @@ def record_table(name: str, rows, columns=None) -> str:
     sorted-section order; sections not regenerated by this session are
     preserved from the existing file.
     """
+    return record_text(name, format_table(rows, columns))
+
+
+def record_text(name: str, body: str) -> str:
+    """Record a pre-formatted text block (e.g. the scenario-corpus sweep
+    report) as one section, with the same deterministic replace-merge
+    semantics as :func:`record_table`."""
     global _sections
-    table = format_table(rows, columns)
-    text = f"== {name} ==\n{table}\n"
+    body = body.strip("\n")
+    text = f"== {name} ==\n{body}\n"
     print("\n" + text)
     if _sections is None:
         _sections = load_sections()
-    _sections[name] = table
+    _sections[name] = body
     write_sections(_sections)
     return text
 

@@ -54,3 +54,60 @@ def test_load_sections_collapses_legacy_duplicates(tmp_path):
     path.write_text(block * 4 + "== Other ==\nvalue\n\n")
     sections = load_sections(path)
     assert sections == {"Dup": "row", "Other": "value"}
+
+
+# ----------------------------------------------------------------------
+# Scenario-corpus sections: free text that must merge deterministically
+# ----------------------------------------------------------------------
+CORPUS_REPORT = (
+    "hybrid_classic.json       39917 cycles  fingerprint ok\n"
+    "tiny_smoke.json            6248 cycles  fingerprint ok"
+)
+
+
+def test_corpus_text_section_rerecords_deterministically(tmp_path,
+                                                         monkeypatch):
+    """Recording the scenario-corpus report twice must converge to one
+    section — and leave table sections untouched."""
+    path = _with_tables_path(tmp_path, monkeypatch)
+    bench_conftest.record_table("Table 3", [{"workload": "spmv", "cov": 1}])
+    bench_conftest.record_text("Scenario corpus", CORPUS_REPORT)
+    first = path.read_text()
+    bench_conftest.record_text("Scenario corpus", CORPUS_REPORT)
+    assert path.read_text() == first
+    assert first.count("== Scenario corpus ==") == 1
+    sections = load_sections(path)
+    assert sections["Scenario corpus"] == CORPUS_REPORT
+    assert "Table 3" in sections
+
+
+def test_corpus_section_with_header_like_lines_round_trips(tmp_path,
+                                                           monkeypatch):
+    """A corpus body quoting sweep output (`== fig9 (16 cores) ==` lines)
+    must survive the rewrite instead of being split into new sections —
+    the bug that made corpus sections merge nondeterministically."""
+    path = _with_tables_path(tmp_path, monkeypatch)
+    body = "== fig9 (16 cores) ==\nrow a\n== fig9 (64 cores) ==\nrow b"
+    bench_conftest.record_text("Scenario corpus", body)
+    sections = load_sections(path)
+    assert set(sections) == {"Scenario corpus"}
+    assert sections["Scenario corpus"] == body
+    # Idempotent under a second session that re-loads from disk.
+    monkeypatch.setattr(bench_conftest, "_sections", None)
+    bench_conftest.record_table("A table", [{"a": 1}])
+    sections = load_sections(path)
+    assert set(sections) == {"Scenario corpus", "A table"}
+    assert sections["Scenario corpus"] == body
+
+
+def test_already_escaped_header_lines_round_trip(tmp_path, monkeypatch):
+    """A body line that itself starts with the escape prefix before a
+    header shape must survive load/write cycles unchanged (the escape
+    scheme nests instead of being stripped asymmetrically)."""
+    path = _with_tables_path(tmp_path, monkeypatch)
+    body = "\\== quoted ==\nplain\n== real-looking ==\n\\\\== double =="
+    bench_conftest.record_text("Nested", body)
+    for _ in range(2):   # repeated reload/rewrite cycles stay stable
+        sections = load_sections(path)
+        assert sections == {"Nested": body}
+        write_sections(sections, path)

@@ -16,6 +16,12 @@ Installed as the ``repro`` console script (also runnable as
 * ``compare``        — run the paper's named configurations side by side for
   one workload (a one-workload slice of Figure 9 / 11).
 * ``figure``         — regenerate one of the paper's figures/tables.
+  ``--scenario file.json`` takes the *platform* from a scenario file
+  (system config including an explicit hierarchy and prefetcher attach
+  points, core count, IMP overrides) while the figure's own
+  workload/mode grid still applies.
+* ``table``          — the table-shaped subset of ``figure`` (same
+  options, including ``--scenario``).
 * ``sweep``          — regenerate many figures in one batched sweep:
   every required simulation is declared up front, deduplicated, executed
   across ``--jobs`` worker processes, and memoised in the persistent
@@ -150,10 +156,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
     figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
     figure_parser.add_argument("name", choices=sorted(FIGURES))
-    figure_parser.add_argument("--cores", type=int, default=16)
-    figure_parser.add_argument("--scale", type=float, default=0.35)
-    figure_parser.add_argument("--seed", type=int, default=1)
-    _add_sweep_options(figure_parser)
+    _add_figure_options(figure_parser)
+
+    table_parser = sub.add_parser(
+        "table", help="regenerate a paper table (the table-shaped subset "
+                      "of `figure`)")
+    table_parser.add_argument("name",
+                              choices=sorted(name for name in FIGURES
+                                             if name.startswith("table")))
+    _add_figure_options(table_parser)
 
     sweep_parser = sub.add_parser(
         "sweep", help="regenerate many figures in one batched parallel "
@@ -221,6 +232,22 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="write the attribution document as "
                                      "JSON to this path")
     return parser
+
+
+def _add_figure_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``figure`` and ``table``."""
+    parser.add_argument("--cores", type=int, default=None,
+                        help="core count (default: 16; a --scenario file "
+                             "sets it instead)")
+    parser.add_argument("--scale", type=float, default=0.35)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scenario", default=None, metavar="FILE",
+                        help="take the platform from a scenario file — "
+                             "system config (including an explicit cache "
+                             "hierarchy and prefetcher attach points), "
+                             "core count and IMP overrides; the figure's "
+                             "own workload/mode grid still applies")
+    _add_sweep_options(parser)
 
 
 def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
@@ -305,6 +332,9 @@ def _command_run_scenario(args, out) -> int:
     hierarchy = result.config.resolved_hierarchy()
     shape = " -> ".join(
         f"{lvl.name}({lvl.scope})" for lvl in hierarchy.levels) + " -> dram"
+    attach = ", ".join(
+        f"{entry.prefetcher or result.prefetcher}@{entry.level}"
+        for entry in hierarchy.attach) or "none"
     print(f"scenario          : {label}", file=out)
     if scenario.description:
         print(f"description       : {scenario.description}", file=out)
@@ -312,7 +342,7 @@ def _command_run_scenario(args, out) -> int:
     print(f"mode              : {scenario.mode}", file=out)
     print(f"cores             : {scenario.n_cores}", file=out)
     print(f"hierarchy         : {shape} "
-          f"(prefetch @ {hierarchy.prefetch_level})", file=out)
+          f"(prefetch: {attach})", file=out)
     print(f"runtime (cycles)  : {result.runtime_cycles}", file=out)
     print(f"throughput (IPC)  : {result.throughput:.3f}", file=out)
     print(f"prefetch coverage : {stats.coverage:.3f}", file=out)
@@ -419,8 +449,31 @@ def _sweep_runner(args, n_cores: int) -> ExperimentRunner:
 
 
 def _command_figure(args, out) -> int:
-    runner = _sweep_runner(args, args.cores)
-    rows = FIGURES[args.name](runner, args.cores)
+    if args.scenario is not None:
+        if args.cores is not None:
+            print("error: --cores cannot be combined with --scenario "
+                  "(the scenario file sets the core count)", file=out)
+            return 2
+        try:
+            scenario = load_scenario(args.scenario)
+        except ValueError as exc:
+            # ScenarioError / RegistryError: the message lists the choices.
+            print(f"error: {exc}", file=out)
+            return 2
+        _, config, imp_cfg = scenario.resolve()
+        cores = scenario.n_cores
+        runner = ExperimentRunner(scale=args.scale, seed=args.seed,
+                                  base_config=config, jobs=args.jobs,
+                                  cache_dir=args.cache_dir,
+                                  use_cache=not args.no_cache,
+                                  imp_config=imp_cfg)
+        label = scenario.name or args.scenario
+        print(f"platform from scenario: {label} "
+              f"({cores} cores)", file=out)
+    else:
+        cores = args.cores if args.cores is not None else 16
+        runner = _sweep_runner(args, cores)
+    rows = FIGURES[args.name](runner, cores)
     print(figures.format_table(rows), file=out)
     return 0
 
@@ -591,7 +644,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_run(args, out)
     if args.command == "compare":
         return _command_compare(args, out)
-    if args.command == "figure":
+    if args.command in ("figure", "table"):
         return _command_figure(args, out)
     if args.command == "sweep":
         return _command_sweep(args, out)

@@ -276,6 +276,12 @@ def baseline_comparison(current: Dict, baseline: Dict) -> Dict:
                                                    entry["wall_seconds"])
         if base.get("fingerprint") != entry.get("fingerprint"):
             identical = False
+    if not speedups:
+        # No shared scenario keys (wrong baseline document, renamed
+        # scenarios): an "identical" claim would be vacuous, so report
+        # the empty comparison as non-identical rather than silently
+        # blessing it.
+        identical = False
     miss_heavy = [value for key, value in speedups.items()
                   if key.split("/")[-1] in MISS_HEAVY_PREFETCHERS]
     geomean = (math.exp(sum(math.log(value) for value in miss_heavy)
@@ -283,6 +289,7 @@ def baseline_comparison(current: Dict, baseline: Dict) -> Dict:
     return {
         "baseline_schema": baseline.get("schema"),
         "baseline_timestamp": baseline.get("timestamp"),
+        "compared_scenarios": len(speedups),
         "speedup_by_scenario": speedups,
         "fingerprints_identical": identical,
         "miss_heavy_rows": sorted(

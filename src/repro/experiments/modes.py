@@ -22,7 +22,10 @@ The new name immediately works in ``repro run/compare``, scenario files,
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.registry import MODES
+from repro.sim.config import PrefetcherAttach
 
 
 @MODES.register("ideal",
@@ -74,3 +77,27 @@ def _imp_partial_noc(config, imp_cfg):
 def _imp_partial_noc_dram(config, imp_cfg):
     return (config.with_partial(noc=True, dram=True), "imp",
             imp_cfg.with_partial(True), False)
+
+
+@MODES.register("hybrid",
+                description="hybrid prefetching: stream at the innermost "
+                            "level + IMP one level out (per-slice at the "
+                            "shared L2 on the classic shape)")
+def _hybrid(config, imp_cfg):
+    """Multi-attach mode: a stream prefetcher observes every access at the
+    innermost level while IMP trains on the miss stream one level out.
+
+    On the classic two-level platform that puts IMP at the shared L2 — one
+    instance per slice, observing slice-local fetches.  With an explicit
+    hierarchy (e.g. a private L2 under a shared L3) IMP lands at the
+    second level of *that* chain; any attach list the hierarchy already
+    carries is replaced by the mode's stream+IMP pair.
+    """
+    hierarchy = config.resolved_hierarchy()
+    attach = (PrefetcherAttach(level=hierarchy.levels[0].name,
+                               prefetcher="stream"),
+              PrefetcherAttach(level=hierarchy.levels[1].name,
+                               prefetcher="imp"))
+    hierarchy = replace(hierarchy, attach=attach, prefetch_level=None)
+    return (config.with_hierarchy(hierarchy), "none",
+            imp_cfg.with_partial(False), False)

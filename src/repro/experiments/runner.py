@@ -77,11 +77,17 @@ class ExperimentRunner:
                  scale: float = 1.0, seed: int = 1,
                  base_config: Optional[SystemConfig] = None,
                  jobs: Optional[int] = None, cache_dir=None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True,
+                 imp_config: Optional[IMPConfig] = None) -> None:
         self.workloads: List[Workload] = (
             list(workloads) if workloads is not None
             else paper_workloads(scale=scale, seed=seed))
         self.base_config = base_config
+        #: Default IMP configuration substituted into requests that do not
+        #: carry their own (``repro figure --scenario`` routes a scenario's
+        #: ``imp`` overrides through this).  ``None`` keeps the stock
+        #: Table 2 parameters, exactly as before.
+        self.default_imp_config = imp_config
         disk_cache = (ResultCache(cache_dir)
                       if (cache_dir is not None and use_cache) else None)
         self.engine = SweepEngine(jobs=jobs, cache=disk_cache)
@@ -130,6 +136,8 @@ class ExperimentRunner:
             imp_config: Optional[IMPConfig] = None,
             sw_prefetch_distance: int = 8) -> RunRecord:
         """Run one (workload, mode, core count) point, with caching."""
+        if imp_config is None:
+            imp_config = self.default_imp_config
         request = RunRequest(workload, mode, n_cores, imp_config,
                              sw_prefetch_distance)
         key = self._key(request)
@@ -162,6 +170,8 @@ class ExperimentRunner:
             = {}
         for item in requests:
             request = RunRequest(*item)
+            if request.imp_config is None and self.default_imp_config is not None:
+                request = request._replace(imp_config=self.default_imp_config)
             key = self._key(request)
             if key in self._cache or key in pending:
                 continue

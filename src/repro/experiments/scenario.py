@@ -10,17 +10,21 @@ deterministically into a :class:`repro.experiments.sweep.RunSpec`, and
 therefore flow through the sweep engine, the worker pool and the
 persistent on-disk result cache exactly like the built-in figures.
 
-Example (``repro run --scenario my.json``)::
+Example (``repro run --scenario my.json``) — a hybrid multi-attach
+hierarchy: a stream prefetcher at every L1 plus IMP at the private L2s::
 
     {
-      "name": "imp-at-l2",
+      "name": "hybrid-stream-l1-imp-l2",
       "workload": "indirect_stream",
       "workload_params": {"n_indices": 2048, "n_data": 8192, "seed": 3},
       "mode": "imp",
       "n_cores": 4,
       "system": {
         "hierarchy": {
-          "prefetch_level": "l2",
+          "attach": [
+            {"level": "l1", "prefetcher": "stream"},
+            {"level": "l2", "prefetcher": "imp"}
+          ],
           "levels": [
             {"name": "l1", "size_bytes": 16384, "associativity": 4},
             {"name": "l2", "size_bytes": 65536, "associativity": 8,
@@ -31,6 +35,12 @@ Example (``repro run --scenario my.json``)::
         }
       }
     }
+
+Each ``attach`` entry names a level and (optionally) a registered
+prefetcher — omit ``"prefetcher"`` (or set it ``null``) to attach the
+experiment mode's choice; name the shared last level to put a per-slice
+prefetcher on it.  The legacy single-attach form ``"prefetch_level":
+"l2"`` is still accepted and means ``"attach": [{"level": "l2"}]``.
 
 ``system`` keys override fields of the scaled experiment platform
 (:func:`repro.experiments.configs.scaled_config`); ``imp`` keys override

@@ -55,7 +55,13 @@ from repro.workloads.base import Workload, WorkloadSpecError
 #: v2: registry-driven configuration — ``SystemConfig`` gained the
 #: ``hierarchy`` field (explicit level chains) and ``CoreStats`` gained
 #: shared-L3 counters, so v1 records no longer describe the full spec.
-CACHE_SCHEMA_VERSION = 2
+#: v3: per-level prefetcher attachment — ``HierarchyConfig`` serialises an
+#: ``attach`` list instead of ``prefetch_level`` (so v2 hierarchy-bearing
+#: specs no longer parse into the same canonical form) and ``CoreStats``
+#: records may carry dynamic ``lN_*`` counters for >3-level chains.
+#: Stale v2 records self-heal: the version check treats them as misses
+#: and deletes them on first lookup.
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable consulted when no explicit worker count is given.
 JOBS_ENV_VAR = "REPRO_JOBS"

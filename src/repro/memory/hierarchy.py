@@ -18,15 +18,28 @@ Idealised configurations of Section 5.4 are supported directly:
 
 The hierarchy *shape* is configurable (``SystemConfig.hierarchy``, a
 :class:`~repro.sim.config.HierarchyConfig`): a chain of private per-core
-levels under one shared, distributed last level, with the per-core
-prefetcher attachable to any private level.  The default (``hierarchy is
-None``) is the classic Table 1 shape — private L1s + shared L2 — and runs
-on the fully inlined fast path below; explicit hierarchies (a private L2,
-a shared L3, IMP attached at L2, ...) take the generalised
+levels (arbitrarily deep; levels past the third account into dynamic
+``lN_*`` counters) under one shared, distributed last level, with zero or
+more prefetchers attachable per level (``HierarchyConfig.attach``).  A
+private-level attachment is per-core and observes the access stream
+reaching its level; a shared-level attachment is per-slice — each slice of
+the distributed last level carries its own prefetcher instance observing
+the demand fetches that arrive at that slice, and its prefetches fill the
+slice from DRAM (their NoC/DRAM traffic and slice capacity are their
+cost; they complete after the demand they trained on, so they never
+shorten that demand's latency).  Attachment points may name a registered
+prefetcher explicitly (hybrid stream@L1 + IMP@L2) or inherit the
+experiment mode's choice.
+
+The default (``hierarchy is None``) is the classic Table 1 shape —
+private L1s + shared L2, one mode-chosen prefetcher per L1 — and runs on
+the fully inlined fast path below; explicit hierarchies (a private L2, a
+shared L3, IMP attached at L2, multi-attach, ...) take the generalised
 ``_access_extended`` walk, which reuses the same shared-level fetch,
 directory, NoC and DRAM machinery.  An explicit hierarchy with the classic
-geometry simulates bit-identically to the fast path (the determinism suite
-asserts this).
+geometry simulates bit-identically to the fast path, and a single-attach
+chain simulates bit-identically through the multi-attach walk (the
+determinism and equivalence suites assert both).
 
 Hot-path notes: cores call :meth:`MemorySystem.access_fast` with plain
 scalars (no :class:`MemRef` is built per dynamic reference); the
@@ -47,6 +60,7 @@ from repro.memory.coherence import Directory
 from repro.memory.dram import make_dram
 from repro.noc.mesh import MeshNoC
 from repro.prefetchers.base import AccessContext, PrefetcherBase, PrefetchRequest
+from repro.prefetchers.factory import make_prefetcher_factory
 from repro.prefetchers.null import NullPrefetcher
 from repro.sim.config import SystemConfig
 from repro.sim.stats import CoreStats, SystemStats, TrafficStats
@@ -55,6 +69,31 @@ from repro.sim.trace import MemRef
 
 #: Size in bytes of a coherence/request header message on the NoC.
 CONTROL_MESSAGE_BYTES = 8
+
+
+class _Attach:
+    """One resolved prefetcher attachment: a bank of prefetcher instances
+    (per core for private levels, per slice for the shared level) plus the
+    precomputed notification gates the access walk consults."""
+
+    __slots__ = ("level_index", "prefetchers", "notify_enabled",
+                 "notify_hits", "has_on_fill", "has_on_eviction")
+
+    def __init__(self, level_index: int,
+                 prefetchers: List[PrefetcherBase]) -> None:
+        self.level_index = level_index
+        self.prefetchers = prefetchers
+        self.notify_enabled = [not _prefetcher_is_inert(p)
+                               for p in prefetchers]
+        self.notify_hits = [enabled and getattr(p, "observes_hits", True)
+                            for enabled, p in zip(self.notify_enabled,
+                                                  prefetchers)]
+        self.has_on_fill = [type(p).on_fill is not PrefetcherBase.on_fill
+                            for p in prefetchers]
+        self.has_on_eviction = [
+            type(p).on_eviction is not PrefetcherBase.on_eviction
+            and getattr(p, "observes_evictions", True)
+            for p in prefetchers]
 
 
 @dataclass
@@ -91,11 +130,12 @@ class MemorySystem:
                  "_notify_enabled", "_notify_hits", "_ctx", "_extended",
                  "_private_caches",
                  "_private_latencies", "_pf_level", "_outermost_private",
-                 "_shared_is_l3")
+                 "_shared_pos", "_attaches", "_shared_attaches")
 
     def __init__(self, config: SystemConfig, mem_image: Optional[MemoryImage] = None,
                  prefetcher_factory: Optional[PrefetcherFactory] = None,
-                 stats: Optional[SystemStats] = None) -> None:
+                 stats: Optional[SystemStats] = None,
+                 named_prefetcher_factory=None) -> None:
         self.config = config
         self.mem_image = mem_image or MemoryImage()
         n = config.n_cores
@@ -111,6 +151,13 @@ class MemorySystem:
         self._num_mcs = len(self._mc_tiles)
         hierarchy = config.hierarchy
         self._extended = hierarchy is not None
+        factory = prefetcher_factory or (lambda core_id: PrefetcherBase())
+        if named_prefetcher_factory is None:
+            # Attach entries that name a prefetcher explicitly resolve
+            # through the registry against this system's memory image
+            # (System passes a resolver that also shares its IMP config).
+            named_prefetcher_factory = (
+                lambda name: make_prefetcher_factory(name, self.mem_image))
         if not self._extended:
             # Classic Table 1 shape: private L1s + shared distributed L2.
             # This is the hot configuration; it keeps the fully inlined
@@ -123,7 +170,11 @@ class MemorySystem:
             self._private_latencies = [config.l1d.hit_latency]
             self._pf_level = 0
             self._outermost_private = 0
-            self._shared_is_l3 = False
+            self._shared_pos = 2
+            self._attaches = ()
+            self._shared_attaches = ()
+            self.prefetchers: List[PrefetcherBase] = [factory(i)
+                                                      for i in range(n)]
         else:
             # Explicit hierarchy: a chain of private levels under one
             # shared, distributed last level (see HierarchyConfig).  Built
@@ -131,7 +182,13 @@ class MemorySystem:
             partial = config.partial_noc or config.partial_dram
             privates = hierarchy.private_levels
             shared = hierarchy.shared_level
-            self._pf_level = hierarchy.prefetch_level_index
+            private_attaches = hierarchy.private_attaches
+            #: Level index of the *primary* attachment (the innermost
+            #: private attach): the target of software prefetches and of
+            #: the public issue_prefetch API, and — under partial
+            #: accessing — the private level that gets sectored.
+            self._pf_level = (hierarchy.level_index(private_attaches[0].level)
+                              if private_attaches else 0)
             self._outermost_private = len(privates) - 1
             self._private_caches = []
             self._private_latencies = []
@@ -148,12 +205,32 @@ class MemorySystem:
                 config.l2_sector_size if partial else 0)
             l2_cfg = shared.cache_config(sector_size=shared_sector)
             self.l2 = [Cache(l2_cfg) for _ in range(n)]
-            self._shared_is_l3 = len(hierarchy.levels) >= 3
+            self._shared_pos = len(hierarchy.levels)
+            # One _Attach (a bank of prefetcher instances + notification
+            # gates) per attachment point.  Private banks are per-core;
+            # shared banks are per-slice.  ``private_attaches`` is already
+            # sorted inner-level-first, which fixes notification order.
+            def build_attach(spec, level_index):
+                make = (factory if spec.prefetcher is None
+                        else named_prefetcher_factory(spec.prefetcher))
+                return _Attach(level_index, [make(i) for i in range(n)])
+
+            self._attaches = tuple(
+                build_attach(spec, hierarchy.level_index(spec.level))
+                for spec in private_attaches)
+            self._shared_attaches = tuple(
+                build_attach(spec, len(privates))
+                for spec in hierarchy.shared_attaches)
+            # Flat instance list (attach-major): what System introspects
+            # for IMP state; identical to the per-core list when a single
+            # private attachment exists (the pre-multi-attach layout).
+            self.prefetchers = [p for a in self._attaches
+                                for p in a.prefetchers]
+            self.prefetchers += [p for a in self._shared_attaches
+                                 for p in a.prefetchers]
             l1_cfg = self._private_caches[0][0].config
         self.directories = [Directory(tile, config.ackwise_pointers, self.traffic)
                             for tile in range(n)]
-        factory = prefetcher_factory or (lambda core_id: PrefetcherBase())
-        self.prefetchers: List[PrefetcherBase] = [factory(i) for i in range(n)]
         self.line_size = l1_cfg.line_size
         # ----- hot-path precomputation ---------------------------------
         line_size = self.line_size
@@ -184,26 +261,43 @@ class MemorySystem:
         # per-access result tuple is allocated.
         self._plain_hit = (self._hit_latency, True, False, False, 0.0)
         self._ret = [0.0, False, False, False, 0.0]
-        # on_fill is a chaining hook no stock prefetcher implements; skip
-        # the per-request call when it is the base-class no-op.  Same for
-        # on_eviction (only IMP's granularity predictor uses it).
-        self._has_on_fill = [type(p).on_fill is not PrefetcherBase.on_fill
-                             for p in self.prefetchers]
-        self._has_on_eviction = [
-            type(p).on_eviction is not PrefetcherBase.on_eviction
-            and getattr(p, "observes_evictions", True)
-            for p in self.prefetchers]
-        # Which cores have a prefetcher worth notifying (skips the whole
-        # AccessContext path for the "none" baseline).
-        self._notify_enabled = [not _prefetcher_is_inert(p)
-                                for p in self.prefetchers]
-        # Which cores must be notified on cache *hits*: miss-stream-only
-        # prefetchers (``observes_hits`` False, e.g. the classic GHB) treat
-        # a hit notification as a no-op, so the hit path skips it — and
-        # core models keep such hits entirely core-local.
-        self._notify_hits = [
-            enabled and getattr(p, "observes_hits", True)
-            for enabled, p in zip(self._notify_enabled, self.prefetchers)]
+        # Per-core gating lists of the classic (single L1-attached
+        # prefetcher) path: on_fill is a chaining hook no stock prefetcher
+        # implements, on_eviction only feeds IMP's granularity predictor,
+        # _notify_enabled skips the whole AccessContext path for the
+        # "none" baseline, and _notify_hits lets miss-stream-only
+        # prefetchers (``observes_hits`` False, e.g. the classic GHB) keep
+        # cache hits entirely core-local.  Extended hierarchies carry the
+        # same gates per attachment (_Attach); the classic-named lists
+        # then alias the primary attachment's for the issue_prefetch /
+        # software_prefetch compatibility surface.
+        if not self._extended:
+            self._has_on_fill = [type(p).on_fill is not PrefetcherBase.on_fill
+                                 for p in self.prefetchers]
+            self._has_on_eviction = [
+                type(p).on_eviction is not PrefetcherBase.on_eviction
+                and getattr(p, "observes_evictions", True)
+                for p in self.prefetchers]
+            self._notify_enabled = [not _prefetcher_is_inert(p)
+                                    for p in self.prefetchers]
+            self._notify_hits = [
+                enabled and getattr(p, "observes_hits", True)
+                for enabled, p in zip(self._notify_enabled, self.prefetchers)]
+        else:
+            primary = (self._attaches[0] if self._attaches
+                       else (self._shared_attaches[0]
+                             if self._shared_attaches else None))
+            if primary is not None:
+                self._has_on_fill = primary.has_on_fill
+                self._has_on_eviction = primary.has_on_eviction
+                self._notify_enabled = primary.notify_enabled
+                self._notify_hits = primary.notify_hits
+            else:
+                disabled = [False] * n
+                self._has_on_fill = disabled
+                self._has_on_eviction = disabled
+                self._notify_enabled = disabled
+                self._notify_hits = disabled
         # One reusable AccessContext: fields are rebound per access instead
         # of allocating a context (plus a read_value closure) per reference.
         self._ctx = AccessContext(core_id=0, pc=0, addr=0, size=0,
@@ -377,17 +471,22 @@ class MemorySystem:
 
         Walks the private levels inside-out, then fetches through the
         shared last level (directory + NoC + DRAM, the same path the
-        classic shape uses).  The per-core prefetcher observes the access
-        stream reaching its attachment level and its prefetches install
-        there (see ``HierarchyConfig.prefetch_level``).
+        classic shape uses).  Every attached prefetcher observes the
+        access stream reaching its level — an attachment at level *i* sees
+        the accesses that missed levels 0..i-1 (all of them at the L1) —
+        and its prefetches install at its level.  Attachments are
+        notified inner levels first; shared-level attachments observe
+        slice-local fetches inside :meth:`_fetch_line`.
         """
         config = self.config
-        pf_level = self._pf_level
-        notify = self._notify_enabled[core_id]
+        attaches = self._attaches
         if config.ideal_memory:
-            if pf_level == 0 and self._notify_hits[core_id]:
-                self._notify_prefetcher(core_id, pc, addr, size, is_write,
-                                        hit=True, now=now)
+            for attach in attaches:
+                if attach.level_index != 0:
+                    break
+                if attach.notify_hits[core_id]:
+                    self._notify_attach(attach, core_id, pc, addr, size,
+                                        is_write, hit=True, now=now)
             return self._hit_latency, True, False, False, 0.0
 
         levels = self._private_caches
@@ -404,8 +503,12 @@ class MemorySystem:
             if hit is not None:
                 hit_level = index
                 break
-            if index > 0:
+            if index == 1:
                 core_stats.l2_misses += 1
+            elif index == 2:
+                core_stats.l3_misses += 1
+            elif index > 2:
+                core_stats.bump_level(index + 1, hit=False)
 
         if hit is not None:
             ready, covered = hit
@@ -414,8 +517,12 @@ class MemorySystem:
                 latency += late
             else:
                 late = 0.0
-            if hit_level > 0:
+            if hit_level == 1:
                 core_stats.l2_hits += 1
+            elif hit_level == 2:
+                core_stats.l3_hits += 1
+            elif hit_level > 2:
+                core_stats.bump_level(hit_level + 1, hit=True)
             if covered:
                 core_stats.prefetch_covered_misses += 1
                 core_stats.prefetches_useful += 1
@@ -426,17 +533,20 @@ class MemorySystem:
                 if levels[index][core_id].fill_fast(addr, now, arrival,
                                                     False, is_write):
                     self._handle_private_eviction(core_id, index, now)
-            if notify and hit_level >= pf_level:
-                # The prefetcher sees accesses that reach its level: for an
-                # L1 attachment that is every access; deeper attachments
-                # see the miss stream of the levels above.  A hit *at* the
-                # attachment level is a hit notification, which miss-
-                # stream-only prefetchers skip.
-                if hit_level > pf_level or self._notify_hits[core_id]:
-                    self._notify_prefetcher(core_id, pc, addr, size,
-                                            is_write,
-                                            hit=hit_level == pf_level,
-                                            now=now)
+            for attach in attaches:
+                level = attach.level_index
+                if level > hit_level:
+                    break     # sorted inner-first: nothing deeper saw it
+                if not attach.notify_enabled[core_id]:
+                    continue
+                # A hit *at* the attachment level is a hit notification,
+                # which miss-stream-only prefetchers skip; inner levels'
+                # misses are miss notifications for deeper attachments.
+                if level == hit_level and not attach.notify_hits[core_id]:
+                    continue
+                self._notify_attach(attach, core_id, pc, addr, size,
+                                    is_write, hit=level == hit_level,
+                                    now=now)
             return (latency, hit_level == 0, hit_level > 0, covered, late)
 
         # Missed every private level: fetch through the shared level.
@@ -446,15 +556,17 @@ class MemorySystem:
         arrival, shared_hit = self._fetch_line(core_id, addr, issue_time,
                                                is_write=is_write,
                                                fetch_bytes=self.line_size,
-                                               sectors=None)
+                                               sectors=None,
+                                               pc=pc, size=size, demand=True)
         for index in range(n_private - 1, -1, -1):
             if levels[index][core_id].fill_fast(addr, now, arrival,
                                                 False, is_write):
                 self._handle_private_eviction(core_id, index, now)
         latency += max(0.0, arrival - now)
-        if notify:
-            self._notify_prefetcher(core_id, pc, addr, size, is_write,
-                                    hit=False, now=now)
+        for attach in attaches:
+            if attach.notify_enabled[core_id]:
+                self._notify_attach(attach, core_id, pc, addr, size,
+                                    is_write, hit=False, now=now)
         return latency, False, shared_hit, False, 0.0
 
     def _handle_private_eviction(self, core_id: int, level_index: int,
@@ -476,9 +588,11 @@ class MemorySystem:
         cache = self._private_caches[level_index][core_id]
         victim_addr = cache.victim_addr
         victim_dirty = cache.victim_dirty
-        if level_index == self._pf_level and self._has_on_eviction[core_id]:
-            self.prefetchers[core_id].on_eviction(victim_addr,
-                                                  cache.victim_touched, now)
+        for attach in self._attaches:
+            if (attach.level_index == level_index
+                    and attach.has_on_eviction[core_id]):
+                attach.prefetchers[core_id].on_eviction(
+                    victim_addr, cache.victim_touched, now)
         if level_index == self._outermost_private:
             dirty = victim_dirty
             for inner in range(level_index):
@@ -506,14 +620,16 @@ class MemorySystem:
 
         The prefetch does not stall the core; its cost is the NoC/DRAM
         traffic it generates and the capacity it occupies at its target
-        level (the L1 classically; the attachment level of an explicit
-        hierarchy).
+        level (the L1 classically; the primary attachment level of an
+        explicit hierarchy — per-attachment issue goes through
+        :meth:`_issue_prefetch_level`).
         """
         if self.config.ideal_memory:
             return now
-        extended = self._extended
-        cache = (self._private_caches[self._pf_level][core_id] if extended
-                 else self.l1[core_id])
+        if self._extended:
+            return self._issue_prefetch_level(core_id, request, now,
+                                              self._pf_level)
+        cache = self.l1[core_id]
         addr = request.addr
         # Inlined cache way lookup (most prefetches find the line already
         # resident).
@@ -546,16 +662,53 @@ class MemorySystem:
                                       fetch_bytes=noc_bytes,
                                       dram_bytes=dram_bytes,
                                       sectors=sectors)
-        if not extended:
-            if cache.fill_fast(addr, now, arrival, True, False, sectors):
-                self._handle_l1_eviction(core_id, cache, now)
-            return arrival
-        # Fill the attachment level and every private level outside it
+        if cache.fill_fast(addr, now, arrival, True, False, sectors):
+            self._handle_l1_eviction(core_id, cache, now)
+        return arrival
+
+    def _issue_prefetch_level(self, core_id: int, request: PrefetchRequest,
+                              now: float, pf_level: int) -> float:
+        """Issue one prefetch targeting private level ``pf_level`` of an
+        explicit hierarchy; return its completion time."""
+        if self.config.ideal_memory:
+            return now
+        cache = self._private_caches[pf_level][core_id]
+        addr = request.addr
+        if cache._tag_shift is not None:
+            way = cache._index[(addr >> cache._line_shift)
+                               & cache._set_mask].get(addr >> cache._tag_shift)
+        else:
+            way = cache._way_of(addr)
+        size = request.size
+        line_size = self.line_size
+        fetch_bytes = size if size < line_size else line_size
+        sectors = None
+        if cache.sector_size:
+            sectors = self._sector_mask_for_prefetch(cache, addr, fetch_bytes)
+        if way is not None:
+            if not cache.sector_size:
+                return now  # already resident, nothing to do
+            if (cache._sector_valid[way] & sectors) == sectors:
+                return now
+        core_stats = self.stats.cores[core_id]
+        core_stats.prefetches_issued += 1
+        if request.is_indirect:
+            core_stats.indirect_prefetches_issued += 1
+        else:
+            core_stats.stream_prefetches_issued += 1
+        noc_bytes = fetch_bytes if self.config.partial_noc else line_size
+        dram_bytes = fetch_bytes if self.config.partial_dram else line_size
+        arrival, _ = self._fetch_line(core_id, addr, now,
+                                      is_write=request.exclusive,
+                                      fetch_bytes=noc_bytes,
+                                      dram_bytes=dram_bytes,
+                                      sectors=sectors)
+        # Fill the target level and every private level outside it
         # (outermost first): the chain is inclusive, and a line resident
         # only in an inner level would break the directory bookkeeping,
         # which tracks the outermost private level.
-        for level in range(self._outermost_private, self._pf_level - 1, -1):
-            level_sectors = sectors if level == self._pf_level else None
+        for level in range(self._outermost_private, pf_level - 1, -1):
+            level_sectors = sectors if level == pf_level else None
             if self._private_caches[level][core_id].fill_fast(
                     addr, now, arrival, True, False, level_sectors):
                 self._handle_private_eviction(core_id, level, now)
@@ -574,9 +727,17 @@ class MemorySystem:
     def _fetch_line(self, core_id: int, addr: int, issue_time: float, *,
                     is_write: bool, fetch_bytes: int,
                     dram_bytes: Optional[int] = None,
-                    sectors: Optional[int]) -> tuple:
+                    sectors: Optional[int],
+                    pc: int = 0, size: int = 0,
+                    demand: bool = False) -> tuple:
         """Fetch a line (or sectors of it) for a core; return
-        ``(arrival_time, l2_hit)``."""
+        ``(arrival_time, l2_hit)``.
+
+        ``demand`` marks a demand fetch (not a prefetch): when the shared
+        level carries per-slice prefetchers, demand fetches are what they
+        observe (``pc``/``size`` feed their access context).  Slice
+        prefetchers are notified after the demand's response is scheduled,
+        so their requests never shorten the triggering fetch."""
         core_stats = self.stats.cores[core_id]
         # line_addr / home_tile, inlined for power-of-two geometries.
         if self._line_shift is not None:
@@ -615,19 +776,38 @@ class MemorySystem:
                 time = coherence_done
 
         # L2 slice lookup at the home tile.
-        l2_hit = l2.access_hit(addr, fetch_bytes if fetch_bytes > 1 else 1,
-                               is_write, time)
+        shared_attaches = self._shared_attaches
+        if shared_attaches:
+            # Same state transitions and counters as access_hit, plus the
+            # first-touch flag that credits a slice prefetcher whose line
+            # a fetch found resident.
+            hit_state = l2.access_fast(addr,
+                                       fetch_bytes if fetch_bytes > 1 else 1,
+                                       is_write, time)
+            l2_hit = hit_state is not None
+            if l2_hit and hit_state[1]:
+                self.stats.cores[home].prefetches_useful += 1
+        else:
+            l2_hit = l2.access_hit(addr,
+                                   fetch_bytes if fetch_bytes > 1 else 1,
+                                   is_write, time)
         time += self._l2_hit_latency
+        lookup_done = time
+        shared_pos = self._shared_pos
         if l2_hit:
-            if self._shared_is_l3:
+            if shared_pos == 2:
+                core_stats.l2_hits += 1
+            elif shared_pos == 3:
                 core_stats.l3_hits += 1
             else:
-                core_stats.l2_hits += 1
+                core_stats.bump_level(shared_pos, hit=True)
         else:
-            if self._shared_is_l3:
+            if shared_pos == 2:
+                core_stats.l2_misses += 1
+            elif shared_pos == 3:
                 core_stats.l3_misses += 1
             else:
-                core_stats.l2_misses += 1
+                core_stats.bump_level(shared_pos, hit=False)
             # Miss in the shared level: go to the memory controller and DRAM.
             mc_index, mc_tile = self.memory_controller(addr)
             time = noc_send(home, mc_tile, CONTROL_MESSAGE_BYTES, time)
@@ -644,6 +824,12 @@ class MemorySystem:
 
         # Data response: home tile -> requesting core.
         time = noc_send(home, core_id, fetch_bytes, time)
+        if demand and shared_attaches:
+            # The slice's prefetchers observe the demand fetch that just
+            # consulted it; their requests issue at the slice's lookup
+            # time, after the demand's own reservations.
+            self._notify_shared(home, pc, addr, size, is_write,
+                                hit=l2_hit, now=lookup_done)
         return time, l2_hit
 
     # ------------------------------------------------------------------
@@ -680,6 +866,10 @@ class MemorySystem:
             self.l2[home].fill_fast(victim_addr, now, now, False, True)
 
     def _handle_l2_eviction(self, home: int, cache, now: float) -> None:
+        for attach in self._shared_attaches:
+            if attach.has_on_eviction[home]:
+                attach.prefetchers[home].on_eviction(
+                    cache.victim_addr, cache.victim_touched, now)
         if not cache.victim_dirty:
             return
         victim_addr = cache.victim_addr
@@ -712,6 +902,10 @@ class MemorySystem:
 
     def _issue_requests(self, core_id: int, requests: List[PrefetchRequest],
                         now: float) -> None:
+        """Issue the requests of the classic (or primary-attach) prefetcher
+        — the compatibility surface core models bind to.  Per-attachment
+        issue on the extended walk goes through
+        :meth:`_issue_attach_requests`."""
         issue_prefetch = self.issue_prefetch
         if not self._has_on_fill[core_id]:
             # Inline the already-resident early-out of issue_prefetch for
@@ -745,6 +939,155 @@ class MemorySystem:
             follow_on = prefetcher.on_fill(request.addr, completion)
             if follow_on:
                 self._issue_requests(core_id, follow_on, completion)
+
+    # ------------------------------------------------------------------
+    # Per-attachment plumbing (extended hierarchies)
+    # ------------------------------------------------------------------
+    def _notify_attach(self, attach: _Attach, core_id: int, pc: int,
+                       addr: int, size: int, is_write: bool, hit: bool,
+                       now: float) -> None:
+        ctx = self._ctx
+        ctx.core_id = core_id
+        ctx.pc = pc
+        ctx.addr = addr
+        ctx.size = size
+        ctx.is_write = is_write
+        ctx.hit = hit
+        ctx.now = now
+        requests = attach.prefetchers[core_id].on_access(ctx)
+        if requests:
+            self._issue_attach_requests(attach, core_id, requests, now)
+
+    def _issue_attach_requests(self, attach: _Attach, core_id: int,
+                               requests: List[PrefetchRequest],
+                               now: float) -> None:
+        """:meth:`_issue_requests`, targeted at one private attachment."""
+        pf_level = attach.level_index
+        self._issue_bank_requests(
+            attach, core_id, self._private_caches[pf_level][core_id],
+            lambda request, issue_at: self._issue_prefetch_level(
+                core_id, request, issue_at, pf_level),
+            requests, now)
+
+    def _issue_bank_requests(self, attach: _Attach, owner: int, cache,
+                             issue, requests: List[PrefetchRequest],
+                             now: float) -> None:
+        """Shared issue loop of the attach/slice banks: resident-skip
+        early-out, ``depends_on_previous`` chaining, and ``on_fill``
+        follow-on requests, against ``cache`` via ``issue(request,
+        issue_at) -> completion``.  (The classic single-prefetcher path
+        keeps its own inlined copy in :meth:`_issue_requests` — it is the
+        hot one.)"""
+        if not attach.has_on_fill[owner]:
+            index = cache._index if not cache.sector_size else None
+            tag_shift = cache._tag_shift
+            previous_completion = now
+            for request in requests:
+                issue_at = (previous_completion
+                            if request.depends_on_previous else now)
+                if index is not None and tag_shift is not None:
+                    addr = request.addr
+                    if index[(addr >> cache._line_shift)
+                             & cache._set_mask].get(
+                                 addr >> tag_shift) is not None:
+                        previous_completion = issue_at
+                        continue
+                previous_completion = issue(request, issue_at)
+            return
+        prefetcher = attach.prefetchers[owner]
+        previous_completion = now
+        for request in requests:
+            issue_at = (previous_completion
+                        if request.depends_on_previous else now)
+            completion = issue(request, issue_at)
+            previous_completion = completion
+            follow_on = prefetcher.on_fill(request.addr, completion)
+            if follow_on:
+                self._issue_bank_requests(attach, owner, cache, issue,
+                                          follow_on, completion)
+
+    # ------------------------------------------------------------------
+    # Shared-level (per-slice) prefetcher plumbing
+    # ------------------------------------------------------------------
+    def _notify_shared(self, home: int, pc: int, addr: int, size: int,
+                       is_write: bool, hit: bool, now: float) -> None:
+        """Notify the home slice's prefetchers of a demand fetch."""
+        ctx = self._ctx
+        for attach in self._shared_attaches:
+            if not attach.notify_enabled[home]:
+                continue
+            if hit and not attach.notify_hits[home]:
+                continue
+            ctx.core_id = home
+            ctx.pc = pc
+            ctx.addr = addr
+            ctx.size = size
+            ctx.is_write = is_write
+            ctx.hit = hit
+            ctx.now = now
+            requests = attach.prefetchers[home].on_access(ctx)
+            if requests:
+                self._issue_shared_requests(attach, home, requests, now)
+
+    def _issue_shared_requests(self, attach: _Attach, home: int,
+                               requests: List[PrefetchRequest],
+                               now: float) -> None:
+        self._issue_bank_requests(
+            attach, home, self.l2[home],
+            lambda request, issue_at: self._issue_shared_prefetch(
+                home, request, issue_at),
+            requests, now)
+
+    def _issue_shared_prefetch(self, home: int, request: PrefetchRequest,
+                               now: float) -> float:
+        """Issue one slice-local prefetch: fetch from DRAM into the home
+        slice of the shared level.  The slice is the line's coherence home,
+        so no directory interaction is needed (private copies are
+        unaffected); the cost is MC/DRAM traffic and slice capacity.
+        Issue/usefulness statistics account to the slice's tile."""
+        if self.config.ideal_memory:
+            return now
+        l2 = self.l2[home]
+        addr = request.addr
+        if l2._tag_shift is not None:
+            way = l2._index[(addr >> l2._line_shift)
+                            & l2._set_mask].get(addr >> l2._tag_shift)
+        else:
+            way = l2._way_of(addr)
+        size = request.size
+        line_size = self.line_size
+        fetch_bytes = size if size < line_size else line_size
+        sectors = None
+        if l2.sector_size:
+            sectors = self._sector_mask_for_prefetch(l2, addr, fetch_bytes)
+        if way is not None:
+            if not l2.sector_size:
+                return now  # already resident in the slice
+            if (l2._sector_valid[way] & sectors) == sectors:
+                return now
+        slice_stats = self.stats.cores[home]
+        slice_stats.prefetches_issued += 1
+        if request.is_indirect:
+            slice_stats.indirect_prefetches_issued += 1
+        else:
+            slice_stats.stream_prefetches_issued += 1
+        noc_bytes = fetch_bytes if self.config.partial_noc else line_size
+        dram_bytes = fetch_bytes if self.config.partial_dram else line_size
+        if self._line_shift is not None:
+            line = addr & self._line_mask
+            mc_index = (addr >> self._line_shift) % self._num_mcs
+        else:
+            line = self.line_addr(addr)
+            mc_index = (addr // self.line_size) % self._num_mcs
+        mc_tile = self._mc_tiles[mc_index]
+        noc_send = self.noc.send_fast
+        time = noc_send(home, mc_tile, CONTROL_MESSAGE_BYTES, now)
+        time = self.dram.access(mc_index, line, dram_bytes, time,
+                                is_write=False)
+        time = noc_send(mc_tile, home, noc_bytes, time)
+        if l2.fill_fast(addr, now, time, True, False, sectors):
+            self._handle_l2_eviction(home, l2, time)
+        return time
 
     def software_prefetch(self, core_id: int, addr: int, now: float) -> float:
         """Issue a software prefetch (non-binding, full line)."""

@@ -1,0 +1,44 @@
+"""Prefetcher factory resolution.
+
+Turns a prefetcher *spec* — a :data:`repro.registry.PREFETCHERS` name or a
+``core_id -> PrefetcherBase`` callable — into a per-instance factory.  This
+lives next to the prefetcher interface (rather than in
+:mod:`repro.sim.system`, its historical home, from which it is still
+re-exported) so the memory hierarchy can resolve the explicitly named
+prefetchers of a multi-attach :class:`~repro.sim.config.HierarchyConfig`
+without importing the system builder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.prefetchers.base import PrefetcherBase
+from repro.registry import PREFETCHERS
+
+PrefetcherSpec = Union[str, Callable[[int], PrefetcherBase]]
+
+
+def make_prefetcher_factory(spec: PrefetcherSpec,
+                            mem_image=None,
+                            imp_config=None,
+                            stream_config=None,
+                            ghb_config=None,
+                            ) -> Callable[[int], PrefetcherBase]:
+    """Build a per-core prefetcher factory from a registry name or callable.
+
+    Names are resolved through :data:`repro.registry.PREFETCHERS` (stock:
+    ``"none"``, ``"stream"``, ``"ghb"``, ``"imp"``); an unknown name raises
+    a :class:`repro.registry.RegistryError` listing the registered choices.
+    """
+    if callable(spec):
+        return spec
+    entry = PREFETCHERS.get(spec.lower())
+    factory = entry.factory
+    return lambda core_id: factory(core_id, mem_image=mem_image,
+                                   imp_config=imp_config,
+                                   stream_config=stream_config,
+                                   ghb_config=ghb_config)
+
+
+__all__ = ["PrefetcherSpec", "make_prefetcher_factory"]

@@ -96,6 +96,59 @@ class LevelConfig:
 
 
 @dataclass(frozen=True)
+class PrefetcherAttach:
+    """One prefetcher attachment point in a :class:`HierarchyConfig`.
+
+    ``level`` names the hierarchy level the prefetcher observes and fills.
+    ``prefetcher`` is a :data:`repro.registry.PREFETCHERS` name
+    (``"stream"``, ``"imp"``, ...); ``None`` means "the experiment mode's
+    prefetcher" — the classic behaviour, where the mode (``imp``,
+    ``base``, ...) decides what runs at the attachment point.
+
+    Private-level attachments are per-core: the prefetcher sees every
+    demand access that reaches that level (all of them at the L1; the miss
+    stream of the levels above elsewhere).  A shared-level attachment is
+    per-slice: each slice of the distributed last level carries its own
+    prefetcher instance observing the demand fetches arriving at that
+    slice (slice-local hits and misses), and its prefetches fill the slice
+    from DRAM.
+    """
+
+    level: str
+    prefetcher: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Validate the prefetcher name against the registry here, at
+        # configuration time, so a typo fails with the full list of valid
+        # prefetchers instead of erroring deep inside system construction.
+        if self.prefetcher is not None:
+            from repro.registry import PREFETCHERS
+            PREFETCHERS.get(self.prefetcher)
+
+    def to_dict(self) -> dict:
+        return {"level": self.level, "prefetcher": self.prefetcher}
+
+
+def _coerce_attach(entry) -> PrefetcherAttach:
+    if isinstance(entry, PrefetcherAttach):
+        return entry
+    if isinstance(entry, str):
+        return PrefetcherAttach(level=entry)
+    if isinstance(entry, dict):
+        unknown = sorted(set(entry) - {"level", "prefetcher"})
+        if unknown:
+            raise ValueError(
+                f"unknown attach key(s) {', '.join(map(repr, unknown))}; "
+                f"valid keys: level, prefetcher")
+        if "level" not in entry:
+            raise ValueError("an attach entry must name a 'level'")
+        return PrefetcherAttach(**entry)
+    raise ValueError(f"bad attach entry {entry!r}: expected a level name, "
+                     f"a {{level, prefetcher}} mapping, or a "
+                     f"PrefetcherAttach")
+
+
+@dataclass(frozen=True)
 class HierarchyConfig:
     """Shape of the cache hierarchy: an ordered chain of levels.
 
@@ -105,16 +158,24 @@ class HierarchyConfig:
     levels in between are private per-core caches.  The classic paper
     platform is the two-level chain ``(l1 private, l2 shared)``; a
     ``(l1 private, l2 private, l3 shared)`` chain gives each core a private
-    L2 under a shared L3.
+    L2 under a shared L3.  Chains may be arbitrarily deep; levels beyond
+    the third account into dynamic ``lN_*`` counters on
+    :class:`repro.sim.stats.CoreStats`.
 
-    ``prefetch_level`` names the **private** level the per-core prefetcher
-    observes and fills: the prefetcher sees every demand access that
-    reaches that level (for the L1 that is all of them; for a private L2 it
-    is the L1 miss stream) and its prefetches install there.
+    ``attach`` lists the prefetcher attachment points
+    (:class:`PrefetcherAttach`): a level can carry zero or more
+    prefetchers (e.g. a stream prefetcher at the L1 *and* IMP at the
+    private L2), and the shared last level may carry per-slice
+    prefetchers.  ``prefetch_level`` is accepted as legacy input sugar for
+    the single-attach form (``attach=[{"level": prefetch_level}]``) and is
+    normalised away: after construction ``attach`` is the single source of
+    truth and ``prefetch_level`` is always ``None``, so the two spellings
+    compare (and digest) equal.
     """
 
     levels: Tuple[LevelConfig, ...]
-    prefetch_level: str = "l1"
+    attach: Optional[Tuple[PrefetcherAttach, ...]] = None
+    prefetch_level: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Tolerate lists/dicts from JSON-shaped constructors.
@@ -124,11 +185,6 @@ class HierarchyConfig:
         if len(levels) < 2:
             raise ValueError("a hierarchy needs at least two levels "
                              "(innermost private + shared last level)")
-        if len(levels) > 3:
-            # Deeper chains would conflate the per-level statistics
-            # (CoreStats tracks l1/l2/l3); lifting this is a roadmap item.
-            raise ValueError("at most three levels are supported "
-                             "(up to two private levels + the shared level)")
         names = [lvl.name for lvl in levels]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate level names in hierarchy: {names}")
@@ -146,10 +202,37 @@ class HierarchyConfig:
             raise ValueError(
                 f"all hierarchy levels must share one line size, "
                 f"got {sorted(line_sizes)}")
-        if self.prefetch_level not in names[:-1]:
+        # ----- prefetcher attachment ----------------------------------
+        if self.attach is not None and self.prefetch_level is not None:
             raise ValueError(
-                f"prefetch_level {self.prefetch_level!r} must name a "
-                f"private level; private levels: {names[:-1]}")
+                "give either 'attach' (the per-level attachment list) or "
+                "the legacy 'prefetch_level', not both")
+        if self.attach is None:
+            level = self.prefetch_level if self.prefetch_level is not None \
+                else names[0]
+            if level not in names[:-1]:
+                raise ValueError(
+                    f"prefetch_level {level!r} must name a "
+                    f"private level; private levels: {names[:-1]}")
+            attach = (PrefetcherAttach(level=level),)
+        else:
+            attach = tuple(_coerce_attach(entry) for entry in self.attach)
+            seen = set()
+            for entry in attach:
+                if entry.level not in names:
+                    raise ValueError(
+                        f"attach level {entry.level!r} is not a hierarchy "
+                        f"level; valid levels: {names}")
+                key = (entry.level, entry.prefetcher)
+                if key in seen:
+                    raise ValueError(
+                        f"duplicate prefetcher attachment "
+                        f"(level={entry.level!r}, "
+                        f"prefetcher={entry.prefetcher!r}); each "
+                        f"(level, prefetcher) pair may appear once")
+                seen.add(key)
+        object.__setattr__(self, "attach", attach)
+        object.__setattr__(self, "prefetch_level", None)
 
     # ------------------------------------------------------------------
     @property
@@ -160,12 +243,26 @@ class HierarchyConfig:
     def shared_level(self) -> LevelConfig:
         return self.levels[-1]
 
-    @property
-    def prefetch_level_index(self) -> int:
+    def level_index(self, name: str) -> int:
         for index, lvl in enumerate(self.levels):
-            if lvl.name == self.prefetch_level:
+            if lvl.name == name:
                 return index
-        raise ValueError(f"prefetch_level {self.prefetch_level!r} not found")
+        raise ValueError(f"unknown hierarchy level {name!r}; "
+                         f"valid levels: {self.level_names()}")
+
+    @property
+    def private_attaches(self) -> Tuple[PrefetcherAttach, ...]:
+        """Attachments at private levels, inner levels first (attachments
+        at one level keep their ``attach``-list order)."""
+        shared = self.levels[-1].name
+        return tuple(sorted((a for a in self.attach if a.level != shared),
+                            key=lambda a: self.level_index(a.level)))
+
+    @property
+    def shared_attaches(self) -> Tuple[PrefetcherAttach, ...]:
+        """Attachments at the shared last level (per-slice prefetchers)."""
+        shared = self.levels[-1].name
+        return tuple(a for a in self.attach if a.level == shared)
 
     def level_names(self) -> List[str]:
         return [lvl.name for lvl in self.levels]
@@ -173,12 +270,15 @@ class HierarchyConfig:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         return {"levels": [lvl.to_dict() for lvl in self.levels],
-                "prefetch_level": self.prefetch_level}
+                "attach": [entry.to_dict() for entry in self.attach],
+                "prefetch_level": None}
 
     @classmethod
     def from_dict(cls, doc: dict) -> "HierarchyConfig":
+        attach = doc.get("attach")
         return cls(levels=tuple(LevelConfig(**lvl) for lvl in doc["levels"]),
-                   prefetch_level=doc.get("prefetch_level", "l1"))
+                   attach=tuple(attach) if attach is not None else None,
+                   prefetch_level=doc.get("prefetch_level"))
 
 
 @dataclass(frozen=True)

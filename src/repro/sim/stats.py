@@ -12,6 +12,7 @@ The counters mirror the quantities the paper reports:
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -19,6 +20,11 @@ from repro.sim.trace import AccessKind
 
 #: CoreStats counters keyed by AccessKind (serialised via the kind's value).
 _KIND_FIELDS = ("misses_by_kind", "accesses_by_kind", "stall_cycles_by_kind")
+
+#: Serialised keys of the dynamic deep-hierarchy counters (``l4_hits``,
+#: ``l7_misses``, ...).  Levels 1-3 stay on the scalar fields below,
+#: bit-exactly as before deep chains existed.
+_LEVEL_KEY = re.compile(r"^l(\d+)_(hits|misses)$")
 
 #: Plain integer counters of CoreStats, in declaration order.
 _CORE_SCALAR_FIELDS = (
@@ -53,6 +59,12 @@ class CoreStats:
     # shape, where the shared level accounts into l2_hits/l2_misses.
     l3_hits: int = 0
     l3_misses: int = 0
+    # Hit/miss counters for hierarchy levels beyond the third (chains
+    # deeper than three levels), keyed by their serialised names
+    # ("l4_hits", "l4_misses", ...).  Counters for levels 1-3 stay on the
+    # scalar fields above so existing fingerprints and serialised records
+    # are bit-exact; this dict is empty for every <=3-level configuration.
+    extra_levels: Dict[str, int] = field(default_factory=dict)
     misses_by_kind: Dict[AccessKind, int] = field(
         default_factory=lambda: {kind: 0 for kind in AccessKind})
     accesses_by_kind: Dict[AccessKind, int] = field(
@@ -102,10 +114,43 @@ class CoreStats:
         return self.instructions / self.cycles if self.cycles else 0.0
 
     # ------------------------------------------------------------------
+    # Per-level counters (hierarchy positions are 1-based: l1, l2, ...)
+    # ------------------------------------------------------------------
+    def bump_level(self, position: int, hit: bool) -> None:
+        """Count one hit/miss at hierarchy level ``position``.
+
+        Positions 1-3 increment the scalar ``l1_*``/``l2_*``/``l3_*``
+        fields; deeper positions accumulate under dynamic ``lN_*`` keys in
+        :attr:`extra_levels`.  Hot paths for the common shapes increment
+        the scalar fields directly; this is the generic entry point.
+        """
+        if position <= 3:
+            name = (f"l{position}_hits" if hit else f"l{position}_misses")
+            setattr(self, name, getattr(self, name) + 1)
+            return
+        key = f"l{position}_hits" if hit else f"l{position}_misses"
+        extra = self.extra_levels
+        extra[key] = extra.get(key, 0) + 1
+
+    def level_hits(self, position: int) -> int:
+        if position <= 3:
+            return getattr(self, f"l{position}_hits")
+        return self.extra_levels.get(f"l{position}_hits", 0)
+
+    def level_misses(self, position: int) -> int:
+        if position <= 3:
+            return getattr(self, f"l{position}_misses")
+        return self.extra_levels.get(f"l{position}_misses", 0)
+
+    # ------------------------------------------------------------------
     # Serialisation (persistent result cache, cross-process sweeps)
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
         doc: Dict = {name: getattr(self, name) for name in _CORE_SCALAR_FIELDS}
+        # Dynamic deep-level counters serialise as flat lN_* keys next to
+        # the scalar l1/l2/l3 ones (sorted for deterministic records).
+        for key in sorted(self.extra_levels):
+            doc[key] = self.extra_levels[key]
         for name in _KIND_FIELDS:
             doc[name] = {kind.value: count
                          for kind, count in getattr(self, name).items()}
@@ -114,6 +159,11 @@ class CoreStats:
     @classmethod
     def from_dict(cls, doc: Dict) -> "CoreStats":
         stats = cls(**{name: doc[name] for name in _CORE_SCALAR_FIELDS})
+        known = set(_CORE_SCALAR_FIELDS)
+        extra = {key: value for key, value in doc.items()
+                 if key not in known and _LEVEL_KEY.match(key)}
+        if extra:
+            stats.extra_levels = extra
         for name in _KIND_FIELDS:
             setattr(stats, name, {AccessKind(value): count
                                   for value, count in doc[name].items()})

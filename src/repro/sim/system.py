@@ -15,44 +15,21 @@ from __future__ import annotations
 import gc
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import IMPConfig
 from repro.core.imp import IMP
 from repro.mem_image import MemoryImage
 from repro.memory.hierarchy import MemorySystem
 from repro.prefetchers.base import PrefetcherBase
-from repro.prefetchers.ghb import GHBConfig
-from repro.prefetchers.stream import StreamPrefetcherConfig
-from repro.registry import PREFETCHERS
+# Re-exported for backward compatibility: the factory moved next to the
+# prefetcher interface so the memory hierarchy can resolve multi-attach
+# prefetcher names without importing the system builder.
+from repro.prefetchers.factory import PrefetcherSpec, make_prefetcher_factory
 from repro.sim.config import SystemConfig
 from repro.sim.core_model import InOrderCore, make_core
 from repro.sim.stats import CoreStats, SystemStats
 from repro.sim.trace import Trace
-
-PrefetcherSpec = Union[str, Callable[[int], PrefetcherBase]]
-
-
-def make_prefetcher_factory(spec: PrefetcherSpec,
-                            mem_image: Optional[MemoryImage] = None,
-                            imp_config: Optional[IMPConfig] = None,
-                            stream_config: Optional[StreamPrefetcherConfig] = None,
-                            ghb_config: Optional[GHBConfig] = None,
-                            ) -> Callable[[int], PrefetcherBase]:
-    """Build a per-core prefetcher factory from a registry name or callable.
-
-    Names are resolved through :data:`repro.registry.PREFETCHERS` (stock:
-    ``"none"``, ``"stream"``, ``"ghb"``, ``"imp"``); an unknown name raises
-    a :class:`repro.registry.RegistryError` listing the registered choices.
-    """
-    if callable(spec):
-        return spec
-    entry = PREFETCHERS.get(spec.lower())
-    factory = entry.factory
-    return lambda core_id: factory(core_id, mem_image=mem_image,
-                                   imp_config=imp_config,
-                                   stream_config=stream_config,
-                                   ghb_config=ghb_config)
 
 
 @dataclass
@@ -129,7 +106,14 @@ class System:
         self.stats = SystemStats(
             cores=[CoreStats(core_id=i) for i in range(config.n_cores)])
         factory = make_prefetcher_factory(prefetcher, self.mem_image, imp_config)
-        self.memsys = MemorySystem(config, self.mem_image, factory, self.stats)
+        # Explicit hierarchies may attach prefetchers *by name* per level
+        # (hybrid stream@L1 + IMP@L2, a per-slice shared-level prefetcher);
+        # hand the memory system a resolver that shares this run's memory
+        # image and IMP configuration.
+        named_factory = (lambda name: make_prefetcher_factory(
+            name, self.mem_image, imp_config))
+        self.memsys = MemorySystem(config, self.mem_image, factory, self.stats,
+                                   named_prefetcher_factory=named_factory)
         self.cores = [make_core(config, i, trace, self.memsys, self.stats.cores[i])
                       for i, trace in enumerate(traces)]
         self._prefetcher_name = prefetcher if isinstance(prefetcher, str) else "custom"

@@ -1,0 +1,86 @@
+"""Tests for the ``repro profile`` harness (experiments/profile.py).
+
+Previously only exercised manually; these pin the report's invariants on a
+tiny workload: subsystem self-time attribution buckets must sum to the
+profiled total (and their shares to ~1), the document must round-trip
+through JSON, and the CLI/formatting layer must render it.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments.profile import (
+    OTHER,
+    SUBSYSTEM_RULES,
+    format_report,
+    profile_run,
+    subsystem_of,
+)
+
+
+@pytest.fixture(scope="module")
+def document():
+    """One profiled tiny run shared by every test in this module."""
+    return profile_run("indirect_stream", prefetcher="stream", cores=4,
+                       seed=1, quick=True)
+
+
+def test_buckets_sum_to_profiled_total(document):
+    total = document["profiled_seconds"]
+    bucket_sum = sum(bucket["self_seconds"]
+                     for bucket in document["subsystems"].values())
+    assert bucket_sum == pytest.approx(total, rel=1e-9)
+    share_sum = sum(bucket["share"]
+                    for bucket in document["subsystems"].values())
+    assert share_sum == pytest.approx(1.0, rel=1e-9)
+
+
+def test_every_access_touches_the_core_subsystems(document):
+    # A real simulation must attribute time to the core model and the
+    # cache/hierarchy machinery; "other" must not swallow the simulator.
+    assert document["subsystems"]["core"]["self_seconds"] > 0
+    assert {"cache", "hierarchy"} & set(document["subsystems"])
+    other = document["subsystems"].get(OTHER, {"share": 0.0})
+    assert other["share"] < 0.5
+
+
+def test_fingerprint_and_metadata_recorded(document):
+    assert document["schema"] == "repro-profile-v1"
+    assert document["workload"] == "indirect_stream"
+    assert document["prefetcher"] == "stream"
+    assert document["cores"] == 4
+    assert document["runtime_cycles"] == \
+        document["fingerprint"]["runtime_cycles"]
+    assert document["runtime_cycles"] > 0
+    assert document["top_functions"], "no hot functions recorded"
+    for row in document["top_functions"]:
+        assert row["self_seconds"] >= 0.0
+        assert ":" in row["function"]
+
+
+def test_document_round_trips_through_json(document):
+    clone = json.loads(json.dumps(document))
+    assert clone == document
+
+
+def test_format_report_renders(document):
+    out = io.StringIO()
+    format_report(document, top=5, out=out)
+    text = out.getvalue()
+    assert "indirect_stream/stream" in text
+    assert "subsystem" in text
+    assert "top functions" in text
+    # One line per subsystem bucket.
+    for name in document["subsystems"]:
+        assert name in text
+
+
+def test_subsystem_rules_cover_known_paths():
+    assert subsystem_of("src/repro/memory/cache.py") == "cache"
+    assert subsystem_of("src\\repro\\noc\\mesh.py") == "noc"
+    assert subsystem_of("/usr/lib/python3.11/heapq.py") == OTHER
+    # First-match-wins keeps the rule list unambiguous.
+    fragments = [fragment for fragment, _ in SUBSYSTEM_RULES]
+    assert len(fragments) == len(set(fragments))

@@ -184,16 +184,35 @@ class TestExecution:
             assert spec.workload
             assert spec.digest()
 
-    def test_tiny_smoke_matches_checked_in_fingerprint(self):
-        # The same check CI runs via `repro run --scenario ...
-        # --expect-fingerprint ...`, kept in tier-1 so it cannot rot.
-        spec = load_scenario(SCENARIO_DIR / "tiny_smoke.json")
+    @pytest.mark.parametrize("name", sorted(
+        path.name[:-len(".fingerprint.json")]
+        for path in SCENARIO_DIR.glob("*.fingerprint.json")))
+    def test_scenario_corpus_matches_checked_in_fingerprints(self, name):
+        """Every checked-in scenario with a pinned ``.fingerprint.json``
+        must reproduce it bit-for-bit — the same golden corpus CI batches
+        through ``repro sweep --scenario-dir``, kept in tier-1 so it
+        cannot rot.  New scenarios join the corpus by committing a sibling
+        fingerprint (``repro run --scenario f.json --write-fingerprint
+        f.fingerprint.json``) — no test change needed."""
+        spec = load_scenario(SCENARIO_DIR / f"{name}.json")
         expected = json.loads(
-            (SCENARIO_DIR / "tiny_smoke.fingerprint.json").read_text())
-        assert spec.run().stats.fingerprint() == expected["fingerprint"]
+            (SCENARIO_DIR / f"{name}.fingerprint.json").read_text())
+        assert spec.run().stats.fingerprint() == expected["fingerprint"], \
+            f"fingerprint drift in scenario {name}"
 
-    def test_three_level_example_matches_checked_in_fingerprint(self):
-        spec = load_scenario(SCENARIO_DIR / "imp_l2_three_level.json")
-        expected = json.loads(
-            (SCENARIO_DIR / "imp_l2_three_level.fingerprint.json").read_text())
-        assert spec.run().stats.fingerprint() == expected["fingerprint"]
+    def test_corpus_covers_the_new_attachment_space(self):
+        """The corpus must keep exercising each attachment feature: hybrid
+        multi-attach, shared-level attach, a >3-level chain, and the
+        capacity-sweep pair."""
+        specs = {path.name: load_scenario(path)
+                 for path in SCENARIO_DIR.glob("*.json")
+                 if not path.name.endswith(".fingerprint.json")}
+        hierarchies = {
+            name: spec.resolve()[1].resolved_hierarchy()
+            for name, spec in specs.items()}
+        assert any(len(h.attach) > 1 for h in hierarchies.values())
+        assert any(h.shared_attaches for h in hierarchies.values())
+        assert any(len(h.levels) > 3 for h in hierarchies.values())
+        capacity = [h.levels[1].size_bytes for name, h in hierarchies.items()
+                    if name.startswith("l2_capacity")]
+        assert len(capacity) >= 2 and len(set(capacity)) >= 2

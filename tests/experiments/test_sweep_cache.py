@@ -128,6 +128,42 @@ class TestResultCache:
         # The stale entry was dropped so the next sweep rewrites it.
         assert not list(cache.directory.iterdir())
 
+    def test_v2_record_self_heals(self, cache):
+        """The v2->v3 migration path: a record written under the previous
+        schema (pre-attach-list hierarchies, ``prefetch_level`` in the
+        spec) is treated as a miss, deleted on first lookup, and the slot
+        is repopulated with a v3 record by the next engine run."""
+        spec = tiny_spec()
+        result = execute_spec(spec)
+        record = make_record(spec, result)
+        assert record["schema"] == 3
+        # Forge the on-disk shape a v2 sweep would have left behind.
+        stale = json.loads(json.dumps(record))
+        stale["schema"] = 2
+        hierarchy = {
+            "levels": [{"name": "l1", "size_bytes": 16384,
+                        "associativity": 4, "scope": "private",
+                        "line_size": 64, "hit_latency": 1,
+                        "sector_size": 0}],
+            "prefetch_level": "l1",           # the retired v2 spelling
+        }
+        stale["spec"]["base_config"] = dict(stale["spec"]["base_config"],
+                                            hierarchy=hierarchy)
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        (cache.directory / f"{spec.digest()}.json").write_text(
+            json.dumps(stale))
+        assert cache.get(spec) is None
+        assert cache.corrupt == 1
+        assert not list(cache.directory.iterdir())
+        # A fresh engine run repopulates the digest with a v3 record.
+        engine = SweepEngine(jobs=1, cache=cache)
+        engine.run([spec])
+        healed = json.loads(
+            (cache.directory / f"{spec.digest()}.json").read_text())
+        assert healed["schema"] == CACHE_SCHEMA_VERSION == 3
+        assert cache.get(spec).stats.fingerprint() \
+            == result.stats.fingerprint()
+
     @pytest.mark.parametrize("garbage", ["{ not json", "[]", "null", '"x"'])
     def test_corrupted_entry_is_dropped_and_rerun(self, cache, garbage):
         spec = tiny_spec()

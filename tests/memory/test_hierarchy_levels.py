@@ -9,6 +9,7 @@ from repro.sim.config import (
     CacheConfig,
     HierarchyConfig,
     LevelConfig,
+    PrefetcherAttach,
     SystemConfig,
 )
 from repro.sim.trace import AccessKind, MemRef
@@ -101,7 +102,20 @@ class TestHierarchyConfigValidation:
         assert hierarchy.level_names() == ["l1", "l2", "l3"]
         assert hierarchy.shared_level.name == "l3"
         assert [lvl.name for lvl in hierarchy.private_levels] == ["l1", "l2"]
-        assert hierarchy.prefetch_level_index == 1
+        # The legacy prefetch_level spelling normalises into the attach
+        # list (and the field itself is normalised away).
+        assert hierarchy.attach == (PrefetcherAttach(level="l2"),)
+        assert hierarchy.prefetch_level is None
+        assert hierarchy.level_index("l2") == 1
+        assert hierarchy.private_attaches == hierarchy.attach
+        assert hierarchy.shared_attaches == ()
+
+    def test_attach_spelling_equals_legacy_spelling(self):
+        legacy = three_level(prefetch_level="l2")
+        explicit = HierarchyConfig(attach=({"level": "l2"},),
+                                   levels=legacy.levels)
+        assert legacy == explicit
+        assert hash(legacy) == hash(explicit)
 
 
 class TestSystemConfigIntegration:
@@ -111,7 +125,7 @@ class TestSystemConfigIntegration:
         assert resolved.level_names() == ["l1", "l2"]
         assert resolved.shared_level.scope == "shared"
         assert resolved.shared_level.size_bytes == config.l2_slice_bytes
-        assert resolved.prefetch_level == "l1"
+        assert resolved.attach == (PrefetcherAttach(level="l1"),)
 
     def test_resolved_hierarchy_passthrough(self):
         hierarchy = three_level()
@@ -251,14 +265,28 @@ class TestInclusionAndCoherence:
         assert l2.probe(0x70000) is None
         assert l1.probe(0x70000) is None
 
-    def test_at_most_three_levels(self):
-        with pytest.raises(ValueError, match="at most three levels"):
-            HierarchyConfig(levels=(
-                LevelConfig(name="l1", size_bytes=4096, associativity=4),
-                LevelConfig(name="l2", size_bytes=8192, associativity=8),
-                LevelConfig(name="l3", size_bytes=8192, associativity=8),
-                LevelConfig(name="l4", size_bytes=16384, associativity=8,
-                            scope="shared"),))
+    def test_four_level_chain_is_legal(self):
+        """Chains deeper than three levels are supported: levels past the
+        third account into CoreStats' dynamic lN_* counters."""
+        hierarchy = HierarchyConfig(prefetch_level="l2", levels=(
+            LevelConfig(name="l1", size_bytes=4096, associativity=4),
+            LevelConfig(name="l2", size_bytes=8192, associativity=8,
+                        hit_latency=2),
+            LevelConfig(name="l3", size_bytes=8192, associativity=8,
+                        hit_latency=4),
+            LevelConfig(name="l4", size_bytes=16384, associativity=8,
+                        scope="shared", hit_latency=8),))
+        system = MemorySystem(make_config(hierarchy=hierarchy))
+        outcome = system.access(0, ref(0x90000), now=0)
+        assert not outcome.l1_hit
+        stats = system.stats.cores[0]
+        assert stats.l2_misses == 1              # private L2
+        assert stats.l3_misses == 1              # private L3
+        assert stats.level_misses(4) == 1        # shared L4 (dynamic key)
+        assert stats.extra_levels == {"l4_misses": 1}
+        # A second core's fetch finds the line in the shared L4.
+        system.access(1, ref(0x90000), now=10_000)
+        assert system.stats.cores[1].level_hits(4) == 1
 
     def test_l1_attached_prefetch_fills_outer_levels_too(self):
         """With the prefetcher at L1 in a 3-level chain, prefetches must

@@ -1,0 +1,209 @@
+"""Property-style validation tests for HierarchyConfig / ScenarioSpec.
+
+Every malformed hierarchy or scenario input must fail *at configuration
+time* with an error whose message lists the valid choices (the
+``RegistryError`` convention): unknown level names list the hierarchy's
+levels, unknown prefetchers list the registry, scope typos list the two
+scopes, and the legacy >3-level cap is gone — deep chains validate.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.scenario import ScenarioError, ScenarioSpec
+from repro.registry import RegistryError
+from repro.sim.config import HierarchyConfig, LevelConfig, PrefetcherAttach
+
+
+def chain(n_levels: int, names=None) -> tuple:
+    """A well-formed chain of ``n_levels`` levels (last one shared)."""
+    names = names or [f"l{i + 1}" for i in range(n_levels)]
+    return tuple(
+        LevelConfig(name=name, size_bytes=4096 << index, associativity=4,
+                    scope="shared" if index == n_levels - 1 else "private",
+                    hit_latency=1 + index)
+        for index, name in enumerate(names))
+
+
+# ----------------------------------------------------------------------
+# HierarchyConfig
+# ----------------------------------------------------------------------
+class TestAttachValidation:
+    def test_unknown_attach_level_lists_valid_names(self):
+        with pytest.raises(ValueError,
+                           match=r"valid levels: \['l1', 'l2', 'l3'\]"):
+            HierarchyConfig(levels=chain(3),
+                            attach=({"level": "l9", "prefetcher": "imp"},))
+
+    def test_unknown_attach_prefetcher_lists_registry(self):
+        with pytest.raises(RegistryError, match="none, stream, ghb, imp"):
+            HierarchyConfig(levels=chain(2),
+                            attach=({"level": "l1",
+                                     "prefetcher": "warp_drive"},))
+
+    def test_duplicate_attach_rejected(self):
+        with pytest.raises(ValueError, match="duplicate prefetcher attach"):
+            HierarchyConfig(levels=chain(3),
+                            attach=({"level": "l2", "prefetcher": "imp"},
+                                    {"level": "l2", "prefetcher": "imp"}))
+
+    def test_same_level_different_prefetchers_allowed(self):
+        hierarchy = HierarchyConfig(
+            levels=chain(2),
+            attach=({"level": "l1", "prefetcher": "stream"},
+                    {"level": "l1", "prefetcher": "ghb"}))
+        assert len(hierarchy.attach) == 2
+
+    def test_unknown_attach_key_rejected(self):
+        with pytest.raises(ValueError, match="valid keys: level, prefetcher"):
+            HierarchyConfig(levels=chain(2),
+                            attach=({"level": "l1", "degree": 4},))
+
+    def test_attach_entry_must_name_a_level(self):
+        with pytest.raises(ValueError, match="must name a 'level'"):
+            HierarchyConfig(levels=chain(2),
+                            attach=({"prefetcher": "imp"},))
+
+    def test_attach_and_prefetch_level_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            HierarchyConfig(levels=chain(3), prefetch_level="l1",
+                            attach=({"level": "l2"},))
+
+    def test_legacy_prefetch_level_must_be_private(self):
+        with pytest.raises(ValueError,
+                           match=r"private levels: \['l1', 'l2'\]"):
+            HierarchyConfig(levels=chain(3), prefetch_level="l3")
+
+    def test_shared_scope_typo_lists_valid_scopes(self):
+        with pytest.raises(ValueError, match="'private' or 'shared'"):
+            LevelConfig(name="l2", size_bytes=8192, associativity=8,
+                        scope="sharde")
+
+    def test_empty_attach_list_means_no_prefetchers(self):
+        hierarchy = HierarchyConfig(levels=chain(2), attach=())
+        assert hierarchy.attach == ()
+        assert hierarchy.private_attaches == ()
+        assert hierarchy.shared_attaches == ()
+
+    def test_shared_level_attach_is_classified(self):
+        hierarchy = HierarchyConfig(
+            levels=chain(3),
+            attach=({"level": "l3", "prefetcher": "imp"},
+                    {"level": "l1", "prefetcher": "stream"}))
+        assert [a.level for a in hierarchy.private_attaches] == ["l1"]
+        assert [a.level for a in hierarchy.shared_attaches] == ["l3"]
+
+    def test_deep_chains_validate(self):
+        """The pre-fix >3-level cap is gone: deep chains are legal and
+        round-trip through their dict form."""
+        for depth in (4, 5, 6):
+            hierarchy = HierarchyConfig(levels=chain(depth),
+                                        prefetch_level="l2")
+            assert len(hierarchy.levels) == depth
+            assert HierarchyConfig.from_dict(hierarchy.to_dict()) == hierarchy
+
+
+@settings(max_examples=25, deadline=None)
+@given(depth=st.integers(min_value=2, max_value=6), data=st.data())
+def test_any_attach_subset_of_levels_validates(depth, data):
+    """Any attach list drawn from the chain's own level names (with stock
+    prefetchers, deduplicated) validates; attach order never matters for
+    the canonical classification."""
+    levels = chain(depth)
+    names = [lvl.name for lvl in levels]
+    entries = data.draw(st.lists(
+        st.tuples(st.sampled_from(names),
+                  st.sampled_from(["stream", "ghb", "imp", None])),
+        max_size=4, unique=True))
+    attach = tuple(PrefetcherAttach(level=lvl, prefetcher=pf)
+                   for lvl, pf in entries)
+    hierarchy = HierarchyConfig(levels=levels, attach=attach)
+    assert set(hierarchy.private_attaches + hierarchy.shared_attaches) \
+        == set(attach)
+    # Reversing the attach list yields the same canonical private order.
+    reversed_form = HierarchyConfig(levels=levels, attach=attach[::-1])
+    assert [a.level for a in reversed_form.private_attaches] \
+        == [a.level for a in hierarchy.private_attaches]
+
+
+@settings(max_examples=25, deadline=None)
+@given(depth=st.integers(min_value=2, max_value=5),
+       bogus=st.text(alphabet="xyz", min_size=1, max_size=3))
+def test_unknown_level_always_lists_the_chain(depth, bogus):
+    levels = chain(depth)
+    names = [lvl.name for lvl in levels]
+    if bogus in names:
+        return
+    with pytest.raises(ValueError) as excinfo:
+        HierarchyConfig(levels=levels, attach=({"level": bogus},))
+    for name in names:
+        assert name in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# ScenarioSpec (the same errors must surface through scenario files)
+# ----------------------------------------------------------------------
+def scenario_doc(**hierarchy_overrides):
+    hierarchy = {
+        "levels": [
+            {"name": "l1", "size_bytes": 4096, "associativity": 4},
+            {"name": "l2", "size_bytes": 16384, "associativity": 8,
+             "hit_latency": 4},
+            {"name": "l3", "size_bytes": 32768, "associativity": 8,
+             "scope": "shared", "hit_latency": 8},
+        ],
+    }
+    hierarchy.update(hierarchy_overrides)
+    return {
+        "workload": "indirect_stream",
+        "workload_params": {"n_indices": 256, "n_data": 1024, "seed": 3},
+        "mode": "imp",
+        "n_cores": 4,
+        "system": {"hierarchy": hierarchy},
+    }
+
+
+class TestScenarioAttachValidation:
+    def test_unknown_attach_level_fails_at_validation(self):
+        doc = scenario_doc(attach=[{"level": "l7", "prefetcher": "imp"}])
+        with pytest.raises(ScenarioError, match="valid levels"):
+            ScenarioSpec.from_dict(doc)
+
+    def test_unknown_attach_prefetcher_fails_listing_registry(self):
+        doc = scenario_doc(attach=[{"level": "l1", "prefetcher": "hyper"}])
+        with pytest.raises(ValueError, match="none, stream, ghb, imp"):
+            ScenarioSpec.from_dict(doc)
+
+    def test_duplicate_attach_fails(self):
+        doc = scenario_doc(attach=[{"level": "l2"}, {"level": "l2"}])
+        with pytest.raises(ScenarioError, match="duplicate"):
+            ScenarioSpec.from_dict(doc)
+
+    def test_attach_plus_prefetch_level_fails(self):
+        doc = scenario_doc(attach=[{"level": "l2"}], prefetch_level="l1")
+        with pytest.raises(ScenarioError, match="not both"):
+            ScenarioSpec.from_dict(doc)
+
+    def test_deep_chain_scenario_validates(self):
+        doc = scenario_doc()
+        doc["system"]["hierarchy"]["levels"].insert(2, {
+            "name": "l2b", "size_bytes": 32768, "associativity": 8,
+            "hit_latency": 6})
+        doc["system"]["hierarchy"]["attach"] = [{"level": "l2b",
+                                                 "prefetcher": "imp"}]
+        spec = ScenarioSpec.from_dict(doc)
+        assert spec.digest()
+
+    def test_attach_spelling_shares_digest_with_legacy(self):
+        legacy = ScenarioSpec.from_dict(scenario_doc(prefetch_level="l2"))
+        explicit = ScenarioSpec.from_dict(scenario_doc(
+            attach=[{"level": "l2", "prefetcher": None}]))
+        assert legacy.digest() == explicit.digest()
+
+    def test_shared_attach_changes_digest(self):
+        base = ScenarioSpec.from_dict(scenario_doc(
+            attach=[{"level": "l2", "prefetcher": "imp"}]))
+        shared = ScenarioSpec.from_dict(scenario_doc(
+            attach=[{"level": "l3", "prefetcher": "imp"}]))
+        assert base.digest() != shared.digest()

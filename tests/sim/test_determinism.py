@@ -202,6 +202,32 @@ def test_explicit_classic_hierarchy_matches_inlined_path():
             f"extended-path divergence with prefetcher={prefetcher}"
 
 
+def test_hybrid_mode_is_deterministic_and_multi_attach():
+    """The 'hybrid' mode (stream@L1 + per-slice IMP@shared-L2) must be
+    reproducible from fresh state and actually run both attachments.
+
+    Its golden fingerprint lives in tests/data/mode_fingerprints.json
+    (covered by test_registry_modes_match_pre_refactor_fingerprints); this
+    entry keeps the next golden re-anchor mechanical by pinning the mode's
+    structure, not just its numbers."""
+    config, prefetcher, imp_cfg, software = experiment_config(
+        "hybrid", 4, base_config=scaled_config(4))
+    hierarchy = config.hierarchy
+    assert [(a.level, a.prefetcher) for a in hierarchy.attach] \
+        == [("l1", "stream"), ("l2", "imp")]
+    assert hierarchy.shared_attaches  # IMP rides the shared slices
+    runs = [
+        run_workload(IndirectStreamWorkload(n_indices=1024, n_data=4096,
+                                            seed=3),
+                     config, prefetcher=prefetcher, imp_config=imp_cfg,
+                     software_prefetch=software)
+        for _ in range(2)
+    ]
+    assert snapshot(runs[0].stats) == snapshot(runs[1].stats)
+    # Both banks exist: one stream prefetcher per core + one IMP per slice.
+    assert len(runs[0].imps) == 4
+
+
 def test_three_level_hierarchy_is_deterministic():
     hierarchy = HierarchyConfig(prefetch_level="l2", levels=(
         LevelConfig(name="l1", size_bytes=4 * 1024, associativity=4),

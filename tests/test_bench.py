@@ -123,3 +123,23 @@ class TestBaselineComparison:
         baseline = self._document(1.0, 101)
         assert baseline_comparison(current,
                                    baseline)["fingerprints_identical"] is False
+
+    def test_zero_overlap_is_not_vacuously_identical(self):
+        """Comparing against a baseline that shares no scenario keys (a
+        wrong/renamed baseline document) must not claim identical
+        fingerprints over an empty set."""
+        from repro.experiments.bench import baseline_comparison
+
+        current = self._document(1.0, 100)
+        section = baseline_comparison(current, {"schema": "repro-bench-v1",
+                                                "scenarios": {}})
+        assert section["compared_scenarios"] == 0
+        assert section["fingerprints_identical"] is False
+        assert section["miss_heavy_geomean_speedup"] is None
+
+    def test_compared_scenario_count_recorded(self):
+        from repro.experiments.bench import baseline_comparison
+
+        section = baseline_comparison(self._document(1.0, 100),
+                                      self._document(1.5, 100))
+        assert section["compared_scenarios"] == 2

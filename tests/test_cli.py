@@ -125,7 +125,7 @@ class TestScenario:
             "--expect-fingerprint",
             "examples/scenarios/imp_l2_three_level.fingerprint.json")
         assert "l1(private) -> l2(private) -> l3(shared) -> dram" in output
-        assert "prefetch @ l2" in output
+        assert "prefetch: imp@l2" in output
         assert "fingerprint check : ok" in output
 
     def test_fingerprint_mismatch_fails(self, tmp_path):
