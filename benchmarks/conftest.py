@@ -37,6 +37,16 @@ from repro.experiments.figures import format_table
 
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "results"
 
+
+@pytest.fixture(scope="session", autouse=True)
+def no_fault_injection():
+    """Strip ``$REPRO_FAULTS`` for the whole benchmark session: an exported
+    chaos plan must never contaminate recorded tables or perf numbers."""
+    plan = os.environ.pop("REPRO_FAULTS", None)
+    yield
+    if plan is not None:
+        os.environ["REPRO_FAULTS"] = plan
+
 TABLES_PATH = RESULTS_PATH / "benchmark_tables.txt"
 
 _SECTION_HEADER = re.compile(r"^== (.+) ==$")

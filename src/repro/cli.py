@@ -26,7 +26,18 @@ Installed as the ``repro`` console script (also runnable as
   every required simulation is declared up front, deduplicated, executed
   across ``--jobs`` worker processes, and memoised in the persistent
   on-disk result cache (``--cache-dir``, default ``results/cache``), so
-  re-running only simulates what changed.
+  re-running only simulates what changed.  The executor is
+  fault-tolerant: ``--timeout`` bounds each run's wall clock,
+  ``--retries``/``--backoff`` govern recovery from worker death and
+  transient exceptions, ``--keep-going``/``--fail-fast`` pick the exit
+  strategy (permanent failures land in ``results/failures.json`` and
+  exit code 3), progress is journalled under the cache directory, and
+  ``--resume`` restarts a killed sweep from where it died.  Ctrl-C /
+  SIGTERM shut the pool down cleanly, flush the journal and exit with
+  code 130 / 143.
+* ``cache``          — cache maintenance; ``repro cache doctor`` lists
+  (and with ``--purge`` deletes) records the self-healing cache has
+  quarantined as corrupt.
 * ``cost``           — print the Section 6.4 storage/energy cost report.
 * ``bench``          — run the wall-clock performance harness
   (``benchmarks/perf/bench_sim.py``) and optionally write/check a
@@ -41,6 +52,8 @@ Installed as the ``repro`` console script (also runnable as
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 from typing import List, Optional, Sequence
 
@@ -68,6 +81,53 @@ FIGURES = {
     "fig15": lambda runner, cores: figures.fig15_ipd_size(runner, cores),
     "fig16": lambda runner, cores: figures.fig16_prefetch_distance(runner, cores),
 }
+
+
+#: Exit codes of the ``sweep`` command's failure-semantics contract (see
+#: README "Operations & failure semantics"): 0 success, 1 fingerprint
+#: mismatch, 2 usage error, 3 runs permanently failed, 130/143 when
+#: interrupted by SIGINT/SIGTERM (journal flushed, pool shut down).
+EXIT_RUN_FAILURES = 3
+EXIT_INTERRUPTED = 130
+EXIT_TERMINATED = 143
+
+
+class _Terminated(Exception):
+    """SIGTERM arrived; unwind like Ctrl-C but exit with its own code."""
+
+
+@contextlib.contextmanager
+def _sigterm_raises():
+    """Turn SIGTERM into an exception so sweeps can flush the journal and
+    shut the pool down instead of dying mid-write."""
+
+    def _handler(signum, frame):
+        raise _Terminated()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _handler)
+    except ValueError:      # not the main thread (embedded use): no-op
+        previous = None
+    try:
+        yield
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+
+
+def _warn_quarantined(cache_dir, out) -> None:
+    """One-line heads-up (never a crash) when the cache holds quarantined
+    records; ``repro cache doctor`` has the details."""
+    from repro.experiments.sweep import list_quarantined
+
+    try:
+        entries = list_quarantined(cache_dir)
+    except OSError:
+        return
+    if entries:
+        print(f"[cache] warning: {len(entries)} quarantined record(s) "
+              f"under {cache_dir}/quarantine — inspect or purge with "
+              f"'repro cache doctor --cache-dir {cache_dir}'", file=out)
 
 
 def _all_workload_names() -> List[str]:
@@ -183,6 +243,49 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--scale", type=float, default=0.35)
     sweep_parser.add_argument("--seed", type=int, default=1)
     _add_sweep_options(sweep_parser)
+    sweep_parser.add_argument("--timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-run wall-clock timeout in seconds "
+                                   "(enforced on the worker pool; a batch "
+                                   "of N runs gets N× the budget; "
+                                   "default: none)")
+    sweep_parser.add_argument("--retries", type=int, default=2,
+                              help="additional attempts for a run that "
+                                   "times out, dies with its worker, or "
+                                   "raises (default: 2)")
+    sweep_parser.add_argument("--backoff", type=float, default=0.5,
+                              metavar="SECONDS",
+                              help="base retry backoff; doubles per "
+                                   "attempt (default: 0.5)")
+    sweep_parser.add_argument("--resume", action="store_true",
+                              help="resume an interrupted sweep: reuse "
+                                   "its journal under --cache-dir and "
+                                   "skip work the result cache already "
+                                   "holds (requires the cache)")
+    exit_policy = sweep_parser.add_mutually_exclusive_group()
+    exit_policy.add_argument("--keep-going", dest="fail_fast",
+                             action="store_false", default=False,
+                             help="run everything despite permanent "
+                                  "failures, then exit 3 (default)")
+    exit_policy.add_argument("--fail-fast", dest="fail_fast",
+                             action="store_true",
+                             help="abandon outstanding work at the first "
+                                  "permanent failure")
+    sweep_parser.add_argument("--failures-out", default="results/failures.json",
+                              metavar="FILE",
+                              help="structured failure report destination "
+                                   "(default: results/failures.json)")
+
+    cache_parser = sub.add_parser(
+        "cache", help="result-cache maintenance")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command",
+                                            required=True)
+    doctor_parser = cache_sub.add_parser(
+        "doctor", help="inspect (and optionally purge) records the "
+                       "self-healing cache quarantined as corrupt")
+    doctor_parser.add_argument("--cache-dir", default="results/cache")
+    doctor_parser.add_argument("--purge", action="store_true",
+                               help="delete the quarantined records")
 
     sub.add_parser("cost", help="print the Section 6.4 hardware cost report")
 
@@ -281,6 +384,33 @@ def _command_registry_list(args, out) -> int:
             tags = f"  [{', '.join(entry.tags)}]" if entry.tags else ""
             print(f"  {entry.name:{width}s}  {entry.description}{tags}",
                   file=out)
+    _warn_quarantined("results/cache", out)
+    return 0
+
+
+def _command_cache_doctor(args, out) -> int:
+    from repro.experiments.sweep import list_quarantined, purge_quarantined
+
+    entries = list_quarantined(args.cache_dir)
+    if not entries:
+        print(f"cache {args.cache_dir}: no quarantined records", file=out)
+        return 0
+    print(f"cache {args.cache_dir}: {len(entries)} quarantined record(s)",
+          file=out)
+    for entry in entries:
+        try:
+            size = entry.path.stat().st_size
+        except OSError:
+            size = 0
+        print(f"  {entry.digest[:16]:16s}  {entry.reason:13s}  "
+              f"{size:8d} bytes  {entry.path.name}", file=out)
+    if args.purge:
+        removed = purge_quarantined(args.cache_dir)
+        print(f"purged {removed} quarantined record(s); the next sweep "
+              f"recomputes them", file=out)
+    else:
+        print("re-run with --purge to delete them (the affected runs are "
+              "recomputed on the next sweep either way)", file=out)
     return 0
 
 
@@ -441,11 +571,34 @@ def _command_compare(args, out) -> int:
     return 0
 
 
-def _sweep_runner(args, n_cores: int) -> ExperimentRunner:
+def _sweep_runner(args, n_cores: int, policy=None,
+                  journal=None) -> ExperimentRunner:
     return ExperimentRunner(scale=args.scale, seed=args.seed,
                             base_config=scaled_config(n_cores),
                             jobs=args.jobs, cache_dir=args.cache_dir,
-                            use_cache=not args.no_cache)
+                            use_cache=not args.no_cache,
+                            policy=policy, journal=journal)
+
+
+def _sweep_journal(args, label_doc, out):
+    """The durable journal for one ``repro sweep`` invocation, keyed by a
+    stable identity of what is being swept so ``--resume`` finds it."""
+    import hashlib
+    import json
+    from pathlib import Path
+
+    from repro.experiments.sweep import SweepJournal
+
+    if args.no_cache or not args.cache_dir:
+        return None
+    label = json.dumps(label_doc, sort_keys=True)
+    key = hashlib.sha256(label.encode()).hexdigest()[:16]
+    path = Path(args.cache_dir) / f"journal-{key}.jsonl"
+    journal = SweepJournal(path, resume=args.resume, label=label)
+    if args.resume and journal.resumed:
+        print(f"[sweep] resuming from {path.name}: {journal.resumed} "
+              f"run(s) previously completed", file=out)
+    return journal
 
 
 def _command_figure(args, out) -> int:
@@ -478,7 +631,7 @@ def _command_figure(args, out) -> int:
     return 0
 
 
-def _command_sweep_scenario_dir(args, out) -> int:
+def _command_sweep_scenario_dir(args, out, policy=None) -> int:
     import json
     from pathlib import Path
 
@@ -512,7 +665,10 @@ def _command_sweep_scenario_dir(args, out) -> int:
             specs.append(spec)
     cache = (ResultCache(args.cache_dir)
              if (args.cache_dir and not args.no_cache) else None)
-    engine = SweepEngine(jobs=args.jobs, cache=cache)
+    journal = _sweep_journal(
+        args, {"scenario_dir": str(directory.resolve())}, out)
+    engine = SweepEngine(jobs=args.jobs, cache=cache, policy=policy,
+                         journal=journal)
     results = engine.run(specs, workload_lookup=workloads.get)
     failures = 0
     width = max(len(path.name) for path, _ in scenarios)
@@ -545,18 +701,68 @@ def _command_sweep_scenario_dir(args, out) -> int:
     print(f"[sweep] {len(scenarios)} scenarios, {len(specs)} unique runs, "
           f"{engine.simulations_run} simulated ({engine.jobs} jobs, "
           f"{cache_note})", file=out)
+    if cache is not None:
+        _warn_quarantined(args.cache_dir, out)
     return 1 if failures else 0
 
 
 def _command_sweep(args, out) -> int:
-    if args.scenario_dir is not None:
-        if args.figures is not None:
-            print("error: give either --figures or --scenario-dir, "
-                  "not both", file=out)
-            return 2
-        return _command_sweep_scenario_dir(args, out)
+    from repro.experiments.sweep import RunPolicy, SweepError, \
+        write_failure_report
+
+    if args.scenario_dir is not None and args.figures is not None:
+        print("error: give either --figures or --scenario-dir, "
+              "not both", file=out)
+        return 2
+    if args.resume and (args.no_cache or not args.cache_dir):
+        print("error: --resume needs the persistent cache (it cannot be "
+              "combined with --no-cache)", file=out)
+        return 2
+    policy = RunPolicy(timeout=args.timeout, retries=args.retries,
+                       backoff=args.backoff,
+                       keep_going=not args.fail_fast)
+    try:
+        with _sigterm_raises():
+            if args.scenario_dir is not None:
+                return _command_sweep_scenario_dir(args, out, policy)
+            return _command_sweep_figures(args, out, policy)
+    except KeyboardInterrupt:
+        print("[sweep] interrupted — pool shut down, journal flushed; "
+              "rerun with --resume to pick up where it stopped", file=out)
+        return EXIT_INTERRUPTED
+    except _Terminated:
+        print("[sweep] terminated (SIGTERM) — pool shut down, journal "
+              "flushed; rerun with --resume to pick up where it stopped",
+              file=out)
+        return EXIT_TERMINATED
+    except SweepError as exc:
+        completed = len(exc.results)
+        report = write_failure_report(
+            args.failures_out, exc.failures, total=completed
+            + len(exc.failures), completed=completed, policy=policy,
+            sweep_label=args.scenario_dir or "figures")
+        print(f"[sweep] {len(exc.failures)} run(s) permanently failed "
+              f"after retries; {completed} completed "
+              f"({'abandoned outstanding work' if args.fail_fast else 'kept going'})",
+              file=out)
+        for failure in exc.failures[:10]:
+            print(f"  {failure.kind:12s} {failure.workload}/{failure.mode}"
+                  f"@{failure.n_cores}c  after {failure.attempts} "
+                  f"attempt(s): {failure.error}", file=out)
+        if len(exc.failures) > 10:
+            print(f"  ... and {len(exc.failures) - 10} more", file=out)
+        print(f"[sweep] failure report: {args.failures_out} "
+              f"({report['schema']})", file=out)
+        return EXIT_RUN_FAILURES
+
+
+def _command_sweep_figures(args, out, policy=None) -> int:
     names = args.figures or sorted(FIGURES)
-    runner = _sweep_runner(args, args.cores[0])
+    journal = _sweep_journal(
+        args, {"figures": names, "cores": args.cores, "scale": args.scale,
+               "seed": args.seed}, out)
+    runner = _sweep_runner(args, args.cores[0], policy=policy,
+                           journal=journal)
     # Declare the whole cross-product up front so runs shared between
     # figures are simulated exactly once, then render from cache.
     requested = figures.prefetch_figures(runner, names, args.cores)
@@ -582,6 +788,8 @@ def _command_sweep(args, out) -> int:
     print(f"[sweep] {requested} requested runs, "
           f"{engine.simulations_run} simulated ({engine.jobs} jobs, "
           f"{cache_note})", file=out)
+    if cache is not None:
+        _warn_quarantined(args.cache_dir, out)
     return 0
 
 
@@ -648,6 +856,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_figure(args, out)
     if args.command == "sweep":
         return _command_sweep(args, out)
+    if args.command == "cache":
+        return _command_cache_doctor(args, out)
     if args.command == "cost":
         return _command_cost(out)
     if args.command == "bench":

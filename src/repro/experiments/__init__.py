@@ -7,27 +7,40 @@ from repro.experiments.configs import (
 )
 from repro.experiments.runner import ExperimentRunner, RunRecord, RunRequest
 from repro.experiments.scenario import ScenarioError, ScenarioSpec, load_scenario
+from repro.experiments.faults import FaultPlan, TransientFault
 from repro.experiments.sweep import (
+    FailureRecord,
     ResultCache,
+    RunPolicy,
     RunSpec,
     SweepEngine,
+    SweepError,
+    SweepJournal,
     run_specs,
+    write_failure_report,
 )
 from repro.experiments import figures
 
 __all__ = [
     "CONFIG_MODES",
     "ExperimentRunner",
+    "FailureRecord",
+    "FaultPlan",
     "ResultCache",
+    "RunPolicy",
     "RunRecord",
     "RunRequest",
     "RunSpec",
     "ScenarioError",
     "ScenarioSpec",
     "SweepEngine",
+    "SweepError",
+    "SweepJournal",
+    "TransientFault",
     "experiment_config",
     "figures",
     "load_scenario",
     "run_specs",
     "scaled_config",
+    "write_failure_report",
 ]

@@ -19,7 +19,8 @@ from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.config import IMPConfig
 from repro.experiments.configs import experiment_config
-from repro.experiments.sweep import ResultCache, RunSpec, SweepEngine, _freeze
+from repro.experiments.sweep import (ResultCache, RunPolicy, RunSpec,
+                                     SweepEngine, SweepJournal, _freeze)
 from repro.sim.config import SystemConfig
 from repro.sim.system import SimulationResult, run_workload
 from repro.workloads import paper_workloads
@@ -78,7 +79,9 @@ class ExperimentRunner:
                  base_config: Optional[SystemConfig] = None,
                  jobs: Optional[int] = None, cache_dir=None,
                  use_cache: bool = True,
-                 imp_config: Optional[IMPConfig] = None) -> None:
+                 imp_config: Optional[IMPConfig] = None,
+                 policy: Optional[RunPolicy] = None,
+                 journal: Optional[SweepJournal] = None) -> None:
         self.workloads: List[Workload] = (
             list(workloads) if workloads is not None
             else paper_workloads(scale=scale, seed=seed))
@@ -90,7 +93,8 @@ class ExperimentRunner:
         self.default_imp_config = imp_config
         disk_cache = (ResultCache(cache_dir)
                       if (cache_dir is not None and use_cache) else None)
-        self.engine = SweepEngine(jobs=jobs, cache=disk_cache)
+        self.engine = SweepEngine(jobs=jobs, cache=disk_cache,
+                                  policy=policy, journal=journal)
         self._cache: Dict[Tuple, RunRecord] = {}
 
     # ------------------------------------------------------------------

@@ -29,7 +29,18 @@ Design rules:
   version, the full spec, a statistics fingerprint, and the serialised
   result.  Any config field change changes the digest; a schema bump,
   spec-digest collision, fingerprint mismatch, or corrupted file is
-  treated as a miss and the entry is rewritten.
+  quarantined (``results/cache/quarantine/``) and treated as a miss, so
+  the entry is recomputed and rewritten without aborting the sweep.
+* **Failures are outcomes, not aborts.**  Worker death, per-run wall-clock
+  timeouts and transient exceptions are distinguished, retried with
+  exponential backoff under a :class:`RunPolicy`, and — only once the
+  retry budget is exhausted — reported as structured
+  :class:`FailureRecord` entries (``results/failures.json`` via
+  :func:`write_failure_report`).  A broken worker pool is rebuilt, and
+  after ``max_pool_restarts`` breakages the engine degrades to in-process
+  serial execution instead of giving up.  Every completed spec is
+  journalled (:class:`SweepJournal`, append-only JSONL under the cache
+  directory) so an interrupted sweep resumes from where it died.
 """
 
 from __future__ import annotations
@@ -37,14 +48,20 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
 from repro.core.config import IMPConfig
 from repro.experiments.configs import experiment_config, scaled_config
+from repro.experiments.faults import FaultPlan, TransientFault
 from repro.sim.config import SystemConfig
 from repro.sim.system import SimulationResult, run_workload
 from repro.workloads import workload_from_spec
@@ -60,11 +77,20 @@ from repro.workloads.base import Workload, WorkloadSpecError
 #: specs no longer parse into the same canonical form) and ``CoreStats``
 #: records may carry dynamic ``lN_*`` counters for >3-level chains.
 #: Stale v2 records self-heal: the version check treats them as misses
-#: and deletes them on first lookup.
+#: and quarantines them on first lookup.
 CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable consulted when no explicit worker count is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Subdirectory of the cache that holds quarantined (corrupt) records.
+QUARANTINE_DIRNAME = "quarantine"
+
+#: Schema tag of the structured end-of-sweep failure report.
+FAILURE_REPORT_SCHEMA = "repro-failures-v1"
+
+#: Schema tag of the append-only sweep journal.
+JOURNAL_SCHEMA = "repro-sweep-journal-v1"
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -76,7 +102,6 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            import sys
             print(f"[sweep] warning: ignoring non-integer "
                   f"{JOBS_ENV_VAR}={env!r}; running serially",
                   file=sys.stderr)
@@ -199,6 +224,13 @@ class RunSpec:
         return workload_from_spec(self.workload, _thaw(self.workload_params))
 
 
+def sweep_id(specs: Iterable[RunSpec]) -> str:
+    """A stable identity for a spec set (used to key journal files):
+    sha256 over the sorted spec digests, independent of request order."""
+    digests = sorted(spec.digest() for spec in specs)
+    return hashlib.sha256("\n".join(digests).encode()).hexdigest()
+
+
 # ----------------------------------------------------------------------
 # Spec execution (shared by the serial path and pool workers)
 # ----------------------------------------------------------------------
@@ -224,36 +256,112 @@ def make_record(spec: RunSpec, result: SimulationResult) -> Dict:
             "result": result.to_dict()}
 
 
+class FingerprintMismatch(ValueError):
+    """A record's stored fingerprint disagrees with its own statistics."""
+
+
 def record_result(record: Dict) -> SimulationResult:
     """Reconstruct a result from a record, verifying its fingerprint."""
     result = SimulationResult.from_dict(record["result"])
     if result.stats.fingerprint() != record["fingerprint"]:
-        raise ValueError("cache record fingerprint does not match its stats")
+        raise FingerprintMismatch(
+            "cache record fingerprint does not match its stats")
     return result
 
 
-def _run_batch(spec_dicts: List[Dict]) -> List[Dict]:
+def _run_batch(payload: Dict) -> List[Dict]:
     """Worker entry point: simulate one batch of specs.
 
     All specs in a batch share one ``build_key``, so a single workload
-    object (and its memoised trace build) serves the whole batch.
+    object (and its memoised trace build) serves the whole batch.  Each
+    spec yields an *outcome envelope* — ``{"record": ...}`` on success,
+    ``{"kind": ..., "error": ...}`` on a per-run exception — so one bad
+    run never poisons its batch-mates.  ``payload["faults"]`` (when set)
+    is a :class:`repro.experiments.faults.FaultPlan` applied per spec.
     """
-    specs = [RunSpec.from_dict(doc) for doc in spec_dicts]
+    specs = [RunSpec.from_dict(doc) for doc in payload["specs"]]
+    attempts = payload.get("attempts") or [0] * len(specs)
+    plan = (FaultPlan.from_dict(payload["faults"])
+            if payload.get("faults") else None)
     workload = specs[0].make_workload()
-    return [make_record(spec, execute_spec(spec, workload=workload))
-            for spec in specs]
+    outcomes: List[Dict] = []
+    for spec, attempt in zip(specs, attempts):
+        try:
+            if plan is not None:
+                plan.apply(spec.digest(), attempt, in_worker=True)
+            record = make_record(spec, execute_spec(spec, workload=workload))
+        except TransientFault as exc:
+            outcomes.append({"kind": "transient", "error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — envelope, not swallow
+            outcomes.append({"kind": "error",
+                             "error": f"{type(exc).__name__}: {exc}"})
+        else:
+            outcomes.append({"record": record})
+    return outcomes
 
 
 # ----------------------------------------------------------------------
 # Persistent on-disk cache
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One corrupt cache record set aside for inspection."""
+
+    path: Path
+    digest: str
+    reason: str
+
+
+def quarantine_dir(directory) -> Path:
+    return Path(directory) / QUARANTINE_DIRNAME
+
+
+def list_quarantined(directory) -> List[QuarantinedRecord]:
+    """Quarantined records under a cache directory, sorted by file name."""
+    qdir = quarantine_dir(directory)
+    entries: List[QuarantinedRecord] = []
+    if not qdir.is_dir():
+        return entries
+    for path in sorted(qdir.iterdir()):
+        stem = path.name
+        if stem.endswith(".json"):
+            stem = stem[:-len(".json")]
+        digest, _, reason = stem.partition(".")
+        entries.append(QuarantinedRecord(path=path, digest=digest,
+                                         reason=reason or "unknown"))
+    return entries
+
+
+def purge_quarantined(directory) -> int:
+    """Delete every quarantined record; returns how many were removed."""
+    removed = 0
+    for entry in list_quarantined(directory):
+        try:
+            entry.path.unlink()
+        except IsADirectoryError:
+            import shutil
+            shutil.rmtree(entry.path, ignore_errors=True)
+        except OSError:
+            continue
+        removed += 1
+    try:
+        quarantine_dir(directory).rmdir()
+    except OSError:
+        pass
+    return removed
+
+
 class ResultCache:
     """Versioned JSON result store, one file per spec digest.
 
     Reads validate the schema version, the stored spec (digest collisions)
     and the statistics fingerprint; anything invalid or unparseable is
-    deleted and reported as a miss, so a corrupted cache heals itself on
-    the next sweep.
+    moved into ``quarantine/`` (annotated with the failure class) and
+    reported as a miss, so a corrupted cache heals itself on the next
+    sweep while keeping the evidence inspectable via
+    ``repro cache doctor``.  Writes are atomic — a temp file in the same
+    directory published with ``os.replace`` — so a crash or a concurrent
+    writer can never leave a truncated record behind.
     """
 
     def __init__(self, directory, enabled: bool = True) -> None:
@@ -263,11 +371,30 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.quarantined = 0
 
     def _path(self, spec: RunSpec) -> Path:
         return self.directory / f"{spec.digest()}.json"
 
     # ------------------------------------------------------------------
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Set a corrupt record aside (falling back to deletion) so the
+        slot reads as a miss and gets recomputed."""
+        self.corrupt += 1
+        self.misses += 1
+        self.quarantined += 1
+        stem = path.name[:-len(".json")] if path.name.endswith(".json") \
+            else path.name
+        target = quarantine_dir(self.directory) / f"{stem}.{reason}.json"
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def get(self, spec: RunSpec) -> Optional[SimulationResult]:
         if not self.enabled:
             return None
@@ -275,22 +402,31 @@ class ResultCache:
         try:
             with open(path) as handle:
                 record = json.load(handle)
-            if record.get("schema") != CACHE_SCHEMA_VERSION:
-                raise ValueError("cache schema version mismatch")
-            if record.get("spec") != spec.to_dict():
-                raise ValueError("cache entry does not match spec")
-            result = record_result(record)
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (ValueError, KeyError, TypeError, AttributeError, OSError):
-            # Corrupted, stale-schema, or colliding entry: drop and re-run.
-            self.corrupt += 1
-            self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except json.JSONDecodeError:
+            self._quarantine(path, "truncated")
+            return None
+        except OSError:
+            self._quarantine(path, "unreadable")
+            return None
+        if not isinstance(record, dict):
+            self._quarantine(path, "malformed")
+            return None
+        if record.get("schema") != CACHE_SCHEMA_VERSION:
+            self._quarantine(path, "schema")
+            return None
+        if record.get("spec") != spec.to_dict():
+            self._quarantine(path, "spec-mismatch")
+            return None
+        try:
+            result = record_result(record)
+        except FingerprintMismatch:
+            self._quarantine(path, "fingerprint")
+            return None
+        except (ValueError, KeyError, TypeError, AttributeError):
+            self._quarantine(path, "malformed")
             return None
         self.hits += 1
         return result
@@ -318,6 +454,208 @@ class ResultCache:
 
 
 # ----------------------------------------------------------------------
+# Run policy, failures and the sweep journal
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunPolicy:
+    """Failure-handling knobs for one engine.
+
+    ``timeout`` is the per-run wall-clock budget in **seconds** (a worker
+    batch of N runs gets N× the budget); ``None`` disables enforcement.
+    Timeouts are only enforceable on the pool path — in-process execution
+    has nobody left to interrupt it, which the README documents.
+    ``retries`` bounds how many *additional* attempts a failing run gets;
+    attempt ``k`` sleeps ``backoff * backoff_factor**(k-1)`` seconds
+    first.  With ``keep_going`` (the default) the sweep completes every
+    run it can and raises :class:`SweepError` at the end; ``keep_going=
+    False`` (``--fail-fast``) abandons outstanding work at the first
+    permanent failure.  ``max_pool_restarts`` bounds how many times a
+    broken/stuck pool is rebuilt before the engine degrades to in-process
+    serial execution.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.5
+    backoff_factor: float = 2.0
+    keep_going: bool = True
+    max_pool_restarts: int = 3
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        if attempt <= 0 or self.backoff <= 0:
+            return 0.0
+        return self.backoff * self.backoff_factor ** (attempt - 1)
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+@dataclass
+class FailureRecord:
+    """One run that permanently failed (retry budget exhausted).
+
+    ``kind`` distinguishes how it failed: ``timeout`` (wall-clock budget
+    exceeded), ``worker_death`` (the worker process died —
+    ``BrokenProcessPool``), ``transient`` (a retryable
+    :class:`TransientFault` that never stopped firing) or ``error`` (any
+    other exception raised by the run).
+    """
+
+    digest: str
+    workload: str
+    mode: str
+    n_cores: int
+    kind: str
+    attempts: int
+    error: str
+
+    @classmethod
+    def for_spec(cls, spec: RunSpec, kind: str, attempts: int,
+                 error: str) -> "FailureRecord":
+        return cls(digest=spec.digest(), workload=spec.workload,
+                   mode=spec.mode, n_cores=spec.n_cores, kind=kind,
+                   attempts=attempts, error=error)
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+
+class SweepError(RuntimeError):
+    """Raised at the end of a sweep in which runs permanently failed.
+
+    Carries the structured :class:`FailureRecord` list and every result
+    that *did* complete, so callers can report partial progress and write
+    ``results/failures.json`` before exiting non-zero.
+    """
+
+    def __init__(self, failures: List[FailureRecord],
+                 results: Dict[RunSpec, SimulationResult]) -> None:
+        kinds: Dict[str, int] = {}
+        for failure in failures:
+            kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
+        summary = ", ".join(f"{count} {kind}"
+                            for kind, count in sorted(kinds.items()))
+        super().__init__(
+            f"{len(failures)} run(s) permanently failed ({summary}); "
+            f"{len(results)} completed")
+        self.failures = failures
+        self.results = results
+
+
+def write_failure_report(path, failures: Sequence[FailureRecord], *,
+                         total: int, completed: int,
+                         policy: Optional[RunPolicy] = None,
+                         sweep_label: Optional[str] = None) -> Dict:
+    """Write the structured end-of-sweep failure report and return it."""
+    document = {
+        "schema": FAILURE_REPORT_SCHEMA,
+        "sweep": sweep_label,
+        "total_runs": total,
+        "completed_runs": completed,
+        "failed_runs": len(failures),
+        "policy": (policy or RunPolicy()).to_dict(),
+        "failures": [failure.to_dict() for failure in failures],
+    }
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+    with os.fdopen(fd, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_name, target)
+    return document
+
+
+class SweepJournal:
+    """Durable append-only record of per-spec outcomes (JSONL).
+
+    One line per outcome, flushed and fsynced as it lands, so a sweep
+    killed at any instant leaves a readable journal: ``--resume`` loads
+    it to report previously completed work, and a torn final line (the
+    crash window) is tolerated and ignored on load.  The journal records
+    *progress*; the result cache remains the source of truth for result
+    bytes (a journalled-ok spec whose cache record went missing is simply
+    recomputed).
+    """
+
+    def __init__(self, path, resume: bool = False,
+                 label: Optional[str] = None) -> None:
+        self.path = Path(path)
+        self.label = label
+        self.completed: Dict[str, Dict] = {}
+        self.failed: Dict[str, Dict] = {}
+        self.torn_lines = 0
+        existing = resume and self.path.exists()
+        if existing:
+            self._load()
+        self.resumed = len(self.completed)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a" if existing else "w")
+        if not existing:
+            self._append({"journal": JOURNAL_SCHEMA, "sweep": label})
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # The torn final line of a killed sweep; later lines
+                    # (there should be none) are unrecoverable anyway.
+                    self.torn_lines += 1
+                    continue
+                if not isinstance(entry, dict):
+                    continue
+                if "journal" in entry:
+                    self.label = entry.get("sweep", self.label)
+                    continue
+                digest = entry.get("digest")
+                if not digest:
+                    continue
+                if entry.get("status") == "ok":
+                    self.completed[digest] = entry
+                    self.failed.pop(digest, None)
+                elif entry.get("status") == "failed":
+                    self.failed[digest] = entry
+
+    def _append(self, entry: Dict) -> None:
+        self._handle.write(json.dumps(entry, sort_keys=True,
+                                      separators=(",", ":")) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    def record_ok(self, spec: RunSpec, attempts: int = 1,
+                  cached: bool = False) -> None:
+        digest = spec.digest()
+        if digest in self.completed:
+            return
+        entry = {"digest": digest, "status": "ok",
+                 "workload": spec.workload, "mode": spec.mode,
+                 "n_cores": spec.n_cores, "attempts": attempts,
+                 "cached": cached}
+        self.completed[digest] = entry
+        self.failed.pop(digest, None)
+        self._append(entry)
+
+    def record_failed(self, failure: FailureRecord) -> None:
+        entry = dict(failure.to_dict(), status="failed")
+        self.failed[failure.digest] = entry
+        self._append(entry)
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
 class SweepEngine:
@@ -325,14 +663,30 @@ class SweepEngine:
 
     ``jobs`` defaults to ``$REPRO_JOBS`` (else 1).  ``cache`` is an
     optional :class:`ResultCache`; completed specs are looked up before
-    simulating and stored after.
+    simulating and stored after.  ``policy`` (a :class:`RunPolicy`)
+    governs timeouts, retries, backoff and the exit strategy; ``journal``
+    (a :class:`SweepJournal`) makes progress durable; ``faults`` is the
+    deterministic chaos plan (default: ``$REPRO_FAULTS``, normally off).
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 policy: Optional[RunPolicy] = None,
+                 journal: Optional[SweepJournal] = None,
+                 faults: Optional[FaultPlan] = None) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        self.policy = policy or RunPolicy()
+        self.journal = journal
+        self.faults = faults if faults is not None else FaultPlan.from_env()
         self.simulations_run = 0
+        self.failures: List[FailureRecord] = []
+        self.pool_restarts = 0
+        self.degraded = False
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._abandoned = False
+        self._completed_count = 0
+        self._corrupted: set = set()
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec],
@@ -344,6 +698,11 @@ class SweepEngine:
         ``workload_lookup`` lets the serial path reuse live workload
         objects (and their memoised builds); the parallel path always
         reconstructs workloads inside the workers.
+
+        Raises :class:`SweepError` when any spec permanently fails after
+        retries (with ``keep_going`` every other spec still completes
+        first) and ``KeyboardInterrupt``/``SystemExit`` untouched after
+        cleaning up the pool and flushing the journal.
         """
         ordered: List[RunSpec] = list(dict.fromkeys(specs))
         results: Dict[RunSpec, SimulationResult] = {}
@@ -352,43 +711,306 @@ class SweepEngine:
             cached = self.cache.get(spec) if self.cache else None
             if cached is not None:
                 results[spec] = cached
+                if self.journal is not None:
+                    self.journal.record_ok(spec, attempts=0, cached=True)
             else:
                 misses.append(spec)
         if not misses:
             return results
-        if self.jobs <= 1 or len(misses) == 1:
-            for spec in misses:
-                workload = workload_lookup(spec) if workload_lookup else None
-                result = execute_spec(spec, workload=workload)
-                self.simulations_run += 1
-                if self.cache:
-                    self.cache.put(spec, make_record(spec, result))
-                results[spec] = result
-            return results
-        # Group cache misses into batches that share one trace build, then
-        # fan the batches out across the pool.  Batch order (and therefore
-        # result assembly) is deterministic: first-seen spec order.
-        batches: Dict[Tuple, List[RunSpec]] = {}
-        for spec in misses:
-            batches.setdefault(spec.build_key, []).append(spec)
-        batch_list = list(batches.values())
-        workers = min(self.jobs, len(batch_list))
-        payloads = [[spec.to_dict() for spec in batch] for batch in batch_list]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for batch, records in zip(batch_list,
-                                      pool.map(_run_batch, payloads)):
-                for spec, record in zip(batch, records):
-                    self.simulations_run += 1
-                    if self.cache:
-                        self.cache.put(spec, record)
-                    results[spec] = record_result(record)
+        failures: List[FailureRecord] = []
+        if self.jobs <= 1 or len(misses) == 1 or self.degraded:
+            self._run_serial(misses, results, workload_lookup, failures)
+        else:
+            self._run_pool(misses, results, failures)
+        if failures:
+            self.failures.extend(failures)
+            raise SweepError(failures, results)
         return results
+
+    # ------------------------------------------------------------------
+    # Shared completion / failure bookkeeping
+    # ------------------------------------------------------------------
+    def _complete(self, spec: RunSpec,
+                  results: Dict[RunSpec, SimulationResult],
+                  result: Optional[SimulationResult] = None,
+                  record: Optional[Dict] = None,
+                  attempts: int = 1) -> None:
+        if result is None:
+            result = record_result(record)
+        self.simulations_run += 1
+        if self.cache is not None:
+            if record is None:
+                record = make_record(spec, result)
+            self.cache.put(spec, record)
+            self._maybe_corrupt(spec)
+        results[spec] = result
+        if self.journal is not None:
+            self.journal.record_ok(spec, attempts=attempts)
+        self._completed_count += 1
+        plan = self.faults
+        if (plan is not None and plan.interrupt_after is not None
+                and self._completed_count >= plan.interrupt_after):
+            raise KeyboardInterrupt(
+                f"injected interrupt after {self._completed_count} runs")
+
+    def _maybe_corrupt(self, spec: RunSpec) -> None:
+        """Chaos hook: tear the record we just published (first publish of
+        a digest per engine), modelling a crashed non-atomic writer."""
+        plan = self.faults
+        if plan is None or plan.corrupt <= 0:
+            return
+        digest = spec.digest()
+        if digest in self._corrupted or not plan.should_corrupt(digest):
+            return
+        self._corrupted.add(digest)
+        from repro.experiments.faults import corrupt_record
+        try:
+            corrupt_record(self.cache._path(spec))
+        except OSError:
+            pass
+
+    def _fail_spec(self, spec: RunSpec, kind: str, error: str,
+                   attempts: int, failures: List[FailureRecord]) -> None:
+        failure = FailureRecord.for_spec(spec, kind, attempts, error)
+        failures.append(failure)
+        if self.journal is not None:
+            self.journal.record_failed(failure)
+        if not self.policy.keep_going:
+            self._abandoned = True
+
+    # ------------------------------------------------------------------
+    # Serial execution (jobs == 1, single miss, or degraded pool)
+    # ------------------------------------------------------------------
+    def _run_serial(self, specs: Sequence[RunSpec],
+                    results: Dict[RunSpec, SimulationResult],
+                    workload_lookup, failures: List[FailureRecord],
+                    attempts: Optional[Dict[RunSpec, int]] = None) -> None:
+        attempts = attempts if attempts is not None else {}
+        plan = self.faults
+        for spec in specs:
+            if self._abandoned:
+                return
+            digest = spec.digest()
+            while True:
+                attempt = attempts.get(spec, 0)
+                try:
+                    if plan is not None:
+                        plan.apply(digest, attempt, in_worker=False)
+                    workload = (workload_lookup(spec) if workload_lookup
+                                else None)
+                    result = execute_spec(spec, workload=workload)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:  # noqa: BLE001 — retried, bounded
+                    kind = ("transient" if isinstance(exc, TransientFault)
+                            else "error")
+                    attempts[spec] = attempt + 1
+                    if attempts[spec] > self.policy.retries:
+                        self._fail_spec(spec, kind,
+                                        f"{type(exc).__name__}: {exc}",
+                                        attempts[spec], failures)
+                        break
+                    time.sleep(self.policy.backoff_for(attempts[spec]))
+                else:
+                    self._complete(spec, results, result=result,
+                                   attempts=attempt + 1)
+                    break
+
+    # ------------------------------------------------------------------
+    # Pool execution with timeouts, retries and graceful degradation
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, outstanding: int) -> ProcessPoolExecutor:
+        if self._pool is None:
+            workers = max(1, min(self.jobs, outstanding))
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        return self._pool
+
+    def _retire_pool(self, terminate: bool) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if not terminate:
+            pool.shutdown()
+            return
+        # A stuck or killed worker cannot be joined: cancel what never
+        # started, then forcibly terminate the worker processes so their
+        # wall-clock (and the stall, if injected) is reclaimed.
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except (OSError, ValueError, AttributeError):
+                pass
+
+    def _pool_broken(self, waiting, inflight, reason: str) -> None:
+        """Requeue in-flight work uncharged and rebuild (or give up on)
+        the pool."""
+        now = time.monotonic()
+        for future in list(inflight):
+            batch, _ = inflight.pop(future)
+            waiting.append((now, batch))
+        self._retire_pool(terminate=True)
+        self.pool_restarts += 1
+        if self.pool_restarts > self.policy.max_pool_restarts:
+            if not self.degraded:
+                print(f"[sweep] warning: worker pool unusable after "
+                      f"{self.pool_restarts} restarts ({reason}); "
+                      f"degrading to in-process serial execution",
+                      file=sys.stderr)
+            self.degraded = True
+
+    def _charge(self, specs: Sequence[RunSpec], kind: str, error: str,
+                attempts: Dict[RunSpec, int], waiting,
+                failures: List[FailureRecord]) -> None:
+        """Count one failed attempt against each spec; requeue survivors
+        (grouped to keep sharing trace builds) with exponential backoff."""
+        retryable: List[RunSpec] = []
+        worst = 0
+        for spec in specs:
+            attempts[spec] = attempts.get(spec, 0) + 1
+            if attempts[spec] > self.policy.retries:
+                self._fail_spec(spec, kind, error, attempts[spec], failures)
+            else:
+                retryable.append(spec)
+                worst = max(worst, attempts[spec])
+        if not retryable:
+            return
+        ready_at = time.monotonic() + self.policy.backoff_for(worst)
+        regrouped: Dict[Tuple, List[RunSpec]] = {}
+        for spec in retryable:
+            regrouped.setdefault(spec.build_key, []).append(spec)
+        for batch in regrouped.values():
+            waiting.append((ready_at, batch))
+
+    def _run_pool(self, misses: Sequence[RunSpec],
+                  results: Dict[RunSpec, SimulationResult],
+                  failures: List[FailureRecord]) -> None:
+        policy = self.policy
+        attempts: Dict[RunSpec, int] = {}
+        grouped: Dict[Tuple, List[RunSpec]] = {}
+        for spec in misses:
+            grouped.setdefault(spec.build_key, []).append(spec)
+        # (ready_at, batch) pairs; ready_at > now while backing off.
+        waiting: List[Tuple[float, List[RunSpec]]] = [
+            (0.0, batch) for batch in grouped.values()]
+        inflight: Dict = {}
+        plan_dict = self.faults.to_dict() if self.faults is not None else None
+        try:
+            while (waiting or inflight) and not self._abandoned \
+                    and not self.degraded:
+                now = time.monotonic()
+                # Submit every ready batch (bounded, to keep retry batches
+                # interleaving with first-time work).
+                ready = [item for item in waiting if item[0] <= now]
+                for item in ready:
+                    if len(inflight) >= 2 * self.jobs:
+                        break
+                    waiting.remove(item)
+                    batch = item[1]
+                    payload = {
+                        "specs": [spec.to_dict() for spec in batch],
+                        "attempts": [attempts.get(spec, 0)
+                                     for spec in batch],
+                        "faults": plan_dict,
+                    }
+                    try:
+                        pool = self._ensure_pool(len(waiting)
+                                                 + len(inflight) + 1)
+                        future = pool.submit(_run_batch, payload)
+                    except (BrokenProcessPool, RuntimeError, OSError) as exc:
+                        waiting.append((now, batch))
+                        self._pool_broken(waiting, inflight,
+                                          f"submit failed: {exc}")
+                        break
+                    deadline = (now + policy.timeout * len(batch)
+                                if policy.timeout else None)
+                    inflight[future] = (batch, deadline)
+                if not inflight:
+                    if waiting and not self.degraded:
+                        # Everything is backing off; sleep to the nearest
+                        # ready time.
+                        ready_at = min(item[0] for item in waiting)
+                        time.sleep(max(0.0, ready_at - time.monotonic()))
+                    continue
+                # Wait for a completion, the nearest deadline, or the
+                # nearest backoff expiry — whichever comes first.
+                now = time.monotonic()
+                horizons = [deadline for _, deadline in inflight.values()
+                            if deadline is not None]
+                horizons.extend(item[0] for item in waiting
+                                if item[0] > now)
+                wait_for = None
+                if horizons:
+                    wait_for = max(0.0, min(horizons) - time.monotonic())
+                done, _ = futures_wait(set(inflight), timeout=wait_for,
+                                       return_when=FIRST_COMPLETED)
+                broken = False
+                for future in done:
+                    batch, _ = inflight.pop(future)
+                    try:
+                        outcomes = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        self._charge(batch, "worker_death",
+                                     "worker process died "
+                                     "(BrokenProcessPool)",
+                                     attempts, waiting, failures)
+                    except Exception as exc:  # noqa: BLE001
+                        self._charge(batch, "error",
+                                     f"{type(exc).__name__}: {exc}",
+                                     attempts, waiting, failures)
+                    else:
+                        for spec, outcome in zip(batch, outcomes):
+                            record = outcome.get("record")
+                            if record is not None:
+                                self._complete(
+                                    spec, results, record=record,
+                                    attempts=attempts.get(spec, 0) + 1)
+                            else:
+                                self._charge(
+                                    [spec], outcome.get("kind", "error"),
+                                    outcome.get("error", "unknown error"),
+                                    attempts, waiting, failures)
+                if broken:
+                    self._pool_broken(waiting, inflight,
+                                      "worker process died")
+                    continue
+                # Enforce per-run wall-clock deadlines: a stuck worker is
+                # unrecoverable in-place, so expired batches are charged a
+                # timeout and the pool is rebuilt without them.
+                now = time.monotonic()
+                expired = [future for future, (_, deadline)
+                           in inflight.items()
+                           if deadline is not None and deadline <= now]
+                if expired:
+                    for future in expired:
+                        batch, _ = inflight.pop(future)
+                        self._charge(batch, "timeout",
+                                     f"run exceeded the {policy.timeout}s "
+                                     f"wall-clock timeout",
+                                     attempts, waiting, failures)
+                    self._pool_broken(waiting, inflight, "stuck worker")
+        except (KeyboardInterrupt, SystemExit):
+            self._retire_pool(terminate=True)
+            raise
+        if self._abandoned:
+            self._retire_pool(terminate=True)
+            return
+        if self.degraded:
+            self._retire_pool(terminate=True)
+            leftovers = [spec for _, batch in waiting for spec in batch]
+            self._run_serial(leftovers, results, None, failures,
+                             attempts=attempts)
+            return
+        self._retire_pool(terminate=False)
 
 
 def run_specs(specs: Iterable[RunSpec], *, jobs: Optional[int] = None,
               cache_dir=None, use_cache: bool = True,
+              policy: Optional[RunPolicy] = None,
               ) -> Dict[RunSpec, SimulationResult]:
     """One-shot convenience wrapper around :class:`SweepEngine`."""
     cache = (ResultCache(cache_dir) if (cache_dir is not None and use_cache)
              else None)
-    return SweepEngine(jobs=jobs, cache=cache).run(list(specs))
+    return SweepEngine(jobs=jobs, cache=cache, policy=policy).run(list(specs))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,17 @@ from repro.core.config import IMPConfig
 from repro.mem_image import MemoryImage
 from repro.sim.config import CacheConfig, SystemConfig
 from repro.workloads.synthetic import IndirectStreamWorkload, StreamingWorkload
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_ambient_fault_injection():
+    """Strip an exported ``$REPRO_FAULTS`` chaos plan for the session so
+    it cannot disturb the suite; tests that want injection construct a
+    ``FaultPlan`` (or set the variable via ``monkeypatch``) explicitly."""
+    plan = os.environ.pop("REPRO_FAULTS", None)
+    yield
+    if plan is not None:
+        os.environ["REPRO_FAULTS"] = plan
 
 
 @pytest.fixture

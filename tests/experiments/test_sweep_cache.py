@@ -2,10 +2,17 @@
 
 Covers the satellite checklist of the sweep-engine PR: hit/miss behaviour,
 invalidation when any config field or the cache schema version changes,
-corrupted-entry recovery, and the ``--no-cache`` bypass.
+corrupted-entry recovery, and the ``--no-cache`` bypass — plus the
+robustness PR's guarantees: every class of corrupt record is quarantined
+(not deleted) and recomputed without aborting, and concurrent sweeps
+publishing into one cache directory never tear a record.
 """
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -19,7 +26,10 @@ from repro.experiments.sweep import (
     RunSpec,
     SweepEngine,
     execute_spec,
+    list_quarantined,
     make_record,
+    purge_quarantined,
+    quarantine_dir,
 )
 from repro.workloads import PagerankWorkload, WORKLOAD_REGISTRY
 from repro.workloads.base import WorkloadSpecError
@@ -39,6 +49,16 @@ def tiny_spec(mode: str = "base", **kwargs) -> RunSpec:
 @pytest.fixture()
 def cache(tmp_path) -> ResultCache:
     return ResultCache(tmp_path / "cache")
+
+
+def cache_records(cache: ResultCache):
+    """The live (non-quarantined) record files of a cache directory."""
+    return sorted(path for path in cache.directory.iterdir()
+                  if path.is_file() and path.suffix == ".json")
+
+
+def quarantine_reasons(cache: ResultCache):
+    return [entry.reason for entry in list_quarantined(cache.directory)]
 
 
 class TestRunSpec:
@@ -125,14 +145,15 @@ class TestResultCache:
                             CACHE_SCHEMA_VERSION + 1)
         assert cache.get(spec) is None
         assert cache.corrupt == 1
-        # The stale entry was dropped so the next sweep rewrites it.
-        assert not list(cache.directory.iterdir())
+        # The stale entry was quarantined so the next sweep rewrites it.
+        assert not cache_records(cache)
+        assert quarantine_reasons(cache) == ["schema"]
 
     def test_v2_record_self_heals(self, cache):
         """The v2->v3 migration path: a record written under the previous
         schema (pre-attach-list hierarchies, ``prefetch_level`` in the
-        spec) is treated as a miss, deleted on first lookup, and the slot
-        is repopulated with a v3 record by the next engine run."""
+        spec) is treated as a miss, quarantined on first lookup, and the
+        slot is repopulated with a v3 record by the next engine run."""
         spec = tiny_spec()
         result = execute_spec(spec)
         record = make_record(spec, result)
@@ -154,7 +175,8 @@ class TestResultCache:
             json.dumps(stale))
         assert cache.get(spec) is None
         assert cache.corrupt == 1
-        assert not list(cache.directory.iterdir())
+        assert not cache_records(cache)
+        assert quarantine_reasons(cache) == ["schema"]
         # A fresh engine run repopulates the digest with a v3 record.
         engine = SweepEngine(jobs=1, cache=cache)
         engine.run([spec])
@@ -164,14 +186,21 @@ class TestResultCache:
         assert cache.get(spec).stats.fingerprint() \
             == result.stats.fingerprint()
 
-    @pytest.mark.parametrize("garbage", ["{ not json", "[]", "null", '"x"'])
-    def test_corrupted_entry_is_dropped_and_rerun(self, cache, garbage):
+    @pytest.mark.parametrize("garbage, reason", [
+        ("{ not json", "truncated"),
+        ("[]", "malformed"),
+        ("null", "malformed"),
+        ('"x"', "malformed"),
+    ])
+    def test_corrupted_entry_is_quarantined_and_rerun(self, cache, garbage,
+                                                      reason):
         spec = tiny_spec()
         cache.put(spec, make_record(spec, execute_spec(spec)))
-        [entry] = list(cache.directory.iterdir())
+        [entry] = cache_records(cache)
         entry.write_text(garbage)
         assert cache.get(spec) is None
         assert cache.corrupt == 1
+        assert quarantine_reasons(cache) == [reason]
         # A fresh store recovers the entry.
         cache.put(spec, make_record(spec, execute_spec(spec)))
         assert cache.get(spec) is not None
@@ -179,12 +208,13 @@ class TestResultCache:
     def test_fingerprint_tampering_is_detected(self, cache):
         spec = tiny_spec()
         cache.put(spec, make_record(spec, execute_spec(spec)))
-        [entry] = list(cache.directory.iterdir())
+        [entry] = cache_records(cache)
         record = json.loads(entry.read_text())
         record["fingerprint"]["runtime_cycles"] += 1
         entry.write_text(json.dumps(record))
         assert cache.get(spec) is None
         assert cache.corrupt == 1
+        assert quarantine_reasons(cache) == ["fingerprint"]
 
     def test_disabled_cache_bypasses_disk(self, tmp_path):
         cache = ResultCache(tmp_path / "cache", enabled=False)
@@ -250,3 +280,128 @@ class TestEngineAndRunnerIntegration:
                                   base_config=scaled_config(N_CORES))
         runner.prefetch([RunRequest("indirect_stream", "base", N_CORES)] * 5)
         assert runner.engine.simulations_run == 1
+
+
+class TestCacheSelfHealing:
+    """Every corruption class quarantines the record (keeping the evidence
+    inspectable) and the next sweep recomputes it without aborting."""
+
+    def heal(self, cache, spec, reason):
+        engine = SweepEngine(jobs=1, cache=cache)
+        result = engine.run([spec])[spec]
+        assert engine.simulations_run == 1
+        assert cache.quarantined == 1
+        assert quarantine_reasons(cache) == [reason]
+        # The slot was rewritten and reads clean again.
+        fresh = ResultCache(cache.directory)
+        assert fresh.get(spec).stats.fingerprint() \
+            == result.stats.fingerprint()
+        assert fresh.quarantined == 0
+        return result
+
+    def seeded(self, cache, spec):
+        record = make_record(spec, execute_spec(spec))
+        cache.put(spec, record)
+        return cache._path(spec), record
+
+    def test_truncated_record(self, cache):
+        from repro.experiments.faults import corrupt_record
+
+        spec = tiny_spec()
+        path, _ = self.seeded(cache, spec)
+        corrupt_record(path)
+        self.heal(cache, spec, "truncated")
+
+    def test_digest_collision_record(self, cache):
+        # Another spec's (valid!) record sitting at this spec's path —
+        # the shape a digest collision or a botched copy would produce.
+        spec = tiny_spec("base")
+        other = tiny_spec("imp")
+        _, other_record = self.seeded(ResultCache(cache.directory), other)
+        cache._path(spec).parent.mkdir(parents=True, exist_ok=True)
+        cache._path(spec).write_text(json.dumps(other_record))
+        self.heal(cache, spec, "spec-mismatch")
+
+    def test_wrong_schema_version_record(self, cache):
+        spec = tiny_spec()
+        path, record = self.seeded(cache, spec)
+        path.write_text(json.dumps(dict(record, schema=2)))
+        self.heal(cache, spec, "schema")
+
+    def test_unreadable_record(self, cache):
+        # The record path exists but cannot be opened as a file.
+        spec = tiny_spec()
+        path, _ = self.seeded(cache, spec)
+        path.unlink()
+        path.mkdir()
+        self.heal(cache, spec, "unreadable")
+
+    def test_quarantine_inspection_and_purge(self, cache):
+        from repro.experiments.faults import corrupt_record
+
+        spec = tiny_spec()
+        path, _ = self.seeded(cache, spec)
+        corrupt_record(path)
+        assert cache.get(spec) is None
+        [entry] = list_quarantined(cache.directory)
+        assert entry.digest == spec.digest()
+        assert entry.reason == "truncated"
+        assert entry.path.is_file()
+        assert purge_quarantined(cache.directory) == 1
+        assert list_quarantined(cache.directory) == []
+        assert not quarantine_dir(cache.directory).exists()
+
+    def test_purge_handles_directory_entries(self, cache):
+        # An "unreadable" quarantine entry can itself be a directory.
+        spec = tiny_spec()
+        path, _ = self.seeded(cache, spec)
+        path.unlink()
+        path.mkdir()
+        (path / "junk").write_text("x")
+        assert cache.get(spec) is None
+        assert quarantine_reasons(cache) == ["unreadable"]
+        assert purge_quarantined(cache.directory) == 1
+        assert list_quarantined(cache.directory) == []
+
+
+class TestConcurrentWriters:
+    def test_cross_process_sweeps_share_one_cache_cleanly(self, tmp_path):
+        """Two sweeps in separate processes race on the same cache
+        directory; atomic publishes mean every record ends up valid —
+        no torn files, no quarantines (the concurrent-writer satellite)."""
+        cache_dir = tmp_path / "cache"
+        script = (
+            "import sys\n"
+            "from repro.experiments.sweep import ResultCache, RunSpec, "
+            "SweepEngine\n"
+            "from repro.workloads.synthetic import IndirectStreamWorkload\n"
+            "w = IndirectStreamWorkload(n_indices=512, n_data=2048, seed=3)\n"
+            "specs = [RunSpec.for_run(w, m, 4)\n"
+            "         for m in ('base', 'imp', 'swpref')]\n"
+            "SweepEngine(jobs=1, cache=ResultCache(sys.argv[1]))"
+            ".run(specs)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parents[2] / "src")
+        env.pop("REPRO_FAULTS", None)
+        procs = [subprocess.Popen([sys.executable, "-c", script,
+                                   str(cache_dir)], env=env)
+                 for _ in range(2)]
+        for proc in procs:
+            assert proc.wait(timeout=300) == 0
+
+        cache = ResultCache(cache_dir)
+        specs = [tiny_spec(mode) for mode in ("base", "imp", "swpref")]
+        fingerprints = {}
+        for spec in specs:
+            restored = cache.get(spec)
+            assert restored is not None
+            fingerprints[spec] = restored.stats.fingerprint()
+        assert cache.hits == 3
+        assert cache.quarantined == 0
+        assert not quarantine_dir(cache_dir).exists()
+        # Both writers produced the same deterministic bytes.
+        serial = SweepEngine(jobs=1).run(specs)
+        for spec in specs:
+            assert fingerprints[spec] == serial[spec].stats.fingerprint()

@@ -265,3 +265,125 @@ class TestSweepScenarioDir:
         assert main(["sweep", "--scenario-dir", "examples/scenarios",
                      "--figures", "fig1"], out=out) == 2
         assert "not both" in out.getvalue()
+
+
+class TestSweepRobustness:
+    """The fault-tolerance surface of ``repro sweep``: policy flags,
+    --resume, exit codes, the failure report and quarantine warnings."""
+
+    def sweep(self, *extra, code=0):
+        out = io.StringIO()
+        argv = ["sweep", "--figures", "fig1", "--cores", "4",
+                "--scale", "0.05", *extra]
+        assert main(argv, out=out) == code
+        return out.getvalue()
+
+    def test_policy_flags_are_accepted(self, tmp_path):
+        output = self.sweep("--cache-dir", str(tmp_path / "cache"),
+                            "--timeout", "60", "--retries", "1",
+                            "--backoff", "0.1", "--keep-going")
+        assert "== fig1 ==" in output
+
+    def test_keep_going_and_fail_fast_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            self.sweep("--keep-going", "--fail-fast", "--no-cache")
+
+    def test_resume_requires_the_cache(self):
+        out = io.StringIO()
+        assert main(["sweep", "--figures", "fig1", "--cores", "4",
+                     "--scale", "0.05", "--resume", "--no-cache"],
+                    out=out) == 2
+        assert "--resume needs the persistent cache" in out.getvalue()
+
+    def test_sweep_journals_and_resume_reports_prior_work(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self.sweep("--cache-dir", str(cache_dir))
+        journals = list(cache_dir.glob("journal-*.jsonl"))
+        assert len(journals) == 1
+        warm = self.sweep("--cache-dir", str(cache_dir), "--resume")
+        assert "[sweep] resuming from journal-" in warm
+        assert "0 simulated" in warm
+
+    def test_quarantine_warning_after_corruption(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self.sweep("--cache-dir", str(cache_dir))
+        record = sorted(cache_dir.glob("*.json"))[0]
+        record.write_text("{ torn")
+        healed = self.sweep("--cache-dir", str(cache_dir))
+        assert "[cache] warning: 1 quarantined record(s)" in healed
+        assert "repro cache doctor" in healed
+        # The damaged run was recomputed, not skipped.
+        assert "== fig1 ==" in healed
+
+    def test_permanent_failures_exit_3_with_report(self, tmp_path,
+                                                   monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_FAULTS", json.dumps(
+            {"seed": 2, "transient": 1.0, "max_faults_per_spec": 1000}))
+        failures_out = tmp_path / "failures.json"
+        out = io.StringIO()
+        code = main(["sweep", "--figures", "fig1", "--cores", "4",
+                     "--scale", "0.05", "--no-cache", "--retries", "0",
+                     "--failures-out", str(failures_out)], out=out)
+        assert code == 3
+        text = out.getvalue()
+        assert "permanently failed" in text
+        assert "transient" in text
+        report = json.loads(failures_out.read_text())
+        assert report["schema"] == "repro-failures-v1"
+        assert report["failed_runs"] == len(report["failures"]) > 0
+        assert report["policy"]["retries"] == 0
+        assert all(failure["kind"] == "transient"
+                   for failure in report["failures"])
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch):
+        def boom(args, out, policy=None):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr("repro.cli._command_sweep_figures", boom)
+        out = io.StringIO()
+        assert main(["sweep", "--figures", "fig1", "--no-cache"],
+                    out=out) == 130
+        assert "rerun with --resume" in out.getvalue()
+
+    def test_sigterm_exits_143(self, monkeypatch):
+        import signal
+
+        def self_terminate(args, out, policy=None):
+            # _sigterm_raises() must have installed its handler by now.
+            signal.raise_signal(signal.SIGTERM)
+
+        monkeypatch.setattr("repro.cli._command_sweep_figures",
+                            self_terminate)
+        out = io.StringIO()
+        assert main(["sweep", "--figures", "fig1", "--no-cache"],
+                    out=out) == 143
+        assert "terminated (SIGTERM)" in out.getvalue()
+
+
+class TestCacheDoctor:
+    def test_clean_cache_reports_nothing(self, tmp_path):
+        output = run_cli("cache", "doctor", "--cache-dir", str(tmp_path))
+        assert "no quarantined records" in output
+
+    def test_lists_then_purges_quarantined_records(self, tmp_path):
+        out = io.StringIO()
+        assert main(["sweep", "--figures", "fig1", "--cores", "4",
+                     "--scale", "0.05", "--cache-dir", str(tmp_path)],
+                    out=out) == 0
+        record = sorted(tmp_path.glob("*.json"))[0]
+        record.write_text("{ torn")
+        # Heal it (moves the damage into quarantine/).
+        assert main(["sweep", "--figures", "fig1", "--cores", "4",
+                     "--scale", "0.05", "--cache-dir", str(tmp_path)],
+                    out=io.StringIO()) == 0
+        listing = run_cli("cache", "doctor", "--cache-dir", str(tmp_path))
+        assert "1 quarantined record(s)" in listing
+        assert "truncated" in listing
+        assert "--purge" in listing
+        purged = run_cli("cache", "doctor", "--cache-dir", str(tmp_path),
+                         "--purge")
+        assert "purged 1 quarantined record(s)" in purged
+        after = run_cli("cache", "doctor", "--cache-dir", str(tmp_path))
+        assert "no quarantined records" in after
