@@ -35,6 +35,16 @@ Installed as the ``repro`` console script (also runnable as
   ``--resume`` restarts a killed sweep from where it died.  Ctrl-C /
   SIGTERM shut the pool down cleanly, flush the journal and exit with
   code 130 / 143.
+* ``serve``          — run the sweep service: a long-running versioned
+  REST API (``POST /v1/jobs`` submits scenario JSON, ``GET /v1/jobs/<id>``
+  polls, ``GET /v1/results/<digest>`` fetches cached results, plus
+  ``/v1/registries`` and ``/healthz``/``/readyz`` probes) over a
+  crash-safe durable job queue: every state transition is fsynced to a
+  journal under the cache directory, a killed server replays it on
+  restart, re-enqueues interrupted jobs and never re-executes completed
+  ones.  The admission queue is bounded (429 + ``Retry-After`` when
+  full); SIGTERM stops admissions, drains up to ``--drain-timeout``
+  seconds, journals the rest as interrupted and exits 143.
 * ``cache``          — cache maintenance; ``repro cache doctor`` lists
   (and with ``--purge`` deletes) records the self-healing cache has
   quarantined as corrupt.
@@ -275,6 +285,43 @@ def _build_parser() -> argparse.ArgumentParser:
                               metavar="FILE",
                               help="structured failure report destination "
                                    "(default: results/failures.json)")
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the crash-safe sweep service (versioned REST "
+                      "API over a durable job queue)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8378,
+                              help="TCP port; 0 picks a free port and the "
+                                   "bound port is printed as port=N for "
+                                   "scripting (default: 8378)")
+    serve_parser.add_argument("--cache-dir", default="results/cache",
+                              help="persistent result cache + job journal "
+                                   "directory (default: results/cache)")
+    serve_parser.add_argument("--queue-depth", type=int, default=64,
+                              help="bounded admission queue depth; beyond "
+                                   "it POSTs get 429 + Retry-After "
+                                   "(default: 64)")
+    serve_parser.add_argument("--jobs", type=int, default=None,
+                              help="sweep worker processes per job "
+                                   "(default: $REPRO_JOBS, else in-process)")
+    serve_parser.add_argument("--timeout", type=float, default=None,
+                              metavar="SECONDS",
+                              help="per-run wall-clock timeout "
+                                   "(default: none)")
+    serve_parser.add_argument("--retries", type=int, default=2,
+                              help="additional attempts per failing run "
+                                   "(default: 2)")
+    serve_parser.add_argument("--backoff", type=float, default=0.5,
+                              metavar="SECONDS",
+                              help="base retry backoff; doubles per "
+                                   "attempt (default: 0.5)")
+    serve_parser.add_argument("--drain-timeout", type=float, default=30.0,
+                              metavar="SECONDS",
+                              help="graceful-shutdown drain deadline; jobs "
+                                   "still pending afterwards are journalled "
+                                   "interrupted and recovered on the next "
+                                   "boot (default: 30)")
 
     cache_parser = sub.add_parser(
         "cache", help="result-cache maintenance")
@@ -580,7 +627,7 @@ def _sweep_runner(args, n_cores: int, policy=None,
                             policy=policy, journal=journal)
 
 
-def _sweep_journal(args, label_doc, out):
+def _sweep_journal(args, label_doc, out, sweep_id=None):
     """The durable journal for one ``repro sweep`` invocation, keyed by a
     stable identity of what is being swept so ``--resume`` finds it."""
     import hashlib
@@ -594,8 +641,14 @@ def _sweep_journal(args, label_doc, out):
     label = json.dumps(label_doc, sort_keys=True)
     key = hashlib.sha256(label.encode()).hexdigest()[:16]
     path = Path(args.cache_dir) / f"journal-{key}.jsonl"
-    journal = SweepJournal(path, resume=args.resume, label=label)
-    if args.resume and journal.resumed:
+    journal = SweepJournal(path, resume=args.resume, label=label,
+                           sweep_id=sweep_id)
+    if journal.mismatched:
+        print(f"[sweep] warning: journal {path.name} was written for a "
+              f"different spec set (sweep_id "
+              f"{journal.header_sweep_id[:12]}… != {sweep_id[:12]}…); "
+              f"ignoring it and starting a fresh journal", file=out)
+    elif args.resume and journal.resumed:
         print(f"[sweep] resuming from {path.name}: {journal.resumed} "
               f"run(s) previously completed", file=out)
     return journal
@@ -635,7 +688,7 @@ def _command_sweep_scenario_dir(args, out, policy=None) -> int:
     import json
     from pathlib import Path
 
-    from repro.experiments.sweep import ResultCache, SweepEngine
+    from repro.experiments.sweep import ResultCache, SweepEngine, sweep_id
 
     directory = Path(args.scenario_dir)
     if not directory.is_dir():
@@ -666,7 +719,8 @@ def _command_sweep_scenario_dir(args, out, policy=None) -> int:
     cache = (ResultCache(args.cache_dir)
              if (args.cache_dir and not args.no_cache) else None)
     journal = _sweep_journal(
-        args, {"scenario_dir": str(directory.resolve())}, out)
+        args, {"scenario_dir": str(directory.resolve())}, out,
+        sweep_id=sweep_id(specs))
     engine = SweepEngine(jobs=args.jobs, cache=cache, policy=policy,
                          journal=journal)
     results = engine.run(specs, workload_lookup=workloads.get)
@@ -754,6 +808,83 @@ def _command_sweep(args, out) -> int:
         print(f"[sweep] failure report: {args.failures_out} "
               f"({report['schema']})", file=out)
         return EXIT_RUN_FAILURES
+
+
+def _command_serve(args, out) -> int:
+    """Run the crash-safe sweep service until SIGTERM/SIGINT, then drain
+    gracefully and exit with the sweep contract's signal codes."""
+    import threading
+
+    from repro.experiments.sweep import RunPolicy
+    from repro.service import ServiceApp
+
+    if args.queue_depth < 1:
+        print("error: --queue-depth must be at least 1", file=out)
+        return 2
+    if not args.cache_dir:
+        print("error: serve needs a persistent --cache-dir (the durable "
+              "job journal lives there)", file=out)
+        return 2
+    policy = RunPolicy(timeout=args.timeout, retries=args.retries,
+                       backoff=args.backoff)
+    try:
+        app = ServiceApp(args.cache_dir, host=args.host, port=args.port,
+                         queue_depth=args.queue_depth, jobs=args.jobs,
+                         policy=policy)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=out)
+        return 2
+    stop = threading.Event()
+    exit_code = [0]
+
+    def _on_signal(signum, frame):
+        exit_code[0] = (EXIT_INTERRUPTED if signum == signal.SIGINT
+                        else EXIT_TERMINATED)
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _on_signal)
+        except ValueError:      # not the main thread (embedded use)
+            pass
+    try:
+        app.start()
+        if app.recovered:
+            print(f"[serve] recovered {app.recovered} interrupted job(s) "
+                  f"from the journal; re-enqueued", file=out)
+        if app.store.corrupt_lines:
+            print(f"[serve] journal replay skipped "
+                  f"{app.store.corrupt_lines} corrupt line(s) (torn "
+                  f"writes); affected jobs resume from their last durable "
+                  f"state", file=out)
+        # ``port=N`` is a stable, parse-friendly token: scripts that pass
+        # --port 0 scrape it to learn the kernel-assigned port.
+        print(f"[serve] listening on {app.url} port={app.port} "
+              f"(cache {app.cache_dir}, queue depth "
+              f"{args.queue_depth})", file=out, flush=True)
+        print(f"[serve] POST /v1/jobs to submit scenarios; SIGTERM "
+              f"drains gracefully (deadline {args.drain_timeout:g}s)",
+              file=out, flush=True)
+        while not stop.wait(timeout=1.0):
+            pass
+        label = ("SIGINT" if exit_code[0] == EXIT_INTERRUPTED
+                 else "SIGTERM")
+        print(f"[serve] {label} received — admissions stopped, draining "
+              f"up to {args.drain_timeout:g}s", file=out, flush=True)
+        drained = app.stop(drain_timeout=args.drain_timeout)
+        if drained:
+            print("[serve] drained cleanly: all accepted jobs completed; "
+                  "journal closed", file=out, flush=True)
+        else:
+            print("[serve] drain deadline passed: remaining jobs "
+                  "journalled interrupted (recovered on next boot)",
+                  file=out, flush=True)
+        return exit_code[0]
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 def _command_sweep_figures(args, out, policy=None) -> int:
@@ -856,6 +987,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_figure(args, out)
     if args.command == "sweep":
         return _command_sweep(args, out)
+    if args.command == "serve":
+        return _command_serve(args, out)
     if args.command == "cache":
         return _command_cache_doctor(args, out)
     if args.command == "cost":

@@ -39,6 +39,28 @@ Fault kinds:
     N specs have completed — a deterministic stand-in for Ctrl-C /
     ``SIGKILL`` mid-sweep, used to test ``--resume``.
 
+Service-layer fault points (``repro serve``, :mod:`repro.service`):
+
+``serve_kill``
+    ``os._exit`` the *server* process in the crash window between a job's
+    fsynced ``running`` journal append and its cache publish — the run
+    never completed, so a restarted server must re-execute it exactly
+    once.
+``serve_kill_post``
+    ``os._exit`` the server in the opposite window: after the result was
+    atomically published to the cache but before the job's ``done``
+    journal append.  A restarted server replays the job as interrupted,
+    re-enqueues it, and must complete it from the cache **without
+    re-executing the simulation** — the no-duplicate-work guarantee.
+``serve_stall``
+    Sleep ``stall_seconds`` inside one HTTP handler thread, proving a
+    slow client/request cannot block admissions, polling or health
+    probes (the server is threaded).
+``serve_corrupt``
+    Tear the job-journal line that was just appended (a torn write in
+    the middle of the journal), exercising the store's any-line
+    corruption tolerance on the next replay.
+
 Plans travel to pool workers inside the batch payload (not via globals),
 and can be supplied to the real CLI through ``$REPRO_FAULTS`` (a JSON
 object of constructor fields), which is how the CI chaos job disturbs an
@@ -94,9 +116,14 @@ class FaultPlan:
     stall_seconds: float = 30.0
     max_faults_per_spec: int = 1
     interrupt_after: Optional[int] = None
+    serve_kill: float = 0.0
+    serve_kill_post: float = 0.0
+    serve_stall: float = 0.0
+    serve_corrupt: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("kill", "transient", "stall", "corrupt"):
+        for name in ("kill", "transient", "stall", "corrupt", "serve_kill",
+                     "serve_kill_post", "serve_stall", "serve_corrupt"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise FaultInjectionError(
@@ -165,6 +192,44 @@ class FaultPlan:
         """Whether the first cache publish of ``digest`` gets torn."""
         return self.corrupt > 0 and \
             self._draw(digest, 0, channel="corrupt") < self.corrupt
+
+    # ------------------------------------------------------------------
+    # Service-layer fault points (repro.service)
+    # ------------------------------------------------------------------
+    def decide_serve_kill(self, digest: str, attempt: int) -> Optional[str]:
+        """Which server-kill window (if any) fires for one job attempt.
+
+        Pure, like :meth:`decide`: ``"pre"`` kills between the job's
+        ``running`` journal append and its execution/cache publish,
+        ``"post"`` kills after the cache publish but before the ``done``
+        append.  ``max_faults_per_spec`` bounds the disturbance, so a
+        restarted server is guaranteed to converge.
+        """
+        if attempt >= self.max_faults_per_spec:
+            return None
+        if self._draw(digest, attempt, channel="serve-kill") < self.serve_kill:
+            return "pre"
+        if self._draw(digest, attempt,
+                      channel="serve-kill-post") < self.serve_kill_post:
+            return "post"
+        return None
+
+    def apply_serve_kill(self, digest: str, attempt: int,
+                         window: str) -> None:
+        """``os._exit`` the server when the decided window matches."""
+        if self.decide_serve_kill(digest, attempt) == window:
+            os._exit(KILL_EXIT_CODE)
+
+    def should_serve_stall(self, key: str) -> bool:
+        """Whether one HTTP handler (keyed by request identity) stalls."""
+        return self.serve_stall > 0 and \
+            self._draw(key, 0, channel="serve-stall") < self.serve_stall
+
+    def should_serve_corrupt(self, digest: str) -> bool:
+        """Whether the job-journal record just appended for ``digest``
+        gets torn (once per digest per plan)."""
+        return self.serve_corrupt > 0 and \
+            self._draw(digest, 0, channel="serve-corrupt") < self.serve_corrupt
 
     # ------------------------------------------------------------------
     def apply(self, digest: str, attempt: int, *,

@@ -577,23 +577,45 @@ class SweepJournal:
     *progress*; the result cache remains the source of truth for result
     bytes (a journalled-ok spec whose cache record went missing is simply
     recomputed).
+
+    ``sweep_id`` (see :func:`sweep_id`) identifies the spec set being
+    swept.  When given, it is stored in the header; resuming with a
+    *different* id — the journal on disk belongs to another spec set,
+    e.g. a scenario directory whose contents changed — sets
+    ``self.mismatched``, discards the stale entries and starts a fresh
+    journal instead of silently mixing two sweeps' progress.
     """
 
     def __init__(self, path, resume: bool = False,
-                 label: Optional[str] = None) -> None:
+                 label: Optional[str] = None,
+                 sweep_id: Optional[str] = None) -> None:
         self.path = Path(path)
         self.label = label
+        self.sweep_id = sweep_id
+        self.header_sweep_id: Optional[str] = None
+        self.mismatched = False
         self.completed: Dict[str, Dict] = {}
         self.failed: Dict[str, Dict] = {}
         self.torn_lines = 0
         existing = resume and self.path.exists()
         if existing:
             self._load()
+            if (sweep_id is not None and self.header_sweep_id is not None
+                    and self.header_sweep_id != sweep_id):
+                self.mismatched = True
+                self.completed.clear()
+                self.failed.clear()
+                self.torn_lines = 0
+                self.label = label
+                existing = False
         self.resumed = len(self.completed)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self.path, "a" if existing else "w")
         if not existing:
-            self._append({"journal": JOURNAL_SCHEMA, "sweep": label})
+            header = {"journal": JOURNAL_SCHEMA, "sweep": self.label}
+            if sweep_id is not None:
+                header["sweep_id"] = sweep_id
+            self._append(header)
 
     # ------------------------------------------------------------------
     def _load(self) -> None:
@@ -613,6 +635,8 @@ class SweepJournal:
                     continue
                 if "journal" in entry:
                     self.label = entry.get("sweep", self.label)
+                    self.header_sweep_id = entry.get("sweep_id",
+                                                     self.header_sweep_id)
                     continue
                 digest = entry.get("digest")
                 if not digest:

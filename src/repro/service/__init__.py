@@ -1,0 +1,40 @@
+"""Sweep-as-a-service: a crash-safe simulation API in front of the cache.
+
+The :mod:`repro.service` subpackage turns the sweep engine into a
+long-running, stdlib-only HTTP service (``repro serve``):
+
+* :mod:`repro.service.store` — the durable job store.  Every job state
+  transition is an appended, fsynced, torn-line-tolerant JSONL record,
+  so a server killed at any instant can replay the journal on restart,
+  re-enqueue interrupted work, and serve completed jobs from the result
+  cache: no accepted job is lost, no completed run is executed twice.
+* :mod:`repro.service.jobs` — the bounded admission queue and the drain
+  worker.  Submissions are idempotent (the job id *is* the RunSpec
+  digest: resubmitting joins the existing job or returns the cached
+  result), the queue applies backpressure when full, and per-job
+  execution reuses the PR 6 :class:`~repro.experiments.sweep.RunPolicy`
+  machinery (timeouts, retries, pool rebuild, serial degradation).
+* :mod:`repro.service.api` — the versioned REST surface (``/v1/...``)
+  with uniform JSON envelopes; failures surface as structured
+  :class:`~repro.experiments.sweep.FailureRecord` error bodies.
+* :mod:`repro.service.app` — the ``ThreadingHTTPServer`` wiring plus
+  graceful shutdown: SIGTERM stops admissions, drains in-flight jobs up
+  to a deadline, journals the rest as interrupted and exits under the
+  PR 6 exit-code contract.
+"""
+
+from repro.service.api import API_VERSION, ServiceAPI
+from repro.service.app import ServiceApp
+from repro.service.jobs import Draining, JobManager, QueueFull
+from repro.service.store import JOB_STORE_SCHEMA, JobStore
+
+__all__ = [
+    "API_VERSION",
+    "Draining",
+    "JOB_STORE_SCHEMA",
+    "JobManager",
+    "JobStore",
+    "QueueFull",
+    "ServiceAPI",
+    "ServiceApp",
+]

@@ -1,0 +1,186 @@
+"""Versioned REST surface of the sweep service.
+
+Routes are versioned under ``/v1/`` (unversioned ``/healthz`` and
+``/readyz`` probes excepted) and every response body is a uniform JSON
+envelope::
+
+    {"ok": true,  "data": { ... }}                       # success
+    {"ok": false, "error": {"code": "...", "message": "...", ...}}
+
+A permanently failed job carries its structured
+:class:`~repro.experiments.sweep.FailureRecord` under
+``data.failure`` — the same document ``results/failures.json`` uses — so
+API clients and CLI users read one failure shape.
+
+Endpoints:
+
+=========================  ====================================================
+``POST /v1/jobs``          Submit a scenario JSON document.  Idempotent: the
+                           job id is the RunSpec digest; resubmission joins
+                           the existing job or returns the cached result.
+                           ``202`` queued, ``200`` joined/complete, ``400``
+                           invalid scenario, ``413`` oversized body, ``429``
+                           queue full (with ``Retry-After``), ``503``
+                           draining.
+``GET /v1/jobs``           List all jobs plus queue/backpressure counters.
+``GET /v1/jobs/<id>``      One job: ``queued`` / ``running`` / ``done`` (with
+                           fingerprint) / ``failed`` (with FailureRecord).
+``GET /v1/results/<id>``   The full cached result record for a digest.
+``GET /v1/registries``     Every component registry (prefetchers, DRAM
+                           models, workloads, modes) with descriptions.
+``GET /healthz``           Liveness: 200 while the process serves.
+``GET /readyz``            Readiness: 200 accepting, 503 while draining.
+=========================  ====================================================
+
+The router is a plain method — ``(method, path, body) -> (status, doc,
+headers)`` — so the whole surface unit-tests without sockets; the
+:mod:`repro.service.app` HTTP layer is a thin adapter over it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Optional, Tuple
+
+from repro.registry import ALL_REGISTRIES
+from repro.service import store as job_states
+from repro.service.jobs import Draining, JobManager, QueueFull
+
+#: The API version segment new routes are added under.
+API_VERSION = "v1"
+
+#: Largest accepted request body (a scenario document), in bytes.
+MAX_BODY_BYTES = 1 << 20
+
+#: ``Retry-After`` seconds suggested on 429/503 responses.
+RETRY_AFTER_SECONDS = 2
+
+_DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
+
+Response = Tuple[int, Dict, Dict]
+
+
+def ok(data: Dict) -> Dict:
+    return {"ok": True, "data": data}
+
+
+def error(code: str, message: str, **extra) -> Dict:
+    body = {"code": code, "message": message}
+    body.update(extra)
+    return {"ok": False, "error": body}
+
+
+class ServiceAPI:
+    """Routes requests onto a :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager) -> None:
+        self.manager = manager
+
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str,
+               body: Optional[bytes] = None) -> Response:
+        """Dispatch one request; returns ``(status, envelope, headers)``."""
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if method == "GET":
+                return self._get(path)
+            if method == "POST":
+                return self._post(path, body or b"")
+        except Exception as exc:  # noqa: BLE001 — a request, not the server
+            return 500, error("internal",
+                              f"{type(exc).__name__}: {exc}"), {}
+        return 405, error("method-not-allowed",
+                          f"{method} is not supported"), {}
+
+    # ------------------------------------------------------------------
+    def _get(self, path: str) -> Response:
+        if path == "/healthz":
+            return 200, ok({"status": "alive", "api": API_VERSION}), {}
+        if path == "/readyz":
+            manager = self.manager
+            doc = {"ready": not manager.draining,
+                   "draining": manager.draining,
+                   "pending": manager.pending_count(),
+                   "queue_depth": manager.queue_depth}
+            if manager.draining:
+                return 503, error("draining", "server is draining",
+                                  **doc), {"Retry-After":
+                                           str(RETRY_AFTER_SECONDS)}
+            return 200, ok(doc), {}
+        if path == f"/{API_VERSION}/registries":
+            registries = {
+                name: [{"name": entry.name,
+                        "description": entry.description,
+                        "tags": list(entry.tags)}
+                       for entry in registry.entries()]
+                for name, registry in ALL_REGISTRIES.items()}
+            return 200, ok({"registries": registries}), {}
+        if path == f"/{API_VERSION}/jobs":
+            return 200, ok(self.manager.snapshot()), {}
+        job_match = re.match(f"^/{API_VERSION}/jobs/([0-9a-f]+)$", path)
+        if job_match:
+            return self._get_job(job_match.group(1))
+        result_match = re.match(f"^/{API_VERSION}/results/([0-9a-f]+)$", path)
+        if result_match:
+            return self._get_result(result_match.group(1))
+        return 404, error("not-found", f"no route for GET {path}"), {}
+
+    def _get_job(self, job_id: str) -> Response:
+        job = self.manager.get(job_id)
+        if job is None:
+            return 404, error("job-not-found",
+                              f"no job with id {job_id}"), {}
+        return 200, ok(job.to_doc()), {}
+
+    def _get_result(self, digest: str) -> Response:
+        if not _DIGEST_RE.match(digest):
+            return 400, error("bad-digest",
+                              "result ids are 64-char hex sha256 digests"), {}
+        path = self.manager.cache.directory / f"{digest}.json"
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return 404, error("result-not-found",
+                              f"no cached result for digest {digest}"), {}
+        except (OSError, json.JSONDecodeError) as exc:
+            return 500, error("corrupt-record",
+                              f"cached record for {digest} is unreadable "
+                              f"({exc}); 'repro cache doctor' can "
+                              f"quarantine it"), {}
+        return 200, ok({"digest": digest, "record": record}), {}
+
+    # ------------------------------------------------------------------
+    def _post(self, path: str, body: bytes) -> Response:
+        if path != f"/{API_VERSION}/jobs":
+            return 404, error("not-found", f"no route for POST {path}"), {}
+        if len(body) > MAX_BODY_BYTES:
+            return 413, error("body-too-large",
+                              f"scenario documents are capped at "
+                              f"{MAX_BODY_BYTES} bytes"), {}
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, error("invalid-json",
+                              f"request body is not valid JSON: {exc}"), {}
+        if not isinstance(doc, dict):
+            return 400, error("invalid-scenario",
+                              "scenario JSON must be an object"), {}
+        try:
+            job, created = self.manager.submit(doc)
+        except QueueFull as exc:
+            return 429, error("queue-full", str(exc)), \
+                {"Retry-After": str(RETRY_AFTER_SECONDS)}
+        except Draining as exc:
+            return 503, error("draining", str(exc)), \
+                {"Retry-After": str(RETRY_AFTER_SECONDS)}
+        except ValueError as exc:
+            # ScenarioError / RegistryError: the message lists the valid
+            # choices, exactly like the CLI's error path.
+            return 400, error("invalid-scenario", str(exc)), {}
+        doc = job.to_doc()
+        doc["created"] = created
+        if job.status == job_states.DONE:
+            return 200, ok(doc), {}
+        return (202 if created else 200), ok(doc), {}

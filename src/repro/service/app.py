@@ -1,0 +1,140 @@
+"""HTTP wiring and lifecycle of the sweep service (``repro serve``).
+
+:class:`ServiceApp` assembles the durable :class:`~repro.service.store.
+JobStore`, the :class:`~repro.service.jobs.JobManager` and the
+:class:`~repro.service.api.ServiceAPI` behind a stdlib
+``ThreadingHTTPServer``:
+
+* Requests are handled on threads, so a slow client (or an injected
+  ``serve_stall`` fault) never blocks admissions or health probes.
+* On start the store is replayed: completed jobs are served from the
+  result cache, interrupted ones re-enqueue — a SIGKILLed server loses
+  no accepted work and re-executes no completed run.
+* :meth:`stop` implements the graceful half: admissions stop (``/readyz``
+  turns 503, ``POST /v1/jobs`` returns 503), in-flight and queued jobs
+  drain up to a deadline, whatever remains is journalled ``interrupted``
+  (recovered on the next boot), and the HTTP listener shuts down.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.faults import FaultPlan
+from repro.experiments.sweep import ResultCache, RunPolicy
+from repro.service.api import MAX_BODY_BYTES, ServiceAPI
+from repro.service.jobs import JobManager
+from repro.service.store import JobStore
+
+#: File name of the durable job journal inside the cache directory.
+JOB_STORE_FILENAME = "service-jobs.jsonl"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def _respond(self, method: str) -> None:
+        api: ServiceAPI = self.server.api            # type: ignore[attr-defined]
+        plan: Optional[FaultPlan] = self.server.faults  # type: ignore[attr-defined]
+        if plan is not None and plan.should_serve_stall(self.path):
+            # Chaos: pin THIS handler thread; the threaded server must
+            # keep answering other requests (health probes included).
+            import time
+            time.sleep(plan.stall_seconds)
+        body = None
+        if method == "POST":
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except ValueError:
+                length = 0
+            body = self.rfile.read(min(max(length, 0), MAX_BODY_BYTES + 1))
+            if length > len(body):
+                # Oversized body left unread: close rather than let the
+                # remainder corrupt the next keep-alive request.
+                self.close_connection = True
+        status, doc, headers = api.handle(method, self.path, body)
+        payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:   # noqa: N802 — http.server API
+        self._respond("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._respond("POST")
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # Quiet by default; the CLI decides what to narrate.
+        pass
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, api: ServiceAPI,
+                 faults: Optional[FaultPlan]) -> None:
+        super().__init__(address, _Handler)
+        self.api = api
+        self.faults = faults
+
+
+class ServiceApp:
+    """One assembled service instance (store + queue + HTTP listener)."""
+
+    def __init__(self, cache_dir, *, host: str = "127.0.0.1", port: int = 0,
+                 queue_depth: int = 64, jobs: Optional[int] = None,
+                 policy: Optional[RunPolicy] = None,
+                 faults: Optional[FaultPlan] = None,
+                 store_path=None) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache = ResultCache(self.cache_dir)
+        self.store = JobStore(store_path or self.cache_dir
+                              / JOB_STORE_FILENAME)
+        resolved_faults = (faults if faults is not None
+                           else FaultPlan.from_env())
+        self.manager = JobManager(self.store, self.cache,
+                                  queue_depth=queue_depth, jobs=jobs,
+                                  policy=policy, faults=resolved_faults)
+        self.recovered = self.manager.recover()
+        self.api = ServiceAPI(self.manager)
+        self._httpd = _Server((host, port), self.api, resolved_faults)
+        self.host = self._httpd.server_address[0]
+        self.port = self._httpd.server_address[1]
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the drain worker and the HTTP listener (non-blocking)."""
+        self.manager.start()
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-serve-http", daemon=True)
+        self._serve_thread.start()
+
+    def stop(self, drain_timeout: float = 30.0) -> bool:
+        """Graceful shutdown; returns ``True`` when every job drained
+        before the deadline (the rest are journalled ``interrupted``)."""
+        drained = self.manager.drain(drain_timeout)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=2.0)
+        self.store.close()
+        return drained
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"

@@ -1,0 +1,248 @@
+"""Durable, crash-safe job state for the sweep service.
+
+The :class:`JobStore` is the service's write-ahead log, built on the
+fsynced :class:`~repro.experiments.sweep.SweepJournal` pattern: one JSONL
+line per job state transition, flushed and fsynced before the transition
+is acknowledged anywhere else.  The file is append-only across server
+lifetimes — every boot appends a header line and replays everything that
+came before it, so the complete history of a job (queued → running →
+done/failed, possibly interleaved with crashes) is inspectable in one
+place.
+
+Crash-safety contract (the ordering the job manager must respect):
+
+1. ``queued`` is appended (with the full scenario document) before the
+   submission is acknowledged to the client — an accepted job can always
+   be reconstructed.
+2. ``running`` is appended before the simulation starts.
+3. The result is published to the result cache (atomic ``os.replace``)
+   *before* ``done`` is appended.
+
+A crash in any window then recovers losslessly on replay:
+
+* before 1 — the client never got an id; nothing was promised.
+* between 1 and 2 (job ``queued``) — re-enqueued, executed once.
+* between 2 and 3 (job ``running``) — re-enqueued; the cache has no
+  record, so the run executes exactly once.
+* between 3 and ``done`` (the torn window) — re-enqueued; the cache
+  *hit* completes the job without re-executing the simulation.
+* after ``done`` — replayed as complete; served straight from the store
+  and the cache.
+
+Corruption tolerance: any unparseable line — the torn final line of a
+killed server, or a line damaged mid-file — is counted and skipped; the
+affected job simply replays at its previous durable state and is
+re-enqueued, which the deterministic chaos suite exercises via the
+``serve_corrupt`` fault point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Schema tag of the append-only service job journal.
+JOB_STORE_SCHEMA = "repro-service-jobs-v1"
+
+#: Job lifecycle states as journalled.  ``interrupted`` is appended by a
+#: graceful shutdown for jobs it could not drain; ``queued``/``running``
+#: jobs found at replay time were interrupted *ungracefully* and are
+#: treated identically (re-enqueued).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+INTERRUPTED = "interrupted"
+
+#: States a replayed job recovers from (re-enqueue on boot).
+RECOVERABLE_STATES = (QUEUED, RUNNING, INTERRUPTED)
+
+
+class JobStore:
+    """Append-only fsynced JSONL store of job state transitions.
+
+    Thread-safe: the HTTP handler threads append ``queued`` records while
+    the drain worker appends ``running``/``done``/``failed``; a lock
+    serialises appends so records never interleave mid-line.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.jobs: Dict[str, Dict] = {}
+        self.corrupt_lines = 0
+        self.boots = 0
+        self._lock = threading.Lock()
+        if self.path.exists():
+            self._replay()
+            self._terminate_torn_tail()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a")
+        self.boots += 1
+        self._append({"service": JOB_STORE_SCHEMA, "boot": self.boots})
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _replay(self) -> None:
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final line (killed server) or a damaged
+                    # middle line; the affected job replays at its last
+                    # durable state.
+                    self.corrupt_lines += 1
+                    continue
+                if not isinstance(entry, dict):
+                    self.corrupt_lines += 1
+                    continue
+                if "service" in entry:
+                    self.boots = max(self.boots, int(entry.get("boot", 0)))
+                    continue
+                self._apply(entry)
+
+    def _terminate_torn_tail(self) -> None:
+        """A file killed mid-append ends without a newline; terminate it
+        so this boot's records start on a fresh line instead of merging
+        into (and being swallowed by) the torn one."""
+        try:
+            with open(self.path, "rb+") as raw:
+                raw.seek(0, os.SEEK_END)
+                if raw.tell() == 0:
+                    return
+                raw.seek(-1, os.SEEK_END)
+                if raw.read(1) != b"\n":
+                    raw.write(b"\n")
+        except OSError:
+            pass
+
+    def _apply(self, entry: Dict) -> None:
+        job_id = entry.get("id")
+        status = entry.get("status")
+        if not job_id or status not in (QUEUED, RUNNING, DONE, FAILED,
+                                        INTERRUPTED):
+            self.corrupt_lines += 1
+            return
+        job = self.jobs.get(job_id)
+        if job is None:
+            job = {"id": job_id, "status": status, "attempts": 0}
+            self.jobs[job_id] = job
+        job["status"] = status
+        if status == QUEUED:
+            # Carries the scenario document (and resets the outcome on a
+            # resubmission of a previously failed job).
+            job["scenario"] = entry.get("scenario")
+            job["name"] = entry.get("name", "")
+            job.pop("failure", None)
+            job.pop("fingerprint", None)
+        elif status == RUNNING:
+            job["attempts"] = job.get("attempts", 0) + 1
+        elif status == DONE:
+            job["cached"] = bool(entry.get("cached", False))
+            job["simulated"] = bool(entry.get("simulated", False))
+            job["fingerprint"] = entry.get("fingerprint")
+            job.pop("failure", None)
+        elif status == FAILED:
+            job["failure"] = entry.get("failure")
+
+    # ------------------------------------------------------------------
+    # Appends (each one durable before it returns)
+    # ------------------------------------------------------------------
+    def _append(self, entry: Dict) -> None:
+        with self._lock:
+            self._handle.write(json.dumps(entry, sort_keys=True,
+                                          separators=(",", ":")) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def record_queued(self, job_id: str, scenario: Dict,
+                      name: str = "") -> None:
+        self._apply(entry := {"id": job_id, "status": QUEUED,
+                              "scenario": scenario, "name": name})
+        self._append(entry)
+
+    def record_running(self, job_id: str) -> int:
+        """Append a ``running`` transition; returns the attempt number
+        (1-based, counted across server lifetimes)."""
+        entry = {"id": job_id, "status": RUNNING,
+                 "attempt": self.jobs.get(job_id, {}).get("attempts", 0) + 1}
+        self._apply(entry)
+        self._append(entry)
+        return self.jobs[job_id]["attempts"]
+
+    def record_done(self, job_id: str, *, cached: bool, simulated: bool,
+                    fingerprint: Optional[Dict] = None) -> None:
+        self._apply(entry := {"id": job_id, "status": DONE, "cached": cached,
+                              "simulated": simulated,
+                              "fingerprint": fingerprint})
+        self._append(entry)
+
+    def record_failed(self, job_id: str, failure: Dict) -> None:
+        self._apply(entry := {"id": job_id, "status": FAILED,
+                              "failure": failure})
+        self._append(entry)
+
+    def record_interrupted(self, job_id: str) -> None:
+        self._apply(entry := {"id": job_id, "status": INTERRUPTED})
+        self._append(entry)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Dict]:
+        return self.jobs.get(job_id)
+
+    def recoverable(self) -> List[Dict]:
+        """Jobs whose last durable state needs re-enqueueing on boot, in
+        journal order (FIFO fairness across restarts)."""
+        return [job for job in self.jobs.values()
+                if job["status"] in RECOVERABLE_STATES]
+
+    def simulated_done_count(self, job_id: str) -> int:
+        """How many ``done`` records for this job mark a real simulation
+        (``simulated: true``) across the *entire* journal history — the
+        chaos suite's zero-duplicate-work evidence.  Reads the file, not
+        the replayed state, so repeated transitions are all counted."""
+        count = 0
+        try:
+            with open(self.path) as handle:
+                for line in handle:
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if (isinstance(entry, dict)
+                            and entry.get("id") == job_id
+                            and entry.get("status") == DONE
+                            and entry.get("simulated")):
+                        count += 1
+        except OSError:
+            pass
+        return count
+
+    # ------------------------------------------------------------------
+    def corrupt_tail(self) -> None:
+        """Chaos hook (``serve_corrupt``): tear the last appended line the
+        way a crashed non-atomic writer would, leaving a mid-journal
+        corrupt line.  The tear is newline-terminated (as a post-crash
+        boot would repair it) so only the torn record is lost."""
+        with self._lock:
+            self._handle.flush()
+            size = os.fstat(self._handle.fileno()).st_size
+            with open(self.path, "rb+") as raw:
+                raw.truncate(max(0, size - 2))
+                raw.seek(0, os.SEEK_END)
+                raw.write(b"\n")
+
+    def close(self) -> None:
+        try:
+            self._handle.close()
+        except OSError:
+            pass

@@ -122,6 +122,54 @@ class TestSweepId:
         assert sweep_id(all_specs) == sweep_id(list(reversed(all_specs)))
         assert sweep_id(all_specs) != sweep_id(all_specs[:2])
 
+    def test_header_records_sweep_id_and_resume_honours_it(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        all_specs = specs()
+        identity = sweep_id(all_specs)
+        journal = SweepJournal(path, label="corpus", sweep_id=identity)
+        journal.record_ok(all_specs[0])
+        journal.close()
+        assert journal_lines(path)[0]["sweep_id"] == identity
+
+        resumed = SweepJournal(path, resume=True, sweep_id=identity)
+        assert resumed.mismatched is False
+        assert resumed.resumed == 1
+        resumed.close()
+
+    def test_mismatched_sweep_id_discards_stale_progress(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        all_specs = specs()
+        stale = SweepJournal(path, label="old",
+                             sweep_id=sweep_id(all_specs))
+        stale.record_ok(all_specs[0])
+        stale.close()
+
+        current = sweep_id(all_specs[:2])
+        fresh = SweepJournal(path, resume=True, label="new",
+                             sweep_id=current)
+        assert fresh.mismatched is True
+        assert fresh.resumed == 0
+        assert fresh.completed == {}
+        fresh.close()
+        # The file restarted with the new identity's header.
+        lines = journal_lines(path)
+        assert lines[0]["sweep_id"] == current
+        assert lines[0]["sweep"] == "new"
+        assert len(lines) == 1
+
+    def test_legacy_headers_without_sweep_id_still_resume(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        all_specs = specs()
+        legacy = SweepJournal(path, label="old")     # no sweep_id recorded
+        legacy.record_ok(all_specs[0])
+        legacy.close()
+
+        resumed = SweepJournal(path, resume=True,
+                               sweep_id=sweep_id(all_specs))
+        assert resumed.mismatched is False
+        assert resumed.resumed == 1
+        resumed.close()
+
 
 class TestFailureReport:
     def test_schema_and_round_trip(self, tmp_path):

@@ -1,0 +1,17 @@
+"""Fixtures for the sweep-service tests (helpers live in svc_helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def app(tmp_path):
+    """A started :class:`ServiceApp` on an ephemeral port, torn down
+    gracefully at the end of the test."""
+    from repro.service import ServiceApp
+
+    application = ServiceApp(tmp_path / "cache", port=0, queue_depth=8)
+    application.start()
+    yield application
+    application.stop(drain_timeout=10.0)

@@ -1,0 +1,74 @@
+"""Shared helpers for the sweep-service tests."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.experiments.scenario import ScenarioSpec
+
+
+def tiny_scenario(seed: int = 1, n_indices: int = 64) -> dict:
+    """A scenario document that simulates in milliseconds."""
+    return {
+        "name": f"tiny-{seed}",
+        "workload": "indirect_stream",
+        "workload_params": {"n_indices": n_indices, "n_data": 256,
+                            "seed": seed},
+        "mode": "imp",
+        "n_cores": 1,
+    }
+
+
+def scenario_digest(doc: dict) -> str:
+    return ScenarioSpec.from_dict(doc).to_runspec().digest()
+
+
+def http(method: str, url: str, doc=None, timeout: float = 10.0):
+    """One JSON request; returns ``(status, envelope, headers)`` and never
+    raises on HTTP error statuses (they carry JSON envelopes too)."""
+    data = None if doc is None else json.dumps(doc).encode()
+    request = urllib.request.Request(url, data=data, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return (response.status, json.loads(response.read().decode()),
+                    dict(response.headers))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode()), dict(exc.headers)
+
+
+def poll_job(base_url: str, job_id: str, deadline: float = 30.0) -> dict:
+    """Poll ``GET /v1/jobs/<id>`` until the job settles; returns its doc."""
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        status, envelope, _ = http("GET", f"{base_url}/v1/jobs/{job_id}")
+        if status == 200 and envelope["data"]["status"] in ("done", "failed"):
+            return envelope["data"]
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id[:12]} did not settle in {deadline}s")
+
+
+def journal_entries(path) -> list:
+    """Parse the service job journal, skipping corrupt lines the way the
+    store does."""
+    entries = []
+    for line in path.read_text().splitlines():
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict):
+            entries.append(entry)
+    return entries
+
+
+def simulated_done_counts(path) -> dict:
+    """Per-job count of ``done`` records marking a real simulation across
+    the whole journal history — the zero-duplicate-work evidence."""
+    counts: dict = {}
+    for entry in journal_entries(path):
+        if entry.get("status") == "done" and entry.get("simulated"):
+            counts[entry["id"]] = counts.get(entry["id"], 0) + 1
+    return counts

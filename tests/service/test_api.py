@@ -1,0 +1,225 @@
+"""The versioned REST surface: routing, envelopes, status codes and the
+live HTTP server (end-to-end submit → poll → result)."""
+
+import json
+
+import pytest
+
+from svc_helpers import http, poll_job, scenario_digest, tiny_scenario
+
+from repro.experiments.sweep import ResultCache
+from repro.service.api import (
+    API_VERSION,
+    MAX_BODY_BYTES,
+    RETRY_AFTER_SECONDS,
+    ServiceAPI,
+)
+from repro.service.jobs import JobManager
+from repro.service.store import JobStore
+
+
+@pytest.fixture
+def api(tmp_path):
+    """An API over a manager whose drain worker is NOT running, so queue
+    contents are fully deterministic."""
+    store = JobStore(tmp_path / "jobs.jsonl")
+    cache = ResultCache(tmp_path / "cache")
+    manager = JobManager(store, cache, queue_depth=2)
+    yield ServiceAPI(manager)
+    store.close()
+
+
+def post_job(api, doc):
+    return api.handle("POST", "/v1/jobs", json.dumps(doc).encode())
+
+
+class TestProbesAndRegistries:
+    def test_healthz_is_alive(self, api):
+        status, envelope, _ = api.handle("GET", "/healthz")
+        assert status == 200
+        assert envelope == {"ok": True,
+                            "data": {"status": "alive", "api": API_VERSION}}
+
+    def test_readyz_reports_queue_state(self, api):
+        status, envelope, _ = api.handle("GET", "/readyz")
+        assert status == 200
+        assert envelope["data"] == {"ready": True, "draining": False,
+                                    "pending": 0, "queue_depth": 2}
+
+    def test_readyz_503_while_draining(self, api):
+        api.manager.begin_drain()
+        status, envelope, headers = api.handle("GET", "/readyz")
+        assert status == 503
+        assert envelope["error"]["code"] == "draining"
+        assert headers["Retry-After"] == str(RETRY_AFTER_SECONDS)
+
+    def test_registries_lists_every_component_registry(self, api):
+        status, envelope, _ = api.handle("GET", "/v1/registries")
+        assert status == 200
+        registries = envelope["data"]["registries"]
+        assert set(registries) == {"prefetchers", "dram-models",
+                                   "workloads", "modes"}
+        assert any(entry["name"] == "imp"
+                   for entry in registries["prefetchers"])
+        assert all(entry["description"]
+                   for entries in registries.values() for entry in entries)
+
+
+class TestSubmission:
+    def test_submit_queues_with_202_and_links(self, api):
+        doc = tiny_scenario(1)
+        status, envelope, _ = post_job(api, doc)
+        assert status == 202
+        data = envelope["data"]
+        assert data["id"] == scenario_digest(doc)
+        assert data["status"] == "queued"
+        assert data["created"] is True
+        assert data["links"]["self"] == f"/v1/jobs/{data['id']}"
+        assert data["links"]["result"] == f"/v1/results/{data['id']}"
+
+    def test_resubmission_joins_with_200(self, api):
+        doc = tiny_scenario(1)
+        post_job(api, doc)
+        status, envelope, _ = post_job(api, doc)
+        assert status == 200
+        assert envelope["data"]["created"] is False
+
+    def test_invalid_json_is_400(self, api):
+        status, envelope, _ = api.handle("POST", "/v1/jobs", b"{ not json")
+        assert status == 400
+        assert envelope["error"]["code"] == "invalid-json"
+
+    def test_unknown_workload_400_lists_choices(self, api):
+        doc = dict(tiny_scenario(1), workload="does_not_exist")
+        status, envelope, _ = post_job(api, doc)
+        assert status == 400
+        assert envelope["error"]["code"] == "invalid-scenario"
+        assert "indirect_stream" in envelope["error"]["message"]
+
+    def test_non_object_body_is_400(self, api):
+        status, envelope, _ = api.handle("POST", "/v1/jobs", b"[1, 2]")
+        assert status == 400
+        assert envelope["error"]["code"] == "invalid-scenario"
+
+    def test_oversized_body_is_413(self, api):
+        body = b"x" * (MAX_BODY_BYTES + 1)
+        status, envelope, _ = api.handle("POST", "/v1/jobs", body)
+        assert status == 413
+        assert envelope["error"]["code"] == "body-too-large"
+
+    def test_queue_full_is_429_with_retry_after(self, api):
+        post_job(api, tiny_scenario(1))     # queue_depth=2, no worker
+        post_job(api, tiny_scenario(2))
+        status, envelope, headers = post_job(api, tiny_scenario(3))
+        assert status == 429
+        assert envelope["error"]["code"] == "queue-full"
+        assert headers["Retry-After"] == str(RETRY_AFTER_SECONDS)
+
+    def test_draining_rejects_submissions_503(self, api):
+        api.manager.begin_drain()
+        status, envelope, headers = post_job(api, tiny_scenario(1))
+        assert status == 503
+        assert envelope["error"]["code"] == "draining"
+        assert "Retry-After" in headers
+
+
+class TestLookups:
+    def test_unknown_job_is_404(self, api):
+        status, envelope, _ = api.handle("GET", f"/v1/jobs/{'a' * 64}")
+        assert status == 404
+        assert envelope["error"]["code"] == "job-not-found"
+
+    def test_bad_result_digest_is_400(self, api):
+        status, envelope, _ = api.handle("GET", "/v1/results/abc123")
+        assert status == 400
+        assert envelope["error"]["code"] == "bad-digest"
+
+    def test_missing_result_is_404(self, api):
+        status, envelope, _ = api.handle("GET", f"/v1/results/{'a' * 64}")
+        assert status == 404
+        assert envelope["error"]["code"] == "result-not-found"
+
+    def test_unrouted_paths_are_404(self, api):
+        status, envelope, _ = api.handle("GET", "/v2/jobs")
+        assert status == 404
+        status, envelope, _ = api.handle("POST", "/v1/registries", b"{}")
+        assert status == 404
+
+    def test_unsupported_method_is_405(self, api):
+        status, envelope, _ = api.handle("DELETE", "/v1/jobs")
+        assert status == 405
+        assert envelope["error"]["code"] == "method-not-allowed"
+
+    def test_jobs_listing_carries_queue_counters(self, api):
+        post_job(api, tiny_scenario(1))
+        status, envelope, _ = api.handle("GET", "/v1/jobs")
+        assert status == 200
+        data = envelope["data"]
+        assert len(data["jobs"]) == 1
+        assert data["queue"]["pending"] == 1
+        assert data["queue"]["by_status"] == {"queued": 1}
+
+
+class TestLiveServer:
+    """End-to-end over a real socket: submit, poll, fetch the result."""
+
+    def test_submit_poll_result_round_trip(self, app):
+        doc = tiny_scenario(5)
+        status, envelope, _ = http("POST", f"{app.url}/v1/jobs", doc)
+        assert status == 202
+        job_id = envelope["data"]["id"]
+
+        final = poll_job(app.url, job_id)
+        assert final["status"] == "done"
+        assert final["simulated"] is True
+        assert final["cached"] is False
+        fingerprint = final["fingerprint"]
+        assert fingerprint["runtime_cycles"] > 0
+
+        status, envelope, _ = http("GET", f"{app.url}/v1/results/{job_id}")
+        assert status == 200
+        assert envelope["data"]["record"]["fingerprint"] == fingerprint
+
+        # Resubmission after completion: instant, joined, same fingerprint.
+        status, envelope, _ = http("POST", f"{app.url}/v1/jobs", doc)
+        assert status == 200
+        assert envelope["data"]["status"] == "done"
+        assert envelope["data"]["fingerprint"] == fingerprint
+
+    def test_cache_warm_submission_never_simulates(self, app):
+        doc = tiny_scenario(6)
+        _, envelope, _ = http("POST", f"{app.url}/v1/jobs", doc)
+        poll_job(app.url, envelope["data"]["id"])
+        before = app.manager.simulations_run
+
+        status, envelope, _ = http("POST", f"{app.url}/v1/jobs", doc)
+        assert status == 200
+        assert app.manager.simulations_run == before
+
+    def test_failed_job_carries_failure_record(self, app, monkeypatch):
+        import repro.service.jobs as jobs_module
+        from repro.experiments.sweep import FailureRecord, SweepError
+
+        class ExhaustedEngine:
+            def __init__(self, **kwargs):
+                self.simulations_run = 0
+
+            def run(self, specs, workload_lookup=None):
+                raise SweepError([FailureRecord.for_spec(
+                    specs[0], "transient", 3, "injected: still failing")], {})
+
+        monkeypatch.setattr(jobs_module, "SweepEngine", ExhaustedEngine)
+        doc = tiny_scenario(7)
+        status, envelope, _ = http("POST", f"{app.url}/v1/jobs", doc)
+        assert status == 202
+        final = poll_job(app.url, envelope["data"]["id"])
+        assert final["status"] == "failed"
+        failure = final["failure"]
+        assert failure["kind"] == "transient"
+        assert failure["attempts"] == 3
+        assert failure["digest"] == envelope["data"]["id"]
+
+        # A resubmission re-queues the failed job for another try.
+        status, envelope, _ = http("POST", f"{app.url}/v1/jobs", doc)
+        assert status == 202
+        assert envelope["data"]["created"] is True

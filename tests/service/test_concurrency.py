@@ -1,0 +1,97 @@
+"""Idempotent admission under concurrency: N clients racing to submit the
+same scenario must share exactly one simulation."""
+
+import threading
+import time
+
+from svc_helpers import (
+    http,
+    poll_job,
+    scenario_digest,
+    simulated_done_counts,
+    tiny_scenario,
+)
+
+from repro.experiments.sweep import ResultCache
+from repro.service.jobs import JobManager
+from repro.service.store import JobStore
+
+
+class TestConcurrentDuplicateSubmission:
+    def test_n_threads_same_scenario_one_simulation(self, tmp_path):
+        store = JobStore(tmp_path / "jobs.jsonl")
+        cache = ResultCache(tmp_path / "cache")
+        manager = JobManager(store, cache, queue_depth=16)
+        manager.start()
+        doc = tiny_scenario(11)
+        digest = scenario_digest(doc)
+
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        outcomes = [None] * n_threads
+
+        def submit(index):
+            barrier.wait()
+            outcomes[index] = manager.submit(dict(doc))
+
+        threads = [threading.Thread(target=submit, args=(index,))
+                   for index in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Every thread got the same job id; exactly one created it.
+        assert all(outcome is not None for outcome in outcomes)
+        assert {job.id for job, _ in outcomes} == {digest}
+        assert sum(created for _, created in outcomes) == 1
+
+        deadline = time.monotonic() + 30
+        while manager.get(digest).status not in ("done", "failed"):
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+
+        job = manager.get(digest)
+        assert job.status == "done"
+        assert manager.simulations_run == 1
+        assert manager.drain(10.0)
+        store.close()
+
+        # Durable evidence: one simulated `done` in the whole journal.
+        assert simulated_done_counts(tmp_path / "jobs.jsonl") == {digest: 1}
+
+    def test_http_race_shares_one_simulation(self, app):
+        doc = tiny_scenario(12)
+        digest = scenario_digest(doc)
+        n_threads = 6
+        barrier = threading.Barrier(n_threads)
+        responses = [None] * n_threads
+
+        def post(index):
+            barrier.wait()
+            responses[index] = http("POST", f"{app.url}/v1/jobs", doc)
+
+        threads = [threading.Thread(target=post, args=(index,))
+                   for index in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert all(response is not None for response in responses)
+        statuses = sorted(status for status, _, _ in responses)
+        assert set(statuses) <= {200, 202}
+        ids = {envelope["data"]["id"] for _, envelope, _ in responses}
+        assert ids == {digest}
+        created = [envelope["data"]["created"]
+                   for _, envelope, _ in responses]
+        assert sum(created) == 1
+
+        final = poll_job(app.url, digest)
+        assert final["status"] == "done"
+        assert app.manager.simulations_run == 1
+        fingerprints = set()
+        for _ in range(3):   # repeated polls answer bit-identically
+            doc_now = poll_job(app.url, digest)
+            fingerprints.add(str(sorted(doc_now["fingerprint"].items())))
+        assert len(fingerprints) == 1

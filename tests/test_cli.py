@@ -362,6 +362,75 @@ class TestSweepRobustness:
         assert "terminated (SIGTERM)" in out.getvalue()
 
 
+class TestSweepResumeMismatch:
+    """Satellite of the service PR: ``--resume`` against a journal that
+    was written for a *different* spec set warns and starts fresh instead
+    of silently mixing two sweeps' progress."""
+
+    def sweep_dir(self, scenario_dir, cache_dir, *extra, code=0):
+        out = io.StringIO()
+        argv = ["sweep", "--scenario-dir", str(scenario_dir),
+                "--cache-dir", str(cache_dir), *extra]
+        assert main(argv, out=out) == code
+        return out.getvalue()
+
+    def test_resume_mismatch_warns_and_starts_fresh(self, tmp_path):
+        import json
+        import shutil
+
+        scenario_dir = tmp_path / "scenarios"
+        scenario_dir.mkdir()
+        shutil.copy("examples/scenarios/tiny_smoke.json",
+                    scenario_dir / "tiny_smoke.json")
+        cache_dir = tmp_path / "cache"
+        self.sweep_dir(scenario_dir, cache_dir)
+
+        # Same directory (same journal file), different spec set.
+        doc = json.loads((scenario_dir / "tiny_smoke.json").read_text())
+        doc["workload_params"]["seed"] = 99
+        (scenario_dir / "tiny_smoke.json").write_text(json.dumps(doc))
+        changed = self.sweep_dir(scenario_dir, cache_dir, "--resume")
+        assert "different spec set" in changed
+        assert "starting a fresh journal" in changed
+        assert "resuming from" not in changed
+
+        # Resuming the *same* spec set stays quiet and does no work.
+        again = self.sweep_dir(scenario_dir, cache_dir, "--resume")
+        assert "different spec set" not in again
+        assert "resuming from" in again
+        assert "0 simulated" in again
+
+    def test_failure_report_creates_missing_parents(self, tmp_path,
+                                                    monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_FAULTS", json.dumps(
+            {"seed": 2, "transient": 1.0, "max_faults_per_spec": 1000}))
+        failures_out = tmp_path / "deep" / "nested" / "dirs" / "failures.json"
+        out = io.StringIO()
+        code = main(["sweep", "--figures", "fig1", "--cores", "4",
+                     "--scale", "0.05", "--no-cache", "--retries", "0",
+                     "--failures-out", str(failures_out)], out=out)
+        assert code == 3
+        report = json.loads(failures_out.read_text())
+        assert report["failed_runs"] > 0
+
+
+class TestServeArguments:
+    """Fast argument-validation paths of ``repro serve`` (live-server
+    behaviour is covered end to end by tests/service/)."""
+
+    def test_queue_depth_must_be_positive(self):
+        out = io.StringIO()
+        assert main(["serve", "--queue-depth", "0"], out=out) == 2
+        assert "--queue-depth" in out.getvalue()
+
+    def test_cache_dir_is_required(self):
+        out = io.StringIO()
+        assert main(["serve", "--cache-dir", ""], out=out) == 2
+        assert "durable job journal" in out.getvalue()
+
+
 class TestCacheDoctor:
     def test_clean_cache_reports_nothing(self, tmp_path):
         output = run_cli("cache", "doctor", "--cache-dir", str(tmp_path))
