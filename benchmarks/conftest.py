@@ -47,6 +47,17 @@ def no_fault_injection():
     if plan is not None:
         os.environ["REPRO_FAULTS"] = plan
 
+
+@pytest.fixture(scope="session", autouse=True)
+def no_noc_kernel_override():
+    """Strip ``$REPRO_NOC_KERNEL`` for the whole benchmark session:
+    recorded tables and perf numbers must always reflect the configured
+    (default) reservation kernel, not an ambient override."""
+    name = os.environ.pop("REPRO_NOC_KERNEL", None)
+    yield
+    if name is not None:
+        os.environ["REPRO_NOC_KERNEL"] = name
+
 TABLES_PATH = RESULTS_PATH / "benchmark_tables.txt"
 
 _SECTION_HEADER = re.compile(r"^== (.+) ==$")

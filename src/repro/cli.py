@@ -351,6 +351,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--baseline", default=None)
     bench_parser.add_argument("--budget", type=float, default=1.25,
                               help="allowed wall-clock ratio vs baseline")
+    bench_parser.add_argument("--workloads", nargs="+", default=None,
+                              metavar="WORKLOAD",
+                              help="restrict the harness to these bench "
+                                   "workloads")
+    bench_parser.add_argument("--ab-kernels", nargs="+", default=None,
+                              metavar="KERNEL",
+                              help="NoC reservation-kernel backends to A/B "
+                                   "in the same session (first = comparison "
+                                   "baseline); embeds a kernel_ab section "
+                                   "in the result document")
     bench_parser.add_argument("--sweep", action="store_true",
                               help="benchmark the multi-figure sweep engine "
                                    "(serial vs --jobs vs warm cache) instead "
@@ -925,9 +935,14 @@ def _command_sweep_figures(args, out, policy=None) -> int:
 
 
 def _command_bench(args, out) -> int:
-    from repro.experiments.bench import (run_benchmark, run_sweep_benchmark,
-                                         write_and_check)
+    from repro.experiments.bench import (WORKLOADS, run_benchmark,
+                                         run_sweep_benchmark, write_and_check)
 
+    unknown = sorted(set(args.workloads or ()) - set(WORKLOADS))
+    if unknown:
+        print(f"error: unknown bench workloads: {', '.join(unknown)}; "
+              f"try: {', '.join(WORKLOADS)}", file=out)
+        return 2
     if args.sweep:
         document = run_sweep_benchmark(cores=args.cores, seed=args.seed,
                                        scale=args.scale, jobs=args.jobs,
@@ -935,7 +950,8 @@ def _command_bench(args, out) -> int:
     else:
         document = run_benchmark(cores=args.cores, seed=args.seed,
                                  repeat=args.repeat, quick=args.quick,
-                                 out=out)
+                                 workloads=args.workloads,
+                                 ab_kernels=args.ab_kernels, out=out)
     return write_and_check(document, out_path=args.out, check=args.check,
                            baseline_path=args.baseline, budget=args.budget,
                            out=out)

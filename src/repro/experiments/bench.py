@@ -56,47 +56,103 @@ def _make_workload(name: str, seed: int, quick: bool):
     return make_workload(name, seed=seed)
 
 
+def _geomean(values: List[float]) -> Optional[float]:
+    import math
+    if not values:
+        return None
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
 def run_benchmark(cores: int = 16, seed: int = 1, repeat: int = 1,
                   quick: bool = False, workloads: Optional[List[str]] = None,
+                  ab_kernels: Optional[List[str]] = None,
                   out=sys.stdout) -> Dict:
     """Run the harness; return the result document (also printed as a table).
 
     ``repeat`` re-runs the whole suite and keeps the best (minimum) wall
     time per scenario, which filters scheduler noise on busy machines.
+
+    ``ab_kernels`` names NoC reservation-kernel backends
+    (:data:`repro.registry.NOC_KERNELS`) to A/B in the *same session*:
+    every scenario runs once per backend per repeat, interleaved, so both
+    sides see the same machine state.  This is the only honest way to
+    compare backends — wall-clock ratios against a committed baseline
+    file conflate the code change with host-speed drift between recording
+    dates.  The document gains a ``kernel_ab`` section (per-backend walls,
+    per-scenario speedups against the first named backend, miss-heavy
+    geomean) and its main ``scenarios`` table carries the default
+    backend's numbers; fingerprints must be bit-identical across
+    backends (hard failure otherwise).
     """
+    from dataclasses import replace
+
+    from repro.registry import NOC_KERNELS
+    from repro.sim.config import NoCConfig
+
     chosen = list(workloads or WORKLOADS)
     scenarios: List[Tuple[str, str]] = [(w, p) for w in chosen
                                         for p in PREFETCHERS]
-    best: Dict[str, float] = {}
+    kernels: List[Optional[str]] = list(ab_kernels) if ab_kernels else [None]
+    for name in kernels:
+        if name is not None:
+            NOC_KERNELS.get(name)        # fail fast on typos
+    # best[kernel][scenario key] -> minimum wall seconds over repeats.
+    best: Dict[Optional[str], Dict[str, float]] = {k: {} for k in kernels}
     fingerprints: Dict[str, Dict[str, int]] = {}
-    for _ in range(max(1, repeat)):
-        for workload_name in chosen:
-            # One workload object per sweep: run_workload memoises the trace
-            # build on it, which is exactly how the figure runners use it.
-            workload = _make_workload(workload_name, seed, quick)
-            config = scaled_config(cores)
-            for prefetcher in PREFETCHERS:
-                key = f"{workload_name}/{prefetcher}"
-                t0 = time.perf_counter()
-                result = run_workload(workload, config, prefetcher=prefetcher)
-                elapsed = time.perf_counter() - t0
-                if key not in best or elapsed < best[key]:
-                    best[key] = elapsed
-                fp = result.stats.fingerprint()
-                if key in fingerprints and fingerprints[key] != fp:
-                    raise AssertionError(
-                        f"non-deterministic simulation for {key}")
-                fingerprints[key] = fp
-    total = sum(best.values())
+    # An exported $REPRO_NOC_KERNEL would silently override the per-run
+    # config and turn the A/B into an A/A; measure without it.
+    ambient = os.environ.pop("REPRO_NOC_KERNEL", None)
+    if ambient is not None and ab_kernels:
+        print(f"[bench] NOTE: ignoring $REPRO_NOC_KERNEL={ambient!r} "
+              f"for the kernel A/B", file=out)
+    try:
+        for _ in range(max(1, repeat)):
+            for kernel in kernels:
+                for workload_name in chosen:
+                    # One workload object per sweep: run_workload memoises
+                    # the trace build on it, which is exactly how the
+                    # figure runners use it.
+                    workload = _make_workload(workload_name, seed, quick)
+                    config = scaled_config(cores)
+                    if kernel is not None:
+                        config = replace(config,
+                                         noc=replace(config.noc,
+                                                     kernel=kernel))
+                    for prefetcher in PREFETCHERS:
+                        key = f"{workload_name}/{prefetcher}"
+                        t0 = time.perf_counter()
+                        result = run_workload(workload, config,
+                                              prefetcher=prefetcher)
+                        elapsed = time.perf_counter() - t0
+                        walls = best[kernel]
+                        if key not in walls or elapsed < walls[key]:
+                            walls[key] = elapsed
+                        fp = result.stats.fingerprint()
+                        if key in fingerprints and fingerprints[key] != fp:
+                            raise AssertionError(
+                                f"fingerprint divergence for {key}"
+                                + (f" under kernel {kernel!r}" if ab_kernels
+                                   else " (non-deterministic simulation)"))
+                        fingerprints[key] = fp
+    finally:
+        if ambient is not None:
+            os.environ["REPRO_NOC_KERNEL"] = ambient
+    # The headline table reports the default backend when it was part of
+    # the A/B (else the first named one / the configured default).
+    default_kernel: Optional[str] = kernels[0]
+    if ab_kernels and NoCConfig().kernel in kernels:
+        default_kernel = NoCConfig().kernel
+    headline = best[default_kernel]
+    total = sum(headline.values())
     print(f"{'scenario':28s} {'wall(s)':>8s} {'cycles':>10s} "
           f"{'l1_miss':>9s} {'pf_issued':>9s}", file=out)
     for workload_name, prefetcher in scenarios:
         key = f"{workload_name}/{prefetcher}"
         fp = fingerprints[key]
-        print(f"{key:28s} {best[key]:8.3f} {fp['runtime_cycles']:10d} "
+        print(f"{key:28s} {headline[key]:8.3f} {fp['runtime_cycles']:10d} "
               f"{fp['l1_misses']:9d} {fp['prefetches_issued']:9d}", file=out)
     print(f"{'TOTAL':28s} {total:8.3f}", file=out)
-    return {
+    document = {
         "schema": "repro-bench-v1",
         "cores": cores,
         "seed": seed,
@@ -105,10 +161,65 @@ def run_benchmark(cores: int = 16, seed: int = 1, repeat: int = 1,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "scenarios": {key: {"wall_seconds": best[key],
+        "scenarios": {key: {"wall_seconds": headline[key],
                             "fingerprint": fingerprints[key]}
-                      for key in best},
+                      for key in headline},
         "total_wall_seconds": total,
+    }
+    if ab_kernels:
+        document["kernel_ab"] = _kernel_ab_section(
+            kernels, best, scenario_keys=[f"{w}/{p}" for w, p in scenarios],
+            out=out)
+    return document
+
+
+def _kernel_ab_section(kernels: List[Optional[str]],
+                       best: Dict[Optional[str], Dict[str, float]],
+                       scenario_keys: List[str], out=sys.stdout) -> Dict:
+    """Summarise a same-session kernel A/B (and print its table).
+
+    The first named backend is the comparison baseline; speedups are
+    ``baseline_wall / backend_wall`` per scenario (>1 = the backend is
+    faster).  Fingerprint identity across backends was already enforced
+    during collection, so the section records it as a fact, not a claim.
+    """
+    baseline = kernels[0]
+    others = [k for k in kernels[1:]]
+    header = f"{'scenario':28s} " + " ".join(
+        f"{str(k):>12s}" for k in kernels)
+    if others:
+        header += "  " + " ".join(f"{f'{k} speedup':>14s}" for k in others)
+    print(f"\n[bench] same-session kernel A/B "
+          f"(baseline: {baseline})", file=out)
+    print(header, file=out)
+    speedups: Dict[str, Dict[str, float]] = {k: {} for k in others}
+    for key in scenario_keys:
+        row = f"{key:28s} " + " ".join(
+            f"{best[k][key]:12.3f}" for k in kernels)
+        for k in others:
+            speedups[k][key] = best[baseline][key] / max(1e-9, best[k][key])
+        if others:
+            row += "  " + " ".join(f"{speedups[k][key]:13.2f}x"
+                                   for k in others)
+        print(row, file=out)
+    miss_heavy = sorted(key for key in scenario_keys
+                        if key.split("/")[-1] in MISS_HEAVY_PREFETCHERS)
+    geomeans = {
+        k: _geomean([speedups[k][key] for key in miss_heavy])
+        for k in others
+    }
+    for k, value in geomeans.items():
+        if value is not None:
+            print(f"[bench] kernel A/B miss-heavy (ghb/imp) geomean: "
+                  f"{k} vs {baseline} = {value:.2f}x", file=out)
+    return {
+        "kernels": [str(k) for k in kernels],
+        "baseline_kernel": str(baseline),
+        "fingerprints_identical": True,     # enforced during collection
+        "wall_seconds": {str(k): dict(best[k]) for k in kernels},
+        "speedup_by_scenario": {k: speedups[k] for k in others},
+        "miss_heavy_rows": miss_heavy,
+        "miss_heavy_geomean_speedup": geomeans,
     }
 
 
@@ -263,8 +374,6 @@ def baseline_comparison(current: Dict, baseline: Dict) -> Dict:
     stat fingerprint is bit-identical, and the geometric-mean speedup over
     the miss-heavy (ghb/imp) rows.
     """
-    import math
-
     base_scenarios = baseline.get("scenarios", {})
     speedups: Dict[str, float] = {}
     identical = True
@@ -284,8 +393,7 @@ def baseline_comparison(current: Dict, baseline: Dict) -> Dict:
         identical = False
     miss_heavy = [value for key, value in speedups.items()
                   if key.split("/")[-1] in MISS_HEAVY_PREFETCHERS]
-    geomean = (math.exp(sum(math.log(value) for value in miss_heavy)
-                        / len(miss_heavy)) if miss_heavy else None)
+    geomean = _geomean(miss_heavy)
     return {
         "baseline_schema": baseline.get("schema"),
         "baseline_timestamp": baseline.get("timestamp"),
@@ -435,6 +543,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="smaller inputs (CI smoke run)")
     parser.add_argument("--workloads", nargs="+", default=None,
                         choices=list(WORKLOADS))
+    parser.add_argument("--ab-kernels", nargs="+", default=None,
+                        metavar="KERNEL",
+                        help="NoC reservation-kernel backends to A/B in "
+                             "the same session (first = comparison "
+                             "baseline); embeds a kernel_ab section")
     parser.add_argument("--out", default=None,
                         help="write the result JSON to this path")
     parser.add_argument("--check", action="store_true",
@@ -460,7 +573,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         document = run_benchmark(cores=args.cores, seed=args.seed,
                                  repeat=args.repeat, quick=args.quick,
-                                 workloads=args.workloads)
+                                 workloads=args.workloads,
+                                 ab_kernels=args.ab_kernels)
     return write_and_check(document, out_path=args.out, check=args.check,
                            baseline_path=args.baseline, budget=args.budget)
 

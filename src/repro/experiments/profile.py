@@ -29,8 +29,17 @@ SUBSYSTEM_RULES: Tuple[Tuple[str, str], ...] = (
     ("repro/memory/hierarchy", "hierarchy"),
     ("repro/memory/coherence", "directory"),
     ("repro/memory/dram", "dram"),
-    ("repro/noc/", "noc"),
-    ("repro/sim/queueing", "noc"),
+    # The NoC splits into the link-reservation kernel (the hot loop)
+    # versus geometry / route caching / traffic accounting, so a profile
+    # shows whether NoC time is placement work or bookkeeping.
+    # ResourceSchedule gets its own bucket: it is the shared reservation
+    # primitive — DRAM banks/channels/buses always, the NoC only under
+    # the reference backend — so folding it into noc.kernel would
+    # misattribute DRAM time whenever the default fused backend (which
+    # never enters queueing.py) is active.
+    ("repro/noc/kernel", "noc.kernel"),
+    ("repro/sim/queueing", "queueing"),
+    ("repro/noc/", "noc.geometry"),
     ("repro/prefetchers/", "prefetcher"),
     ("repro/core/", "prefetcher"),
     ("repro/mem_image", "mem-image"),

@@ -232,8 +232,10 @@ class ScenarioSpec:
         return self.to_runspec().digest()
 
     def canonical_dict(self) -> Dict:
-        """The fully resolved, order-independent form of this scenario."""
-        return self.to_runspec().to_dict()
+        """The fully resolved, order-independent form of this scenario
+        (its cache identity — result-neutral fields such as the NoC
+        kernel backend are stripped, see ``RunSpec.canonical_dict``)."""
+        return self.to_runspec().canonical_dict()
 
     # ------------------------------------------------------------------
     # Execution

@@ -130,6 +130,27 @@ def _thaw(value):
     return value
 
 
+def _strip_result_neutral(doc: Dict) -> Dict:
+    """Drop spec fields that provably never change simulation results.
+
+    Currently exactly one: ``base_config.noc.kernel`` — the NoC
+    reservation-kernel backend, whose implementations are contractually
+    bit-identical (see :meth:`RunSpec.canonical_dict`).  Returns ``doc``
+    itself when nothing needs stripping; copies the affected nesting
+    levels (never mutates the input) otherwise, so record-stored specs
+    can be normalised in place-free fashion.
+    """
+    base = doc.get("base_config")
+    if isinstance(base, dict):
+        noc = base.get("noc")
+        if isinstance(noc, dict) and "kernel" in noc:
+            doc = dict(doc)
+            doc["base_config"] = base = dict(base)
+            base["noc"] = {key: value for key, value in noc.items()
+                           if key != "kernel"}
+    return doc
+
+
 # ----------------------------------------------------------------------
 # RunSpec
 # ----------------------------------------------------------------------
@@ -205,8 +226,25 @@ class RunSpec:
                    base_config=_freeze(doc["base_config"]),
                    sw_prefetch_distance=doc["sw_prefetch_distance"])
 
+    def canonical_dict(self) -> Dict:
+        """The spec's cache-identity form: :meth:`to_dict` minus fields
+        that provably never change simulation results.
+
+        The NoC reservation-kernel backend (``base_config.noc.kernel``) is
+        stripped: every :data:`repro.registry.NOC_KERNELS` backend is
+        contractually bit-identical (held to the reference by the
+        randomized equivalence suite), and the ``$REPRO_NOC_KERNEL``
+        override already swaps backends without touching the digest.
+        Stripping the config spelling too keeps one digest per experiment
+        whatever backend computes it — and keeps digests (and therefore
+        cached results and sweep journals) from before the field existed
+        valid.
+        """
+        doc = self.to_dict()
+        return _strip_result_neutral(doc)
+
     def canonical_json(self) -> str:
-        return json.dumps(self.to_dict(), sort_keys=True,
+        return json.dumps(self.canonical_dict(), sort_keys=True,
                           separators=(",", ":"))
 
     def digest(self) -> str:
@@ -417,7 +455,14 @@ class ResultCache:
         if record.get("schema") != CACHE_SCHEMA_VERSION:
             self._quarantine(path, "schema")
             return None
-        if record.get("spec") != spec.to_dict():
+        stored_spec = record.get("spec")
+        # Compare in canonical (result-identity) form: records written
+        # before the NoC ``kernel`` config field existed, or under a
+        # different kernel backend, are the same experiment — every
+        # backend is contractually bit-identical.
+        if (not isinstance(stored_spec, dict)
+                or _strip_result_neutral(stored_spec)
+                != spec.canonical_dict()):
             self._quarantine(path, "spec-mismatch")
             return None
         try:

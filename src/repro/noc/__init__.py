@@ -1,5 +1,12 @@
-"""2-D mesh network-on-chip with XY routing."""
+"""2-D mesh network-on-chip with XY routing.
 
-from repro.noc.mesh import MeshNoC, Message
+Geometry and route caching live in :mod:`repro.noc.mesh`; the per-link
+reservation hot loop lives behind the swappable kernel boundary of
+:mod:`repro.noc.kernel` (registry :data:`repro.registry.NOC_KERNELS`).
+"""
 
-__all__ = ["MeshNoC", "Message"]
+from repro.noc.kernel import NOC_KERNELS, FusedKernel, ReferenceKernel
+from repro.noc.mesh import MeshNoC, Message, resolve_kernel_name
+
+__all__ = ["FusedKernel", "MeshNoC", "Message", "NOC_KERNELS",
+           "ReferenceKernel", "resolve_kernel_name"]

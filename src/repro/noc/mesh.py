@@ -3,12 +3,18 @@
 The model matches the paper's NoC (Table 1): a square mesh with dimension-
 ordered XY routing, a 2-cycle hop latency (one router cycle plus one link
 cycle) and 64-bit flits.  Contention is modelled per directed link with a
-simple queueing approximation: each link keeps the time at which it becomes
-free, a message arriving earlier waits, and serialization of the message's
-flits occupies the link.  Because the paper's scalability assumption makes
+simple queueing approximation: each link keeps a reservation schedule, a
+message arriving earlier waits, and serialization of the message's flits
+occupies the link.  Because the paper's scalability assumption makes
 bisection bandwidth grow only with ``sqrt(N)`` while traffic grows with
 ``N``, this contention is what turns the NoC into a bottleneck at high core
 counts (Section 6.2).
+
+This module owns the *geometry*: coordinates, XY routes, flit counts, and
+the per-(src, dst, payload) send cache.  The per-link reservation work —
+the hottest loop in the simulator — lives behind the swappable kernel
+boundary of :mod:`repro.noc.kernel` (:data:`repro.registry.NOC_KERNELS`);
+:meth:`MeshNoC.send_fast` makes exactly one kernel call per message.
 
 Traffic is accounted in bytes and flits so Figure 12 can be reproduced.
 """
@@ -16,13 +22,31 @@ Traffic is accounted in bytes and flits so Figure 12 can be reproduced.
 from __future__ import annotations
 
 import math
-from bisect import bisect_left
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.registry import NOC_KERNELS
 from repro.sim.config import NoCConfig
-from repro.sim.queueing import ResourceSchedule
 from repro.sim.stats import TrafficStats
+
+#: Payloads below this fit the packed send-cache key
+#: (``pair << 20 | payload``); larger payloads use an unpacked tuple key so
+#: they can never alias another (src, dst, payload) combination.
+_PACKED_PAYLOAD_LIMIT = 1 << 20
+
+
+def resolve_kernel_name(config: NoCConfig) -> str:
+    """The reservation-kernel backend a mesh built from ``config`` uses.
+
+    The ``$REPRO_NOC_KERNEL`` environment variable (when set and
+    non-empty) overrides ``config.kernel``; both spellings are validated
+    against :data:`repro.registry.NOC_KERNELS`, so a typo fails with the
+    full list of registered backends.
+    """
+    name = os.environ.get("REPRO_NOC_KERNEL") or config.kernel
+    NOC_KERNELS.get(name)
+    return name
 
 
 @dataclass(frozen=True)
@@ -37,8 +61,8 @@ class Message:
 class MeshNoC:
     """Square 2-D mesh with XY routing and per-link queueing."""
 
-    __slots__ = ("n_tiles", "dim", "config", "traffic", "_links",
-                 "_send_cache", "_hop_latency")
+    __slots__ = ("n_tiles", "dim", "config", "traffic", "kernel",
+                 "kernel_name", "_send_cache", "_hop_latency")
 
     def __init__(self, n_tiles: int, config: NoCConfig = NoCConfig(),
                  traffic: TrafficStats = None) -> None:
@@ -49,15 +73,17 @@ class MeshNoC:
         self.dim = dim
         self.config = config
         self.traffic = traffic if traffic is not None else TrafficStats()
-        # Reservation schedule per directed link, keyed by (src, dst) tile.
-        self._links: Dict[Tuple[int, int], ResourceSchedule] = {}
-        # Hot-path cache: everything about one (src, dst, payload) send that
-        # does not depend on time — the resolved link schedules of the XY
-        # route, the serialization delay of the payload's flits, and the
-        # precomputed per-hop traffic totals — fused into a single dict
-        # lookup keyed by one packed integer.  All of it is recomputed
-        # millions of times per run without this.
-        self._send_cache: Dict[int, tuple] = {}
+        #: The link-reservation kernel backend (see repro.noc.kernel).
+        self.kernel_name = resolve_kernel_name(config)
+        self.kernel = NOC_KERNELS.get(self.kernel_name).factory(
+            hop_latency=config.hop_latency)
+        # Hot-path cache: everything about one (src, dst, payload) send
+        # that does not depend on time — the kernel's compiled reserver
+        # for the XY route and payload serialization, plus the precomputed
+        # per-hop traffic totals — fused into a single dict lookup keyed
+        # by one packed integer.  All of it is recomputed millions of
+        # times per run without this.
+        self._send_cache: Dict[object, tuple] = {}
         self._hop_latency = config.hop_latency
 
     # ------------------------------------------------------------------
@@ -119,87 +145,28 @@ class MeshNoC:
 
         Contention: at every link of the route the message waits until the
         link is free, then occupies it for the serialization time of its
-        flits.  Hop latency is added per link.  The per-link reservation
-        inlines :meth:`ResourceSchedule.reserve`'s append-at-end fast path
-        (mostly time-ordered traffic lands at the tail of each link's
-        schedule); out-of-order or prune-due placements fall back to the
-        general method, so schedule state stays bit-identical.
+        flits, with hop latency added per link and the pipeline drain of
+        the message body added at the end.  All of that is one call of the
+        kernel-compiled route reserver; this method owns only the cache
+        lookup and the traffic accounting.
         """
         traffic = self.traffic
-        time = float(now)
+        time = now + 0.0   # cheapest int -> float coercion (no call)
         if src == dst:
             # Local access: no network traversal, a single router pass.
             traffic.noc_messages += 1
             return time + self._hop_latency
-        key = (src * self.n_tiles + dst) << 20 | payload_bytes
-        cached = self._send_cache.get(key)
-        if cached is None:
-            cached = self._resolve_send(src, dst, payload_bytes)
-            self._send_cache[key] = cached
-        schedules, serialization, flits_hops, bytes_hops = cached
-        hop_latency = self._hop_latency
-        # Per-link reservation: ResourceSchedule.reserve, fully inlined
-        # (the single hottest loop in the simulator — the call, argument
-        # and attribute traffic of ~2.5 method calls per message measurably
-        # dominates the placement work itself).  Identical placement,
-        # coalescing and pruning decisions; keep in sync with reserve().
-        for schedule in schedules:
-            ends = schedule._ends
-            schedule.total_busy += serialization
-            n = len(ends)
-            if n == 0 or time >= ends[-1]:
-                # Idle at (and after) the arrival time: append at the tail,
-                # coalescing an exact touch with the last interval.  Old
-                # reservations are only pruned once the list is provably
-                # longer than the prune window can hold (coalescing bounds
-                # a window's worth of intervals below 4096), keeping the
-                # per-append bookkeeping to this one length check.
-                if n and time == ends[-1]:
-                    ends[-1] = time + serialization
-                else:
-                    schedule._starts.append(time)
-                    ends.append(time + serialization)
-                    if n >= 8192:
-                        schedule._prune(time)
-                time += hop_latency
-                continue
-            starts = schedule._starts
-            if ends[0] < time - 16384.0:             # PRUNE_TRIGGER
-                schedule._prune(time)
-                n = len(ends)
-            start = time
-            position = bisect_left(ends, start)
-            if position < n and starts[position] - start < serialization:
-                # Walk over the intervals the message cannot squeeze in
-                # front of.  After the first step ``start`` sits on an
-                # interval end, so every later interval provably ends past
-                # it and the inner loop needs no max().
-                end_here = ends[position]
-                if end_here > start:
-                    start = end_here
-                position += 1
-                while position < n:
-                    if starts[position] - start >= serialization:
-                        break              # fits in the gap before this one
-                    start = ends[position]
-                    position += 1
-            end = start + serialization
-            touches_prev = position > 0 and ends[position - 1] == start
-            if position < n and starts[position] == end:
-                if touches_prev:
-                    # Bridges the two neighbouring intervals: merge all.
-                    ends[position - 1] = ends[position]
-                    del starts[position]
-                    del ends[position]
-                else:
-                    starts[position] = start
-            elif touches_prev:
-                ends[position - 1] = end
-            else:
-                starts.insert(position, start)
-                ends.insert(position, end)
-            time = start + hop_latency
-        time += serialization  # pipeline drain of the message body
+        pair = src * self.n_tiles + dst
+        key = (pair << 20 | payload_bytes
+               if payload_bytes < _PACKED_PAYLOAD_LIMIT
+               else (pair, payload_bytes))
+        cache = self._send_cache
+        try:
+            reserve, flits_hops, bytes_hops = cache[key]
+        except KeyError:
+            cache[key] = cached = self._resolve_send(src, dst, payload_bytes)
+            reserve, flits_hops, bytes_hops = cached
+        time = reserve(time)
         traffic.noc_messages += 1
         traffic.noc_flits += flits_hops
         traffic.noc_bytes += bytes_hops
@@ -207,17 +174,12 @@ class MeshNoC:
 
     def _resolve_send(self, src: int, dst: int, payload_bytes: int) -> tuple:
         """Build the time-independent part of a (src, dst, payload) send."""
-        links = self._links
-        resolved = []
-        for link in self.route(src, dst):
-            schedule = links.get(link)
-            if schedule is None:
-                schedule = links[link] = ResourceSchedule()
-            resolved.append(schedule)
         flits = self._flits(payload_bytes)
         hops = self.hops(src, dst)
-        return (tuple(resolved), flits / self.config.link_bandwidth_flits,
-                flits * hops, payload_bytes * hops)
+        reserve = self.kernel.route_reserver(
+            tuple(self.route(src, dst)),
+            flits / self.config.link_bandwidth_flits)
+        return (reserve, flits * hops, payload_bytes * hops)
 
     def round_trip(self, src: int, dst: int, request_bytes: int,
                    response_bytes: int, now: float,
@@ -232,21 +194,25 @@ class MeshNoC:
     # ------------------------------------------------------------------
     def link_utilization(self, now: float) -> float:
         """Average fraction of time links have been busy up to ``now``."""
-        if now <= 0 or not self._links:
+        kernel = self.kernel
+        links = kernel.links()
+        if now <= 0 or not links:
             return 0.0
         total_links = 2 * 2 * self.dim * (self.dim - 1)  # directed, both axes
-        busy = sum(schedule.busy_time() for schedule in self._links.values())
+        busy = sum(kernel.busy_time(link) for link in links)
         return busy / (total_links * now) if total_links else 0.0
 
     def max_link_utilization(self, now: float) -> float:
         """Utilisation of the busiest link up to ``now`` (bottleneck metric)."""
-        if now <= 0 or not self._links:
+        kernel = self.kernel
+        links = kernel.links()
+        if now <= 0 or not links:
             return 0.0
-        return max(schedule.busy_time() for schedule in self._links.values()) / now
+        return max(kernel.busy_time(link) for link in links) / now
 
     def reset_contention(self) -> None:
         """Clear all link occupancy (used between independent runs)."""
-        self._links.clear()
-        # Cached sends hold resolved ResourceSchedule objects; drop them so
-        # future sends see the cleared link state.
+        self.kernel.reset()
+        # Cached reservers are compiled against the kernel's dropped
+        # state; rebuild them lazily against the fresh kernel.
         self._send_cache.clear()

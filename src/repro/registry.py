@@ -196,12 +196,20 @@ WORKLOADS = Registry("workload", populate=("repro.workloads",))
 #: user-registered ones (registered by :mod:`repro.experiments.modes`).
 MODES = Registry("experiment mode", populate=("repro.experiments.modes",))
 
+#: NoC link-reservation kernel backends (registered by
+#: :mod:`repro.noc.kernel`).  Factory contract: ``factory(hop_latency)``
+#: returns an object implementing the kernel API documented there
+#: (``route_reserver`` / ``links`` / ``busy_time`` / ``intervals`` /
+#: ``reset``).
+NOC_KERNELS = Registry("NoC kernel", populate=("repro.noc.kernel",))
+
 #: Every registry, keyed by the name ``repro list`` shows them under.
 ALL_REGISTRIES: Dict[str, Registry] = {
     "prefetchers": PREFETCHERS,
     "dram-models": DRAM_MODELS,
     "workloads": WORKLOADS,
     "modes": MODES,
+    "noc-kernels": NOC_KERNELS,
 }
 
 
@@ -209,6 +217,7 @@ __all__ = [
     "ALL_REGISTRIES",
     "DRAM_MODELS",
     "MODES",
+    "NOC_KERNELS",
     "PREFETCHERS",
     "Registry",
     "RegistryEntry",

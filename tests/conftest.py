@@ -24,6 +24,18 @@ def no_ambient_fault_injection():
         os.environ["REPRO_FAULTS"] = plan
 
 
+@pytest.fixture(scope="session", autouse=True)
+def no_ambient_noc_kernel_override():
+    """Strip an exported ``$REPRO_NOC_KERNEL`` override for the session:
+    the suite pins backend expectations (defaults, equivalence pairs) and
+    an ambient override must not skew them.  Tests that want an override
+    set the variable via ``monkeypatch``."""
+    name = os.environ.pop("REPRO_NOC_KERNEL", None)
+    yield
+    if name is not None:
+        os.environ["REPRO_NOC_KERNEL"] = name
+
+
 @pytest.fixture
 def small_config() -> SystemConfig:
     """A tiny 4-core platform with small caches; fast to simulate."""

@@ -118,10 +118,17 @@ class TestTransientRecovery:
     def test_one_bad_run_never_poisons_its_batch_mates(self, golden):
         # All three specs share one build_key (one worker batch); the
         # outcome-envelope protocol must retry only the disturbed run.
-        plan = FaultPlan(seed=4, transient=0.4)
-        disturbed = [spec for spec in tiny_specs()
-                     if plan.decide(spec.digest(), 0) == "transient"]
-        assert 1 <= len(disturbed) < 3, "seed must disturb a strict subset"
+        # The disturbed subset depends on the spec digests (which move
+        # whenever a config field is added), so search for a seed that
+        # disturbs a strict subset instead of hard-coding one.
+        for seed in range(100):
+            plan = FaultPlan(seed=seed, transient=0.4)
+            disturbed = [spec for spec in tiny_specs()
+                         if plan.decide(spec.digest(), 0) == "transient"]
+            if 1 <= len(disturbed) < 3:
+                break
+        else:
+            raise AssertionError("no seed disturbs a strict subset")
         engine = SweepEngine(jobs=2, policy=CHAOS_POLICY, faults=plan)
         assert_bit_identical(engine.run(tiny_specs()), golden)
 

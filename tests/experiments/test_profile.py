@@ -79,7 +79,12 @@ def test_format_report_renders(document):
 
 def test_subsystem_rules_cover_known_paths():
     assert subsystem_of("src/repro/memory/cache.py") == "cache"
-    assert subsystem_of("src\\repro\\noc\\mesh.py") == "noc"
+    assert subsystem_of("src\\repro\\noc\\mesh.py") == "noc.geometry"
+    assert subsystem_of("src/repro/noc/kernel.py") == "noc.kernel"
+    # ResourceSchedule is the shared reservation primitive (DRAM always,
+    # the NoC only under the reference backend), so it gets its own
+    # bucket rather than being folded into noc.kernel.
+    assert subsystem_of("src/repro/sim/queueing.py") == "queueing"
     assert subsystem_of("/usr/lib/python3.11/heapq.py") == OTHER
     # First-match-wins keeps the rule list unambiguous.
     fragments = [fragment for fragment, _ in SUBSYSTEM_RULES]

@@ -143,6 +143,24 @@ class TestCanonicalisationAndDigest:
             three_level_doc(name="labelled", description="with prose"))
         assert plain.digest() == labelled.digest()
 
+    def test_noc_kernel_backend_does_not_change_digest(self):
+        # Every NOC_KERNELS backend is contractually bit-identical, so the
+        # backend choice is execution detail, not experiment identity:
+        # one digest per experiment whichever backend computes it (and
+        # digests from before the field existed stay valid — persisted
+        # caches and sweep journals survive the kernel boundary landing).
+        docs = []
+        for kernel in (None, "fused", "reference"):
+            doc = three_level_doc()
+            if kernel is not None:
+                doc.setdefault("system", {})["noc"] = {"kernel": kernel}
+            docs.append(ScenarioSpec.from_dict(doc))
+        default, fused, reference = docs
+        assert default.digest() == fused.digest() == reference.digest()
+        # ...but the resolved config still honours the selection.
+        assert reference.resolve()[1].noc.kernel == "reference"
+        assert "kernel" not in default.canonical_dict()["base_config"]["noc"]
+
 
 class TestExecution:
     def test_three_level_scenario_runs_end_to_end(self):

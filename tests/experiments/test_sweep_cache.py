@@ -216,6 +216,42 @@ class TestResultCache:
         assert cache.corrupt == 1
         assert quarantine_reasons(cache) == ["fingerprint"]
 
+    def test_pre_kernel_field_record_still_hits(self, cache):
+        """Records written before ``NoCConfig.kernel`` existed (their spec
+        has no ``noc.kernel`` key) stay valid: the kernel backend is
+        result-neutral by contract, so it is excluded from the digest and
+        from the stored-spec comparison — persisted caches and journals
+        survived the kernel boundary landing."""
+        spec = tiny_spec()
+        result = execute_spec(spec)
+        record = make_record(spec, result)
+        vintage = json.loads(json.dumps(record))
+        removed = vintage["spec"]["base_config"]["noc"].pop("kernel")
+        assert removed                      # the field was actually there
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        (cache.directory / f"{spec.digest()}.json").write_text(
+            json.dumps(vintage))
+        restored = cache.get(spec)
+        assert restored is not None
+        assert restored.stats.fingerprint() == result.stats.fingerprint()
+        assert cache.corrupt == 0
+
+    def test_kernel_backend_choice_shares_one_cache_entry(self, cache):
+        """Specs differing only in the reservation-kernel backend are one
+        experiment: same digest, and a record produced under either
+        backend satisfies both."""
+        from dataclasses import replace
+        base_config = scaled_config(N_CORES)
+        fused = tiny_spec(base_config=replace(
+            base_config, noc=replace(base_config.noc, kernel="fused")))
+        reference = tiny_spec(base_config=replace(
+            base_config, noc=replace(base_config.noc, kernel="reference")))
+        assert fused != reference           # the config itself differs...
+        assert fused.digest() == reference.digest()   # ...the identity not
+        cache.put(fused, make_record(fused, execute_spec(fused)))
+        assert cache.get(reference) is not None
+        assert cache.corrupt == 0
+
     def test_disabled_cache_bypasses_disk(self, tmp_path):
         cache = ResultCache(tmp_path / "cache", enabled=False)
         spec = tiny_spec()

@@ -1,0 +1,127 @@
+"""The kernel boundary itself: backend registry, selection, and the mesh's
+strict separation from reservation internals."""
+
+import inspect
+
+import pytest
+
+from repro.noc import kernel as noc_kernel
+from repro.noc import mesh as noc_mesh
+from repro.noc.kernel import NOC_KERNELS, FusedKernel, ReferenceKernel
+from repro.noc.mesh import MeshNoC, resolve_kernel_name
+from repro.registry import RegistryError
+from repro.sim.config import NoCConfig
+
+
+class TestRegistry:
+    def test_stock_backends(self):
+        assert NOC_KERNELS.names() == ["reference", "fused"]
+        assert NOC_KERNELS.get("reference").factory is ReferenceKernel
+        assert NOC_KERNELS.get("fused").factory is FusedKernel
+
+    def test_default_backend_is_fused(self):
+        assert NoCConfig().kernel == "fused"
+        assert isinstance(MeshNoC(16).kernel, FusedKernel)
+
+    def test_unknown_backend_rejected_at_config_time(self):
+        with pytest.raises(RegistryError, match="fused"):
+            NoCConfig(kernel="warp-drive")
+
+    def test_every_entry_has_description(self):
+        assert all(entry.description for entry in NOC_KERNELS.entries())
+
+
+class TestSelection:
+    def test_config_selects_backend(self):
+        assert isinstance(MeshNoC(16, NoCConfig(kernel="reference")).kernel,
+                          ReferenceKernel)
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NOC_KERNEL", "reference")
+        noc = MeshNoC(16, NoCConfig(kernel="fused"))
+        assert noc.kernel_name == "reference"
+        assert isinstance(noc.kernel, ReferenceKernel)
+
+    def test_empty_env_override_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NOC_KERNEL", "")
+        assert resolve_kernel_name(NoCConfig(kernel="fused")) == "fused"
+
+    def test_invalid_env_override_lists_backends(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NOC_KERNEL", "nope")
+        with pytest.raises(RegistryError, match="reference"):
+            MeshNoC(16)
+
+    def test_scenario_nested_noc_kernel(self, tmp_path):
+        # Scenario JSON reaches the kernel through the nested system
+        # config path.
+        from repro.experiments.scenario import load_scenario
+        path = tmp_path / "s.json"
+        path.write_text('{"name": "t", "workload": "indirect_stream",'
+                        ' "system": {"noc": {"kernel": "reference"}}}')
+        _, config, _ = load_scenario(path).resolve()
+        assert config.noc.kernel == "reference"
+
+
+class TestMeshKernelSeparation:
+    def test_mesh_never_touches_reservation_internals(self):
+        # The whole point of the boundary: geometry/caching code must not
+        # re-grow a private copy of the reservation algorithm.
+        source = inspect.getsource(noc_mesh)
+        for forbidden in ("_starts", "_ends", "bisect_left", "bisect_right",
+                          "import bisect", "ResourceSchedule", "total_busy",
+                          "PRUNE"):
+            assert forbidden not in source, (
+                f"mesh module references reservation internal {forbidden!r}")
+
+    def test_kernel_module_owns_the_registry_entries(self):
+        source = inspect.getsource(noc_kernel)
+        assert 'NOC_KERNELS.register(\n    "reference"' in source
+        assert 'NOC_KERNELS.register(\n    "fused"' in source
+
+    def test_reset_contention_drops_compiled_reservers(self):
+        noc = MeshNoC(16)
+        noc.send_fast(0, 5, 64, 0.0)
+        assert noc._send_cache
+        assert noc.kernel.links()
+        noc.reset_contention()
+        assert not noc._send_cache
+        assert not noc.kernel.links()
+        # And the mesh keeps working against the fresh kernel state.
+        assert noc.send_fast(0, 5, 64, 0.0) == noc.zero_load_latency(0, 5, 64)
+
+
+class TestSendCacheKeying:
+    # Regression target: the packed key ``pair << 20 | payload`` ORs a
+    # payload of 2**20 + 64 into the pair bits, colliding with the same
+    # route's 64-byte entry.  Payloads that overflow 20 bits must take
+    # the unpacked tuple key instead.
+
+    BIG = (1 << 20) + 64
+
+    def test_large_payload_does_not_alias_packed_keys(self):
+        noc = MeshNoC(16)
+        # Prime the cache with the entry the old scheme collided into.
+        noc.send_fast(0, 1, 64, 0.0)
+        assert len(noc._send_cache) == 1
+        noc.send_fast(0, 1, self.BIG, 0.0)
+        assert len(noc._send_cache) == 2, "large payload aliased a packed key"
+
+    def test_large_payload_accounting_is_correct(self):
+        noc = MeshNoC(16)
+        noc.send_fast(0, 1, 64, 0.0)
+        before = (noc.traffic.noc_flits, noc.traffic.noc_bytes)
+        noc.send_fast(0, 1, self.BIG, 0.0)
+        flits = noc._flits(self.BIG) * noc.hops(0, 1)
+        assert noc.traffic.noc_flits - before[0] == flits
+        assert noc.traffic.noc_bytes - before[1] == self.BIG * noc.hops(0, 1)
+
+    def test_large_payload_timing_matches_fresh_mesh(self):
+        # Under the old aliasing, the big message reused the 64-byte
+        # entry's serialization; its delivery time must instead match a
+        # mesh that never saw the colliding entry.  The big message is
+        # injected long after the 64-byte one drains, so link contention
+        # cannot mask (or mimic) the difference.
+        aliased, fresh = MeshNoC(16), MeshNoC(16)
+        aliased.send_fast(0, 1, 64, 0.0)
+        assert (aliased.send_fast(0, 1, self.BIG, 1000.0)
+                == fresh.send_fast(0, 1, self.BIG, 1000.0))

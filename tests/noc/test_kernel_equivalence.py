@@ -1,0 +1,190 @@
+"""Randomized equivalence suite: every NoC kernel backend must reproduce
+the reference backend bit for bit.
+
+Identical message streams are driven through two meshes, one per backend,
+and the suite asserts bit-identical delivery times, traffic accounting,
+per-link busy totals and utilisation, and live reservation state.  Streams
+respect the simulator's bounded-disorder invariant (the event heap
+dispatches cores in time order), which both backends rely on for pruning;
+pruning *timing* is the one sanctioned difference, so state comparisons
+window intervals to the common live horizon (``live_intervals``).
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.noc.kernel import NOC_KERNELS, PRUNE_SLACK, live_intervals
+from repro.noc.mesh import MeshNoC
+from repro.sim.config import NoCConfig, SystemConfig
+from repro.sim.queueing import ResourceSchedule
+
+
+def make_pair(n_tiles=16):
+    return (MeshNoC(n_tiles, NoCConfig(kernel="fused")),
+            MeshNoC(n_tiles, NoCConfig(kernel="reference")))
+
+
+def assert_same_state(fused, reference, newest_arrival):
+    """Bit-identical busy totals and live coverage on every link.
+
+    Coverage is windowed to a horizon neither backend has pruned past:
+    the later of the two first retained interval ends (at least the
+    bounded-disorder horizon).  On saturated links per-link arrivals
+    outrun injection times, so a backend may legitimately prune past
+    ``newest_arrival - PRUNE_SLACK``.
+    """
+    links = set(fused.kernel.links()) | set(reference.kernel.links())
+    assert set(fused.kernel.links()) == set(reference.kernel.links())
+    horizon = newest_arrival - PRUNE_SLACK
+    for link in links:
+        assert fused.kernel.busy_time(link) == reference.kernel.busy_time(link)
+        f_starts, f_ends = fused.kernel.intervals(link)
+        r_starts, r_ends = reference.kernel.intervals(link)
+        link_horizon = max(horizon,
+                           f_ends[0] if f_ends else float("-inf"),
+                           r_ends[0] if r_ends else float("-inf"))
+        f = live_intervals(f_starts, f_ends, link_horizon)
+        r = live_intervals(r_starts, r_ends, link_horizon)
+        assert f == r, f"live coverage diverges on link {link}"
+
+
+def drive(stream, n_tiles=16):
+    """Send one stream through both backends; return the meshes."""
+    fused, reference = make_pair(n_tiles)
+    newest = float("-inf")
+    for i, (src, dst, payload, now) in enumerate(stream):
+        newest = max(newest, now)
+        a = fused.send_fast(src, dst, payload, now)
+        b = reference.send_fast(src, dst, payload, now)
+        assert a == b, f"delivery time diverges at message {i}"
+    assert fused.traffic.noc_messages == reference.traffic.noc_messages
+    assert fused.traffic.noc_flits == reference.traffic.noc_flits
+    assert fused.traffic.noc_bytes == reference.traffic.noc_bytes
+    assert_same_state(fused, reference, newest)
+    if newest > 0:
+        assert (fused.link_utilization(newest)
+                == reference.link_utilization(newest))
+        assert (fused.max_link_utilization(newest)
+                == reference.max_link_utilization(newest))
+    return fused, reference
+
+
+class TestStreamEquivalence:
+    def test_in_order_uniform_random(self):
+        rng = random.Random(101)
+        t, stream = 0.0, []
+        for _ in range(4000):
+            t += rng.random() * 4.0
+            stream.append((rng.randrange(16), rng.randrange(16),
+                           rng.choice([0, 8, 64, 72]), t))
+        drive(stream)
+
+    def test_bounded_out_of_order(self):
+        # Arrivals jitter backwards by far less than PRUNE_SLACK — the
+        # disorder the event heap's in-flight lookahead can produce.
+        rng = random.Random(202)
+        base, stream = 0.0, []
+        for _ in range(4000):
+            base += rng.random() * 6.0
+            jitter = rng.random() * (PRUNE_SLACK / 4)
+            stream.append((rng.randrange(16), rng.randrange(16),
+                           rng.choice([8, 64]), max(0.0, base - jitter)))
+        drive(stream)
+
+    def test_exact_touch_coalescing(self):
+        # Back-to-back messages on one route serialize behind each other:
+        # each arrival lands exactly on the previous reservation's end,
+        # exercising the exact-touch coalesce on every link.
+        fused, reference = make_pair()
+        t_f = t_r = 0.0
+        newest = 0.0
+        for i in range(500):
+            newest = max(newest, t_f)
+            a = fused.send_fast(0, 15, 64, t_f)
+            b = reference.send_fast(0, 15, 64, t_r)
+            assert a == b
+            # Re-inject exactly when the head would clear the first link.
+            t_f = t_r = a - a % 1.0 if i % 7 == 0 else a
+        assert_same_state(fused, reference, newest)
+
+    def test_prune_window_crossings(self):
+        # Idle gaps longer than the prune trigger force both backends to
+        # discard history at (different) moments; live state and
+        # placements must not move.
+        rng = random.Random(303)
+        t, stream = 0.0, []
+        for epoch in range(6):
+            for _ in range(600):
+                t += rng.random() * 3.0
+                stream.append((rng.randrange(16), rng.randrange(16),
+                               rng.choice([8, 64, 72]), t))
+            t += 2.5 * ResourceSchedule.PRUNE_TRIGGER   # cross the window
+        drive(stream)
+
+    def test_saturated_links(self):
+        # Every message crosses the same central column: heavy contention,
+        # long busy runs, constant slow-path placements.
+        rng = random.Random(404)
+        t, stream = 0.0, []
+        for _ in range(4000):
+            t += rng.random() * 0.5
+            stream.append((rng.choice([0, 1, 4, 5]),
+                           rng.choice([10, 11, 14, 15]), 64, t))
+        drive(stream)
+
+    def test_heap_ordered_closed_loop(self):
+        # Self-clocking senders dispatched in global time order — the
+        # sharpest model of the simulator's traffic.
+        fused, reference = make_pair()
+        rng = random.Random(505)
+        pairs = [(rng.randrange(16), rng.randrange(16)) for _ in range(32)]
+        heap = [(i * 0.25, i) for i in range(32)]
+        heapq.heapify(heap)
+        newest = 0.0
+        for _ in range(8000):
+            t, i = heapq.heappop(heap)
+            newest = max(newest, t)
+            src, dst = pairs[i]
+            a = fused.send_fast(src, dst, 64 if i % 3 else 8, t)
+            b = reference.send_fast(src, dst, 64 if i % 3 else 8, t)
+            assert a == b
+            heapq.heappush(heap, (a + 1.0, i))
+        assert_same_state(fused, reference, newest)
+
+
+class TestWholeRunEquivalence:
+    @pytest.mark.parametrize("prefetcher", ["none", "imp"])
+    def test_run_workload_fingerprints_match(self, prefetcher):
+        from repro.registry import WORKLOADS
+        from repro.sim.system import run_workload
+
+        def fingerprint(kernel):
+            workload = WORKLOADS.get("indirect_stream").factory(
+                n_indices=2048, n_data=8192, seed=3)
+            config = SystemConfig(n_cores=16, noc=NoCConfig(kernel=kernel))
+            result = run_workload(workload, config, prefetcher=prefetcher)
+            return result.stats.fingerprint()
+
+        assert fingerprint("fused") == fingerprint("reference")
+
+
+class TestEveryRegisteredBackend:
+    def test_all_backends_match_reference(self):
+        # Any future backend registered in NOC_KERNELS is held to the same
+        # bar automatically.
+        rng = random.Random(606)
+        t, stream = 0.0, []
+        for _ in range(1500):
+            t += rng.random() * 2.0
+            stream.append((rng.randrange(16), rng.randrange(16),
+                           rng.choice([8, 64]), t))
+        reference = MeshNoC(16, NoCConfig(kernel="reference"))
+        ref_times = [reference.send_fast(*m) for m in stream]
+        newest = max(m[3] for m in stream)
+        for name in NOC_KERNELS.names():
+            mesh = MeshNoC(16, NoCConfig(kernel=name))
+            times = [mesh.send_fast(*m) for m in stream]
+            assert times == ref_times, f"backend {name!r} diverges"
+            assert_same_state(mesh, reference, newest)

@@ -1,0 +1,135 @@
+"""Property-based tests for the fused NoC reservation kernel.
+
+The randomized equivalence suite (tests/noc/) drives whole meshes; these
+properties attack the kernel directly with hypothesis-generated
+bounded-disorder streams, the regime every backend is specified for.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.kernel import (FusedKernel, PRUNE_SLACK, ReferenceKernel,
+                              live_intervals)
+from repro.sim.queueing import ResourceSchedule
+
+LINK = (0, 1)
+
+#: A bounded-disorder arrival stream: a non-decreasing base clock with
+#: backward jitter far below PRUNE_SLACK — the shape the simulator's event
+#: heap produces — paired with a serialization per message.
+streams = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=30, allow_nan=False),   # dt
+              st.floats(min_value=0, max_value=PRUNE_SLACK / 4,
+                        allow_nan=False),                              # jitter
+              st.floats(min_value=0.1, max_value=50, allow_nan=False)),
+    min_size=1, max_size=80)
+
+
+def arrivals(stream):
+    base = 0.0
+    for dt, jitter, serialization in stream:
+        base += dt
+        yield max(0.0, base - jitter), serialization
+
+
+@given(stream=streams, hop=st.floats(min_value=0, max_value=4,
+                                     allow_nan=False))
+@settings(max_examples=60)
+def test_single_link_parity_with_resource_schedule(stream, hop):
+    # Per-link placement must be bit-identical to the executable spec:
+    # delivery through a one-link fused route equals the schedule's start
+    # plus hop latency plus the pipeline drain.
+    fused = FusedKernel(hop_latency=hop)
+    spec = ResourceSchedule()
+    for arrival, serialization in arrivals(stream):
+        reserve = fused.route_reserver((LINK,), serialization)
+        start = spec.reserve(arrival, serialization)
+        assert reserve(arrival) == start + hop + serialization
+    assert fused.busy_time(LINK) == spec.busy_time()
+
+
+@given(stream=streams)
+@settings(max_examples=60)
+def test_slab_invariants_hold_after_every_reservation(stream):
+    fused = FusedKernel(hop_latency=1.0)
+    newest = 0.0
+    for arrival, serialization in arrivals(stream):
+        newest = max(newest, arrival)
+        fused.route_reserver((LINK,), serialization)(arrival)
+        state = fused._states[fused._ids[LINK]]
+        starts, ends, head, frontier = state[2], state[3], state[4], state[5]
+        n = len(ends)
+        assert len(starts) == n
+        assert 0 <= head <= n
+        assert 0 <= frontier <= n
+        assert state[0] == (ends[-1] if ends else float("-inf")), \
+            "watermark out of sync with the tail interval"
+        for start, end in zip(starts, ends):
+            assert start < end
+        for i in range(1, n):
+            assert ends[i - 1] < ends[i]
+            assert starts[i] >= ends[i - 1]
+            if i > head:
+                # Live neighbours must never exactly touch — reserve
+                # coalesces them.  (A live interval may touch a dead one
+                # across the head boundary: coalescing stops at the
+                # logical prune point.)
+                assert starts[i] > ends[i - 1]
+    # The retained live suffix is what intervals() exposes.
+    live_starts, live_ends = fused.intervals(LINK)
+    assert live_starts == starts[head:]
+    assert live_ends == ends[head:]
+
+
+@given(stream=streams)
+@settings(max_examples=60)
+def test_forced_sweeps_never_change_placements(stream):
+    # Sweep timing is an implementation freedom: a kernel swept after
+    # every single message must place identically to one that never
+    # sweeps on its own schedule.
+    swept = FusedKernel(hop_latency=1.0)
+    unswept = FusedKernel(hop_latency=1.0)
+    newest = 0.0
+    for arrival, serialization in arrivals(stream):
+        newest = max(newest, arrival)
+        a = swept.route_reserver((LINK,), serialization)(arrival)
+        b = unswept.route_reserver((LINK,), serialization)(arrival)
+        assert a == b
+        swept._sweep(newest)
+    assert swept.busy_time(LINK) == unswept.busy_time(LINK)
+    horizon = newest - PRUNE_SLACK
+    assert (live_intervals(*swept.intervals(LINK), horizon)
+            == live_intervals(*unswept.intervals(LINK), horizon))
+
+
+@given(stream=streams)
+@settings(max_examples=40)
+def test_multi_link_route_parity_with_reference(stream):
+    # A three-hop route, reserved link by link by the reference backend
+    # and in one fused pass, must agree end to end.
+    route = ((0, 1), (1, 5), (5, 6))
+    fused = FusedKernel(hop_latency=1.0)
+    reference = ReferenceKernel(hop_latency=1.0)
+    for arrival, serialization in arrivals(stream):
+        assert (fused.route_reserver(route, serialization)(arrival)
+                == reference.route_reserver(route, serialization)(arrival))
+    for link in route:
+        assert fused.busy_time(link) == reference.busy_time(link)
+
+
+@given(stream=streams,
+       horizon=st.floats(min_value=-100, max_value=3000, allow_nan=False))
+@settings(max_examples=40)
+def test_live_intervals_is_sorted_disjoint_clipped_coverage(stream, horizon):
+    spec = ResourceSchedule()
+    for arrival, serialization in arrivals(stream):
+        spec.reserve(arrival, serialization)
+    coverage = live_intervals(spec._starts, spec._ends, horizon)
+    for start, end in coverage:
+        assert horizon <= start < end
+    for (s1, e1), (s2, e2) in zip(coverage, coverage[1:]):
+        assert s2 > e1, "coverage intervals must be fused and disjoint"
+    # Clipping discards exactly the busy time below the horizon.
+    raw = sum(end - max(start, horizon)
+              for start, end in zip(spec._starts, spec._ends)
+              if end > horizon)
+    assert abs(sum(end - start for start, end in coverage) - raw) < 1e-6

@@ -45,3 +45,61 @@ def test_total_busy_equals_sum_of_durations(requests):
 def test_single_reservation_on_idle_resource_starts_immediately(arrival, duration):
     schedule = ResourceSchedule()
     assert schedule.reserve(arrival, duration) == arrival
+
+
+@given(requests=requests,
+       probe=st.floats(min_value=0, max_value=6000, allow_nan=False))
+def test_next_free_is_at_or_after_arrival_and_outside_intervals(requests, probe):
+    schedule = ResourceSchedule()
+    for arrival, duration in requests:
+        schedule.reserve(arrival, duration)
+    free = schedule.next_free(probe)
+    assert free >= probe
+    for start, end in zip(schedule._starts, schedule._ends):
+        assert not start <= free < end, "next_free landed inside an interval"
+    # A free instant stays free: probing it again moves nothing.
+    assert schedule.next_free(free) == free
+
+
+@given(requests=requests)
+@settings(max_examples=50)
+def test_interval_slabs_stay_sorted_disjoint_and_coalesced(requests):
+    schedule = ResourceSchedule()
+    for arrival, duration in requests:
+        schedule.reserve(arrival, duration)
+        starts, ends = schedule._starts, schedule._ends
+        assert len(starts) == len(ends)
+        for start, end in zip(starts, ends):
+            assert start < end
+        for i in range(1, len(starts)):
+            # Strictly increasing ends, and a strictly positive gap
+            # between neighbours: exact-touch neighbours must have been
+            # coalesced into one interval at reservation time.
+            assert ends[i - 1] < ends[i]
+            assert starts[i] > ends[i - 1]
+
+
+@given(requests=requests,
+       continuation=st.lists(
+           st.tuples(st.floats(min_value=0, max_value=4000, allow_nan=False),
+                     st.floats(min_value=0.1, max_value=100,
+                               allow_nan=False)),
+           min_size=1, max_size=40))
+@settings(max_examples=50)
+def test_prune_timing_never_changes_placements(requests, continuation):
+    # Pruning hysteresis is an implementation freedom, not a semantic one:
+    # a schedule force-pruned at its newest arrival and an unpruned copy
+    # must place every subsequent bounded-disorder arrival identically.
+    pruned, virgin = ResourceSchedule(), ResourceSchedule()
+    newest = 0.0
+    for arrival, duration in requests:
+        newest = max(newest, arrival)
+        assert pruned.reserve(arrival, duration) \
+            == virgin.reserve(arrival, duration)
+    pruned._prune(newest)
+    floor = newest - ResourceSchedule.PRUNE_SLACK
+    for offset, duration in continuation:
+        arrival = floor + offset     # never undercuts the prune cutoff
+        assert pruned.reserve(arrival, duration) \
+            == virgin.reserve(arrival, duration)
+    assert pruned.busy_time() == virgin.busy_time()

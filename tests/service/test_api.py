@@ -58,7 +58,7 @@ class TestProbesAndRegistries:
         assert status == 200
         registries = envelope["data"]["registries"]
         assert set(registries) == {"prefetchers", "dram-models",
-                                   "workloads", "modes"}
+                                   "workloads", "modes", "noc-kernels"}
         assert any(entry["name"] == "imp"
                    for entry in registries["prefetchers"])
         assert all(entry["description"]

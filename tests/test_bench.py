@@ -40,6 +40,56 @@ class TestRunBenchmark:
             assert entry["fingerprint"] == second["scenarios"][key]["fingerprint"]
 
 
+class TestKernelAB:
+    def test_same_session_ab_document_shape(self):
+        document = run_benchmark(cores=4, seed=1, repeat=1, quick=True,
+                                 workloads=["indirect_stream"],
+                                 ab_kernels=["reference", "fused"],
+                                 out=io.StringIO())
+        section = document["kernel_ab"]
+        assert section["kernels"] == ["reference", "fused"]
+        assert section["baseline_kernel"] == "reference"
+        # Fingerprint identity across backends is enforced during
+        # collection (a divergence raises), so the section records True.
+        assert section["fingerprints_identical"] is True
+        keys = {f"indirect_stream/{p}" for p in PREFETCHERS}
+        for kernel in ("reference", "fused"):
+            assert set(section["wall_seconds"][kernel]) == keys
+            assert all(wall > 0
+                       for wall in section["wall_seconds"][kernel].values())
+        speedups = section["speedup_by_scenario"]["fused"]
+        assert set(speedups) == keys
+        assert section["miss_heavy_rows"] == sorted(
+            key for key in keys if key.rsplit("/", 1)[-1] in ("ghb", "imp"))
+        geomean = section["miss_heavy_geomean_speedup"]["fused"]
+        assert geomean is not None and geomean > 0
+        # The headline scenarios table carries the default backend's walls.
+        from repro.sim.config import NoCConfig
+        default = NoCConfig().kernel
+        for key in keys:
+            assert document["scenarios"][key]["wall_seconds"] \
+                == section["wall_seconds"][default][key]
+
+    def test_unknown_kernel_fails_fast(self):
+        from repro.registry import RegistryError
+
+        with pytest.raises(RegistryError, match="fused"):
+            run_benchmark(cores=4, seed=1, quick=True,
+                          workloads=["indirect_stream"],
+                          ab_kernels=["typo"], out=io.StringIO())
+
+    def test_ab_ignores_ambient_kernel_override(self, monkeypatch):
+        # An exported $REPRO_NOC_KERNEL would turn the A/B into an A/A;
+        # the harness measures the named backends and restores the
+        # variable afterwards.
+        monkeypatch.setenv("REPRO_NOC_KERNEL", "reference")
+        import os
+        run_benchmark(cores=4, seed=1, quick=True,
+                      workloads=["indirect_stream"],
+                      ab_kernels=["reference", "fused"], out=io.StringIO())
+        assert os.environ["REPRO_NOC_KERNEL"] == "reference"
+
+
 class TestCompare:
     def test_identical_documents_pass(self):
         document = small_run()

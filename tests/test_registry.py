@@ -73,7 +73,7 @@ class TestRegistryBasics:
 class TestStockRegistries:
     def test_all_registries_exposed(self):
         assert set(ALL_REGISTRIES) == {"prefetchers", "dram-models",
-                                       "workloads", "modes"}
+                                       "workloads", "modes", "noc-kernels"}
 
     def test_stock_prefetchers(self):
         assert PREFETCHERS.names() == ["none", "stream", "ghb", "imp"]
