@@ -52,7 +52,10 @@ Installed as the ``repro`` console script (also runnable as
 * ``bench``          — run the wall-clock performance harness
   (``benchmarks/perf/bench_sim.py``) and optionally write/check a
   ``BENCH_<n>.json`` trajectory file; ``--sweep`` benchmarks the parallel
-  sweep engine itself.
+  sweep engine itself, ``--ab-kernels`` times two or more NoC kernel
+  backends interleaved in the same session (the drift-immune way to make
+  kernel speed claims), and ``--sweep-scaling`` measures multi-worker
+  sweep scaling (recorded as a documented skip on single-CPU hosts).
 * ``profile``        — run one workload/prefetcher under cProfile and
   attribute self-time to simulator subsystems (cache, directory, DRAM,
   NoC, prefetcher, core/scheduler); the tool that drives the hot-path
@@ -357,10 +360,16 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "workloads")
     bench_parser.add_argument("--ab-kernels", nargs="+", default=None,
                               metavar="KERNEL",
-                              help="NoC reservation-kernel backends to A/B "
-                                   "in the same session (first = comparison "
-                                   "baseline); embeds a kernel_ab section "
-                                   "in the result document")
+                              help="two or more NoC reservation-kernel "
+                                   "backends to A/B (N-way) in the same "
+                                   "session (first = comparison baseline); "
+                                   "embeds a kernel_ab section in the "
+                                   "result document")
+    bench_parser.add_argument("--sweep-scaling", action="store_true",
+                              help="additionally measure multi-worker sweep "
+                                   "scaling (--jobs 1 vs --jobs N) and embed "
+                                   "a sweep_scaling section; records a "
+                                   "documented skip on single-CPU hosts")
     bench_parser.add_argument("--sweep", action="store_true",
                               help="benchmark the multi-figure sweep engine "
                                    "(serial vs --jobs vs warm cache) instead "
@@ -435,7 +444,11 @@ def _command_registry_list(args, out) -> int:
         if index:
             print(file=out)
         print(f"{registry_name} ({registry.kind}s):", file=out)
-        entries = registry.entries()
+        # Entries whose implementation is absent on this host (e.g. the
+        # compiled NoC kernel without its extension build) are hidden:
+        # the listing shows what this host can actually run.
+        entries = [entry for entry in registry.entries()
+                   if entry.is_available()]
         width = max((len(entry.name) for entry in entries), default=0)
         for entry in entries:
             tags = f"  [{', '.join(entry.tags)}]" if entry.tags else ""
@@ -952,6 +965,11 @@ def _command_bench(args, out) -> int:
                                  repeat=args.repeat, quick=args.quick,
                                  workloads=args.workloads,
                                  ab_kernels=args.ab_kernels, out=out)
+        if args.sweep_scaling:
+            from repro.experiments.bench import sweep_scaling_section
+            document["sweep_scaling"] = sweep_scaling_section(
+                cores=args.cores, seed=args.seed, scale=args.scale,
+                jobs=args.jobs, quick=args.quick, out=out)
     return write_and_check(document, out_path=args.out, check=args.check,
                            baseline_path=args.baseline, budget=args.budget,
                            out=out)

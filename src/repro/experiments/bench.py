@@ -72,17 +72,18 @@ def run_benchmark(cores: int = 16, seed: int = 1, repeat: int = 1,
     ``repeat`` re-runs the whole suite and keeps the best (minimum) wall
     time per scenario, which filters scheduler noise on busy machines.
 
-    ``ab_kernels`` names NoC reservation-kernel backends
-    (:data:`repro.registry.NOC_KERNELS`) to A/B in the *same session*:
-    every scenario runs once per backend per repeat, interleaved, so both
-    sides see the same machine state.  This is the only honest way to
-    compare backends — wall-clock ratios against a committed baseline
-    file conflate the code change with host-speed drift between recording
-    dates.  The document gains a ``kernel_ab`` section (per-backend walls,
-    per-scenario speedups against the first named backend, miss-heavy
-    geomean) and its main ``scenarios`` table carries the default
-    backend's numbers; fingerprints must be bit-identical across
-    backends (hard failure otherwise).
+    ``ab_kernels`` names two or more NoC reservation-kernel backends
+    (:data:`repro.registry.NOC_KERNELS`) to A/B (N-way) in the *same
+    session*: every scenario runs once per backend per repeat,
+    interleaved, so all sides see the same machine state.  This is the
+    only honest way to compare backends — wall-clock ratios against a
+    committed baseline file conflate the code change with host-speed
+    drift between recording dates.  The document gains a ``kernel_ab``
+    section (per-backend walls, per-scenario speedups against the first
+    named backend, miss-heavy geomean per backend) and its main
+    ``scenarios`` table carries the default backend's numbers;
+    fingerprints must be bit-identical across backends (hard failure
+    otherwise).
     """
     from dataclasses import replace
 
@@ -95,7 +96,13 @@ def run_benchmark(cores: int = 16, seed: int = 1, repeat: int = 1,
     kernels: List[Optional[str]] = list(ab_kernels) if ab_kernels else [None]
     for name in kernels:
         if name is not None:
-            NOC_KERNELS.get(name)        # fail fast on typos
+            entry = NOC_KERNELS.get(name)   # fail fast on typos
+            if not entry.is_available():
+                # The mesh would silently substitute 'fused' and turn
+                # this lane of the A/B into an A/A; refuse instead.
+                raise RuntimeError(
+                    f"cannot A/B kernel {name!r}: unavailable on this "
+                    f"host (extension not built, or $REPRO_NO_CEXT=1)")
     # best[kernel][scenario key] -> minimum wall seconds over repeats.
     best: Dict[Optional[str], Dict[str, float]] = {k: {} for k in kernels}
     fingerprints: Dict[str, Dict[str, int]] = {}
@@ -359,6 +366,59 @@ def run_sweep_benchmark(cores: int = 16, seed: int = 1, scale: float = 0.15,
     }
 
 
+def sweep_scaling_section(cores: int = 16, seed: int = 1,
+                          scale: float = 0.15, jobs: Optional[int] = None,
+                          quick: bool = False, out=sys.stdout) -> Dict:
+    """Multi-worker sweep scaling: ``--jobs 1`` vs ``--jobs N`` back to
+    back in one session (ROADMAP's "step zero" for distributed sweeps).
+
+    On a single-CPU host the measurement would be meaningless (process
+    pools can only add overhead), so the section records a *documented
+    skip* — the host's CPU count and why nothing was measured — instead
+    of a number that would be misread as an engine regression.  The first
+    multi-core recording host fills in the real measurement.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus <= 1:
+        print(f"[bench] sweep scaling: SKIPPED (host has {cpus} CPU; "
+              f"--jobs 1 vs --jobs N needs a multi-core host)", file=out)
+        return {
+            "measured": False,
+            "cpus": cpus,
+            "skip_reason": "recording host has a single CPU; a "
+                           "multi-worker measurement would only add "
+                           "process-pool overhead (ROADMAP: measuring "
+                           "sweep scaling on a multi-core box is still "
+                           "open)",
+        }
+    jobs = max(2, int(jobs)) if jobs is not None else min(cpus, 4)
+    names = tuple(SWEEP_FIGURES_QUICK if quick else SWEEP_FIGURES)
+    if quick:
+        cores, scale = min(cores, 4), min(scale, 0.05)
+    print(f"[bench] sweep scaling: --jobs 1 vs --jobs {jobs} "
+          f"({cpus} CPUs)", file=out)
+    serial = _sweep_phase(names, cores, scale, seed, jobs=1, cache_dir=None)
+    parallel = _sweep_phase(names, cores, scale, seed, jobs=jobs,
+                            cache_dir=None)
+    identical = serial["fingerprints"] == parallel["fingerprints"]
+    for phase in (serial, parallel):
+        phase.pop("fingerprints")
+    speedup = serial["wall_seconds"] / max(1e-9, parallel["wall_seconds"])
+    print(f"[bench] sweep scaling: jobs=1 {serial['wall_seconds']:.3f}s, "
+          f"jobs={jobs} {parallel['wall_seconds']:.3f}s -> "
+          f"{speedup:.2f}x (fingerprints identical: {identical})", file=out)
+    return {
+        "measured": True,
+        "cpus": cpus,
+        "jobs": jobs,
+        "figures": list(names),
+        "jobs_1": serial,
+        "jobs_n": parallel,
+        "speedup": speedup,
+        "fingerprints_identical": identical,
+    }
+
+
 #: Rows of the per-scenario harness counted as miss-heavy: the correlation
 #: and indirect prefetchers run the full notification + fetch machinery on
 #: the indirect-access workloads (the IMP paper's target), so they are the
@@ -545,9 +605,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=list(WORKLOADS))
     parser.add_argument("--ab-kernels", nargs="+", default=None,
                         metavar="KERNEL",
-                        help="NoC reservation-kernel backends to A/B in "
-                             "the same session (first = comparison "
-                             "baseline); embeds a kernel_ab section")
+                        help="two or more NoC reservation-kernel backends "
+                             "to A/B (N-way) in the same session (first = "
+                             "comparison baseline); embeds a kernel_ab "
+                             "section")
+    parser.add_argument("--sweep-scaling", action="store_true",
+                        help="additionally measure multi-worker sweep "
+                             "scaling (--jobs 1 vs --jobs N) and embed a "
+                             "sweep_scaling section; records a documented "
+                             "skip on single-CPU hosts")
     parser.add_argument("--out", default=None,
                         help="write the result JSON to this path")
     parser.add_argument("--check", action="store_true",
@@ -575,6 +641,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                                  repeat=args.repeat, quick=args.quick,
                                  workloads=args.workloads,
                                  ab_kernels=args.ab_kernels)
+        if args.sweep_scaling:
+            document["sweep_scaling"] = sweep_scaling_section(
+                cores=args.cores, seed=args.seed, scale=args.scale,
+                jobs=args.jobs, quick=args.quick)
     return write_and_check(document, out_path=args.out, check=args.check,
                            baseline_path=args.baseline, budget=args.budget)
 

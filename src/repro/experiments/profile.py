@@ -52,8 +52,20 @@ SUBSYSTEM_RULES: Tuple[Tuple[str, str], ...] = (
 OTHER = "other"
 
 
-def subsystem_of(filename: str) -> str:
-    """Map a source filename to its simulator subsystem bucket."""
+def subsystem_of(filename: str, funcname: str = "") -> str:
+    """Map a profiled frame to its simulator subsystem bucket.
+
+    Python frames carry a source path and match the path-fragment rules.
+    Built-in/extension frames have no source file — cProfile records them
+    under the pseudo-filename ``'~'`` with the function's qualified name —
+    so extension hot paths are matched on ``funcname`` instead: the
+    compiled NoC kernel's reservation loop (``repro._nockernel``) belongs
+    to ``noc.kernel`` exactly like its pure-Python siblings, not to a
+    generic builtins bucket (and emphatically not to whichever caller the
+    time would otherwise be misread against).
+    """
+    if "_nockernel" in funcname:
+        return "noc.kernel"
     path = filename.replace("\\", "/")
     for fragment, name in SUBSYSTEM_RULES:
         if fragment in path:
@@ -92,7 +104,7 @@ def profile_run(workload_name: str, prefetcher: str = "imp",
     for (filename, lineno, name), (cc, nc, tt, ct, callers) in \
             stats.stats.items():
         bucket = subsystems.setdefault(
-            subsystem_of(filename), {"self_seconds": 0.0, "calls": 0})
+            subsystem_of(filename, name), {"self_seconds": 0.0, "calls": 0})
         bucket["self_seconds"] += tt
         bucket["calls"] += nc
         total_self += tt

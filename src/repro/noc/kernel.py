@@ -65,12 +65,18 @@ reserver, places mostly-time-ordered traffic in O(1) via the last-end
 watermark, resumes out-of-order searches from the frontier index instead
 of re-bisecting from the head, and batches all pruning into a periodic
 whole-kernel sweep so the append fast path carries zero prune bookkeeping.
+The ``compiled`` backend is the same algorithm compiled to C
+(:mod:`repro._nockernel`, built optionally by ``setup.py``): the slabs
+become C double arrays and the per-message call a single built-in, removing
+the interpreter from the hot loop entirely; hosts without the extension
+(or with ``$REPRO_NO_CEXT=1``) fall back to ``fused`` at resolution time.
 """
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_left
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.registry import NOC_KERNELS
 from repro.sim.queueing import ResourceSchedule
@@ -104,6 +110,23 @@ _STARTS = 2    # interval start slab (sorted, disjoint, non-touching)
 _ENDS = 3      # interval end slab (strictly increasing)
 _HEAD = 4      # index of the first live interval (logical prune point)
 _FRONTIER = 5  # index of the last out-of-order placement (search resume)
+
+
+def _flat_reserver(hop_latency: float, n_links: int,
+                   serialization: float) -> Callable[[float], float]:
+    """Reserver for a zero-width (``serialization <= 0``) route: such
+    messages never occupy a link or accrue busy time, so the route reduces
+    to pure latency.  The hops are added sequentially (not pre-summed)
+    to stay bit-identical with the reference backend's per-link walk.
+    """
+    hops = (hop_latency,) * n_links
+
+    def reserve_flat(time: float, _hops=hops, _s=serialization) -> float:
+        for hop in _hops:
+            time += hop
+        return time + _s
+
+    return reserve_flat
 
 
 def live_intervals(starts: List[float], ends: List[float],
@@ -263,14 +286,8 @@ class FusedKernel:
         """
         handle = tuple(self._handles[self._id(link)] for link in links)
         if serialization <= 0.0:
-            # Zero-width reservations never occupy a link (and never
-            # accumulate busy time); the message only pays hop latency.
-            flat = self._hop_latency * len(handle)
-
-            def reserve_flat(time: float, _flat=flat) -> float:
-                return time + _flat
-
-            return reserve_flat
+            return _flat_reserver(self._hop_latency, len(links),
+                                  serialization)
 
         def reserve(time: float, _handle=handle, _s=serialization,
                     _hop=self._hop_latency, _countdown=self._countdown,
@@ -399,6 +416,117 @@ class FusedKernel:
         self._countdown[0] = SWEEP_PERIOD
 
 
+def _load_extension():
+    """The :mod:`repro._nockernel` extension module, or ``None``.
+
+    Checked per call (not cached at import) so ``$REPRO_NO_CEXT=1`` can be
+    flipped by tests and CI legs without reloading the package; the import
+    itself is cached by ``sys.modules`` so the steady-state cost is one
+    environment lookup.
+    """
+    if os.environ.get("REPRO_NO_CEXT", "") == "1":
+        return None
+    try:
+        from repro import _nockernel
+    except ImportError:
+        return None
+    return _nockernel
+
+
+def compiled_kernel_available() -> bool:
+    """Whether the compiled backend works on this host (extension built
+    and not disabled via ``$REPRO_NO_CEXT=1``)."""
+    return _load_extension() is not None
+
+
+class CompiledKernel:
+    """The fused algorithm compiled to C (:mod:`repro._nockernel`).
+
+    The extension owns what the hot loop touches — flat per-link interval
+    slabs as C double arrays (starts/ends plus the watermark, logical-prune
+    head and frontier cursor that :class:`FusedKernel` keeps per record),
+    the batched sweep and the whole-route reservation walk — while this
+    wrapper keeps everything reviewable in Python: route compilation
+    policy, the zero-serialization flat path, and the ``Link`` → slab-id
+    mapping.  The tuning constants (:data:`PRUNE_SLACK`,
+    :data:`SWEEP_PERIOD`, :data:`COMPACT_THRESHOLD`) are passed into the
+    extension at construction so this module stays their single source of
+    truth.
+
+    The compiled reserver returned by :meth:`route_reserver` is the
+    extension Route's bound ``reserve`` built-in — one C call per message,
+    no Python frame.  Being a genuine ``PyCFunction`` (not an opaque
+    ``tp_call`` object) it shows up in cProfile as a C_CALL event, which is
+    what lets ``repro profile`` attribute compiled-kernel time to the
+    ``noc.kernel`` bucket instead of silently folding it into callers.
+
+    Placements, coalescing decisions and per-link busy totals are
+    bit-identical to both pure-Python backends — every operation is IEEE
+    double arithmetic, exactly what CPython floats are — and the
+    randomized equivalence suite holds all three to that.  Pruning timing
+    matches :class:`FusedKernel` sweep-for-sweep.
+    """
+
+    __slots__ = ("_hop_latency", "_ids", "_kernel")
+
+    def __init__(self, hop_latency: float) -> None:
+        extension = _load_extension()
+        if extension is None:
+            raise RuntimeError(
+                "the repro._nockernel extension is not importable on this "
+                "host (not built, or disabled via $REPRO_NO_CEXT=1); "
+                "resolve_kernel_name falls back to 'fused' automatically")
+        self._hop_latency = hop_latency
+        self._ids: Dict[Link, int] = {}
+        self._kernel = extension.Kernel(
+            float(hop_latency), PRUNE_SLACK,
+            SWEEP_PERIOD, COMPACT_THRESHOLD)
+
+    def _id(self, link: Link) -> int:
+        lid = self._ids.get(link)
+        if lid is None:
+            lid = self._ids[link] = self._kernel.new_link()
+        return lid
+
+    # -- route compilation ---------------------------------------------
+    def route_reserver(self, links: Tuple[Link, ...],
+                       serialization: float) -> Callable[[float], float]:
+        if serialization <= 0.0:
+            # Zero-width reservations never occupy a link; same flat
+            # closure as FusedKernel (the extension never sees the route).
+            return _flat_reserver(self._hop_latency, len(links),
+                                  serialization)
+        ids = tuple(self._id(link) for link in links)
+        route = self._kernel.compile_route(ids, float(serialization))
+        return route.reserve
+
+    # -- pruning -------------------------------------------------------
+    def _sweep(self, arrival: float) -> None:
+        """Immediate batched prune (test parity hook, mirrors
+        :meth:`FusedKernel._sweep`; production pruning is the extension's
+        own periodic sweep)."""
+        self._kernel.sweep(arrival)
+
+    # -- introspection -------------------------------------------------
+    def links(self) -> List[Link]:
+        return list(self._ids)
+
+    def busy_time(self, link: Link) -> float:
+        lid = self._ids.get(link)
+        return self._kernel.busy_time(lid) if lid is not None else 0.0
+
+    def intervals(self, link: Link) -> Tuple[List[float], List[float]]:
+        lid = self._ids.get(link)
+        if lid is None:
+            return [], []
+        starts, ends = self._kernel.intervals(lid)
+        return starts, ends
+
+    def reset(self) -> None:
+        self._ids.clear()
+        self._kernel.reset()
+
+
 NOC_KERNELS.register(
     "reference", ReferenceKernel,
     description="per-link ResourceSchedule walk (executable specification)")
@@ -407,14 +535,22 @@ NOC_KERNELS.register(
     description="fused whole-route reservation over flat per-link slabs "
                 "(compiled route reservers, watermark fast path, frontier "
                 "resume, batched sweep pruning)")
+NOC_KERNELS.register(
+    "compiled", CompiledKernel,
+    description="the fused algorithm compiled to C (repro._nockernel "
+                "extension: per-link double slabs, one built-in call per "
+                "message); requires the optional extension build",
+    available=compiled_kernel_available)
 
 
 __all__ = [
     "COMPACT_THRESHOLD",
+    "CompiledKernel",
     "FusedKernel",
     "NOC_KERNELS",
     "PRUNE_SLACK",
     "SWEEP_PERIOD",
     "ReferenceKernel",
+    "compiled_kernel_available",
     "live_intervals",
 ]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 import os
+import sys
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -43,10 +44,31 @@ def resolve_kernel_name(config: NoCConfig) -> str:
     non-empty) overrides ``config.kernel``; both spellings are validated
     against :data:`repro.registry.NOC_KERNELS`, so a typo fails with the
     full list of registered backends.
+
+    A *registered but unavailable* backend (the ``compiled`` kernel on a
+    host without the extension build, or with ``$REPRO_NO_CEXT=1``)
+    resolves to ``fused`` instead, with a one-line warning the first time.
+    Every backend is bit-identical, and the kernel name is excluded from
+    RunSpec digests, so the substitution never changes a result or splits
+    a cache; failing hard would make specs and scenario files
+    host-dependent for no fidelity gain.
     """
     name = os.environ.get("REPRO_NOC_KERNEL") or config.kernel
-    NOC_KERNELS.get(name)
+    entry = NOC_KERNELS.get(name)
+    if not entry.is_available():
+        if name not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(name)
+            print(f"repro: NoC kernel {name!r} is unavailable on this host "
+                  f"(extension not built, or $REPRO_NO_CEXT=1); "
+                  f"falling back to 'fused' (bit-identical)",
+                  file=sys.stderr)
+        name = "fused"
+        NOC_KERNELS.get(name)
     return name
+
+
+#: Unavailable-backend names already warned about (once per process).
+_FALLBACK_WARNED: set = set()
 
 
 @dataclass(frozen=True)

@@ -67,6 +67,18 @@ class RegistryEntry:
     #: Free-form classification tags (e.g. ``("paper",)`` for the seven
     #: evaluated applications).
     tags: Tuple[str, ...] = field(default_factory=tuple)
+    #: Optional host-availability probe.  Most components exist wherever the
+    #: package does and leave this ``None``; entries with a host-dependent
+    #: implementation (e.g. the compiled NoC kernel, present only where its
+    #: extension builds) supply a zero-argument callable.  Availability
+    #: affects *display* (``repro list``, ``GET /v1/registries``) and
+    #: resolution-time fallback — never registration, name validation or
+    #: RunSpec digests, so specs naming an unavailable entry stay portable.
+    available: Optional[Callable[[], bool]] = None
+
+    def is_available(self) -> bool:
+        """Whether this entry's implementation works on this host."""
+        return self.available is None or bool(self.available())
 
 
 class Registry:
@@ -90,7 +102,8 @@ class Registry:
     # ------------------------------------------------------------------
     def register(self, name: str, factory: Optional[Callable] = None, *,
                  description: str = "", config_cls: Optional[type] = None,
-                 tags: Sequence[str] = (), replace: bool = False):
+                 tags: Sequence[str] = (), replace: bool = False,
+                 available: Optional[Callable[[], bool]] = None):
         """Register ``factory`` under ``name``.
 
         Usable directly (``registry.register("x", make_x, ...)``) or as a
@@ -110,7 +123,8 @@ class Registry:
                     f"pass replace=True to override")
             self._entries[name] = RegistryEntry(
                 name=name, factory=factory, description=description,
-                config_cls=config_cls, tags=tuple(tags))
+                config_cls=config_cls, tags=tuple(tags),
+                available=available)
             return factory
 
         if factory is None:

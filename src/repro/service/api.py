@@ -109,11 +109,15 @@ class ServiceAPI:
                                            str(RETRY_AFTER_SECONDS)}
             return 200, ok(doc), {}
         if path == f"/{API_VERSION}/registries":
+            # Host-availability filtered (e.g. the compiled NoC kernel is
+            # listed only where its extension imports): the endpoint tells
+            # operators what *this* server can actually run.
             registries = {
                 name: [{"name": entry.name,
                         "description": entry.description,
                         "tags": list(entry.tags)}
-                       for entry in registry.entries()]
+                       for entry in registry.entries()
+                       if entry.is_available()]
                 for name, registry in ALL_REGISTRIES.items()}
             return 200, ok({"registries": registries}), {}
         if path == f"/{API_VERSION}/jobs":

@@ -50,20 +50,22 @@ class NoCConfig:
     """2-D mesh network-on-chip parameters.
 
     ``kernel`` names the link-reservation backend
-    (:data:`repro.registry.NOC_KERNELS`): ``"fused"`` (the default
-    whole-route kernel) or ``"reference"`` (the per-link
-    ``ResourceSchedule`` walk the equivalence suite holds it to).  All
-    backends are bit-identical in placements and statistics; the
-    ``$REPRO_NOC_KERNEL`` environment variable overrides the choice at
-    mesh-construction time without changing the configuration (or any
-    sweep-cache digest derived from it).
+    (:data:`repro.registry.NOC_KERNELS`): ``"compiled"`` (the default —
+    the whole-route kernel compiled to C, falling back to ``"fused"``
+    with a warning on hosts without the optional extension build),
+    ``"fused"`` (the pure-Python whole-route kernel) or ``"reference"``
+    (the per-link ``ResourceSchedule`` walk the equivalence suite holds
+    both to).  All backends are bit-identical in placements and
+    statistics; the ``$REPRO_NOC_KERNEL`` environment variable overrides
+    the choice at mesh-construction time without changing the
+    configuration (or any sweep-cache digest derived from it).
     """
 
     hop_latency: int = 2          # 1 router + 1 link cycle per hop
     flit_bytes: int = 8           # 64-bit flits
     header_flits: int = 1         # request/response header
     link_bandwidth_flits: float = 1.0  # flits per cycle per link
-    kernel: str = "fused"         # NOC_KERNELS backend name
+    kernel: str = "compiled"      # NOC_KERNELS backend name
 
     def __post_init__(self) -> None:
         # Validate the kernel name against the registry here, at

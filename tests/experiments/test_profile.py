@@ -89,3 +89,53 @@ def test_subsystem_rules_cover_known_paths():
     # First-match-wins keeps the rule list unambiguous.
     fragments = [fragment for fragment, _ in SUBSYSTEM_RULES]
     assert len(fragments) == len(set(fragments))
+
+
+def test_extension_frames_attribute_to_noc_kernel():
+    # cProfile records built-in (C) frames under the pseudo-filename '~'
+    # with the function's qualified name; the compiled kernel's frames
+    # must land in noc.kernel, not a generic builtins bucket.
+    assert subsystem_of(
+        "~", "<method 'reserve' of 'repro._nockernel.Route' objects>"
+    ) == "noc.kernel"
+    assert subsystem_of(
+        "~", "<method 'sweep' of 'repro._nockernel.Kernel' objects>"
+    ) == "noc.kernel"
+    # Unrelated builtins keep falling through to OTHER.
+    assert subsystem_of("~", "<built-in method builtins.len>") == OTHER
+    # And the name-based rule never hijacks ordinary Python frames.
+    assert subsystem_of("src/repro/memory/cache.py", "lookup") == "cache"
+
+
+class TestCompiledBackendAttribution:
+    """Regression for the satellite: with the compiled backend selected,
+    profiled time must stay fully attributed (buckets sum to the profiled
+    total) and the extension's reservation time must be visible in the
+    noc.kernel bucket rather than misattributed to callers."""
+
+    @pytest.fixture(scope="class")
+    def compiled_document(self):
+        from repro.noc.kernel import compiled_kernel_available
+        if not compiled_kernel_available():
+            pytest.skip("repro._nockernel extension not built")
+        return profile_run("indirect_stream", prefetcher="imp", cores=4,
+                           seed=1, quick=True)
+
+    def test_buckets_sum_to_profiled_total(self, compiled_document):
+        total = compiled_document["profiled_seconds"]
+        bucket_sum = sum(bucket["self_seconds"]
+                         for bucket in compiled_document["subsystems"].values())
+        assert bucket_sum == pytest.approx(total, rel=1e-9)
+        share_sum = sum(bucket["share"]
+                        for bucket in compiled_document["subsystems"].values())
+        assert share_sum == pytest.approx(1.0, rel=1e-9)
+
+    def test_compiled_reserve_calls_land_in_noc_kernel(self,
+                                                       compiled_document):
+        # The C reserve is a genuine PyCFunction, so cProfile sees every
+        # call; with traffic flowing the bucket must have recorded them.
+        kernel_bucket = compiled_document["subsystems"]["noc.kernel"]
+        assert kernel_bucket["calls"] > 0
+        assert any("_nockernel" in row["function"]
+                   for row in compiled_document["top_functions"]), \
+            "extension frames missing from the function table"

@@ -239,18 +239,31 @@ class TestResultCache:
     def test_kernel_backend_choice_shares_one_cache_entry(self, cache):
         """Specs differing only in the reservation-kernel backend are one
         experiment: same digest, and a record produced under either
-        backend satisfies both."""
+        backend satisfies both — including ``compiled``, whose host
+        availability must never split a cache."""
         from dataclasses import replace
         base_config = scaled_config(N_CORES)
-        fused = tiny_spec(base_config=replace(
-            base_config, noc=replace(base_config.noc, kernel="fused")))
-        reference = tiny_spec(base_config=replace(
-            base_config, noc=replace(base_config.noc, kernel="reference")))
-        assert fused != reference           # the config itself differs...
-        assert fused.digest() == reference.digest()   # ...the identity not
-        cache.put(fused, make_record(fused, execute_spec(fused)))
-        assert cache.get(reference) is not None
+        specs = {
+            name: tiny_spec(base_config=replace(
+                base_config, noc=replace(base_config.noc, kernel=name)))
+            for name in ("fused", "reference", "compiled")}
+        digests = {spec.digest() for spec in specs.values()}
+        assert len(digests) == 1            # one identity for all backends
+        assert specs["fused"] != specs["reference"]   # configs do differ
+        cache.put(specs["fused"],
+                  make_record(specs["fused"], execute_spec(specs["fused"])))
+        for spec in specs.values():
+            assert cache.get(spec) is not None
         assert cache.corrupt == 0
+
+    def test_kernel_availability_never_changes_digest(self, monkeypatch):
+        """A host that loses (or gains) the compiled extension computes
+        the same digest for the same spec: pre-existing cache records keep
+        hitting after an extension build appears or $REPRO_NO_CEXT is set."""
+        spec = tiny_spec()
+        with_ext = spec.digest()
+        monkeypatch.setenv("REPRO_NO_CEXT", "1")
+        assert tiny_spec().digest() == with_ext
 
     def test_disabled_cache_bypasses_disk(self, tmp_path):
         cache = ResultCache(tmp_path / "cache", enabled=False)

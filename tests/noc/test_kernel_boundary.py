@@ -7,21 +7,39 @@ import pytest
 
 from repro.noc import kernel as noc_kernel
 from repro.noc import mesh as noc_mesh
-from repro.noc.kernel import NOC_KERNELS, FusedKernel, ReferenceKernel
+from repro.noc.kernel import (NOC_KERNELS, CompiledKernel, FusedKernel,
+                              ReferenceKernel, compiled_kernel_available)
 from repro.noc.mesh import MeshNoC, resolve_kernel_name
 from repro.registry import RegistryError
 from repro.sim.config import NoCConfig
 
+needs_cext = pytest.mark.skipif(
+    not compiled_kernel_available(),
+    reason="repro._nockernel extension not built (or $REPRO_NO_CEXT=1)")
+
 
 class TestRegistry:
     def test_stock_backends(self):
-        assert NOC_KERNELS.names() == ["reference", "fused"]
+        assert NOC_KERNELS.names() == ["reference", "fused", "compiled"]
         assert NOC_KERNELS.get("reference").factory is ReferenceKernel
         assert NOC_KERNELS.get("fused").factory is FusedKernel
+        assert NOC_KERNELS.get("compiled").factory is CompiledKernel
 
-    def test_default_backend_is_fused(self):
-        assert NoCConfig().kernel == "fused"
-        assert isinstance(MeshNoC(16).kernel, FusedKernel)
+    def test_default_backend_is_compiled(self):
+        # The name is the default everywhere; which class the mesh
+        # instantiates depends on host availability (fallback below).
+        assert NoCConfig().kernel == "compiled"
+        expected = (CompiledKernel if compiled_kernel_available()
+                    else FusedKernel)
+        assert isinstance(MeshNoC(16).kernel, expected)
+
+    def test_only_compiled_is_availability_gated(self):
+        for entry in NOC_KERNELS.entries():
+            if entry.name == "compiled":
+                assert entry.available is compiled_kernel_available
+            else:
+                assert entry.available is None
+                assert entry.is_available()
 
     def test_unknown_backend_rejected_at_config_time(self):
         with pytest.raises(RegistryError, match="fused"):
@@ -62,6 +80,79 @@ class TestSelection:
         assert config.noc.kernel == "reference"
 
 
+class TestAvailabilityFallback:
+    """A registered-but-unavailable backend resolves to ``fused`` with a
+    one-line warning — specs naming ``compiled`` stay portable to hosts
+    without the extension build."""
+
+    @pytest.fixture
+    def no_cext(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CEXT", "1")
+        # The once-per-process warning set must not leak between tests.
+        monkeypatch.setattr(noc_mesh, "_FALLBACK_WARNED", set())
+
+    def test_unavailable_compiled_resolves_to_fused(self, no_cext, capsys):
+        assert resolve_kernel_name(NoCConfig(kernel="compiled")) == "fused"
+        assert "falling back to 'fused'" in capsys.readouterr().err
+
+    def test_fallback_warns_once_per_process(self, no_cext, capsys):
+        for _ in range(3):
+            resolve_kernel_name(NoCConfig(kernel="compiled"))
+        assert capsys.readouterr().err.count("falling back") == 1
+
+    def test_mesh_built_on_no_cext_host_uses_fused(self, no_cext):
+        noc = MeshNoC(16, NoCConfig(kernel="compiled"))
+        assert noc.kernel_name == "fused"
+        assert isinstance(noc.kernel, FusedKernel)
+
+    def test_env_override_to_compiled_also_falls_back(self, no_cext,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_NOC_KERNEL", "compiled")
+        assert resolve_kernel_name(NoCConfig(kernel="reference")) == "fused"
+
+    def test_available_backends_never_fall_back(self, no_cext, capsys):
+        assert resolve_kernel_name(NoCConfig(kernel="fused")) == "fused"
+        assert (resolve_kernel_name(NoCConfig(kernel="reference"))
+                == "reference")
+        assert "falling back" not in capsys.readouterr().err
+
+    @needs_cext
+    def test_available_compiled_resolves_to_itself(self):
+        assert resolve_kernel_name(NoCConfig(kernel="compiled")) == "compiled"
+        noc = MeshNoC(16)
+        assert isinstance(noc.kernel, CompiledKernel)
+
+    def test_config_accepts_compiled_even_when_unavailable(self, no_cext):
+        # Name validation is registry membership, not availability: a
+        # scenario written on a built host must load everywhere.
+        assert NoCConfig(kernel="compiled").kernel == "compiled"
+
+
+class TestCompiledKernelGuards:
+    @needs_cext
+    def test_stale_route_after_reset_raises(self):
+        kernel = CompiledKernel(hop_latency=2.0)
+        reserve = kernel.route_reserver(((0, 1),), 8.0)
+        assert reserve(0.0) > 0.0
+        kernel.reset()
+        with pytest.raises(RuntimeError, match="reset"):
+            reserve(1.0)
+
+    @needs_cext
+    def test_constructor_raises_when_extension_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CEXT", "1")
+        with pytest.raises(RuntimeError, match="REPRO_NO_CEXT"):
+            CompiledKernel(hop_latency=2.0)
+
+    @needs_cext
+    def test_zero_serialization_takes_flat_path(self):
+        kernel = CompiledKernel(hop_latency=2.0)
+        reserve = kernel.route_reserver(((0, 1), (1, 2)), 0.0)
+        assert reserve(10.0) == 14.0
+        assert kernel.links() == []         # extension never saw the route
+        assert kernel.busy_time((0, 1)) == 0.0
+
+
 class TestMeshKernelSeparation:
     def test_mesh_never_touches_reservation_internals(self):
         # The whole point of the boundary: geometry/caching code must not
@@ -77,6 +168,7 @@ class TestMeshKernelSeparation:
         source = inspect.getsource(noc_kernel)
         assert 'NOC_KERNELS.register(\n    "reference"' in source
         assert 'NOC_KERNELS.register(\n    "fused"' in source
+        assert 'NOC_KERNELS.register(\n    "compiled"' in source
 
     def test_reset_contention_drops_compiled_reservers(self):
         noc = MeshNoC(16)

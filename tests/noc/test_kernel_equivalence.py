@@ -8,21 +8,49 @@ respect the simulator's bounded-disorder invariant (the event heap
 dispatches cores in time order), which both backends rely on for pruning;
 pruning *timing* is the one sanctioned difference, so state comparisons
 window intervals to the common live horizon (``live_intervals``).
+
+The stream tests parametrize over every registered non-reference backend
+(``fused`` and, where the extension is built, ``compiled``), so a new
+``NOC_KERNELS`` entry is held to the same bar by adding nothing here.
 """
 
 import heapq
 import random
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.noc.kernel import NOC_KERNELS, PRUNE_SLACK, live_intervals
+from repro.noc.kernel import (NOC_KERNELS, PRUNE_SLACK,
+                              compiled_kernel_available, live_intervals)
 from repro.noc.mesh import MeshNoC
 from repro.sim.config import NoCConfig, SystemConfig
 from repro.sim.queueing import ResourceSchedule
 
 
-def make_pair(n_tiles=16):
-    return (MeshNoC(n_tiles, NoCConfig(kernel="fused")),
+def backend_params(include_reference=False):
+    """One pytest param per registered backend; entries whose
+    implementation is absent on this host are skipped, not silently
+    dropped, so a missing extension build is visible in the test report."""
+    params = []
+    for entry in NOC_KERNELS.entries():
+        if entry.name == "reference" and not include_reference:
+            continue
+        marks = ()
+        if not entry.is_available():
+            marks = pytest.mark.skip(
+                reason=f"backend {entry.name!r} unavailable on this host")
+        params.append(pytest.param(entry.name, marks=marks))
+    return params
+
+
+def kernel_pair(name, hop_latency=1.0):
+    """Bare kernel instances (no mesh): the named backend plus reference."""
+    return (NOC_KERNELS.get(name).factory(hop_latency=hop_latency),
+            NOC_KERNELS.get("reference").factory(hop_latency=hop_latency))
+
+
+def make_pair(kernel="fused", n_tiles=16):
+    return (MeshNoC(n_tiles, NoCConfig(kernel=kernel)),
             MeshNoC(n_tiles, NoCConfig(kernel="reference")))
 
 
@@ -50,9 +78,9 @@ def assert_same_state(fused, reference, newest_arrival):
         assert f == r, f"live coverage diverges on link {link}"
 
 
-def drive(stream, n_tiles=16):
+def drive(stream, kernel="fused", n_tiles=16):
     """Send one stream through both backends; return the meshes."""
-    fused, reference = make_pair(n_tiles)
+    fused, reference = make_pair(kernel, n_tiles)
     newest = float("-inf")
     for i, (src, dst, payload, now) in enumerate(stream):
         newest = max(newest, now)
@@ -71,17 +99,18 @@ def drive(stream, n_tiles=16):
     return fused, reference
 
 
+@pytest.mark.parametrize("kernel", backend_params())
 class TestStreamEquivalence:
-    def test_in_order_uniform_random(self):
+    def test_in_order_uniform_random(self, kernel):
         rng = random.Random(101)
         t, stream = 0.0, []
         for _ in range(4000):
             t += rng.random() * 4.0
             stream.append((rng.randrange(16), rng.randrange(16),
                            rng.choice([0, 8, 64, 72]), t))
-        drive(stream)
+        drive(stream, kernel)
 
-    def test_bounded_out_of_order(self):
+    def test_bounded_out_of_order(self, kernel):
         # Arrivals jitter backwards by far less than PRUNE_SLACK — the
         # disorder the event heap's in-flight lookahead can produce.
         rng = random.Random(202)
@@ -91,13 +120,13 @@ class TestStreamEquivalence:
             jitter = rng.random() * (PRUNE_SLACK / 4)
             stream.append((rng.randrange(16), rng.randrange(16),
                            rng.choice([8, 64]), max(0.0, base - jitter)))
-        drive(stream)
+        drive(stream, kernel)
 
-    def test_exact_touch_coalescing(self):
+    def test_exact_touch_coalescing(self, kernel):
         # Back-to-back messages on one route serialize behind each other:
         # each arrival lands exactly on the previous reservation's end,
         # exercising the exact-touch coalesce on every link.
-        fused, reference = make_pair()
+        fused, reference = make_pair(kernel)
         t_f = t_r = 0.0
         newest = 0.0
         for i in range(500):
@@ -109,7 +138,7 @@ class TestStreamEquivalence:
             t_f = t_r = a - a % 1.0 if i % 7 == 0 else a
         assert_same_state(fused, reference, newest)
 
-    def test_prune_window_crossings(self):
+    def test_prune_window_crossings(self, kernel):
         # Idle gaps longer than the prune trigger force both backends to
         # discard history at (different) moments; live state and
         # placements must not move.
@@ -121,9 +150,9 @@ class TestStreamEquivalence:
                 stream.append((rng.randrange(16), rng.randrange(16),
                                rng.choice([8, 64, 72]), t))
             t += 2.5 * ResourceSchedule.PRUNE_TRIGGER   # cross the window
-        drive(stream)
+        drive(stream, kernel)
 
-    def test_saturated_links(self):
+    def test_saturated_links(self, kernel):
         # Every message crosses the same central column: heavy contention,
         # long busy runs, constant slow-path placements.
         rng = random.Random(404)
@@ -132,12 +161,12 @@ class TestStreamEquivalence:
             t += rng.random() * 0.5
             stream.append((rng.choice([0, 1, 4, 5]),
                            rng.choice([10, 11, 14, 15]), 64, t))
-        drive(stream)
+        drive(stream, kernel)
 
-    def test_heap_ordered_closed_loop(self):
+    def test_heap_ordered_closed_loop(self, kernel):
         # Self-clocking senders dispatched in global time order — the
         # sharpest model of the simulator's traffic.
-        fused, reference = make_pair()
+        fused, reference = make_pair(kernel)
         rng = random.Random(505)
         pairs = [(rng.randrange(16), rng.randrange(16)) for _ in range(32)]
         heap = [(i * 0.25, i) for i in range(32)]
@@ -155,8 +184,9 @@ class TestStreamEquivalence:
 
 
 class TestWholeRunEquivalence:
+    @pytest.mark.parametrize("kernel", backend_params())
     @pytest.mark.parametrize("prefetcher", ["none", "imp"])
-    def test_run_workload_fingerprints_match(self, prefetcher):
+    def test_run_workload_fingerprints_match(self, prefetcher, kernel):
         from repro.registry import WORKLOADS
         from repro.sim.system import run_workload
 
@@ -167,7 +197,109 @@ class TestWholeRunEquivalence:
             result = run_workload(workload, config, prefetcher=prefetcher)
             return result.stats.fingerprint()
 
-        assert fingerprint("fused") == fingerprint("reference")
+        assert fingerprint(kernel) == fingerprint("reference")
+
+
+#: One directed link and a short route for the kernel-level properties.
+LINK = (0, 1)
+ROUTE = ((0, 1), (1, 5), (5, 6))
+
+#: Bounded-disorder storm: a non-decreasing base clock with backward
+#: jitter up to half the slack — far more disorder than the event heap
+#: produces, but still inside the regime every backend is specified for —
+#: plus a serialization that may be exactly zero (a message whose route
+#: reserves nothing).
+storm_streams = st.lists(
+    st.tuples(st.floats(min_value=0, max_value=25, allow_nan=False),   # dt
+              st.floats(min_value=0, max_value=PRUNE_SLACK / 2,
+                        allow_nan=False),                              # jitter
+              st.one_of(st.just(0.0),
+                        st.floats(min_value=0.1, max_value=40,
+                                  allow_nan=False))),                  # serial
+    min_size=1, max_size=120)
+
+
+def storm_arrivals(stream):
+    base = 0.0
+    for dt, jitter, serialization in stream:
+        base += dt
+        yield max(0.0, base - jitter), serialization
+
+
+@pytest.mark.parametrize("kernel", backend_params())
+class TestFrontierResumeProperties:
+    """Hypothesis attacks on the frontier-resume search path, the one part
+    of the fused/compiled algorithm with no counterpart in the reference
+    backend: out-of-order bisect storms (every placement lands behind the
+    watermark, so every placement exercises the frontier validity check),
+    zero-length reservations interleaved between them, and reservations at
+    exactly the pruned boundary immediately after a forced sweep."""
+
+    @given(stream=storm_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_out_of_order_bisect_storm(self, kernel, stream):
+        candidate, reference = kernel_pair(kernel)
+        for arrival, serialization in storm_arrivals(stream):
+            assert (candidate.route_reserver(ROUTE, serialization)(arrival)
+                    == reference.route_reserver(ROUTE, serialization)(arrival))
+        for link in ROUTE:
+            assert candidate.busy_time(link) == reference.busy_time(link)
+
+    @given(stream=storm_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_length_reservations_never_occupy_links(self, kernel,
+                                                         stream):
+        candidate, reference = kernel_pair(kernel)
+        busy = 0.0
+        for arrival, serialization in storm_arrivals(stream):
+            a = candidate.route_reserver((LINK,), serialization)(arrival)
+            b = reference.route_reserver((LINK,), serialization)(arrival)
+            assert a == b
+            if serialization <= 0.0:
+                # Pure pass-through: hop latency only, no busy accrual.
+                assert a == arrival + 1.0
+            busy += max(serialization, 0.0)
+        assert candidate.busy_time(LINK) == busy
+        assert reference.busy_time(LINK) == busy
+
+    @given(stream=storm_streams,
+           offsets=st.lists(st.floats(min_value=0, max_value=PRUNE_SLACK,
+                                      allow_nan=False),
+                            min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_post_sweep_reservation_at_pruned_boundary(self, kernel, stream,
+                                                       offsets):
+        # Force a sweep at the newest arrival, then reserve at exactly the
+        # pruned cutoff (newest - PRUNE_SLACK, the oldest arrival the
+        # bounded-disorder invariant permits) and at offsets above it.
+        # The reference backend prunes on its own schedule and may still
+        # retain (and exact-touch coalesce with) intervals the swept
+        # backend discarded; placements and busy totals must not move.
+        candidate, reference = kernel_pair(kernel)
+        newest = 0.0
+        for arrival, serialization in storm_arrivals(stream):
+            newest = max(newest, arrival)
+            assert (candidate.route_reserver((LINK,), serialization)(arrival)
+                    == reference.route_reserver((LINK,), serialization)(arrival))
+        candidate._sweep(newest)
+        boundary = max(0.0, newest - PRUNE_SLACK)
+        for offset in [0.0] + offsets:
+            arrival = boundary + offset
+            assert (candidate.route_reserver((LINK,), 2.0)(arrival)
+                    == reference.route_reserver((LINK,), 2.0)(arrival))
+        assert candidate.busy_time(LINK) == reference.busy_time(LINK)
+        horizon = max(newest, boundary + max(offsets)) - PRUNE_SLACK
+        c_live = live_intervals(*candidate.intervals(LINK), horizon)
+        r_live = live_intervals(*reference.intervals(LINK), horizon)
+        if c_live and r_live and c_live[0] != r_live[0]:
+            # One backend may have pruned past the common horizon on a
+            # saturated link; re-window to the later first-retained end.
+            horizon = max(horizon,
+                          candidate.intervals(LINK)[1][0],
+                          reference.intervals(LINK)[1][0])
+            c_live = live_intervals(*candidate.intervals(LINK), horizon)
+            r_live = live_intervals(*reference.intervals(LINK), horizon)
+        assert c_live == r_live
 
 
 class TestEveryRegisteredBackend:

@@ -64,6 +64,21 @@ class TestProbesAndRegistries:
         assert all(entry["description"]
                    for entries in registries.values() for entry in entries)
 
+    def test_registries_filter_unavailable_backends(self, api, monkeypatch):
+        # The compiled NoC kernel is listed only where its extension
+        # imports: the endpoint describes what this host can run.
+        from repro.noc.kernel import compiled_kernel_available
+        monkeypatch.setenv("REPRO_NO_CEXT", "1")
+        _, envelope, _ = api.handle("GET", "/v1/registries")
+        names = [e["name"] for e in envelope["data"]["registries"]["noc-kernels"]]
+        assert names == ["reference", "fused"]
+        monkeypatch.delenv("REPRO_NO_CEXT")
+        if compiled_kernel_available():
+            _, envelope, _ = api.handle("GET", "/v1/registries")
+            names = [e["name"]
+                     for e in envelope["data"]["registries"]["noc-kernels"]]
+            assert names == ["reference", "fused", "compiled"]
+
 
 class TestSubmission:
     def test_submit_queues_with_202_and_links(self, api):

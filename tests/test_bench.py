@@ -63,12 +63,39 @@ class TestKernelAB:
             key for key in keys if key.rsplit("/", 1)[-1] in ("ghb", "imp"))
         geomean = section["miss_heavy_geomean_speedup"]["fused"]
         assert geomean is not None and geomean > 0
-        # The headline scenarios table carries the default backend's walls.
+        # The headline scenarios table carries the default backend's walls
+        # when it took part in the A/B, else the baseline backend's.
         from repro.sim.config import NoCConfig
         default = NoCConfig().kernel
+        headline = default if default in section["kernels"] \
+            else section["baseline_kernel"]
         for key in keys:
             assert document["scenarios"][key]["wall_seconds"] \
-                == section["wall_seconds"][default][key]
+                == section["wall_seconds"][headline][key]
+
+    def test_three_way_ab_in_one_session(self):
+        from repro.noc.kernel import compiled_kernel_available
+        if not compiled_kernel_available():
+            pytest.skip("repro._nockernel extension not built")
+        document = run_benchmark(cores=4, seed=1, repeat=1, quick=True,
+                                 workloads=["indirect_stream"],
+                                 ab_kernels=["reference", "fused",
+                                             "compiled"],
+                                 out=io.StringIO())
+        section = document["kernel_ab"]
+        assert section["kernels"] == ["reference", "fused", "compiled"]
+        assert section["baseline_kernel"] == "reference"
+        assert section["fingerprints_identical"] is True
+        keys = {f"indirect_stream/{p}" for p in PREFETCHERS}
+        for kernel in ("reference", "fused", "compiled"):
+            assert set(section["wall_seconds"][kernel]) == keys
+        # Every non-baseline backend gets its own speedup column and
+        # miss-heavy geomean entry.
+        assert set(section["speedup_by_scenario"]) == {"fused", "compiled"}
+        assert set(section["miss_heavy_geomean_speedup"]) == {"fused",
+                                                              "compiled"}
+        for geomean in section["miss_heavy_geomean_speedup"].values():
+            assert geomean is not None and geomean > 0
 
     def test_unknown_kernel_fails_fast(self):
         from repro.registry import RegistryError
@@ -77,6 +104,16 @@ class TestKernelAB:
             run_benchmark(cores=4, seed=1, quick=True,
                           workloads=["indirect_stream"],
                           ab_kernels=["typo"], out=io.StringIO())
+
+    def test_unavailable_kernel_fails_fast(self, monkeypatch):
+        # The mesh would silently substitute fused and make the compiled
+        # lane an A/A; the harness must refuse instead.
+        monkeypatch.setenv("REPRO_NO_CEXT", "1")
+        with pytest.raises(RuntimeError, match="unavailable"):
+            run_benchmark(cores=4, seed=1, quick=True,
+                          workloads=["indirect_stream"],
+                          ab_kernels=["reference", "compiled"],
+                          out=io.StringIO())
 
     def test_ab_ignores_ambient_kernel_override(self, monkeypatch):
         # An exported $REPRO_NOC_KERNEL would turn the A/B into an A/A;
@@ -143,6 +180,30 @@ class TestSweepBenchmark:
         slow = copy.deepcopy(document)
         slow["speedup"]["warm_vs_serial"] = 2.0
         assert check_sweep_document(slow, out=io.StringIO()) != 0
+
+
+class TestSweepScaling:
+    def test_single_cpu_host_records_documented_skip(self, monkeypatch):
+        import repro.experiments.bench as bench
+        monkeypatch.setattr(bench.os, "cpu_count", lambda: 1)
+        out = io.StringIO()
+        section = bench.sweep_scaling_section(quick=True, out=out)
+        assert section["measured"] is False
+        assert section["cpus"] == 1
+        assert "single CPU" in section["skip_reason"]
+        assert "SKIPPED" in out.getvalue()
+
+    def test_multi_cpu_host_measures_jobs_1_vs_n(self, monkeypatch):
+        import repro.experiments.bench as bench
+        if (bench.os.cpu_count() or 1) <= 1:
+            pytest.skip("host has a single CPU")
+        section = bench.sweep_scaling_section(quick=True, jobs=2,
+                                              out=io.StringIO())
+        assert section["measured"] is True
+        assert section["jobs"] == 2
+        assert section["jobs_1"]["wall_seconds"] > 0
+        assert section["jobs_n"]["wall_seconds"] > 0
+        assert section["fingerprints_identical"] is True
 
 
 class TestBaselineComparison:

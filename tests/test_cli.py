@@ -103,6 +103,27 @@ class TestRegistryList:
         assert "imp_partial_noc_dram" in output
         assert "dram-models" not in output
 
+    def test_list_includes_noc_kernels(self):
+        output = run_cli("list", "noc-kernels")
+        assert "reference" in output
+        assert "fused" in output
+
+    def test_list_hides_unavailable_compiled_kernel(self, monkeypatch):
+        from repro.noc.kernel import compiled_kernel_available
+
+        def listed(output):
+            # First token of each entry line ("  name  description...").
+            return [line.split()[0] for line in output.splitlines()
+                    if line.startswith("  ")]
+
+        monkeypatch.setenv("REPRO_NO_CEXT", "1")
+        assert listed(run_cli("list", "noc-kernels")) == ["reference",
+                                                          "fused"]
+        monkeypatch.delenv("REPRO_NO_CEXT")
+        if compiled_kernel_available():
+            assert listed(run_cli("list", "noc-kernels")) == [
+                "reference", "fused", "compiled"]
+
 
 class TestScenario:
     SCENARIO = "examples/scenarios/tiny_smoke.json"

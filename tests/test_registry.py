@@ -69,6 +69,25 @@ class TestRegistryBasics:
         assert len(registry) == 1
         assert list(registry) == ["a"]
 
+    def test_entries_available_by_default(self):
+        registry = Registry("widget")
+        registry.register("a", lambda: None)
+        entry = registry.get("a")
+        assert entry.available is None
+        assert entry.is_available()
+
+    def test_availability_probe_gates_is_available(self):
+        registry = Registry("widget")
+        present = [True]
+        registry.register("a", lambda: None, available=lambda: present[0])
+        # The probe is consulted per call, so availability can change at
+        # runtime (e.g. $REPRO_NO_CEXT toggled) without re-registration.
+        assert registry.get("a").is_available()
+        present[0] = False
+        assert not registry.get("a").is_available()
+        # Unavailable entries stay registered and resolvable by name.
+        assert "a" in registry and registry.names() == ["a"]
+
 
 class TestStockRegistries:
     def test_all_registries_exposed(self):
