@@ -74,7 +74,7 @@ from repro.core.config import IMPConfig
 from repro.experiments import ExperimentRunner, figures, scaled_config
 from repro.experiments.configs import CONFIG_MODES, experiment_config
 from repro.experiments.scenario import ScenarioError, load_scenario
-from repro.registry import ALL_REGISTRIES, PREFETCHERS
+from repro.registry import ALL_REGISTRIES, PREFETCHERS, SWEEP_BACKENDS
 from repro.sim.system import run_workload
 from repro.workloads import PAPER_WORKLOADS, REGULAR_WORKLOADS, make_workload
 from repro.workloads.synthetic import IndirectStreamWorkload, StreamingWorkload
@@ -143,6 +143,23 @@ def _warn_quarantined(cache_dir, out) -> None:
               f"'repro cache doctor --cache-dir {cache_dir}'", file=out)
 
 
+def _jobs_arg(value: str) -> int:
+    """``--jobs`` values under the one documented rule: a non-negative
+    integer, where ``0`` means auto (one worker per CPU).  Anything else
+    is a usage error (exit 2), not a traceback."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid jobs value {value!r}: expected a non-negative "
+            f"integer (0 = auto: one worker per CPU)") from None
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"invalid jobs value {jobs}: expected a non-negative "
+            f"integer (0 = auto: one worker per CPU)")
+    return jobs
+
+
 def _all_workload_names() -> List[str]:
     return (sorted(PAPER_WORKLOADS) + sorted(REGULAR_WORKLOADS)
             + ["indirect_stream", "streaming"])
@@ -193,8 +210,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             metavar="FILE",
                             help="with --scenario: write the run's stat "
                                  "fingerprint to this JSON file")
-    run_parser.add_argument("--jobs", type=int, default=None,
-                            help="sweep worker processes for --scenario")
+    run_parser.add_argument("--jobs", type=_jobs_arg, default=None,
+                            help="sweep worker processes for --scenario "
+                                 "(default: $REPRO_JOBS, else 1; "
+                                 "0 = auto)")
     run_parser.add_argument("--cache-dir", default=None,
                             help="persistent result cache for --scenario "
                                  "(default: off)")
@@ -305,9 +324,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="bounded admission queue depth; beyond "
                                    "it POSTs get 429 + Retry-After "
                                    "(default: 64)")
-    serve_parser.add_argument("--jobs", type=int, default=None,
+    serve_parser.add_argument("--jobs", type=_jobs_arg, default=None,
                               help="sweep worker processes per job "
-                                   "(default: $REPRO_JOBS, else in-process)")
+                                   "(default: $REPRO_JOBS, else "
+                                   "in-process; 0 = auto)")
     serve_parser.add_argument("--timeout", type=float, default=None,
                               metavar="SECONDS",
                               help="per-run wall-clock timeout "
@@ -376,9 +396,9 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "of the per-scenario harness")
     bench_parser.add_argument("--scale", type=float, default=0.15,
                               help="workload scale for --sweep")
-    bench_parser.add_argument("--jobs", type=int, default=None,
+    bench_parser.add_argument("--jobs", type=_jobs_arg, default=None,
                               help="worker processes for --sweep (default: "
-                                   "$REPRO_JOBS, else 4)")
+                                   "$REPRO_JOBS, else 4; 0 = auto)")
 
     profile_parser = sub.add_parser(
         "profile", help="profile one simulation run and attribute time to "
@@ -420,14 +440,25 @@ def _add_figure_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--jobs", type=int, default=None,
+    parser.add_argument("--jobs", type=_jobs_arg, default=None,
                         help="worker processes for the sweep "
-                             "(default: $REPRO_JOBS, else 1)")
+                             "(default: $REPRO_JOBS, else 1; "
+                             "0 = auto: one worker per CPU)")
     parser.add_argument("--cache-dir", default="results/cache",
                         help="persistent result cache directory "
                              "(default: results/cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
+    parser.add_argument("--backend", default=None,
+                        choices=SWEEP_BACKENDS.names(),
+                        help="sweep execution backend (default: process; "
+                             "'service' shards runs across repro serve "
+                             "endpoints given with --shard)")
+    parser.add_argument("--shard", action="append", default=None,
+                        metavar="URL", dest="shards",
+                        help="a repro serve base URL for --backend "
+                             "service (repeatable; results are ingested "
+                             "into the local cache)")
 
 
 def _command_list(out) -> int:
@@ -641,13 +672,30 @@ def _command_compare(args, out) -> int:
     return 0
 
 
+def _backend_args(args, out) -> Optional[tuple]:
+    """Validate the --backend/--shard pairing; returns ``(backend,
+    shards)`` or ``None`` after printing a usage error (exit 2)."""
+    backend = getattr(args, "backend", None)
+    shards = getattr(args, "shards", None) or []
+    if shards and backend != "service":
+        print("error: --shard requires --backend service", file=out)
+        return None
+    if backend == "service" and not shards:
+        print("error: --backend service needs at least one "
+              "--shard URL (a repro serve endpoint)", file=out)
+        return None
+    return backend, shards
+
+
 def _sweep_runner(args, n_cores: int, policy=None,
                   journal=None) -> ExperimentRunner:
     return ExperimentRunner(scale=args.scale, seed=args.seed,
                             base_config=scaled_config(n_cores),
                             jobs=args.jobs, cache_dir=args.cache_dir,
                             use_cache=not args.no_cache,
-                            policy=policy, journal=journal)
+                            policy=policy, journal=journal,
+                            backend=getattr(args, "backend", None),
+                            shards=getattr(args, "shards", None) or ())
 
 
 def _sweep_journal(args, label_doc, out, sweep_id=None):
@@ -678,6 +726,8 @@ def _sweep_journal(args, label_doc, out, sweep_id=None):
 
 
 def _command_figure(args, out) -> int:
+    if _backend_args(args, out) is None:
+        return 2
     if args.scenario is not None:
         if args.cores is not None:
             print("error: --cores cannot be combined with --scenario "
@@ -695,7 +745,10 @@ def _command_figure(args, out) -> int:
                                   base_config=config, jobs=args.jobs,
                                   cache_dir=args.cache_dir,
                                   use_cache=not args.no_cache,
-                                  imp_config=imp_cfg)
+                                  imp_config=imp_cfg,
+                                  backend=getattr(args, "backend", None),
+                                  shards=getattr(args, "shards", None)
+                                  or ())
         label = scenario.name or args.scenario
         print(f"platform from scenario: {label} "
               f"({cores} cores)", file=out)
@@ -745,7 +798,9 @@ def _command_sweep_scenario_dir(args, out, policy=None) -> int:
         args, {"scenario_dir": str(directory.resolve())}, out,
         sweep_id=sweep_id(specs))
     engine = SweepEngine(jobs=args.jobs, cache=cache, policy=policy,
-                         journal=journal)
+                         journal=journal,
+                         backend=getattr(args, "backend", None),
+                         shards=getattr(args, "shards", None) or ())
     results = engine.run(specs, workload_lookup=workloads.get)
     failures = 0
     width = max(len(path.name) for path, _ in scenarios)
@@ -776,7 +831,8 @@ def _command_sweep_scenario_dir(args, out, policy=None) -> int:
     cache_note = (f"cache hits {cache.hits}, stores {cache.stores}"
                   if cache else "cache disabled")
     print(f"[sweep] {len(scenarios)} scenarios, {len(specs)} unique runs, "
-          f"{engine.simulations_run} simulated ({engine.jobs} jobs, "
+          f"{engine.simulations_run} simulated "
+          f"({engine.backend.name} backend, {engine.jobs} jobs, "
           f"{cache_note})", file=out)
     if cache is not None:
         _warn_quarantined(args.cache_dir, out)
@@ -790,6 +846,8 @@ def _command_sweep(args, out) -> int:
     if args.scenario_dir is not None and args.figures is not None:
         print("error: give either --figures or --scenario-dir, "
               "not both", file=out)
+        return 2
+    if _backend_args(args, out) is None:
         return 2
     if args.resume and (args.no_cache or not args.cache_dir):
         print("error: --resume needs the persistent cache (it cannot be "
@@ -940,7 +998,8 @@ def _command_sweep_figures(args, out, policy=None) -> int:
     cache_note = (f"cache hits {cache.hits}, stores {cache.stores}"
                   if cache else "cache disabled")
     print(f"[sweep] {requested} requested runs, "
-          f"{engine.simulations_run} simulated ({engine.jobs} jobs, "
+          f"{engine.simulations_run} simulated "
+          f"({engine.backend.name} backend, {engine.jobs} jobs, "
           f"{cache_note})", file=out)
     if cache is not None:
         _warn_quarantined(args.cache_dir, out)

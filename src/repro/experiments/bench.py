@@ -304,12 +304,11 @@ def run_sweep_benchmark(cores: int = 16, seed: int = 1, scale: float = 0.15,
         names = tuple(figures or SWEEP_FIGURES_QUICK)
     else:
         names = tuple(figures or SWEEP_FIGURES)
-    if jobs is None:
-        jobs = resolve_jobs(None)
-        if jobs <= 1:
-            jobs = 4  # the benchmark exists to measure the parallel engine
-    else:
-        jobs = max(1, int(jobs))  # an explicit --jobs 1 is honoured
+    # One documented rule (see resolve_jobs): explicit --jobs, else
+    # $REPRO_JOBS, else 4 — the benchmark exists to measure the parallel
+    # engine, so its fallback default is parallel.  0 = auto (all CPUs);
+    # an explicit --jobs 1 is honoured.
+    jobs = max(1, resolve_jobs(jobs, default=4))
     cache_dir = tempfile.mkdtemp(prefix="repro-sweep-bench-")
     try:
         print(f"[sweep-bench] figures={','.join(names)} cores={cores} "
@@ -629,7 +628,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="workload scale for --sweep")
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for --sweep "
-                             "(default: $REPRO_JOBS, else 4)")
+                             "(default: $REPRO_JOBS, else 4; 0 = auto)")
     args = parser.parse_args(argv)
 
     if args.sweep:

@@ -81,7 +81,8 @@ class ExperimentRunner:
                  use_cache: bool = True,
                  imp_config: Optional[IMPConfig] = None,
                  policy: Optional[RunPolicy] = None,
-                 journal: Optional[SweepJournal] = None) -> None:
+                 journal: Optional[SweepJournal] = None,
+                 backend=None, shards: Sequence[str] = ()) -> None:
         self.workloads: List[Workload] = (
             list(workloads) if workloads is not None
             else paper_workloads(scale=scale, seed=seed))
@@ -94,7 +95,8 @@ class ExperimentRunner:
         disk_cache = (ResultCache(cache_dir)
                       if (cache_dir is not None and use_cache) else None)
         self.engine = SweepEngine(jobs=jobs, cache=disk_cache,
-                                  policy=policy, journal=journal)
+                                  policy=policy, journal=journal,
+                                  backend=backend, shards=shards)
         self._cache: Dict[Tuple, RunRecord] = {}
 
     # ------------------------------------------------------------------

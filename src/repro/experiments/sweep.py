@@ -93,19 +93,48 @@ FAILURE_REPORT_SCHEMA = "repro-failures-v1"
 JOURNAL_SCHEMA = "repro-sweep-journal-v1"
 
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: explicit argument, else ``$REPRO_JOBS``, else serial."""
+def _auto_jobs() -> int:
+    """The ``jobs=0`` (auto) resolution: every CPU the host reports."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: Optional[int] = None, *, default: int = 1) -> int:
+    """Resolve a worker count under one rule, everywhere.
+
+    Precedence: an explicit ``jobs`` argument, else ``$REPRO_JOBS``, else
+    ``default`` (1 for sweeps; ``repro bench --sweep`` passes 4).  On
+    both explicit and env paths the value ``0`` means *auto* — one worker
+    per CPU (``os.cpu_count()``).  An invalid explicit value (non-integer
+    or negative) raises :class:`ValueError` with a clean message; an
+    invalid ``$REPRO_JOBS`` only warns and falls through to ``default``,
+    so a stale environment never aborts a sweep.
+    """
     if jobs is not None:
-        return max(1, int(jobs))
+        try:
+            jobs = int(jobs)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"invalid jobs value {jobs!r}: expected a non-negative "
+                f"integer (0 = auto: one worker per CPU)") from None
+        if jobs < 0:
+            raise ValueError(
+                f"invalid jobs value {jobs}: expected a non-negative "
+                f"integer (0 = auto: one worker per CPU)")
+        return _auto_jobs() if jobs == 0 else jobs
     env = os.environ.get(JOBS_ENV_VAR)
     if env:
         try:
-            return max(1, int(env))
+            value = int(env)
         except ValueError:
-            print(f"[sweep] warning: ignoring non-integer "
-                  f"{JOBS_ENV_VAR}={env!r}; running serially",
+            value = -1
+        if value < 0:
+            print(f"[sweep] warning: ignoring invalid "
+                  f"{JOBS_ENV_VAR}={env!r} (expected a non-negative "
+                  f"integer; 0 = auto); using {default} job(s)",
                   file=sys.stderr)
-    return 1
+        else:
+            return _auto_jobs() if value == 0 else value
+    return max(1, default)
 
 
 # ----------------------------------------------------------------------
@@ -364,9 +393,12 @@ def list_quarantined(directory) -> List[QuarantinedRecord]:
         stem = path.name
         if stem.endswith(".json"):
             stem = stem[:-len(".json")]
-        digest, _, reason = stem.partition(".")
-        entries.append(QuarantinedRecord(path=path, digest=digest,
-                                         reason=reason or "unknown"))
+        # ``<digest>.<reason>[.<n>]`` — the trailing counter uniquifies a
+        # digest quarantined more than once (see ``_quarantine``).
+        parts = stem.split(".")
+        entries.append(QuarantinedRecord(
+            path=path, digest=parts[0],
+            reason=parts[1] if len(parts) > 1 and parts[1] else "unknown"))
     return entries
 
 
@@ -423,7 +455,15 @@ class ResultCache:
         self.quarantined += 1
         stem = path.name[:-len(".json")] if path.name.endswith(".json") \
             else path.name
-        target = quarantine_dir(self.directory) / f"{stem}.{reason}.json"
+        qdir = quarantine_dir(self.directory)
+        # A digest can be quarantined more than once (e.g. corrupt now,
+        # fingerprint-mismatch after the recompute); a numeric suffix keeps
+        # every piece of evidence instead of overwriting the earlier one.
+        target = qdir / f"{stem}.{reason}.json"
+        count = 1
+        while target.exists():
+            target = qdir / f"{stem}.{reason}.{count}.json"
+            count += 1
         try:
             target.parent.mkdir(parents=True, exist_ok=True)
             os.replace(path, target)
@@ -736,18 +776,32 @@ class SweepEngine:
     governs timeouts, retries, backoff and the exit strategy; ``journal``
     (a :class:`SweepJournal`) makes progress durable; ``faults`` is the
     deterministic chaos plan (default: ``$REPRO_FAULTS``, normally off).
+
+    ``backend`` selects how cache-miss specs execute — a name from
+    :data:`repro.registry.SWEEP_BACKENDS` (``serial``, ``process``, or
+    ``service``) or a ready :class:`~repro.experiments.backends.
+    SweepBackend` instance.  The default, ``process``, preserves the
+    historical engine behaviour exactly (serial below the parallel
+    threshold, else the worker pool).  ``shards`` is the ``service``
+    backend's list of ``repro serve`` base URLs; cache lookups,
+    journaling, retry policy and failure reporting all sit *above* the
+    backend, so they behave identically whichever one runs the specs.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  policy: Optional[RunPolicy] = None,
                  journal: Optional[SweepJournal] = None,
-                 faults: Optional[FaultPlan] = None) -> None:
+                 faults: Optional[FaultPlan] = None,
+                 backend=None, shards: Sequence[str] = ()) -> None:
+        from repro.experiments.backends import resolve_backend
+
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.policy = policy or RunPolicy()
         self.journal = journal
         self.faults = faults if faults is not None else FaultPlan.from_env()
+        self.backend = resolve_backend(backend, shards)
         self.simulations_run = 0
         self.failures: List[FailureRecord] = []
         self.pool_restarts = 0
@@ -787,10 +841,8 @@ class SweepEngine:
         if not misses:
             return results
         failures: List[FailureRecord] = []
-        if self.jobs <= 1 or len(misses) == 1 or self.degraded:
-            self._run_serial(misses, results, workload_lookup, failures)
-        else:
-            self._run_pool(misses, results, failures)
+        self.backend.execute(self, misses, results, workload_lookup,
+                             failures)
         if failures:
             self.failures.extend(failures)
             raise SweepError(failures, results)

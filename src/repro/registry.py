@@ -217,6 +217,16 @@ MODES = Registry("experiment mode", populate=("repro.experiments.modes",))
 #: ``reset``).
 NOC_KERNELS = Registry("NoC kernel", populate=("repro.noc.kernel",))
 
+#: Sweep execution backends (registered by
+#: :mod:`repro.experiments.backends`).  Factory contract: ``factory()``
+#: returns a :class:`repro.experiments.backends.SweepBackend` — an object
+#: with ``configure(shards)`` and ``execute(engine, misses, results,
+#: workload_lookup, failures)``.  Every backend is contractually
+#: bit-identical to ``serial`` (the equivalence suite enforces it), and
+#: the backend choice never enters a RunSpec digest.
+SWEEP_BACKENDS = Registry("sweep backend",
+                          populate=("repro.experiments.backends",))
+
 #: Every registry, keyed by the name ``repro list`` shows them under.
 ALL_REGISTRIES: Dict[str, Registry] = {
     "prefetchers": PREFETCHERS,
@@ -224,6 +234,7 @@ ALL_REGISTRIES: Dict[str, Registry] = {
     "workloads": WORKLOADS,
     "modes": MODES,
     "noc-kernels": NOC_KERNELS,
+    "sweep-backends": SWEEP_BACKENDS,
 }
 
 
@@ -236,5 +247,6 @@ __all__ = [
     "Registry",
     "RegistryEntry",
     "RegistryError",
+    "SWEEP_BACKENDS",
     "WORKLOADS",
 ]

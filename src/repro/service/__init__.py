@@ -25,6 +25,8 @@ long-running, stdlib-only HTTP service (``repro serve``):
 
 from repro.service.api import API_VERSION, ServiceAPI
 from repro.service.app import ServiceApp
+from repro.service.client import (ServiceClient, ShardProtocolError,
+                                  ShardUnavailable)
 from repro.service.jobs import Draining, JobManager, QueueFull
 from repro.service.store import JOB_STORE_SCHEMA, JobStore
 
@@ -37,4 +39,7 @@ __all__ = [
     "QueueFull",
     "ServiceAPI",
     "ServiceApp",
+    "ServiceClient",
+    "ShardProtocolError",
+    "ShardUnavailable",
 ]

@@ -15,13 +15,17 @@ API clients and CLI users read one failure shape.
 Endpoints:
 
 =========================  ====================================================
-``POST /v1/jobs``          Submit a scenario JSON document.  Idempotent: the
-                           job id is the RunSpec digest; resubmission joins
-                           the existing job or returns the cached result.
-                           ``202`` queued, ``200`` joined/complete, ``400``
-                           invalid scenario, ``413`` oversized body, ``429``
-                           queue full (with ``Retry-After``), ``503``
-                           draining.
+``POST /v1/jobs``          Submit a scenario JSON document, or a runspec
+                           document ``{"runspec": RunSpec.to_dict(),
+                           "name": ...}`` (what the ``service`` sweep
+                           backend sends).  Idempotent: the job id is the
+                           RunSpec digest; resubmission joins the existing
+                           job or returns the cached result.  ``202``
+                           queued, ``200`` joined/complete, ``400`` invalid
+                           document, ``413`` oversized body, ``429`` queue
+                           full (with ``Retry-After``), ``503`` draining
+                           (``Retry-After`` clamped to the remaining drain
+                           window).
 ``GET /v1/jobs``           List all jobs plus queue/backpressure counters.
 ``GET /v1/jobs/<id>``      One job: ``queued`` / ``running`` / ``done`` (with
                            fingerprint) / ``failed`` (with FailureRecord).
@@ -105,8 +109,9 @@ class ServiceAPI:
                    "queue_depth": manager.queue_depth}
             if manager.draining:
                 return 503, error("draining", "server is draining",
-                                  **doc), {"Retry-After":
-                                           str(RETRY_AFTER_SECONDS)}
+                                  **doc), \
+                    {"Retry-After": str(manager.retry_after_hint(
+                        RETRY_AFTER_SECONDS))}
             return 200, ok(doc), {}
         if path == f"/{API_VERSION}/registries":
             # Host-availability filtered (e.g. the compiled NoC kernel is
@@ -170,15 +175,19 @@ class ServiceAPI:
                               f"request body is not valid JSON: {exc}"), {}
         if not isinstance(doc, dict):
             return 400, error("invalid-scenario",
-                              "scenario JSON must be an object"), {}
+                              "the request body must be a JSON object "
+                              "(a scenario or runspec document)"), {}
         try:
             job, created = self.manager.submit(doc)
         except QueueFull as exc:
             return 429, error("queue-full", str(exc)), \
                 {"Retry-After": str(RETRY_AFTER_SECONDS)}
         except Draining as exc:
+            # Clamped to the remaining drain window: a fixed hint could
+            # tell clients to retry a server that will already be gone.
             return 503, error("draining", str(exc)), \
-                {"Retry-After": str(RETRY_AFTER_SECONDS)}
+                {"Retry-After": str(self.manager.retry_after_hint(
+                    RETRY_AFTER_SECONDS))}
         except ValueError as exc:
             # ScenarioError / RegistryError: the message lists the valid
             # choices, exactly like the CLI's error path.

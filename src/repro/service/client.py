@@ -1,0 +1,120 @@
+"""Minimal stdlib HTTP client for one ``repro serve`` shard.
+
+The ``service`` sweep backend talks to each shard through a
+:class:`ServiceClient`.  The client is deliberately thin: it speaks the
+versioned envelope protocol (``{"ok": ..., "data"/"error": ...}``),
+surfaces the HTTP status and response headers untouched (the backend
+honors ``Retry-After`` itself), and collapses every transport-level
+problem — connection refused, reset, timeout, a half-closed socket —
+into one exception, :class:`ShardUnavailable`, which the backend treats
+as "this shard is dead; requeue its work elsewhere".
+
+Protocol errors (a non-envelope body, an unexpected schema) raise
+:class:`ShardProtocolError` instead: the shard is *reachable* but not
+speaking our API, which is a configuration mistake rather than a crash,
+and should not be silently retried forever.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from http.client import HTTPException
+from typing import Dict, Optional, Tuple
+from urllib import error as urllib_error
+from urllib import request as urllib_request
+
+#: Default per-request socket timeout, seconds.  Requests are all small
+#: control-plane messages (submit / poll / fetch-record); the simulation
+#: wall-clock lives server-side, never inside one HTTP exchange.
+REQUEST_TIMEOUT = 30.0
+
+Response = Tuple[int, Dict, Dict]
+
+
+class ShardUnavailable(RuntimeError):
+    """The shard cannot be reached (dead, draining away, or gone)."""
+
+    def __init__(self, url: str, detail: str) -> None:
+        super().__init__(f"shard {url} is unreachable: {detail}")
+        self.url = url
+        self.detail = detail
+
+
+class ShardProtocolError(RuntimeError):
+    """The shard answered, but not with the service's JSON envelope."""
+
+
+def retry_after(headers: Dict, default: float) -> float:
+    """The shard's ``Retry-After`` hint in seconds, else ``default``."""
+    value = headers.get("Retry-After")
+    if value is None:
+        return default
+    try:
+        return max(0.0, float(value))
+    except (TypeError, ValueError):
+        return default
+
+
+class ServiceClient:
+    """Envelope-level access to one shard's ``/v1`` API."""
+
+    def __init__(self, base_url: str,
+                 timeout: float = REQUEST_TIMEOUT) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def request(self, method: str, path: str,
+                doc: Optional[Dict] = None) -> Response:
+        """One exchange; returns ``(status, envelope, headers)``."""
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {}
+        if doc is not None:
+            data = json.dumps(doc, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib_request.Request(url, data=data, headers=headers,
+                                     method=method)
+        try:
+            with urllib_request.urlopen(req, timeout=self.timeout) as resp:
+                return (resp.status, self._decode(resp.read()),
+                        dict(resp.headers))
+        except urllib_error.HTTPError as exc:
+            # 4xx/5xx still carry the JSON envelope; that is an answer,
+            # not an outage.
+            with exc:
+                return exc.code, self._decode(exc.read()), dict(exc.headers)
+        except (urllib_error.URLError, ConnectionError, socket.timeout,
+                HTTPException, OSError) as exc:
+            raise ShardUnavailable(self.base_url,
+                                   f"{type(exc).__name__}: {exc}") from exc
+
+    def _decode(self, body: bytes) -> Dict:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ShardProtocolError(
+                f"shard {self.base_url} returned a non-JSON body "
+                f"({exc})") from exc
+        if not isinstance(doc, dict) or "ok" not in doc:
+            raise ShardProtocolError(
+                f"shard {self.base_url} returned JSON that is not the "
+                f"service envelope")
+        return doc
+
+    # ------------------------------------------------------------------
+    # Convenience verbs (all return the raw (status, envelope, headers))
+    # ------------------------------------------------------------------
+    def submit(self, doc: Dict) -> Response:
+        """``POST /v1/jobs`` with a scenario or runspec document."""
+        return self.request("POST", "/v1/jobs", doc)
+
+    def job(self, job_id: str) -> Response:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, digest: str) -> Response:
+        return self.request("GET", f"/v1/results/{digest}")
+
+    def ready(self) -> Response:
+        return self.request("GET", "/readyz")

@@ -28,18 +28,22 @@ The :class:`JobManager` owns the runtime job table.  Its contract:
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Mapping, Optional
 
+from repro.core.config import IMPConfig
 from repro.experiments.faults import FaultPlan
-from repro.experiments.scenario import ScenarioSpec
+from repro.experiments.scenario import ScenarioError, ScenarioSpec
 from repro.experiments.sweep import (FailureRecord, ResultCache, RunPolicy,
-                                     SweepEngine, SweepError)
+                                     RunSpec, SweepEngine, SweepError, _thaw)
+from repro.registry import MODES, WORKLOADS
 from repro.service import store as job_states
 from repro.service.store import JobStore
+from repro.sim.config import SystemConfig
 
 
 class QueueFull(RuntimeError):
@@ -48,6 +52,68 @@ class QueueFull(RuntimeError):
 
 class Draining(RuntimeError):
     """The server is draining for shutdown and accepts no new work."""
+
+
+@dataclass(frozen=True)
+class JobSource:
+    """One validated job document, whichever form it arrived in."""
+
+    runspec: RunSpec
+    name: str
+    #: Set for scenario-form documents only; resolves the workload (and
+    #: its memoised trace build) in-process at execution time.
+    scenario: Optional[ScenarioSpec] = None
+
+
+def parse_job_document(doc: Mapping) -> JobSource:
+    """Validate one ``POST /v1/jobs`` document into a :class:`JobSource`.
+
+    Two forms are accepted:
+
+    * a **scenario** document — the declarative JSON ``repro run
+      --scenario`` consumes, validated by :class:`ScenarioSpec`;
+    * a **runspec** document — ``{"runspec": RunSpec.to_dict(), "name":
+      ...}``, the exact spec a sweep engine holds, submitted by the
+      ``service`` sweep backend.  The registry names and both config
+      payloads are validated at admission (listing the valid choices,
+      like the scenario path) so a bad document is a 400, not a failed
+      job.
+
+    Raises :class:`ScenarioError` (a ``ValueError``) for anything
+    invalid, exactly like the scenario path always has.
+    """
+    if "runspec" in doc:
+        unknown = sorted(set(doc) - {"runspec", "name"})
+        if unknown:
+            raise ScenarioError(
+                f"unknown runspec-document key(s): {', '.join(unknown)} "
+                f"(allowed: runspec, name)")
+        body = doc.get("runspec")
+        if not isinstance(body, Mapping):
+            raise ScenarioError(
+                "'runspec' must be an object in RunSpec.to_dict() form")
+        try:
+            runspec = RunSpec.from_dict(dict(body))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScenarioError(
+                f"invalid runspec document "
+                f"({type(exc).__name__}: {exc})") from None
+        WORKLOADS.get(runspec.workload)   # raise, listing valid choices
+        MODES.get(runspec.mode)
+        try:
+            IMPConfig.from_dict(_thaw(runspec.imp_config))
+            SystemConfig.from_dict(_thaw(runspec.base_config))
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ScenarioError(
+                f"invalid runspec configuration payload "
+                f"({type(exc).__name__}: {exc})") from None
+        name = doc.get("name") or runspec.workload
+        if not isinstance(name, str):
+            raise ScenarioError("'name' must be a string")
+        return JobSource(runspec=runspec, name=name)
+    spec = ScenarioSpec.from_dict(doc)
+    return JobSource(runspec=spec.to_runspec(),
+                     name=spec.name or spec.workload, scenario=spec)
 
 
 @dataclass
@@ -112,6 +178,7 @@ class JobManager:
         self._work = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
         self._draining = False
+        self._drain_deadline: Optional[float] = None
         self._stopped = False
         self._running_id: Optional[str] = None
         self._worker = threading.Thread(target=self._drain_loop,
@@ -137,9 +204,9 @@ class JobManager:
                       fingerprint=stored.get("fingerprint"),
                       failure=stored.get("failure"))
             try:
-                spec = ScenarioSpec.from_dict(job.scenario)
+                source = parse_job_document(job.scenario)
             except ValueError as exc:
-                # The journalled scenario no longer validates (e.g. a
+                # The journalled document no longer validates (e.g. a
                 # registry entry was removed between versions): surface a
                 # structured failure instead of dropping the job.
                 if job.status in job_states.RECOVERABLE_STATES:
@@ -147,15 +214,15 @@ class JobManager:
                     job.failure = {"digest": job.id, "kind": "error",
                                    "attempts": job.attempts,
                                    "workload": "", "mode": "", "n_cores": 0,
-                                   "error": f"recovered scenario no longer "
-                                            f"valid: {exc}"}
+                                   "error": f"recovered job document no "
+                                            f"longer valid: {exc}"}
                     self.store.record_failed(job.id, job.failure)
                 self._jobs[job.id] = job
                 continue
-            job.name = job.name or spec.name or spec.workload
-            job.workload = spec.workload
-            job.mode = spec.mode
-            job.n_cores = spec.n_cores
+            job.name = job.name or source.name
+            job.workload = source.runspec.workload
+            job.mode = source.runspec.mode
+            job.n_cores = source.runspec.n_cores
             self._jobs[job.id] = job
             if job.status in job_states.RECOVERABLE_STATES:
                 job.status = job_states.QUEUED
@@ -167,15 +234,16 @@ class JobManager:
     # Admission (called from HTTP handler threads)
     # ------------------------------------------------------------------
     def submit(self, doc: Dict) -> tuple:
-        """Admit one scenario document; returns ``(job, created)``.
+        """Admit one scenario or runspec document; returns ``(job,
+        created)``.
 
         Raises :class:`~repro.experiments.scenario.ScenarioError` (or a
         registry error) for invalid documents, :class:`Draining` during
         shutdown and :class:`QueueFull` under backpressure.  Never blocks
         on simulation work.
         """
-        spec = ScenarioSpec.from_dict(doc)     # raises listing valid choices
-        runspec = spec.to_runspec()
+        source = parse_job_document(doc)   # raises listing valid choices
+        runspec = source.runspec
         digest = runspec.digest()
         with self._lock:
             if self._draining:
@@ -185,9 +253,9 @@ class JobManager:
                 return existing, False
             resubmit = existing is not None
             job = Job(id=digest, scenario=dict(doc),
-                      name=spec.name or spec.workload,
-                      workload=spec.workload, mode=spec.mode,
-                      n_cores=spec.n_cores,
+                      name=source.name,
+                      workload=runspec.workload, mode=runspec.mode,
+                      n_cores=runspec.n_cores,
                       attempts=existing.attempts if resubmit else 0)
             # Idempotency fast path: a digest the persistent cache already
             # holds completes without queue admission or simulation.
@@ -265,8 +333,8 @@ class JobManager:
         """Run one job under the crash-safety ordering: ``running`` is
         journalled before execution, the cache publish (inside the
         engine) precedes the ``done`` append."""
-        spec = ScenarioSpec.from_dict(job.scenario)
-        runspec = spec.to_runspec()
+        source = parse_job_document(job.scenario)
+        runspec = source.runspec
         attempt = self.store.record_running(job.id)
         job.status = job_states.RUNNING
         job.attempts = attempt
@@ -285,9 +353,13 @@ class JobManager:
             return
         engine = SweepEngine(jobs=self.jobs_arg, cache=self.cache,
                              policy=self.policy)
+        # Scenario-form jobs resolve their workload in-process (reusing
+        # the memoised trace build); runspec-form jobs let the engine
+        # rebuild the workload from the spec, exactly like a pool worker.
+        workload_lookup = ((lambda _: source.scenario.resolve()[0])
+                           if source.scenario is not None else None)
         try:
-            results = engine.run([runspec],
-                                 workload_lookup=lambda _: spec.resolve()[0])
+            results = engine.run([runspec], workload_lookup=workload_lookup)
         except SweepError as exc:
             failure = exc.failures[0] if exc.failures else \
                 FailureRecord.for_spec(runspec, "error", job.attempts,
@@ -334,19 +406,42 @@ class JobManager:
     # ------------------------------------------------------------------
     # Graceful shutdown
     # ------------------------------------------------------------------
-    def begin_drain(self) -> None:
-        """Stop admissions; queued and in-flight work keeps draining."""
+    def begin_drain(self, timeout: Optional[float] = None) -> None:
+        """Stop admissions; queued and in-flight work keeps draining.
+
+        ``timeout`` (when known) records the drain deadline so 503
+        responses can clamp their ``Retry-After`` to the time the server
+        actually has left (see :meth:`retry_after_hint`)."""
         with self._lock:
             self._draining = True
+            if timeout is not None:
+                deadline = time.monotonic() + max(0.0, timeout)
+                if (self._drain_deadline is None
+                        or deadline < self._drain_deadline):
+                    self._drain_deadline = deadline
+
+    def retry_after_hint(self, default: int) -> int:
+        """Seconds a 429/503 should advertise as ``Retry-After``.
+
+        While draining with a known deadline the hint is clamped to the
+        remaining drain window (floored to whole seconds, never below
+        0): a client told to retry *after* the server is gone would just
+        turn one clean 503 into a connection error."""
+        with self._lock:
+            deadline = self._drain_deadline if self._draining else None
+        if deadline is None:
+            return default
+        remaining = max(0.0, deadline - time.monotonic())
+        return max(0, min(default, math.floor(remaining)))
 
     def drain(self, timeout: float) -> bool:
         """Wait up to ``timeout`` seconds for the queue to empty, then
         stop the worker and journal whatever remains as ``interrupted``
         (it is re-enqueued on the next boot).  Returns ``True`` when
         everything drained inside the deadline."""
-        self.begin_drain()
-        deadline = time.monotonic() + max(0.0, timeout)
+        self.begin_drain(timeout)
         with self._lock:
+            deadline = self._drain_deadline
             while (self._pending or self._running_id) and \
                     time.monotonic() < deadline:
                 self._idle.wait(timeout=min(

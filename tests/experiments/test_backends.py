@@ -1,0 +1,219 @@
+"""The sweep backend boundary (repro.experiments.backends).
+
+Covers the registry/resolution contract, the one-rule jobs resolution,
+digest neutrality (``--backend`` is an execution knob, never an
+experiment parameter), and the equivalence suite: every backend —
+serial, process with a real pool, and service over two live in-process
+shards — must produce bit-identical fingerprints for the same specs.
+"""
+
+import pytest
+
+from repro.experiments.backends import (
+    DEFAULT_BACKEND,
+    ProcessBackend,
+    SerialBackend,
+    ServiceBackend,
+    resolve_backend,
+)
+from repro.experiments.sweep import (
+    ResultCache,
+    RunSpec,
+    SweepEngine,
+    resolve_jobs,
+)
+from repro.registry import SWEEP_BACKENDS, RegistryError
+from repro.workloads.synthetic import IndirectStreamWorkload
+
+
+def make_specs(n=4, n_cores=1):
+    """``n`` small specs over distinct seeds, plus their workload map."""
+    specs, lookup = [], {}
+    for seed in range(1, n + 1):
+        workload = IndirectStreamWorkload(n_indices=256, n_data=1024,
+                                          seed=seed)
+        spec = RunSpec.for_run(workload, "imp", n_cores)
+        specs.append(spec)
+        lookup[spec] = workload
+    return specs, lookup
+
+
+def fingerprints(results):
+    return {spec.digest(): result.stats.fingerprint()
+            for spec, result in results.items()}
+
+
+# ----------------------------------------------------------------------
+# Registry + resolution contract
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_registry_lists_all_backends(self):
+        assert SWEEP_BACKENDS.names() == ["serial", "process", "service"]
+
+    def test_default_is_process(self):
+        assert DEFAULT_BACKEND == "process"
+        assert isinstance(resolve_backend(None), ProcessBackend)
+        assert isinstance(SweepEngine(jobs=1).backend, ProcessBackend)
+
+    def test_names_resolve(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("process"), ProcessBackend)
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(RegistryError, match="serial, process, service"):
+            resolve_backend("cloud")
+
+    def test_local_backends_reject_shards(self):
+        for name in ("serial", "process"):
+            with pytest.raises(ValueError, match="no --shard"):
+                resolve_backend(name, ["http://localhost:1"])
+
+    def test_service_requires_a_shard(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            resolve_backend("service")
+
+    def test_service_normalises_shard_urls(self):
+        backend = resolve_backend("service", ["http://h:80/",
+                                              "http://g:81"])
+        assert backend.shard_urls == ["http://h:80", "http://g:81"]
+
+    def test_engine_threads_backend_through(self):
+        engine = SweepEngine(jobs=1, backend="serial")
+        assert isinstance(engine.backend, SerialBackend)
+        with pytest.raises(ValueError, match="at least one shard"):
+            SweepEngine(jobs=1, backend="service")
+
+
+# ----------------------------------------------------------------------
+# Satellite: the one jobs rule (explicit > $REPRO_JOBS > default; 0=auto)
+# ----------------------------------------------------------------------
+class TestResolveJobs:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None, default=2) == 5
+
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(None, default=4) == 4
+
+    def test_zero_means_auto(self, monkeypatch):
+        import os
+        auto = max(1, os.cpu_count() or 1)
+        assert resolve_jobs(0) == auto
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert resolve_jobs(None) == auto
+
+    def test_explicit_negative_raises(self):
+        with pytest.raises(ValueError, match="0 = auto"):
+            resolve_jobs(-1)
+
+    def test_explicit_garbage_raises(self):
+        with pytest.raises(ValueError, match="non-negative integer"):
+            resolve_jobs("many")
+
+    def test_env_garbage_warns_and_uses_default(self, monkeypatch,
+                                                capsys):
+        for junk in ("banana", "-2", "1.5"):
+            monkeypatch.setenv("REPRO_JOBS", junk)
+            assert resolve_jobs(None, default=3) == 3
+            assert "ignoring invalid REPRO_JOBS" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Digest neutrality: the backend never enters the experiment identity
+# ----------------------------------------------------------------------
+class TestDigestNeutrality:
+    def test_canonical_json_carries_no_backend(self):
+        specs, _ = make_specs(1)
+        canonical = specs[0].canonical_json()
+        assert "backend" not in canonical
+        assert "shard" not in canonical
+
+    def test_digest_identical_across_engine_backends(self, tmp_path):
+        specs, _ = make_specs(1)
+        digest = specs[0].digest()
+        for engine in (SweepEngine(jobs=1, backend="serial"),
+                       SweepEngine(jobs=2, backend="process"),
+                       SweepEngine(jobs=1, backend="service",
+                                   shards=["http://localhost:1"])):
+            # The digest is a pure function of the spec; engine/backend
+            # configuration must not be able to influence it.
+            assert specs[0].digest() == digest
+            assert engine.backend.name in ("serial", "process", "service")
+
+
+# ----------------------------------------------------------------------
+# Equivalence: every backend matches the serial reference bit-for-bit
+# ----------------------------------------------------------------------
+class TestBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        specs, lookup = make_specs(4)
+        results = SweepEngine(jobs=1, backend="serial").run(
+            specs, workload_lookup=lookup.get)
+        return fingerprints(results)
+
+    def test_process_pool_matches_serial(self, reference):
+        specs, lookup = make_specs(4)
+        engine = SweepEngine(jobs=2, backend="process")
+        results = engine.run(specs, workload_lookup=lookup.get)
+        assert fingerprints(results) == reference
+        assert engine.simulations_run == len(specs)
+
+    def test_service_backend_matches_serial(self, reference, tmp_path):
+        from repro.service import ServiceApp
+
+        apps = [ServiceApp(tmp_path / f"shard{i}", port=0, queue_depth=8)
+                for i in range(2)]
+        for app in apps:
+            app.start()
+        try:
+            specs, lookup = make_specs(4)
+            cache = ResultCache(tmp_path / "local")
+            engine = SweepEngine(jobs=1, cache=cache, backend="service",
+                                 shards=[app.url for app in apps])
+            results = engine.run(specs, workload_lookup=lookup.get)
+            assert fingerprints(results) == reference
+            assert engine.backend.ingested == len(specs)
+            assert engine.backend.dead_shards == []
+            assert engine.backend.fallback_specs == 0
+            # Round-robin really sharded the cross-product: both shards
+            # simulated some of it.
+            per_shard = [app.manager.simulations_run for app in apps]
+            assert all(count > 0 for count in per_shard)
+            assert sum(per_shard) == len(specs)
+
+            # Ingested records are real cache-v3 records: a second local
+            # engine on the same cache dir is fully warm.
+            warm = SweepEngine(jobs=1, cache=ResultCache(tmp_path / "local"))
+            warm_results = warm.run(specs, workload_lookup=lookup.get)
+            assert warm.simulations_run == 0
+            assert fingerprints(warm_results) == reference
+        finally:
+            for app in apps:
+                app.stop(drain_timeout=10.0)
+
+    def test_service_summary_counts_remote_work(self, reference, tmp_path):
+        # The engine's simulations_run includes remote ingests, so the
+        # CLI summary line stays truthful whichever backend ran.
+        from repro.service import ServiceApp
+
+        app = ServiceApp(tmp_path / "shard", port=0, queue_depth=8)
+        app.start()
+        try:
+            specs, lookup = make_specs(2)
+            engine = SweepEngine(jobs=1, backend="service",
+                                 shards=[app.url])
+            results = engine.run(specs, workload_lookup=lookup.get)
+            assert engine.simulations_run == len(specs)
+            assert fingerprints(results) == {
+                digest: fingerprint
+                for digest, fingerprint in reference.items()
+                if digest in {spec.digest() for spec in specs}}
+        finally:
+            app.stop(drain_timeout=10.0)

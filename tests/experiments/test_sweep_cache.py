@@ -400,6 +400,27 @@ class TestCacheSelfHealing:
         assert list_quarantined(cache.directory) == []
         assert not quarantine_dir(cache.directory).exists()
 
+    def test_repeat_quarantine_keeps_both_evidence_files(self, cache):
+        # Satellite: a digest quarantined twice for the same reason must
+        # keep BOTH evidence files — the second quarantine uniquifies its
+        # filename instead of silently clobbering the first.
+        from repro.experiments.faults import corrupt_record
+
+        spec = tiny_spec()
+        path, _ = self.seeded(cache, spec)
+        corrupt_record(path)
+        assert cache.get(spec) is None          # first quarantine
+        self.seeded(cache, spec)                # reseed the same slot...
+        corrupt_record(path)                    # ...and tear it again
+        assert ResultCache(cache.directory).get(spec) is None
+        entries = list_quarantined(cache.directory)
+        assert len(entries) == 2
+        assert {entry.digest for entry in entries} == {spec.digest()}
+        assert {entry.reason for entry in entries} == {"truncated"}
+        assert len({entry.path.name for entry in entries}) == 2
+        assert purge_quarantined(cache.directory) == 2
+        assert list_quarantined(cache.directory) == []
+
     def test_purge_handles_directory_entries(self, cache):
         # An "unreadable" quarantine entry can itself be a directory.
         spec = tiny_spec()

@@ -53,12 +53,36 @@ class TestProbesAndRegistries:
         assert envelope["error"]["code"] == "draining"
         assert headers["Retry-After"] == str(RETRY_AFTER_SECONDS)
 
+    def test_retry_after_clamps_to_the_drain_deadline(self, api):
+        # Satellite regression: a 503 during a timed drain must never
+        # advertise a Retry-After beyond the moment the server will be
+        # gone — a client honoring the hint would otherwise wake up to a
+        # dead socket.
+        api.manager.begin_drain(timeout=1.0)
+        _, _, headers = api.handle("GET", "/readyz")
+        assert int(headers["Retry-After"]) <= 1
+        api.manager.begin_drain(timeout=0.0)     # deadline only shrinks
+        status, _, headers = api.handle("GET", "/readyz")
+        assert status == 503
+        assert headers["Retry-After"] == "0"
+        _, _, headers = api.handle(
+            "POST", "/v1/jobs", json.dumps(tiny_scenario(1)).encode())
+        assert headers["Retry-After"] == "0"
+
+    def test_retry_after_keeps_default_under_long_drains(self, api):
+        # A generous (or unbounded) drain window must not inflate the
+        # hint past the default.
+        api.manager.begin_drain(timeout=3600.0)
+        _, _, headers = api.handle("GET", "/readyz")
+        assert headers["Retry-After"] == str(RETRY_AFTER_SECONDS)
+
     def test_registries_lists_every_component_registry(self, api):
         status, envelope, _ = api.handle("GET", "/v1/registries")
         assert status == 200
         registries = envelope["data"]["registries"]
         assert set(registries) == {"prefetchers", "dram-models",
-                                   "workloads", "modes", "noc-kernels"}
+                                   "workloads", "modes", "noc-kernels",
+                                   "sweep-backends"}
         assert any(entry["name"] == "imp"
                    for entry in registries["prefetchers"])
         assert all(entry["description"]

@@ -452,6 +452,41 @@ class TestServeArguments:
         assert "durable job journal" in out.getvalue()
 
 
+class TestSweepBackendFlags:
+    def test_shard_requires_service_backend(self):
+        out = io.StringIO()
+        assert main(["sweep", "--figures", "fig1",
+                     "--shard", "http://h:1"], out=out) == 2
+        assert "--shard requires --backend service" in out.getvalue()
+
+    def test_service_backend_requires_a_shard(self):
+        out = io.StringIO()
+        assert main(["sweep", "--figures", "fig1",
+                     "--backend", "service"], out=out) == 2
+        assert "at least one" in out.getvalue()
+
+    def test_figure_validates_backend_pairing_too(self):
+        out = io.StringIO()
+        assert main(["figure", "fig1", "--backend", "service"],
+                    out=out) == 2
+        assert "--shard" in out.getvalue()
+
+    def test_unknown_backend_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            run_cli("sweep", "--figures", "fig1", "--backend", "cloud")
+
+    def test_jobs_flag_rejects_negative_and_garbage(self):
+        for bad in ("-1", "many"):
+            with pytest.raises(SystemExit):
+                run_cli("sweep", "--figures", "fig1", "--jobs", bad)
+
+    def test_summary_names_the_backend(self, tmp_path):
+        output = run_cli("sweep", "--figures", "fig1", "--cores", "4",
+                         "--scale", "0.05", "--cache-dir", str(tmp_path),
+                         "--backend", "serial")
+        assert "serial backend" in output
+
+
 class TestCacheDoctor:
     def test_clean_cache_reports_nothing(self, tmp_path):
         output = run_cli("cache", "doctor", "--cache-dir", str(tmp_path))
@@ -477,3 +512,30 @@ class TestCacheDoctor:
         assert "purged 1 quarantined record(s)" in purged
         after = run_cli("cache", "doctor", "--cache-dir", str(tmp_path))
         assert "no quarantined records" in after
+
+    def test_repeat_damage_lists_every_quarantine(self, tmp_path):
+        # The same record torn twice (same digest, same reason): doctor
+        # must list two uniquified evidence files, and purge both.
+        from repro.experiments.faults import corrupt_record
+        from repro.experiments.sweep import ResultCache, SweepEngine
+        from repro.workloads.synthetic import IndirectStreamWorkload
+
+        workload = IndirectStreamWorkload(n_indices=64, n_data=256, seed=1)
+        lookup = {}
+        from repro.experiments.sweep import RunSpec
+        spec = RunSpec.for_run(workload, "base", 1)
+        lookup[spec] = workload
+        for _ in range(2):
+            cache = ResultCache(tmp_path)
+            SweepEngine(jobs=1, cache=cache).run(
+                [spec], workload_lookup=lookup.get)
+            corrupt_record(cache._path(spec))
+            assert ResultCache(tmp_path).get(spec) is None
+
+        listing = run_cli("cache", "doctor", "--cache-dir", str(tmp_path))
+        assert "2 quarantined record(s)" in listing
+        assert f"{spec.digest()}.truncated.json" in listing
+        assert f"{spec.digest()}.truncated.1.json" in listing
+        purged = run_cli("cache", "doctor", "--cache-dir", str(tmp_path),
+                         "--purge")
+        assert "purged 2 quarantined record(s)" in purged

@@ -92,7 +92,12 @@ class TestRegistryBasics:
 class TestStockRegistries:
     def test_all_registries_exposed(self):
         assert set(ALL_REGISTRIES) == {"prefetchers", "dram-models",
-                                       "workloads", "modes", "noc-kernels"}
+                                       "workloads", "modes", "noc-kernels",
+                                       "sweep-backends"}
+
+    def test_stock_sweep_backends(self):
+        from repro.registry import SWEEP_BACKENDS
+        assert SWEEP_BACKENDS.names() == ["serial", "process", "service"]
 
     def test_stock_prefetchers(self):
         assert PREFETCHERS.names() == ["none", "stream", "ghb", "imp"]
